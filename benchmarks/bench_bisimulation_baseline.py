@@ -1,0 +1,56 @@
+"""E10 (extension) — Section 8's related-work argument, quantified.
+
+The paper rejects bisimulation-based summaries because their size "grows
+exponentially and can be as large as the input graph".  This benchmark
+builds the forward / backward / full bisimulation quotients next to the four
+clique-based summaries on the same BSBM-like graph and compares sizes and
+construction times, making the argument measurable.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.bisimulation import bisimulation_summary
+from repro.core.builders import summarize
+
+
+def test_bisimulation_versus_clique_summaries(bsbm_medium, benchmark):
+    def build_all():
+        results = {}
+        for kind in ("weak", "strong", "typed_weak", "typed_strong"):
+            results[kind] = summarize(bsbm_medium, kind)
+        for direction in ("forward", "backward", "full"):
+            results[f"bisim_{direction}"] = bisimulation_summary(bsbm_medium, direction)
+        return results
+
+    results = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    rows = []
+    for kind, summary in results.items():
+        statistics = summary.statistics()
+        rows.append((kind, statistics.all_node_count, statistics.all_edge_count,
+                     statistics.all_edge_count / max(1, len(bsbm_medium))))
+    print_series(
+        f"Clique-based summaries versus bisimulation baselines ({len(bsbm_medium)} input triples)",
+        ("summary", "nodes", "edges", "edge ratio"),
+        rows,
+    )
+
+    weak_edges = len(results["weak"].graph)
+    full_bisim_edges = len(results["bisim_full"].graph)
+    # the paper's argument: bisimulation is close to the input size, the
+    # clique-based summaries are orders of magnitude below it
+    assert full_bisim_edges > 5 * weak_edges
+    assert full_bisim_edges > 0.5 * len(bsbm_medium)
+    assert weak_edges < 0.05 * len(bsbm_medium)
+
+
+def test_full_bisimulation_construction_time(bsbm_medium, benchmark):
+    summary = benchmark(bisimulation_summary, bsbm_medium, "full")
+    assert len(summary.graph) > 0
+
+
+def test_bounded_bisimulation_construction_time(bsbm_medium, benchmark):
+    summary = benchmark(bisimulation_summary, bsbm_medium, "forward", 2)
+    assert len(summary.graph) > 0

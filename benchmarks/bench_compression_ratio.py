@@ -1,0 +1,53 @@
+"""E6 — Section 7's compression claim: the summary occupies a small fraction
+of the data size (at most 0.028 in the paper, down to 2.8e-4 at the largest
+scale).
+
+The absolute ratio depends on the dataset scale (the ratio shrinks as the
+input grows, since summary size is essentially determined by the schema
+shape, not the instance count); what is asserted is that the ratio is small
+and decreases with the input size.
+"""
+
+from __future__ import annotations
+
+from conftest import BSBM_SCALES, print_series
+
+from repro.analysis.metrics import PAPER_KINDS, summary_size_table
+
+
+def test_compression_ratio_decreases_with_scale(bsbm_graphs, benchmark):
+    def collect():
+        ratio_rows = []
+        for scale in sorted(BSBM_SCALES):
+            for row in summary_size_table(bsbm_graphs[scale], kinds=PAPER_KINDS):
+                ratio_rows.append(row)
+        return ratio_rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    grouped = {}
+    for row in rows:
+        grouped.setdefault(row.input_triples, {})[row.kind] = row
+    sizes = sorted(grouped)
+
+    print_series(
+        "Summary size as a fraction of the input size (edge ratio)",
+        ("input triples", *PAPER_KINDS),
+        [(size, *[grouped[size][kind].edge_ratio for kind in PAPER_KINDS]) for size in sizes],
+    )
+
+    for kind in PAPER_KINDS:
+        # the ratio decreases (or stays flat) as the input grows
+        assert grouped[sizes[-1]][kind].edge_ratio <= grouped[sizes[0]][kind].edge_ratio * 1.1
+    # at the largest scale the weak/strong summaries are below 5% of the input
+    assert grouped[sizes[-1]]["weak"].edge_ratio < 0.05
+    assert grouped[sizes[-1]]["strong"].edge_ratio < 0.05
+
+
+def test_weak_summary_nodes_bounded_by_properties(bsbm_medium, benchmark):
+    """Prop. 4 corollary: weak data nodes ≤ 2 · |D_G|^0_p regardless of scale."""
+    row = benchmark.pedantic(
+        lambda: summary_size_table(bsbm_medium, kinds=("weak",))[0], rounds=1, iterations=1
+    )
+    assert row.data_edges == len(bsbm_medium.data_properties())
+    assert row.data_nodes <= 2 * len(bsbm_medium.data_properties())

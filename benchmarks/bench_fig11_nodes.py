@@ -1,0 +1,75 @@
+"""E3 — Figure 11: number of data nodes (top) and all nodes (bottom) of the
+four BSBM summaries, as a function of the input size.
+
+The paper's observations that must hold here:
+
+* the strong and weak summaries have very close node counts, orders of
+  magnitude below the input size;
+* the typed summaries are also close to each other but noticeably larger
+  than the type-first (weak/strong) summaries;
+* the number of class nodes dominates the number of data nodes for the weak
+  and strong summaries.
+"""
+
+from __future__ import annotations
+
+from conftest import BSBM_SCALES, print_series
+
+from repro.analysis.metrics import PAPER_KINDS, summary_size_table
+
+
+def _rows_for(graphs):
+    rows = []
+    for scale in BSBM_SCALES:
+        rows.extend(summary_size_table(graphs[scale], kinds=PAPER_KINDS))
+    return rows
+
+
+def test_figure11_node_counts(bsbm_graphs, benchmark):
+    rows = benchmark.pedantic(_rows_for, args=(bsbm_graphs,), rounds=1, iterations=1)
+
+    print_series(
+        "Figure 11 (top): data nodes per summary kind",
+        ("input triples", *PAPER_KINDS),
+        [
+            (
+                rows_at[0].input_triples,
+                *[row.data_nodes for row in rows_at],
+            )
+            for rows_at in _group_by_scale(rows)
+        ],
+    )
+    print_series(
+        "Figure 11 (bottom): all nodes per summary kind",
+        ("input triples", *PAPER_KINDS),
+        [
+            (
+                rows_at[0].input_triples,
+                *[row.all_nodes for row in rows_at],
+            )
+            for rows_at in _group_by_scale(rows)
+        ],
+    )
+
+    for rows_at in _group_by_scale(rows):
+        by_kind = {row.kind: row for row in rows_at}
+        input_triples = rows_at[0].input_triples
+        # weak and strong are close to each other (within 2x)
+        assert by_kind["strong"].data_nodes <= 2 * by_kind["weak"].data_nodes + 5
+        # typed summaries are larger than the type-first ones
+        assert by_kind["typed_weak"].data_nodes > by_kind["weak"].data_nodes
+        assert by_kind["typed_strong"].data_nodes > by_kind["strong"].data_nodes
+        # summaries are far smaller than the input
+        for kind in PAPER_KINDS:
+            assert by_kind[kind].all_nodes < input_triples / 5
+
+
+def _group_by_scale(rows):
+    grouped = {}
+    for row in rows:
+        grouped.setdefault(row.input_triples, []).append(row)
+    ordered = []
+    for input_triples in sorted(grouped):
+        kind_order = {kind: index for index, kind in enumerate(PAPER_KINDS)}
+        ordered.append(sorted(grouped[input_triples], key=lambda row: kind_order[row.kind]))
+    return ordered

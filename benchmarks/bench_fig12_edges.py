@@ -1,0 +1,72 @@
+"""E4 — Figure 12: number of data edges (top) and all edges (bottom) of the
+four BSBM summaries, as a function of the input size.
+
+Checked shapes: weak ≈ strong, typed_weak ≈ typed_strong, typed ≥ type-first,
+and every summary stays a tiny fraction of the input size (the paper reports
+at most 28 210 edges for 10-100M-triple inputs, i.e. a ratio ≤ 0.028).
+"""
+
+from __future__ import annotations
+
+from conftest import BSBM_SCALES, print_series
+
+from repro.analysis.metrics import PAPER_KINDS, summary_size_table
+
+
+def _rows_for(graphs):
+    rows = []
+    for scale in BSBM_SCALES:
+        rows.extend(summary_size_table(graphs[scale], kinds=PAPER_KINDS))
+    return rows
+
+
+def _group_by_scale(rows):
+    grouped = {}
+    for row in rows:
+        grouped.setdefault(row.input_triples, []).append(row)
+    kind_order = {kind: index for index, kind in enumerate(PAPER_KINDS)}
+    return [
+        sorted(grouped[size], key=lambda row: kind_order[row.kind]) for size in sorted(grouped)
+    ]
+
+
+def test_figure12_edge_counts(bsbm_graphs, benchmark):
+    rows = benchmark.pedantic(_rows_for, args=(bsbm_graphs,), rounds=1, iterations=1)
+
+    print_series(
+        "Figure 12 (top): data edges per summary kind",
+        ("input triples", *PAPER_KINDS),
+        [(group[0].input_triples, *[row.data_edges for row in group]) for group in _group_by_scale(rows)],
+    )
+    print_series(
+        "Figure 12 (bottom): all edges per summary kind",
+        ("input triples", *PAPER_KINDS),
+        [(group[0].input_triples, *[row.all_edges for row in group]) for group in _group_by_scale(rows)],
+    )
+
+    for group in _group_by_scale(rows):
+        by_kind = {row.kind: row for row in group}
+        # weak data edges == number of distinct data properties (Prop. 4),
+        # strong has at least as many
+        assert by_kind["strong"].data_edges >= by_kind["weak"].data_edges
+        # typed summaries carry more edges than the type-first ones
+        assert by_kind["typed_weak"].all_edges >= by_kind["weak"].all_edges
+        assert by_kind["typed_strong"].all_edges >= by_kind["strong"].all_edges
+        # the two typed summaries are close to each other (within 25%)
+        weak_typed, strong_typed = by_kind["typed_weak"].all_edges, by_kind["typed_strong"].all_edges
+        assert abs(weak_typed - strong_typed) <= 0.25 * max(weak_typed, strong_typed)
+
+
+def test_figure12_compression_stays_small_as_input_grows(bsbm_graphs, benchmark):
+    """Summary edge counts grow far slower than the input size."""
+    small, large = benchmark.pedantic(
+        lambda: (
+            summary_size_table(bsbm_graphs[min(BSBM_SCALES)], kinds=("weak",))[0],
+            summary_size_table(bsbm_graphs[max(BSBM_SCALES)], kinds=("weak",))[0],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    input_growth = large.input_triples / small.input_triples
+    summary_growth = large.all_edges / max(1, small.all_edges)
+    assert summary_growth < input_growth / 2

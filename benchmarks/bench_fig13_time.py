@@ -1,0 +1,63 @@
+"""E5 — Figure 13: summarization time for the four summaries vs. input size.
+
+Paper observations that must hold here: build time grows roughly linearly
+with the input size, and the summaries that materialise cliques or isolate
+typed nodes (strong, typed weak, typed strong) cost more than the plain weak
+summary.  Absolute times are not comparable (Java + PostgreSQL on a Xeon in
+the paper versus pure Python here).
+"""
+
+from __future__ import annotations
+
+from conftest import BSBM_SCALES, print_series
+
+from repro.analysis.metrics import PAPER_KINDS, summary_size_table
+from repro.core.builders import summarize
+
+
+def test_figure13_summarization_time(bsbm_graphs, benchmark):
+    def collect():
+        collected = []
+        for scale in BSBM_SCALES:
+            collected.extend(summary_size_table(bsbm_graphs[scale], kinds=PAPER_KINDS))
+        return collected
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    grouped = {}
+    for row in rows:
+        grouped.setdefault(row.input_triples, {})[row.kind] = row
+    sizes = sorted(grouped)
+
+    print_series(
+        "Figure 13: summarization time (seconds) per summary kind",
+        ("input triples", *PAPER_KINDS),
+        [(size, *[grouped[size][kind].build_seconds for kind in PAPER_KINDS]) for size in sizes],
+    )
+
+    # build time increases with the data size for every kind (allowing noise
+    # by comparing the smallest against the largest scale only)
+    for kind in PAPER_KINDS:
+        assert grouped[sizes[-1]][kind].build_seconds >= grouped[sizes[0]][kind].build_seconds * 0.8
+
+    # roughly linear behaviour: time per input triple does not blow up
+    for kind in PAPER_KINDS:
+        per_triple_small = grouped[sizes[0]][kind].build_seconds / sizes[0]
+        per_triple_large = grouped[sizes[-1]][kind].build_seconds / sizes[-1]
+        assert per_triple_large < per_triple_small * 5
+
+
+def test_weak_summary_build_time(bsbm_medium, benchmark):
+    benchmark(summarize, bsbm_medium, "weak")
+
+
+def test_strong_summary_build_time(bsbm_medium, benchmark):
+    benchmark(summarize, bsbm_medium, "strong")
+
+
+def test_typed_weak_summary_build_time(bsbm_medium, benchmark):
+    benchmark(summarize, bsbm_medium, "typed_weak")
+
+
+def test_typed_strong_summary_build_time(bsbm_medium, benchmark):
+    benchmark(summarize, bsbm_medium, "typed_strong")

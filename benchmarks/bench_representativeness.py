@@ -1,0 +1,71 @@
+"""E8 — Proposition 1 / Definitions 1-2: RBGP representativeness and
+accuracy measured on generated query workloads.
+
+Every RBGP query with answers on ``G∞`` must have answers on the saturation
+of each of the four summaries; the benchmark also measures how much cheaper
+it is to evaluate the workload on the summary than on the graph (the
+query-formulation / static-analysis use case motivating the paper).
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.analysis.metrics import PAPER_KINDS
+from repro.core.builders import summarize
+from repro.core.properties import check_representativeness
+from repro.queries.evaluation import has_answers
+from repro.queries.generator import generate_rbgp_workload
+from repro.schema.saturation import saturate
+
+
+WORKLOAD_SIZE = 20
+
+
+def _workload(graph):
+    return generate_rbgp_workload(saturate(graph), count=WORKLOAD_SIZE, size=2, seed=42)
+
+
+def test_representativeness_of_all_kinds(bsbm_medium, benchmark):
+    queries = _workload(bsbm_medium)
+
+    def check_all():
+        results = {}
+        for kind in PAPER_KINDS:
+            summary = summarize(bsbm_medium, kind)
+            results[kind] = check_representativeness(bsbm_medium, summary, queries)
+        return results
+
+    results = benchmark.pedantic(check_all, rounds=1, iterations=1)
+
+    print_series(
+        f"RBGP representativeness over a {WORKLOAD_SIZE}-query workload (BSBM)",
+        ("kind", "queries with answers on G∞", "preserved on summary", "ratio"),
+        [(kind, report.total, report.preserved, report.ratio) for kind, report in results.items()],
+    )
+    for kind, report in results.items():
+        assert report.holds, (kind, [str(q) for q in report.failures])
+
+
+def test_query_answering_on_summary_is_cheaper(bsbm_medium, benchmark):
+    queries = _workload(bsbm_medium)
+    summary_graph = saturate(summarize(bsbm_medium, "weak").graph)
+
+    def evaluate_on_summary():
+        return sum(1 for query in queries if has_answers(summary_graph, query))
+
+    answered = benchmark(evaluate_on_summary)
+    assert answered == len(queries)
+    # the summary explored by static analysis is far smaller than the graph
+    assert len(summary_graph) * 10 < len(bsbm_medium)
+
+
+def test_boolean_query_workload_on_graph(bsbm_medium, benchmark):
+    """Reference point: the same workload evaluated on the full graph."""
+    queries = _workload(bsbm_medium)
+
+    def evaluate_on_graph():
+        return sum(1 for query in queries if has_answers(bsbm_medium, query))
+
+    answered = benchmark(evaluate_on_graph)
+    assert answered == len(queries)

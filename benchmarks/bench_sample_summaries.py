@@ -1,0 +1,45 @@
+"""E2 — Figures 4, 6, 7 and 9: the four summaries of the sample graph.
+
+Regenerates the summary sizes of the paper's running example and checks the
+exact node/edge counts of the weak (Figure 4) and strong (Figure 9)
+summaries.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.analysis.metrics import summary_size_table
+from repro.core.builders import summarize
+
+
+def test_sample_graph_summaries(fig2, benchmark):
+    rows = benchmark(summary_size_table, fig2, ("weak", "strong", "typed_weak", "typed_strong", "type"))
+
+    print_series(
+        "Figures 4/6/7/9: summaries of the Figure 2 sample graph",
+        ("kind", "data nodes", "all nodes", "data edges", "all edges"),
+        [(row.kind, row.data_nodes, row.all_nodes, row.data_edges, row.all_edges) for row in rows],
+    )
+
+    by_kind = {row.kind: row for row in rows}
+    # Figure 4 (weak): 6 data nodes + 3 class nodes, 6 data edges + 3 type edges
+    assert by_kind["weak"].data_nodes == 6
+    assert by_kind["weak"].all_nodes == 9
+    assert by_kind["weak"].all_edges == 9
+    # Figure 9 (strong): 9 data nodes + 3 class nodes, 12 edges
+    assert by_kind["strong"].data_nodes == 9
+    assert by_kind["strong"].all_edges == 12
+    # typed summaries sit between the type-first summaries and the input size
+    assert by_kind["weak"].all_edges <= by_kind["typed_weak"].all_edges <= len(fig2)
+    assert by_kind["strong"].all_edges <= by_kind["typed_strong"].all_edges <= len(fig2)
+
+
+def test_weak_summary_of_sample_graph_construction(fig2, benchmark):
+    summary = benchmark(summarize, fig2, "weak")
+    assert len(summary.graph) == 9
+
+
+def test_strong_summary_of_sample_graph_construction(fig2, benchmark):
+    summary = benchmark(summarize, fig2, "strong")
+    assert len(summary.graph) == 12

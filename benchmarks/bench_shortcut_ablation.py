@@ -1,0 +1,71 @@
+"""E7 — Propositions 5 and 8 as an ablation: computing the summary of G∞
+directly (saturate the full graph, then summarize) versus through the
+shortcut (summarize, saturate the small summary, summarize again).
+
+The two must produce isomorphic summaries for the weak and strong kinds, and
+the shortcut must saturate a graph that is orders of magnitude smaller.  The
+typed kinds are included to exhibit the counter-example behaviour
+(Propositions 7 and 10): equality is *not* asserted for them.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.shortcuts import (
+    completeness_holds,
+    direct_summary_of_saturation,
+    shortcut_summary,
+)
+from repro.datasets.sample import typed_weak_counterexample_graph
+from repro.schema.saturation import saturate
+
+
+def test_shortcut_equals_direct_for_weak(lubm_graph, benchmark):
+    comparison = benchmark.pedantic(
+        completeness_holds, args=(lubm_graph, "weak"), rounds=1, iterations=1
+    )
+    assert comparison.equivalent
+
+
+def test_shortcut_equals_direct_for_strong(lubm_graph, benchmark):
+    comparison = benchmark.pedantic(
+        completeness_holds, args=(lubm_graph, "strong"), rounds=1, iterations=1
+    )
+    assert comparison.equivalent
+
+
+def test_typed_weak_counterexample_detected(benchmark):
+    comparison = benchmark.pedantic(
+        completeness_holds, args=(typed_weak_counterexample_graph(), "typed_weak"), rounds=1, iterations=1
+    )
+    assert not comparison.equivalent
+
+
+def test_direct_path_cost(lubm_graph, benchmark):
+    summary = benchmark(direct_summary_of_saturation, lubm_graph, "weak")
+    assert len(summary.graph) > 0
+
+
+def test_shortcut_path_cost(lubm_graph, benchmark):
+    summary = benchmark(shortcut_summary, lubm_graph, "weak")
+    assert len(summary.graph) > 0
+
+
+def test_shortcut_saturates_a_much_smaller_graph(lubm_graph, benchmark):
+    from repro.core.builders import weak_summary
+
+    summary = weak_summary(lubm_graph)
+    saturated_input = saturate(lubm_graph)
+    saturated_summary = benchmark.pedantic(saturate, args=(summary.graph,), rounds=1, iterations=1)
+
+    print_series(
+        "Saturation workload: direct versus shortcut (weak summary, LUBM)",
+        ("graph", "triples before", "triples after saturation"),
+        [
+            ("input G", len(lubm_graph), len(saturated_input)),
+            ("summary W(G)", len(summary.graph), len(saturated_summary)),
+        ],
+    )
+    assert len(summary.graph) * 5 < len(lubm_graph)
+    assert len(saturated_summary) < len(saturated_input)

@@ -1,0 +1,57 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper's
+Section 7 (see DESIGN.md's experiment index).  Since the original experiments
+ran on 10-100 million-triple BSBM datasets on a Xeon server and this
+reproduction is pure Python, the scales are reduced; the *shapes* (relative
+sizes of the four summaries, linear build time, compression ratios) are what
+the assertions check, and the printed series are what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.bsbm import generate_bsbm
+from repro.datasets.lubm import generate_lubm
+from repro.datasets.sample import figure2_graph
+
+#: BSBM scales (number of products) used by the Figure 11-13 sweeps.
+BSBM_SCALES = (25, 50, 100, 200)
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    return figure2_graph()
+
+
+@pytest.fixture(scope="session")
+def bsbm_graphs():
+    """One BSBM-like graph per sweep scale, generated once per session."""
+    return {scale: generate_bsbm(scale=scale, seed=0) for scale in BSBM_SCALES}
+
+
+@pytest.fixture(scope="session")
+def bsbm_medium(bsbm_graphs):
+    """The largest sweep graph, used by single-point benchmarks."""
+    return bsbm_graphs[max(BSBM_SCALES)]
+
+
+@pytest.fixture(scope="session")
+def lubm_graph():
+    return generate_lubm(universities=1, departments_per_university=3, seed=0)
+
+
+def print_series(title, header, rows):
+    """Print a small fixed-width table under a title (captured by pytest -s)."""
+    print()
+    print(title)
+    print("  " + "  ".join(f"{column:>14}" for column in header))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>14.5f}")
+            else:
+                cells.append(f"{value:>14}")
+        print("  " + "  ".join(cells))

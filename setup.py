@@ -1,0 +1,9 @@
+"""Setup shim for environments lacking the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+(`--no-use-pep517`) editable installs where PEP 517 builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

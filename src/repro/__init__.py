@@ -1,0 +1,49 @@
+"""repro — Query-Oriented Summarization of RDF Graphs.
+
+A from-scratch Python reproduction of the weak, strong, typed weak and typed
+strong RDF quotient summaries of Čebirić, Goasdoué and Manolescu, together
+with every substrate they rely on: an RDF data model, N-Triples/Turtle I/O,
+an encoded triple store (in-memory and SQLite), RDFS saturation, BGP/RBGP
+query evaluation and synthetic dataset generators.
+
+Quickstart
+----------
+>>> from repro import summarize
+>>> from repro.datasets import figure2_graph
+>>> summary = summarize(figure2_graph(), "weak")
+>>> len(summary.graph) < len(figure2_graph())
+True
+"""
+
+from repro.core.builders import (
+    strong_summary,
+    summarize,
+    type_summary,
+    typed_strong_summary,
+    typed_weak_summary,
+    weak_summary,
+)
+from repro.core.summary import Summary
+from repro.model.graph import RDFGraph
+from repro.model.terms import URI, BlankNode, Literal
+from repro.model.triple import Triple
+from repro.schema.saturation import saturate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "summarize",
+    "weak_summary",
+    "strong_summary",
+    "type_summary",
+    "typed_weak_summary",
+    "typed_strong_summary",
+    "Summary",
+    "RDFGraph",
+    "Triple",
+    "URI",
+    "BlankNode",
+    "Literal",
+    "saturate",
+    "__version__",
+]

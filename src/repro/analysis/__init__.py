@@ -1,0 +1,19 @@
+"""Experiment analysis: summary metrics and the scale-sweep harness."""
+
+from repro.analysis.harness import ScaleSweepResult, format_figure_series, run_scale_sweep
+from repro.analysis.metrics import (
+    PAPER_KINDS,
+    SummaryMetricsRow,
+    format_table,
+    summary_size_table,
+)
+
+__all__ = [
+    "ScaleSweepResult",
+    "format_figure_series",
+    "run_scale_sweep",
+    "PAPER_KINDS",
+    "SummaryMetricsRow",
+    "format_table",
+    "summary_size_table",
+]

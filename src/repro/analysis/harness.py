@@ -1,0 +1,93 @@
+"""Experiment harness: the scale sweeps behind Figures 11, 12 and 13.
+
+The paper's Section 7 runs the four summaries on BSBM datasets of increasing
+size and reports, per summary kind and dataset size:
+
+* Figure 11 — number of data nodes and of all nodes;
+* Figure 12 — number of data edges and of all edges;
+* Figure 13 — summarization time.
+
+:func:`run_scale_sweep` regenerates all three series in one pass (each point
+is one generated graph and four summary constructions) and
+:func:`format_figure_series` prints them the way the paper's plots are
+organised (one line per summary kind, one column per dataset size).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.metrics import PAPER_KINDS, SummaryMetricsRow, summary_size_table
+from repro.datasets.bsbm import generate_bsbm
+from repro.model.graph import RDFGraph
+
+__all__ = ["ScaleSweepResult", "run_scale_sweep", "format_figure_series"]
+
+
+class ScaleSweepResult:
+    """All metric rows of a scale sweep, indexed by (scale, kind)."""
+
+    def __init__(self, rows: List[SummaryMetricsRow], scales: Sequence[int]):
+        self.rows = rows
+        self.scales = list(scales)
+
+    def series(self, metric: str) -> Dict[str, List[object]]:
+        """Return ``{kind: [value per scale]}`` for the requested metric."""
+        result: Dict[str, List[object]] = {}
+        for kind in PAPER_KINDS:
+            kind_rows = [row for row in self.rows if row.kind == kind]
+            kind_rows.sort(key=lambda row: row.input_triples)
+            result[kind] = [getattr(row, metric) for row in kind_rows]
+        return result
+
+    def input_sizes(self) -> List[int]:
+        """The input triple counts, one per scale point (ascending)."""
+        sizes = sorted({row.input_triples for row in self.rows})
+        return sizes
+
+
+def run_scale_sweep(
+    scales: Sequence[int] = (50, 100, 200, 400),
+    generator: Optional[Callable[[int], RDFGraph]] = None,
+    kinds: Iterable[str] = PAPER_KINDS,
+    seed: int = 0,
+) -> ScaleSweepResult:
+    """Generate one graph per scale, summarize it with every kind, collect metrics.
+
+    Parameters
+    ----------
+    scales:
+        Generator scale parameters (BSBM: number of products).  The paper
+        uses 10M-100M triples; laptop-scale defaults are provided here, and
+        the benchmarks pass larger values.
+    generator:
+        Function mapping a scale to a graph; defaults to the BSBM-like
+        generator with the given *seed*.
+    kinds:
+        Summary kinds to build at each point.
+    """
+    if generator is None:
+        def generator(scale: int) -> RDFGraph:  # noqa: ANN001 - scale is an int
+            return generate_bsbm(scale=scale, seed=seed)
+
+    rows: List[SummaryMetricsRow] = []
+    for scale in scales:
+        graph = generator(scale)
+        rows.extend(summary_size_table(graph, kinds=kinds, dataset_name=graph.name))
+    return ScaleSweepResult(rows, scales)
+
+
+def format_figure_series(result: ScaleSweepResult, metric: str, title: str) -> str:
+    """Render one metric of a sweep as the paper's figures do (kind × size)."""
+    sizes = result.input_sizes()
+    series = result.series(metric)
+    lines = [title, f"{'kind':<14}" + "".join(f"{size:>12}" for size in sizes)]
+    for kind, values in series.items():
+        rendered = []
+        for value in values:
+            if isinstance(value, float):
+                rendered.append(f"{value:>12.4f}")
+            else:
+                rendered.append(f"{value:>12}")
+        lines.append(f"{kind:<14}" + "".join(rendered))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,161 @@
+"""Command-line interface: ``rdfsummary`` / ``python -m repro``.
+
+Sub-commands
+------------
+``summarize``
+    Summarize an N-Triples (or Turtle) file with one of the four summary
+    kinds and write the result as N-Triples or DOT.
+``stats``
+    Print size statistics of a graph and of its four summaries.
+``saturate``
+    Write the saturation ``G∞`` of a graph.
+``generate``
+    Generate a synthetic dataset (bsbm / lubm / bibliography) as N-Triples.
+``sweep``
+    Run the Figure 11-13 scale sweep and print the three series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.harness import format_figure_series, run_scale_sweep
+from repro.analysis.metrics import format_table, summary_size_table
+from repro.core.builders import SUMMARY_KINDS, summarize
+from repro.datasets.bibliography import generate_bibliography
+from repro.datasets.bsbm import generate_bsbm
+from repro.datasets.lubm import generate_lubm
+from repro.io.dot import summary_to_dot, write_dot
+from repro.io.ntriples import dump_ntriples, load_ntriples
+from repro.io.turtle_lite import load_turtle
+from repro.model.graph import RDFGraph
+from repro.schema.saturation import saturate
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(path: str) -> RDFGraph:
+    if path.endswith(".ttl") or path.endswith(".turtle"):
+        return load_turtle(path)
+    return load_ntriples(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rdfsummary",
+        description="Query-oriented summarization of RDF graphs (weak / strong / typed summaries).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summarize_parser = subparsers.add_parser("summarize", help="summarize an RDF file")
+    summarize_parser.add_argument("input", help="input .nt or .ttl file")
+    summarize_parser.add_argument(
+        "--kind", default="weak", choices=sorted(SUMMARY_KINDS), help="summary kind"
+    )
+    summarize_parser.add_argument("--output", "-o", help="output file (N-Triples, or DOT with --dot)")
+    summarize_parser.add_argument("--dot", action="store_true", help="write GraphViz DOT instead of N-Triples")
+
+    stats_parser = subparsers.add_parser("stats", help="print graph and summary statistics")
+    stats_parser.add_argument("input", help="input .nt or .ttl file")
+
+    saturate_parser = subparsers.add_parser("saturate", help="write the RDFS saturation of a graph")
+    saturate_parser.add_argument("input", help="input .nt or .ttl file")
+    saturate_parser.add_argument("--output", "-o", required=True, help="output N-Triples file")
+
+    generate_parser = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate_parser.add_argument(
+        "dataset", choices=["bsbm", "lubm", "bibliography"], help="dataset family"
+    )
+    generate_parser.add_argument("--scale", type=int, default=100, help="generator scale")
+    generate_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    generate_parser.add_argument("--output", "-o", required=True, help="output N-Triples file")
+
+    sweep_parser = subparsers.add_parser("sweep", help="run the Figure 11-13 scale sweep")
+    sweep_parser.add_argument(
+        "--scales", type=int, nargs="+", default=[50, 100, 200], help="BSBM scales (products)"
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+    return parser
+
+
+def _command_summarize(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input)
+    summary = summarize(graph, args.kind)
+    statistics = summary.statistics()
+    print(
+        f"{args.kind} summary: {statistics.all_node_count} nodes, "
+        f"{statistics.all_edge_count} edges "
+        f"(input: {statistics.input_edge_count} triples, ratio {statistics.compression_ratio:.5f})"
+    )
+    if args.output:
+        if args.dot:
+            write_dot(summary_to_dot(summary, show_extents=True), args.output)
+        else:
+            dump_ntriples(summary.graph, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input)
+    statistics = graph.statistics()
+    for key, value in statistics.as_dict().items():
+        print(f"{key:>28}: {value}")
+    print()
+    print(format_table(summary_size_table(graph)))
+    return 0
+
+
+def _command_saturate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input)
+    saturated = saturate(graph)
+    dump_ntriples(saturated, args.output)
+    print(f"saturation: {len(graph)} -> {len(saturated)} triples, written to {args.output}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "bsbm":
+        graph = generate_bsbm(scale=args.scale, seed=args.seed)
+    elif args.dataset == "lubm":
+        graph = generate_lubm(universities=max(1, args.scale // 100 + 1), seed=args.seed)
+    else:
+        graph = generate_bibliography(publications=args.scale, seed=args.seed)
+    dump_ntriples(graph, args.output)
+    print(f"generated {len(graph)} triples into {args.output}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    result = run_scale_sweep(scales=args.scales, seed=args.seed)
+    print(format_figure_series(result, "data_nodes", "Figure 11 (top): data nodes"))
+    print(format_figure_series(result, "all_nodes", "Figure 11 (bottom): all nodes"))
+    print(format_figure_series(result, "data_edges", "Figure 12 (top): data edges"))
+    print(format_figure_series(result, "all_edges", "Figure 12 (bottom): all edges"))
+    print(format_figure_series(result, "build_seconds", "Figure 13: summarization time (s)"))
+    return 0
+
+
+_COMMANDS = {
+    "summarize": _command_summarize,
+    "stats": _command_stats,
+    "saturate": _command_saturate,
+    "generate": _command_generate,
+    "sweep": _command_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Property relations and cliques (Definitions 5 and 6, Lemma 1).
+
+Two data properties are *source-related* when some resource has both of
+them, or transitively through a third property; *target-related* is the
+symmetric notion on property values.  Maximal sets of pairwise source-
+(target-) related properties are the *source (target) property cliques*;
+they partition the data properties of the graph, and every resource's
+outgoing (incoming) data properties all fall into a single source (target)
+clique — written ``SC(r)`` and ``TC(r)`` in the paper.
+
+The computation is a single union-find pass over the data triples: for each
+data node, all its outgoing properties are unioned together (source cliques)
+and all its incoming properties are unioned together (target cliques), which
+is linear in ``|D_G|_e``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.model.graph import RDFGraph
+from repro.model.terms import Term, URI
+from repro.schema.rdfs import RDFSchema
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["PropertyCliques", "compute_cliques", "property_distance", "saturated_clique"]
+
+#: A clique is an immutable set of property URIs; the empty clique is ``frozenset()``.
+Clique = FrozenSet[URI]
+
+EMPTY_CLIQUE: Clique = frozenset()
+
+
+class PropertyCliques:
+    """The source and target property cliques of a graph.
+
+    Attributes
+    ----------
+    source_cliques / target_cliques:
+        The list of non-empty cliques (each a ``frozenset`` of property URIs).
+    """
+
+    def __init__(
+        self,
+        source_cliques: List[Clique],
+        target_cliques: List[Clique],
+        source_clique_of: Dict[Term, Clique],
+        target_clique_of: Dict[Term, Clique],
+    ):
+        self.source_cliques = source_cliques
+        self.target_cliques = target_cliques
+        self._source_clique_of = source_clique_of
+        self._target_clique_of = target_clique_of
+
+    # ------------------------------------------------------------------
+    def source_clique_of(self, node: Term) -> Clique:
+        """``SC(r)`` — the source clique of *node* (empty when it has no data property)."""
+        return self._source_clique_of.get(node, EMPTY_CLIQUE)
+
+    def target_clique_of(self, node: Term) -> Clique:
+        """``TC(r)`` — the target clique of *node* (empty when it is no property's value)."""
+        return self._target_clique_of.get(node, EMPTY_CLIQUE)
+
+    def clique_pair_of(self, node: Term) -> Tuple[Clique, Clique]:
+        """The ``(TC(r), SC(r))`` pair driving strong equivalence."""
+        return (self.target_clique_of(node), self.source_clique_of(node))
+
+    def source_clique_of_property(self, prop: URI) -> Clique:
+        """The source clique containing data property *prop* (empty if unused)."""
+        for clique in self.source_cliques:
+            if prop in clique:
+                return clique
+        return EMPTY_CLIQUE
+
+    def target_clique_of_property(self, prop: URI) -> Clique:
+        """The target clique containing data property *prop* (empty if unused)."""
+        for clique in self.target_cliques:
+            if prop in clique:
+                return clique
+        return EMPTY_CLIQUE
+
+    def nodes(self) -> Set[Term]:
+        """Every data node that has a non-empty source or target clique."""
+        return set(self._source_clique_of) | set(self._target_clique_of)
+
+    def is_partition_of(self, properties: Iterable[URI]) -> bool:
+        """Check that the source and target cliques both partition *properties*."""
+        properties = set(properties)
+        for cliques in (self.source_cliques, self.target_cliques):
+            covered: Set[URI] = set()
+            for clique in cliques:
+                if covered & clique:
+                    return False
+                covered |= clique
+            if covered != properties:
+                return False
+        return True
+
+    def __repr__(self):
+        return (
+            f"PropertyCliques({len(self.source_cliques)} source cliques, "
+            f"{len(self.target_cliques)} target cliques)"
+        )
+
+
+def compute_cliques(
+    graph: RDFGraph,
+    source_nodes: Optional[Set[Term]] = None,
+    target_nodes: Optional[Set[Term]] = None,
+) -> PropertyCliques:
+    """Compute the source and target property cliques of *graph*.
+
+    Parameters
+    ----------
+    graph:
+        The input graph; only its data component is inspected.
+    source_nodes:
+        When given, only triples whose *subject* belongs to this set
+        contribute to source-relatedness — used by the typed summaries,
+        where only untyped data nodes are merged (Section 6.1).
+    target_nodes:
+        Symmetric restriction on the *object* side for target-relatedness.
+    """
+    source_union = UnionFind()
+    target_union = UnionFind()
+    outgoing: Dict[Term, Set[URI]] = defaultdict(set)
+    incoming: Dict[Term, Set[URI]] = defaultdict(set)
+
+    for triple in graph.data_triples:
+        source_union.add(triple.predicate)
+        target_union.add(triple.predicate)
+        if source_nodes is None or triple.subject in source_nodes:
+            outgoing[triple.subject].add(triple.predicate)
+        if target_nodes is None or triple.object in target_nodes:
+            incoming[triple.object].add(triple.predicate)
+
+    for properties in outgoing.values():
+        iterator = iter(properties)
+        first = next(iterator)
+        for prop in iterator:
+            source_union.union(first, prop)
+    for properties in incoming.values():
+        iterator = iter(properties)
+        first = next(iterator)
+        for prop in iterator:
+            target_union.union(first, prop)
+
+    source_cliques = [frozenset(group) for group in source_union.groups()]
+    target_cliques = [frozenset(group) for group in target_union.groups()]
+
+    source_by_root: Dict[URI, Clique] = {}
+    for clique in source_cliques:
+        root = source_union.find(next(iter(clique)))
+        source_by_root[root] = clique
+    target_by_root: Dict[URI, Clique] = {}
+    for clique in target_cliques:
+        root = target_union.find(next(iter(clique)))
+        target_by_root[root] = clique
+
+    source_clique_of: Dict[Term, Clique] = {}
+    for node, properties in outgoing.items():
+        root = source_union.find(next(iter(properties)))
+        source_clique_of[node] = source_by_root[root]
+    target_clique_of: Dict[Term, Clique] = {}
+    for node, properties in incoming.items():
+        root = target_union.find(next(iter(properties)))
+        target_clique_of[node] = target_by_root[root]
+
+    return PropertyCliques(source_cliques, target_cliques, source_clique_of, target_clique_of)
+
+
+def property_distance(graph: RDFGraph, first: URI, second: URI, on_source: bool = True) -> Optional[int]:
+    """Distance between two data properties within a clique (Definition 6).
+
+    The distance is 0 when some resource carries both properties, and more
+    generally the length of the shortest chain of resources linking them.
+    Returns ``None`` when the two properties are not in the same clique
+    (i.e. not related at all) or either is unused.
+    """
+    if first == second:
+        return 0
+    # Build the property co-occurrence graph: an edge between two properties
+    # at distance 0 (some resource has/is value of both).
+    co_occurrence: Dict[URI, Set[URI]] = defaultdict(set)
+    grouping: Dict[Term, Set[URI]] = defaultdict(set)
+    for triple in graph.data_triples:
+        anchor = triple.subject if on_source else triple.object
+        grouping[anchor].add(triple.predicate)
+    for properties in grouping.values():
+        for prop in properties:
+            co_occurrence[prop] |= properties - {prop}
+
+    if first not in co_occurrence or second not in co_occurrence:
+        return None
+
+    # Breadth-first search counts intermediate *edges*; the paper's distance
+    # is the number of intermediate resources, i.e. edges - 1 beyond zero.
+    queue = deque([(first, 0)])
+    seen = {first}
+    while queue:
+        current, hops = queue.popleft()
+        for neighbour in co_occurrence[current]:
+            if neighbour == second:
+                return hops
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append((neighbour, hops + 1))
+    return None
+
+
+def saturated_clique(clique: Iterable[URI], schema: RDFSchema) -> Clique:
+    """The paper's ``C+``: the clique plus all generalizations of its properties."""
+    return frozenset(schema.saturated_property_set(clique))

@@ -1,0 +1,185 @@
+"""Graph equality up to summary-node renaming.
+
+Summary nodes are fresh URIs minted by the representation functions N and C,
+so two summaries built by different code paths (e.g. ``W(G∞)`` versus
+``W((W_G)∞)`` in Proposition 5) are equal only *up to a renaming* of those
+minted nodes.  This module decides that equality:
+
+1. a colour-refinement pass assigns each node a structural signature built
+   from its fixed labels (URIs/literals that are *not* renameable), its
+   adjacent predicates and the signatures of its neighbours;
+2. if signatures alone induce a unique correspondence, the graphs are
+   compared directly; otherwise a backtracking search matches the few
+   ambiguous nodes.
+
+Renameable nodes are, by default, the URIs minted in the summary namespace
+and blank nodes; every other term must match exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.naming import SUMMARY_NS
+from repro.model.graph import RDFGraph
+from repro.model.terms import BlankNode, Term, URI
+
+__all__ = ["graphs_isomorphic", "summaries_equivalent", "canonical_signature"]
+
+
+def _default_is_renameable(term: Term) -> bool:
+    return isinstance(term, BlankNode) or (isinstance(term, URI) and term in SUMMARY_NS)
+
+
+def _signatures(
+    graph: RDFGraph, is_renameable: Callable[[Term], bool], rounds: int = 4
+) -> Dict[Term, str]:
+    """Colour refinement: per-node structural signatures."""
+    nodes = graph.nodes()
+    signature: Dict[Term, str] = {}
+    for node in nodes:
+        signature[node] = "?" if is_renameable(node) else f"fixed:{node.n3()}"
+
+    for _ in range(rounds):
+        updated: Dict[Term, str] = {}
+        for node in nodes:
+            outgoing = sorted(
+                f"out|{t.predicate.value}|{signature[t.object]}" for t in graph.triples(subject=node)
+            )
+            incoming = sorted(
+                f"in|{t.predicate.value}|{signature[t.subject]}" for t in graph.triples(obj=node)
+            )
+            payload = signature[node] + "##" + "|".join(outgoing) + "##" + "|".join(incoming)
+            updated[node] = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+        # keep fixed nodes' original labels as prefix so they never collide
+        # with renameable nodes that happen to have the same neighbourhood.
+        for node in nodes:
+            if is_renameable(node):
+                signature[node] = updated[node]
+            else:
+                signature[node] = f"fixed:{node.n3()}|{updated[node]}"
+    return signature
+
+
+def canonical_signature(
+    graph: RDFGraph, is_renameable: Callable[[Term], bool] = _default_is_renameable
+) -> str:
+    """A canonical string of *graph*, invariant under renaming of summary nodes.
+
+    Two graphs with equal canonical signatures are isomorphic in the vast
+    majority of cases (the signature is a complete invariant whenever colour
+    refinement separates all renameable nodes, which holds for the quotient
+    graphs produced by this library); use :func:`graphs_isomorphic` for a
+    sound decision.
+    """
+    signatures = _signatures(graph, is_renameable)
+    lines = sorted(
+        f"{signatures[t.subject]} {t.predicate.value} {signatures[t.object]}" for t in graph
+    )
+    return hashlib.sha1("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def graphs_isomorphic(
+    first: RDFGraph,
+    second: RDFGraph,
+    is_renameable: Callable[[Term], bool] = _default_is_renameable,
+    max_backtrack_nodes: int = 24,
+) -> bool:
+    """Decide whether two graphs are equal up to renaming of renameable nodes."""
+    if len(first) != len(second):
+        return False
+
+    first_signatures = _signatures(first, is_renameable)
+    second_signatures = _signatures(second, is_renameable)
+
+    # group renameable nodes by signature; fixed nodes must match exactly.
+    def grouping(graph: RDFGraph, signatures: Dict[Term, str]):
+        fixed: Set[str] = set()
+        renameable: Dict[str, List[Term]] = defaultdict(list)
+        for node in graph.nodes():
+            if is_renameable(node):
+                renameable[signatures[node]].append(node)
+            else:
+                fixed.add(node.n3())
+        return fixed, renameable
+
+    first_fixed, first_groups = grouping(first, first_signatures)
+    second_fixed, second_groups = grouping(second, second_signatures)
+    if first_fixed != second_fixed:
+        return False
+    if set(first_groups) != set(second_groups):
+        return False
+    for signature, members in first_groups.items():
+        if len(members) != len(second_groups[signature]):
+            return False
+
+    # Build the candidate mapping.  When every signature group is a singleton
+    # the mapping is forced; otherwise backtrack within groups (small for
+    # quotient graphs).
+    forced: Dict[Term, Term] = {}
+    ambiguous: List[Tuple[List[Term], List[Term]]] = []
+    for signature, members in first_groups.items():
+        others = second_groups[signature]
+        if len(members) == 1:
+            forced[members[0]] = others[0]
+        else:
+            ambiguous.append((members, others))
+
+    total_ambiguous = sum(len(members) for members, _ in ambiguous)
+    if total_ambiguous > max_backtrack_nodes:
+        # fall back to signature-level equality (sound in practice for
+        # quotient graphs; documented limitation).
+        return canonical_signature(first, is_renameable) == canonical_signature(
+            second, is_renameable
+        )
+
+    second_triple_set = set(t.as_tuple() for t in second)
+
+    def rename(term: Term, mapping: Dict[Term, Term]) -> Term:
+        if is_renameable(term):
+            return mapping.get(term, term)
+        return term
+
+    def check_mapping(mapping: Dict[Term, Term]) -> bool:
+        for triple in first:
+            renamed = (
+                rename(triple.subject, mapping),
+                rename(triple.predicate, mapping),
+                rename(triple.object, mapping),
+            )
+            if renamed not in second_triple_set:
+                return False
+        return True
+
+    def backtrack(index: int, mapping: Dict[Term, Term], used: Set[Term]) -> bool:
+        if index == len(ambiguous):
+            return check_mapping(mapping)
+        members, others = ambiguous[index]
+
+        def assign(position: int) -> bool:
+            if position == len(members):
+                return backtrack(index + 1, mapping, used)
+            node = members[position]
+            for candidate in others:
+                if candidate in used:
+                    continue
+                mapping[node] = candidate
+                used.add(candidate)
+                if assign(position + 1):
+                    return True
+                used.discard(candidate)
+                del mapping[node]
+            return False
+
+        return assign(0)
+
+    return backtrack(0, dict(forced), set(forced.values()))
+
+
+def summaries_equivalent(first, second) -> bool:
+    """Decide whether two :class:`~repro.core.summary.Summary` objects have
+    isomorphic summary graphs (the notion used by the fixpoint and
+    completeness propositions)."""
+    return graphs_isomorphic(first.graph, second.graph)

@@ -1,0 +1,113 @@
+"""Representation functions: minting summary node URIs.
+
+The paper uses two injective functions to name quotient nodes:
+
+* ``N(TC, SC)`` (Section 4.1) — given the set of target data properties and
+  the set of source data properties of an equivalence class, return a fresh
+  URI.  ``N(∅, ∅)`` is the special node written ``Nτ``.
+* ``C(X)`` (Section 4.2) — given a set of class URIs, return a URI; given
+  the empty set, return a *new* URI on every call (used to copy untyped
+  nodes in the type-based summary).
+
+Both are realised by :class:`SummaryNamer`, which produces deterministic,
+human-readable URIs in a dedicated summary namespace and guarantees
+injectivity by appending a disambiguating counter when readable labels
+collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.model.namespaces import Namespace
+from repro.model.terms import Term, URI
+
+__all__ = ["SUMMARY_NS", "SummaryNamer"]
+
+#: Namespace under which every summary node URI is minted.
+SUMMARY_NS = Namespace("http://rdfsummary.example.org/node/")
+
+_MAX_LABEL_PARTS = 4
+
+
+def _short_label(uris: Iterable[URI]) -> str:
+    """Build a compact, readable label out of property/class local names."""
+    names = sorted(uri.local_name for uri in uris)
+    if not names:
+        return ""
+    if len(names) > _MAX_LABEL_PARTS:
+        shown = names[:_MAX_LABEL_PARTS]
+        return "_".join(shown) + f"_and{len(names) - _MAX_LABEL_PARTS}more"
+    return "_".join(names)
+
+
+def _stable_digest(key: Hashable) -> str:
+    """A short stable digest of an arbitrary hashable key."""
+    return hashlib.sha1(repr(key).encode("utf-8")).hexdigest()[:8]
+
+
+class SummaryNamer:
+    """Mints injective summary-node URIs for quotient blocks.
+
+    A single namer instance must be used for one summary construction so that
+    equal keys map to equal URIs and distinct keys to distinct URIs.
+    """
+
+    def __init__(self, namespace: Namespace = SUMMARY_NS):
+        self._namespace = namespace
+        self._by_key: Dict[Hashable, URI] = {}
+        self._used_values: set = set()
+        self._fresh_counter = 0
+
+    # ------------------------------------------------------------------
+    def _mint(self, key: Hashable, label: str) -> URI:
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        base = label or "N"
+        candidate = self._namespace.term(base)
+        if candidate.value in self._used_values:
+            candidate = self._namespace.term(f"{base}_{_stable_digest(key)}")
+        while candidate.value in self._used_values:
+            self._fresh_counter += 1
+            candidate = self._namespace.term(f"{base}_{self._fresh_counter}")
+        self._by_key[key] = candidate
+        self._used_values.add(candidate.value)
+        return candidate
+
+    # ------------------------------------------------------------------
+    def representation(self, target_clique: FrozenSet[URI], source_clique: FrozenSet[URI]) -> URI:
+        """The paper's ``N(TC, SC)`` function."""
+        key = ("N", target_clique, source_clique)
+        if not target_clique and not source_clique:
+            return self._mint(key, "Ntau")
+        target_label = _short_label(target_clique)
+        source_label = _short_label(source_clique)
+        if target_label and source_label:
+            label = f"N_{source_label}__from_{target_label}"
+        elif source_label:
+            label = f"N_{source_label}"
+        else:
+            label = f"N_from_{target_label}"
+        return self._mint(key, label)
+
+    def class_set(self, classes: FrozenSet[URI]) -> URI:
+        """The paper's ``C(X)`` function for a non-empty class set."""
+        if not classes:
+            return self.fresh("C_untyped")
+        key = ("C", classes)
+        return self._mint(key, f"C_{_short_label(classes)}")
+
+    def fresh(self, hint: str = "fresh") -> URI:
+        """A brand-new URI on every call (``C(∅)`` behaviour)."""
+        while True:
+            self._fresh_counter += 1
+            candidate = self._namespace.term(f"{hint}_{self._fresh_counter}")
+            if candidate.value not in self._used_values:
+                self._used_values.add(candidate.value)
+                return candidate
+
+    def for_key(self, key: Hashable, hint: str = "N") -> URI:
+        """An injective URI for an arbitrary block key (fallback naming)."""
+        return self._mint(key, f"{hint}_{_stable_digest(key)}")

@@ -1,0 +1,166 @@
+"""Checkers for the formal properties of summaries (Propositions 1-10).
+
+These functions turn the paper's propositions into executable checks used by
+the test suite, the property-based tests and the E7/E8 benchmarks:
+
+* :func:`has_unique_data_properties` — Proposition 4: every data property of
+  ``G`` appears exactly once in the weak summary;
+* :func:`check_fixpoint` — Propositions 2/6/9: ``H(H_G) ≅ H_G``;
+* :func:`check_representativeness` — Proposition 1 / Definition 1: every
+  RBGP query with answers on ``G∞`` has answers on ``(H_G)∞``;
+* :func:`check_accuracy_witness` — Definition 2, witnessed form: every RBGP
+  query with answers on ``(H_G)∞`` has answers on the saturation of some
+  graph whose summary is ``H_G`` (the summary itself is such a witness,
+  which is how Proposition 3 is proved);
+* :func:`summary_homomorphism_holds` — the invariant underlying all of the
+  above: mapping every node of ``G`` to its representative is a homomorphism
+  from ``G``'s data+type triples into ``H_G``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.core.builders import summarize
+from repro.core.isomorphism import graphs_isomorphic
+from repro.core.summary import Summary
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import RDF_TYPE
+from repro.model.triple import Triple
+from repro.queries.bgp import BGPQuery
+from repro.queries.evaluation import has_answers
+from repro.schema.saturation import saturate
+
+__all__ = [
+    "has_unique_data_properties",
+    "check_fixpoint",
+    "check_representativeness",
+    "check_accuracy_witness",
+    "summary_homomorphism_holds",
+    "RepresentativenessReport",
+]
+
+
+class RepresentativenessReport:
+    """Outcome of a representativeness / accuracy check over a query workload."""
+
+    def __init__(self, total: int, preserved: int, failures: List[BGPQuery]):
+        self.total = total
+        self.preserved = preserved
+        self.failures = failures
+
+    @property
+    def holds(self) -> bool:
+        """``True`` when every applicable query was preserved."""
+        return not self.failures
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of queries preserved (1.0 when the property holds)."""
+        return self.preserved / self.total if self.total else 1.0
+
+    def __repr__(self):
+        return (
+            f"RepresentativenessReport(total={self.total}, preserved={self.preserved}, "
+            f"holds={self.holds})"
+        )
+
+
+def has_unique_data_properties(summary: Summary) -> bool:
+    """Proposition 4: each data property labels exactly one edge of ``W_G``."""
+    seen = set()
+    for triple in summary.graph.data_triples:
+        if triple.predicate in seen:
+            return False
+        seen.add(triple.predicate)
+    return True
+
+
+def check_fixpoint(summary: Summary) -> bool:
+    """Propositions 2 / 6 / 9: summarizing the summary yields the summary.
+
+    The summary of ``H_G`` (with the same kind) must be isomorphic to ``H_G``
+    up to renaming of the minted summary nodes.
+    """
+    resummarized = summarize(summary.graph, summary.kind)
+    return graphs_isomorphic(summary.graph, resummarized.graph)
+
+
+def summary_homomorphism_holds(graph: RDFGraph, summary: Summary) -> bool:
+    """Check that node representation is a homomorphism from ``G`` to ``H_G``.
+
+    For every data triple ``s p o`` of ``G`` the triple
+    ``rep(s) p rep(o)`` must be in ``H_G``; for every type triple ``s τ C``,
+    ``rep(s) τ C`` must be in ``H_G``; schema triples must be copied.
+    """
+    for triple in graph.data_triples:
+        source = summary.representative(triple.subject)
+        target = summary.representative(triple.object)
+        if source is None or target is None:
+            return False
+        if Triple(source, triple.predicate, target) not in summary.graph:
+            return False
+    for triple in graph.type_triples:
+        source = summary.representative(triple.subject)
+        if source is None:
+            return False
+        if Triple(source, RDF_TYPE, triple.object) not in summary.graph:
+            return False
+    for triple in graph.schema_triples:
+        if triple not in summary.graph:
+            return False
+    return True
+
+
+def check_representativeness(
+    graph: RDFGraph,
+    summary: Summary,
+    queries: Iterable[BGPQuery],
+    require_answers_on_graph: bool = True,
+) -> RepresentativenessReport:
+    """Definition 1 instantiated on a concrete RBGP workload.
+
+    For every query ``q`` with ``q(G∞) ≠ ∅``, checks ``q((H_G)∞) ≠ ∅``.
+    Queries with no answer on ``G∞`` are skipped (they do not constrain
+    representativeness) unless ``require_answers_on_graph`` is ``False``, in
+    which case all queries are evaluated on the summary regardless.
+    """
+    saturated_graph = saturate(graph)
+    saturated_summary = saturate(summary.graph)
+    total = 0
+    preserved = 0
+    failures: List[BGPQuery] = []
+    for query in queries:
+        if require_answers_on_graph and not has_answers(saturated_graph, query):
+            continue
+        total += 1
+        if has_answers(saturated_summary, query):
+            preserved += 1
+        else:
+            failures.append(query)
+    return RepresentativenessReport(total, preserved, failures)
+
+
+def check_accuracy_witness(
+    summary: Summary, queries: Iterable[BGPQuery]
+) -> RepresentativenessReport:
+    """Definition 2, using the summary itself as the witness graph.
+
+    A summary is accurate when every query matching ``(H_G)∞`` matches the
+    saturation of *some* graph whose summary is ``H_G``.  Since a summary is
+    a summary of itself (fixpoint, Proposition 2), ``H_G`` is always such a
+    graph, so the check evaluates each query against ``(H_G)∞`` twice — the
+    point of exposing it is to exercise the reasoning chain and to report
+    which queries are supported by the summary at all.
+    """
+    saturated_summary = saturate(summary.graph)
+    total = 0
+    preserved = 0
+    failures: List[BGPQuery] = []
+    for query in queries:
+        if not has_answers(saturated_summary, query):
+            continue
+        total += 1
+        # witness: the summary itself, whose saturation we just matched.
+        preserved += 1
+    return RepresentativenessReport(total, preserved, failures)

@@ -1,0 +1,136 @@
+"""Quotient-graph construction (Definitions 4 and 9).
+
+Given an input graph ``G = ⟨D_G, S_G, T_G⟩`` and a partition of its data
+nodes, the RDF summary is the graph ``H_G = ⟨D_H, S_H, T_H⟩`` where:
+
+* ``S_H = S_G`` — schema triples are copied verbatim (item SCH of Def. 9);
+* ``T_H ∪ D_H`` is the quotient of ``T_G ∪ D_G`` by the equivalence: each
+  data triple ``s p o`` becomes ``rep(s) p rep(o)`` and each type triple
+  ``s τ C`` becomes ``rep(s) τ C`` (item TYP+DAT of Def. 9).
+
+Class nodes and literals never survive as-is: classes are kept as triple
+objects, literals disappear into the summary node representing them, which
+is why summaries are typically orders of magnitude smaller than the input.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.core.equivalence import NodePartition
+from repro.core.naming import SummaryNamer
+from repro.core.summary import Summary
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import RDF_TYPE
+from repro.model.terms import Term, URI
+from repro.model.triple import Triple
+
+__all__ = ["build_quotient_summary", "default_block_namer"]
+
+
+def default_block_namer(namer: SummaryNamer) -> Callable[[Hashable], URI]:
+    """Return a block-key → URI function implementing the paper's N and C.
+
+    Block keys produced by :mod:`repro.core.equivalence` have one of these
+    shapes, and are named accordingly:
+
+    * ``(TC, SC)`` — weak/strong blocks: ``N(TC, SC)``;
+    * ``("types", X)`` — type-based blocks: ``C(X)``;
+    * ``("typed", node)`` — an untouched typed node in a typed summary:
+      ``C(types)`` is *not* applicable here (the block is per node), so the
+      node key falls back to an injective per-key URI;
+    * ``("untyped", (TC, SC))`` — untyped blocks of typed summaries:
+      ``N(TC, SC)``;
+    * anything else — injective fallback naming.
+    """
+
+    def name_block(key: Hashable) -> URI:
+        if isinstance(key, tuple) and len(key) == 2:
+            first, second = key
+            if isinstance(first, frozenset) and isinstance(second, frozenset):
+                return namer.representation(first, second)
+            if first == "types" and isinstance(second, frozenset):
+                return namer.class_set(second)
+            if first == "untyped" and isinstance(second, tuple) and len(second) == 2:
+                target, source = second
+                if isinstance(target, frozenset) and isinstance(source, frozenset):
+                    return namer.representation(target, source)
+            if first == "untyped" and isinstance(second, frozenset):
+                return namer.class_set(frozenset())
+        return namer.for_key(key)
+
+    return name_block
+
+
+def build_quotient_summary(
+    graph: RDFGraph,
+    partition: NodePartition,
+    kind: str,
+    namer: Optional[SummaryNamer] = None,
+    block_namer: Optional[Callable[[Hashable], URI]] = None,
+) -> Summary:
+    """Build the RDF summary of *graph* for the given data-node *partition*.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.
+    partition:
+        A partition of ``G``'s data nodes (see :mod:`repro.core.equivalence`).
+    kind:
+        Label stored on the resulting :class:`Summary`.
+    namer / block_namer:
+        Naming machinery; by default a fresh :class:`SummaryNamer` with
+        :func:`default_block_namer` is used.
+    """
+    if namer is None:
+        namer = SummaryNamer()
+    if block_namer is None:
+        block_namer = default_block_namer(namer)
+
+    summary_node_of_block: Dict[Hashable, URI] = {}
+
+    def summary_node_for(block_key: Hashable) -> URI:
+        existing = summary_node_of_block.get(block_key)
+        if existing is not None:
+            return existing
+        node = block_namer(block_key)
+        summary_node_of_block[block_key] = node
+        return node
+
+    representative_of: Dict[Term, Term] = {}
+
+    def representative(node: Term) -> URI:
+        existing = representative_of.get(node)
+        if existing is not None:
+            return existing
+        block_key = partition.key_of(node)
+        summary_node = summary_node_for(block_key)
+        representative_of[node] = summary_node
+        return summary_node
+
+    summary_graph = RDFGraph(name=f"{graph.name}.{kind}" if graph.name else kind)
+
+    # SCH: schema triples are copied verbatim.
+    for triple in graph.schema_triples:
+        summary_graph.add(triple)
+
+    # DAT: data triples are quotiented on both endpoints.
+    for triple in graph.data_triples:
+        summary_graph.add(
+            Triple(representative(triple.subject), triple.predicate, representative(triple.object))
+        )
+
+    # TYP: type triples keep their class object, quotienting the subject.
+    for triple in graph.type_triples:
+        summary_graph.add(Triple(representative(triple.subject), RDF_TYPE, triple.object))
+
+    # Nodes that carry no triple at all never appear; every node of the
+    # partition that does appear has been registered through representative().
+    return Summary(
+        kind=kind,
+        graph=summary_graph,
+        representative_of=representative_of,
+        source_statistics=graph.statistics(),
+        source_name=graph.name,
+    )

@@ -1,0 +1,89 @@
+"""Completeness shortcuts (Propositions 5 and 8) and their counter-examples.
+
+The semantics of an RDF graph is its saturation ``G∞`` (Section 2.1), so the
+summary a user ultimately wants is ``H(G∞)``.  Saturating a large graph is
+expensive; Propositions 5 and 8 show that for the weak and strong summaries
+one can instead:
+
+1. summarize the (unsaturated) graph — the result is orders of magnitude
+   smaller;
+2. saturate that small summary;
+3. summarize again.
+
+i.e. ``W(G∞) = W((W_G)∞)`` and ``S(G∞) = S((S_G)∞)``.  The typed variants do
+*not* enjoy this property (Propositions 7 and 10): domain/range constraints
+may turn untyped resources into typed ones, which the typed summaries
+represent differently.
+
+:func:`shortcut_summary` implements the three-step pipeline,
+:func:`direct_summary_of_saturation` the reference computation, and
+:func:`completeness_holds` compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.builders import summarize
+from repro.core.isomorphism import graphs_isomorphic
+from repro.core.summary import Summary
+from repro.model.graph import RDFGraph
+from repro.schema.rdfs import RDFSchema
+from repro.schema.saturation import saturate
+
+__all__ = [
+    "direct_summary_of_saturation",
+    "shortcut_summary",
+    "completeness_holds",
+    "ShortcutComparison",
+]
+
+
+def direct_summary_of_saturation(
+    graph: RDFGraph, kind: str, schema: Optional[RDFSchema] = None
+) -> Summary:
+    """Compute ``H(G∞)`` the direct (expensive) way: saturate, then summarize."""
+    return summarize(saturate(graph, schema=schema), kind)
+
+
+def shortcut_summary(
+    graph: RDFGraph, kind: str, schema: Optional[RDFSchema] = None
+) -> Summary:
+    """Compute ``H((H_G)∞)``: summarize, saturate the small summary, re-summarize.
+
+    For ``kind`` in ``{"weak", "strong"}`` this equals ``H(G∞)``
+    (Propositions 5 and 8); for the typed kinds it may differ.
+    """
+    first = summarize(graph, kind)
+    saturated_summary = saturate(first.graph, schema=schema)
+    return summarize(saturated_summary, kind)
+
+
+class ShortcutComparison:
+    """Comparison of the direct and shortcut computations of ``H(G∞)``."""
+
+    def __init__(self, kind: str, direct: Summary, shortcut: Summary, equivalent: bool):
+        self.kind = kind
+        self.direct = direct
+        self.shortcut = shortcut
+        self.equivalent = equivalent
+
+    def __repr__(self):
+        return (
+            f"ShortcutComparison(kind={self.kind!r}, equivalent={self.equivalent}, "
+            f"direct_edges={len(self.direct.graph)}, shortcut_edges={len(self.shortcut.graph)})"
+        )
+
+
+def completeness_holds(
+    graph: RDFGraph, kind: str, schema: Optional[RDFSchema] = None
+) -> ShortcutComparison:
+    """Check whether ``H(G∞) ≅ H((H_G)∞)`` for *graph* and *kind*.
+
+    Returns a :class:`ShortcutComparison` carrying both summaries so callers
+    (tests, benchmarks) can report sizes as well as the boolean outcome.
+    """
+    direct = direct_summary_of_saturation(graph, kind, schema=schema)
+    shortcut = shortcut_summary(graph, kind, schema=schema)
+    equivalent = graphs_isomorphic(direct.graph, shortcut.graph)
+    return ShortcutComparison(kind, direct, shortcut, equivalent)

@@ -1,0 +1,167 @@
+"""The :class:`Summary` result object.
+
+A summary is itself an RDF graph (Definition 9) but, to support the formal
+property checks and exploration use-cases, the object also carries the
+*provenance* of the quotient:
+
+* ``representative_of`` — the mapping from each data node of the input graph
+  ``G`` to the summary node standing for it (the paper's ``rd`` map);
+* ``extents`` — the inverse multi-map, from each summary node to the set of
+  input nodes it represents (the paper's ``dr`` map).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.model.graph import GraphStatistics, RDFGraph
+from repro.model.terms import Literal, Term, URI
+
+__all__ = ["Summary", "SummaryStatistics"]
+
+
+class SummaryStatistics:
+    """Size metrics of a summary, in the vocabulary of the paper's Section 7.
+
+    ``data_node_count`` / ``all_node_count`` correspond to Figure 11, and
+    ``data_edge_count`` / ``all_edge_count`` to Figure 12.
+    """
+
+    __slots__ = (
+        "data_node_count",
+        "class_node_count",
+        "all_node_count",
+        "data_edge_count",
+        "type_edge_count",
+        "schema_edge_count",
+        "all_edge_count",
+        "input_node_count",
+        "input_edge_count",
+    )
+
+    def __init__(self, **values):
+        for name in self.__slots__:
+            setattr(self, name, values.get(name, 0))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def compression_ratio(self) -> float:
+        """Summary edges divided by input edges (the paper's 0.028 figure)."""
+        if not self.input_edge_count:
+            return 0.0
+        return self.all_edge_count / self.input_edge_count
+
+    def __repr__(self):
+        return (
+            f"SummaryStatistics(nodes={self.all_node_count}, edges={self.all_edge_count}, "
+            f"ratio={self.compression_ratio:.6f})"
+        )
+
+
+class Summary:
+    """The result of summarizing an RDF graph.
+
+    Parameters
+    ----------
+    kind:
+        The summary kind: ``"weak"``, ``"strong"``, ``"typed_weak"``,
+        ``"typed_strong"`` or ``"type"``.
+    graph:
+        The summary RDF graph ``H_G``.
+    representative_of:
+        Mapping from input data nodes to their summary node.
+    source_statistics:
+        Statistics of the input graph, kept for compression reporting.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        graph: RDFGraph,
+        representative_of: Dict[Term, Term],
+        source_statistics: Optional[GraphStatistics] = None,
+        source_name: str = "",
+    ):
+        self.kind = kind
+        self.graph = graph
+        self.representative_of: Dict[Term, Term] = dict(representative_of)
+        self.source_statistics = source_statistics
+        self.source_name = source_name
+        self.extents: Dict[Term, Set[Term]] = {}
+        for input_node, summary_node in self.representative_of.items():
+            self.extents.setdefault(summary_node, set()).add(input_node)
+
+    def __repr__(self):
+        return (
+            f"<Summary kind={self.kind!r} nodes={len(self.graph.nodes())} "
+            f"edges={len(self.graph)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # provenance
+    # ------------------------------------------------------------------
+    def representative(self, input_node: Term) -> Optional[Term]:
+        """The summary node representing *input_node* (``None`` when unknown)."""
+        return self.representative_of.get(input_node)
+
+    def represents(self, summary_node: Term) -> bool:
+        """``True`` when *summary_node* represents at least one input node."""
+        return summary_node in self.extents
+
+    def extent(self, summary_node: Term) -> Set[Term]:
+        """The set of input nodes represented by *summary_node*."""
+        return set(self.extents.get(summary_node, set()))
+
+    def summary_data_nodes(self) -> Set[Term]:
+        """The data nodes of the summary graph (the quotient nodes)."""
+        return set(self.extents.keys())
+
+    def literal_only_nodes(self) -> Set[Term]:
+        """Summary nodes whose extent contains only literals.
+
+        Useful when exploring a summary: such nodes stand purely for literal
+        values (titles, dates, ...) of the input graph.
+        """
+        return {
+            node
+            for node, members in self.extents.items()
+            if members and all(isinstance(member, Literal) for member in members)
+        }
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def statistics(self) -> SummaryStatistics:
+        """Node/edge counts of the summary, in the paper's Figure 11/12 terms."""
+        graph_statistics = self.graph.statistics()
+        data_nodes = self.graph.data_nodes()
+        class_nodes = self.graph.class_nodes()
+        input_nodes = self.source_statistics.node_count if self.source_statistics else 0
+        input_edges = self.source_statistics.edge_count if self.source_statistics else 0
+        return SummaryStatistics(
+            data_node_count=len(data_nodes),
+            class_node_count=len(class_nodes),
+            all_node_count=len(self.graph.nodes()),
+            data_edge_count=graph_statistics.data_edge_count,
+            type_edge_count=graph_statistics.type_edge_count,
+            schema_edge_count=graph_statistics.schema_edge_count,
+            all_edge_count=graph_statistics.edge_count,
+            input_node_count=input_nodes,
+            input_edge_count=input_edges,
+        )
+
+    def compression_report(self) -> Dict[str, float]:
+        """Ratio of summary size to input size (nodes and edges)."""
+        statistics = self.statistics()
+        input_nodes = statistics.input_node_count or 1
+        input_edges = statistics.input_edge_count or 1
+        return {
+            "node_ratio": statistics.all_node_count / input_nodes,
+            "edge_ratio": statistics.all_edge_count / input_edges,
+            "summary_nodes": statistics.all_node_count,
+            "summary_edges": statistics.all_edge_count,
+            "input_nodes": statistics.input_node_count,
+            "input_edges": statistics.input_edge_count,
+        }

@@ -1,0 +1,35 @@
+"""Dataset generators: the paper's figures, BSBM, LUBM, bibliography, random."""
+
+from repro.datasets.bibliography import BIB, BibliographyGenerator, generate_bibliography
+from repro.datasets.bsbm import BSBM, BSBMGenerator, generate_bsbm, graph_for_target_triples
+from repro.datasets.lubm import LUBM, LUBMGenerator, generate_lubm
+from repro.datasets.random_graph import RandomGraphConfig, generate_random_graph
+from repro.datasets.sample import (
+    FIG2,
+    book_example_graph,
+    figure2_graph,
+    strong_completeness_graph,
+    typed_weak_counterexample_graph,
+    weak_completeness_graph,
+)
+
+__all__ = [
+    "BIB",
+    "BibliographyGenerator",
+    "generate_bibliography",
+    "BSBM",
+    "BSBMGenerator",
+    "generate_bsbm",
+    "graph_for_target_triples",
+    "LUBM",
+    "LUBMGenerator",
+    "generate_lubm",
+    "RandomGraphConfig",
+    "generate_random_graph",
+    "FIG2",
+    "book_example_graph",
+    "figure2_graph",
+    "strong_completeness_graph",
+    "typed_weak_counterexample_graph",
+    "weak_completeness_graph",
+]

@@ -1,0 +1,238 @@
+"""A BSBM-shaped synthetic RDF data generator.
+
+The paper's experiments (Section 7, Figures 11-13) run the four summaries on
+The Berlin SPARQL Benchmark (BSBM) dataset at several scales.  The original
+BSBM data generator is a Java tool; this module reimplements the relevant
+part of its data model in Python:
+
+* an e-commerce universe of **product types** (a subclass tree),
+  **products**, **producers**, **product features**, **vendors**, **offers**,
+  **reviewers** and **reviews**;
+* per-entity ``rdf:type`` triples and literal attributes;
+* controlled heterogeneity — optional properties (e.g. extra ratings,
+  second product label) appear only on a fraction of the entities, which is
+  what gives the typed summaries their larger size in the paper's figures.
+
+The generator is deterministic for a given ``(scale, seed)`` pair.  The
+``scale`` parameter is the number of products; every other entity count is
+derived from it using the same proportions as BSBM (one producer per ~35
+products, one offer per product per ~2 vendors, ~5 reviews per product...).
+Use :func:`graph_for_target_triples` to aim for an approximate triple count
+instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import RDF_TYPE, RDFS_SUBCLASSOF, Namespace
+from repro.model.terms import Literal, URI
+from repro.model.triple import Triple
+
+__all__ = ["BSBMGenerator", "generate_bsbm", "graph_for_target_triples", "BSBM"]
+
+#: Namespace used for generated BSBM-like resources.
+BSBM = Namespace("http://bsbm.example.org/")
+
+_COUNTRIES = ["US", "GB", "DE", "FR", "JP", "CN", "RU", "AT", "ES", "KR"]
+_WORDS = [
+    "alpha", "bravo", "carbon", "delta", "ember", "falcon", "granite", "harbor",
+    "indigo", "jasper", "krypton", "lumen", "meadow", "nimbus", "onyx", "prairie",
+    "quartz", "raven", "sierra", "tundra", "umber", "vertex", "willow", "xenon",
+    "yonder", "zephyr",
+]
+
+
+class BSBMGenerator:
+    """Generates a BSBM-like RDF graph.
+
+    Parameters
+    ----------
+    scale:
+        Number of products; all other entity counts derive from it.
+    seed:
+        Seed of the internal pseudo-random generator.
+    product_type_count:
+        Size of the product-type subclass tree (minimum 3).
+    """
+
+    def __init__(self, scale: int = 100, seed: int = 0, product_type_count: int = 12):
+        if scale <= 0:
+            raise ValueError("scale must be a positive number of products")
+        self.scale = scale
+        self.seed = seed
+        self.product_type_count = max(3, product_type_count)
+        self._random = random.Random(seed)
+        self.ns = BSBM
+
+    # ------------------------------------------------------------------
+    def _word(self) -> str:
+        return self._random.choice(_WORDS)
+
+    def _sentence(self, words: int = 4) -> str:
+        return " ".join(self._word() for _ in range(words))
+
+    # ------------------------------------------------------------------
+    def _product_type_tree(self, graph: RDFGraph) -> List[URI]:
+        """Create the product-type subclass tree; return the leaf types."""
+        ns = self.ns
+        root = ns.term("ProductType")
+        types = [root]
+        for index in range(1, self.product_type_count):
+            node = ns.term(f"ProductType{index}")
+            parent = types[(index - 1) // 2]
+            graph.add(Triple(node, RDFS_SUBCLASSOF, parent))
+            types.append(node)
+        leaves = [t for t in types[1:]] or [root]
+        return leaves
+
+    def _producers(self, graph: RDFGraph, count: int) -> List[URI]:
+        ns = self.ns
+        producers = []
+        for index in range(count):
+            producer = ns.term(f"Producer{index}")
+            graph.add(Triple(producer, RDF_TYPE, ns.Producer))
+            graph.add(Triple(producer, ns.label, Literal(f"producer {self._word()} {index}")))
+            graph.add(Triple(producer, ns.homepage, Literal(f"http://producer{index}.example.com/")))
+            graph.add(Triple(producer, ns.country, Literal(self._random.choice(_COUNTRIES))))
+            producers.append(producer)
+        return producers
+
+    def _features(self, graph: RDFGraph, count: int) -> List[URI]:
+        ns = self.ns
+        features = []
+        for index in range(count):
+            feature = ns.term(f"ProductFeature{index}")
+            graph.add(Triple(feature, RDF_TYPE, ns.ProductFeature))
+            graph.add(Triple(feature, ns.label, Literal(f"feature {self._word()} {index}")))
+            features.append(feature)
+        return features
+
+    def _vendors(self, graph: RDFGraph, count: int) -> List[URI]:
+        ns = self.ns
+        vendors = []
+        for index in range(count):
+            vendor = ns.term(f"Vendor{index}")
+            graph.add(Triple(vendor, RDF_TYPE, ns.Vendor))
+            graph.add(Triple(vendor, ns.label, Literal(f"vendor {self._word()} {index}")))
+            graph.add(Triple(vendor, ns.country, Literal(self._random.choice(_COUNTRIES))))
+            vendors.append(vendor)
+        return vendors
+
+    def _reviewers(self, graph: RDFGraph, count: int) -> List[URI]:
+        ns = self.ns
+        reviewers = []
+        for index in range(count):
+            person = ns.term(f"Reviewer{index}")
+            graph.add(Triple(person, RDF_TYPE, ns.Person))
+            graph.add(Triple(person, ns.name, Literal(f"{self._word()} {self._word()}")))
+            graph.add(Triple(person, ns.mbox, Literal(f"reviewer{index}@example.org")))
+            if self._random.random() < 0.6:
+                graph.add(Triple(person, ns.country, Literal(self._random.choice(_COUNTRIES))))
+            reviewers.append(person)
+        return reviewers
+
+    def _products(
+        self, graph: RDFGraph, leaf_types: List[URI], producers: List[URI], features: List[URI]
+    ) -> List[URI]:
+        ns = self.ns
+        products = []
+        for index in range(self.scale):
+            product = ns.term(f"Product{index}")
+            graph.add(Triple(product, RDF_TYPE, ns.Product))
+            graph.add(Triple(product, RDF_TYPE, self._random.choice(leaf_types)))
+            graph.add(Triple(product, ns.label, Literal(f"product {self._sentence(2)}")))
+            graph.add(Triple(product, ns.producer, self._random.choice(producers)))
+            graph.add(
+                Triple(product, ns.propertyNumeric1, Literal(str(self._random.randint(1, 2000))))
+            )
+            if self._random.random() < 0.7:
+                graph.add(
+                    Triple(product, ns.propertyNumeric2, Literal(str(self._random.randint(1, 500))))
+                )
+            if self._random.random() < 0.4:
+                graph.add(Triple(product, ns.propertyTextual1, Literal(self._sentence(6))))
+            for _ in range(self._random.randint(1, 4)):
+                graph.add(Triple(product, ns.productFeature, self._random.choice(features)))
+            products.append(product)
+        return products
+
+    def _offers(
+        self, graph: RDFGraph, products: List[URI], vendors: List[URI], per_product: int
+    ) -> None:
+        ns = self.ns
+        offer_index = 0
+        for product in products:
+            for _ in range(self._random.randint(1, per_product)):
+                offer = ns.term(f"Offer{offer_index}")
+                offer_index += 1
+                graph.add(Triple(offer, RDF_TYPE, ns.Offer))
+                graph.add(Triple(offer, ns.offeredProduct, product))
+                graph.add(Triple(offer, ns.vendor, self._random.choice(vendors)))
+                graph.add(
+                    Triple(offer, ns.price, Literal(f"{self._random.uniform(5, 5000):.2f}"))
+                )
+                graph.add(
+                    Triple(offer, ns.deliveryDays, Literal(str(self._random.randint(1, 14))))
+                )
+                if self._random.random() < 0.5:
+                    graph.add(
+                        Triple(offer, ns.validTo, Literal(f"2016-{self._random.randint(1,12):02d}-01"))
+                    )
+
+    def _reviews(
+        self, graph: RDFGraph, products: List[URI], reviewers: List[URI], per_product: int
+    ) -> None:
+        ns = self.ns
+        review_index = 0
+        for product in products:
+            for _ in range(self._random.randint(0, per_product)):
+                review = ns.term(f"Review{review_index}")
+                review_index += 1
+                graph.add(Triple(review, RDF_TYPE, ns.Review))
+                graph.add(Triple(review, ns.reviewFor, product))
+                graph.add(Triple(review, ns.reviewer, self._random.choice(reviewers)))
+                graph.add(Triple(review, ns.reviewTitle, Literal(self._sentence(3))))
+                graph.add(Triple(review, ns.reviewText, Literal(self._sentence(12))))
+                graph.add(Triple(review, ns.rating1, Literal(str(self._random.randint(1, 10)))))
+                if self._random.random() < 0.5:
+                    graph.add(Triple(review, ns.rating2, Literal(str(self._random.randint(1, 10)))))
+                if self._random.random() < 0.25:
+                    graph.add(Triple(review, ns.rating3, Literal(str(self._random.randint(1, 10)))))
+
+    # ------------------------------------------------------------------
+    def generate(self) -> RDFGraph:
+        """Generate the full BSBM-like graph."""
+        graph = RDFGraph(name=f"bsbm_scale{self.scale}")
+        leaf_types = self._product_type_tree(graph)
+        producer_count = max(1, self.scale // 35)
+        feature_count = max(5, self.scale // 10)
+        vendor_count = max(1, self.scale // 50)
+        reviewer_count = max(2, self.scale // 4)
+
+        producers = self._producers(graph, producer_count)
+        features = self._features(graph, feature_count)
+        vendors = self._vendors(graph, vendor_count)
+        reviewers = self._reviewers(graph, reviewer_count)
+        products = self._products(graph, leaf_types, producers, features)
+        self._offers(graph, products, vendors, per_product=3)
+        self._reviews(graph, products, reviewers, per_product=4)
+        return graph
+
+
+def generate_bsbm(scale: int = 100, seed: int = 0) -> RDFGraph:
+    """Generate a BSBM-like graph with *scale* products (deterministic)."""
+    return BSBMGenerator(scale=scale, seed=seed).generate()
+
+
+#: Empirically, one product yields roughly this many triples with the default
+#: proportions; used by :func:`graph_for_target_triples`.
+_TRIPLES_PER_PRODUCT = 26
+
+
+def graph_for_target_triples(target_triples: int, seed: int = 0) -> RDFGraph:
+    """Generate a BSBM-like graph of approximately *target_triples* triples."""
+    scale = max(1, target_triples // _TRIPLES_PER_PRODUCT)
+    return generate_bsbm(scale=scale, seed=seed)

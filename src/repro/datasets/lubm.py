@@ -1,0 +1,177 @@
+"""A LUBM-shaped synthetic RDF data generator (university domain).
+
+The paper reports experiments on "several synthetic and real-life RDF
+datasets" beyond BSBM; the Lehigh University Benchmark (LUBM) is the other
+canonical synthetic RDF workload.  Unlike the BSBM-like generator, this one
+produces a **schema-rich** graph — subclass and subproperty hierarchies,
+domain and range constraints — which makes it the workload of choice for the
+saturation-shortcut experiments (Propositions 5 and 8, experiment E7 in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    Namespace,
+)
+from repro.model.terms import Literal, URI
+from repro.model.triple import Triple
+
+__all__ = ["LUBMGenerator", "generate_lubm", "LUBM"]
+
+#: Namespace used for generated LUBM-like resources.
+LUBM = Namespace("http://lubm.example.org/")
+
+
+class LUBMGenerator:
+    """Generates a LUBM-like RDF graph.
+
+    Parameters
+    ----------
+    universities:
+        Number of universities; each has a fixed number of departments, and
+        the per-department entity counts are drawn from narrow ranges as in
+        the original benchmark.
+    seed:
+        Seed of the internal pseudo-random generator.
+    """
+
+    def __init__(self, universities: int = 1, departments_per_university: int = 3, seed: int = 0):
+        if universities <= 0:
+            raise ValueError("universities must be positive")
+        self.universities = universities
+        self.departments_per_university = max(1, departments_per_university)
+        self._random = random.Random(seed)
+        self.ns = LUBM
+
+    # ------------------------------------------------------------------
+    def _schema(self, graph: RDFGraph) -> None:
+        ns = self.ns
+        schema_triples = [
+            # class hierarchy
+            Triple(ns.FullProfessor, RDFS_SUBCLASSOF, ns.Professor),
+            Triple(ns.AssociateProfessor, RDFS_SUBCLASSOF, ns.Professor),
+            Triple(ns.AssistantProfessor, RDFS_SUBCLASSOF, ns.Professor),
+            Triple(ns.Professor, RDFS_SUBCLASSOF, ns.Faculty),
+            Triple(ns.Lecturer, RDFS_SUBCLASSOF, ns.Faculty),
+            Triple(ns.Faculty, RDFS_SUBCLASSOF, ns.Person),
+            Triple(ns.GraduateStudent, RDFS_SUBCLASSOF, ns.Student),
+            Triple(ns.UndergraduateStudent, RDFS_SUBCLASSOF, ns.Student),
+            Triple(ns.Student, RDFS_SUBCLASSOF, ns.Person),
+            Triple(ns.GraduateCourse, RDFS_SUBCLASSOF, ns.Course),
+            Triple(ns.Article, RDFS_SUBCLASSOF, ns.Publication),
+            Triple(ns.ConferencePaper, RDFS_SUBCLASSOF, ns.Publication),
+            # property hierarchy
+            Triple(ns.headOf, RDFS_SUBPROPERTYOF, ns.worksFor),
+            Triple(ns.worksFor, RDFS_SUBPROPERTYOF, ns.memberOf),
+            Triple(ns.undergraduateDegreeFrom, RDFS_SUBPROPERTYOF, ns.degreeFrom),
+            Triple(ns.mastersDegreeFrom, RDFS_SUBPROPERTYOF, ns.degreeFrom),
+            Triple(ns.doctoralDegreeFrom, RDFS_SUBPROPERTYOF, ns.degreeFrom),
+            # domains and ranges
+            Triple(ns.worksFor, RDFS_DOMAIN, ns.Faculty),
+            Triple(ns.worksFor, RDFS_RANGE, ns.Department),
+            Triple(ns.memberOf, RDFS_RANGE, ns.Organization),
+            Triple(ns.teacherOf, RDFS_DOMAIN, ns.Faculty),
+            Triple(ns.teacherOf, RDFS_RANGE, ns.Course),
+            Triple(ns.takesCourse, RDFS_DOMAIN, ns.Student),
+            Triple(ns.takesCourse, RDFS_RANGE, ns.Course),
+            Triple(ns.publicationAuthor, RDFS_DOMAIN, ns.Publication),
+            Triple(ns.publicationAuthor, RDFS_RANGE, ns.Person),
+            Triple(ns.advisor, RDFS_DOMAIN, ns.Student),
+            Triple(ns.advisor, RDFS_RANGE, ns.Professor),
+            Triple(ns.subOrganizationOf, RDFS_DOMAIN, ns.Organization),
+            Triple(ns.subOrganizationOf, RDFS_RANGE, ns.Organization),
+            Triple(ns.Department, RDFS_SUBCLASSOF, ns.Organization),
+            Triple(ns.University, RDFS_SUBCLASSOF, ns.Organization),
+        ]
+        graph.add_all(schema_triples)
+
+    # ------------------------------------------------------------------
+    def _department(self, graph: RDFGraph, university: URI, dept_index: int) -> None:
+        ns = self.ns
+        rng = self._random
+        department = ns.term(f"{university.local_name}_Department{dept_index}")
+        graph.add(Triple(department, RDF_TYPE, ns.Department))
+        graph.add(Triple(department, ns.subOrganizationOf, university))
+
+        faculty_classes = [
+            ns.FullProfessor,
+            ns.AssociateProfessor,
+            ns.AssistantProfessor,
+            ns.Lecturer,
+        ]
+        faculty_members: List[URI] = []
+        courses: List[URI] = []
+
+        course_count = rng.randint(6, 12)
+        for index in range(course_count):
+            course = ns.term(f"{department.local_name}_Course{index}")
+            course_class = ns.GraduateCourse if rng.random() < 0.4 else ns.Course
+            graph.add(Triple(course, RDF_TYPE, course_class))
+            graph.add(Triple(course, ns.name, Literal(f"course {index}")))
+            courses.append(course)
+
+        faculty_count = rng.randint(4, 8)
+        for index in range(faculty_count):
+            member = ns.term(f"{department.local_name}_Faculty{index}")
+            graph.add(Triple(member, RDF_TYPE, rng.choice(faculty_classes)))
+            graph.add(Triple(member, ns.name, Literal(f"faculty {index}")))
+            graph.add(Triple(member, ns.worksFor, department))
+            graph.add(Triple(member, ns.emailAddress, Literal(f"faculty{index}@{department.local_name}.edu")))
+            graph.add(Triple(member, ns.doctoralDegreeFrom, university))
+            for course in rng.sample(courses, k=min(len(courses), rng.randint(1, 3))):
+                graph.add(Triple(member, ns.teacherOf, course))
+            faculty_members.append(member)
+        if faculty_members:
+            graph.add(Triple(faculty_members[0], ns.headOf, department))
+
+        publication_index = 0
+        for member in faculty_members:
+            for _ in range(rng.randint(0, 4)):
+                publication = ns.term(f"{department.local_name}_Publication{publication_index}")
+                publication_index += 1
+                publication_class = ns.Article if rng.random() < 0.5 else ns.ConferencePaper
+                graph.add(Triple(publication, RDF_TYPE, publication_class))
+                graph.add(Triple(publication, ns.publicationAuthor, member))
+                graph.add(Triple(publication, ns.name, Literal(f"publication {publication_index}")))
+
+        student_count = rng.randint(15, 30)
+        for index in range(student_count):
+            student = ns.term(f"{department.local_name}_Student{index}")
+            student_class = ns.GraduateStudent if rng.random() < 0.3 else ns.UndergraduateStudent
+            graph.add(Triple(student, RDF_TYPE, student_class))
+            graph.add(Triple(student, ns.name, Literal(f"student {index}")))
+            graph.add(Triple(student, ns.memberOf, department))
+            for course in rng.sample(courses, k=min(len(courses), rng.randint(1, 4))):
+                graph.add(Triple(student, ns.takesCourse, course))
+            if student_class == ns.GraduateStudent and faculty_members:
+                graph.add(Triple(student, ns.advisor, rng.choice(faculty_members)))
+                if rng.random() < 0.5:
+                    graph.add(Triple(student, ns.undergraduateDegreeFrom, university))
+
+    # ------------------------------------------------------------------
+    def generate(self) -> RDFGraph:
+        """Generate the LUBM-like graph (schema plus instance data)."""
+        graph = RDFGraph(name=f"lubm_u{self.universities}")
+        self._schema(graph)
+        for uni_index in range(self.universities):
+            university = self.ns.term(f"University{uni_index}")
+            graph.add(Triple(university, RDF_TYPE, self.ns.University))
+            graph.add(Triple(university, self.ns.name, Literal(f"University {uni_index}")))
+            for dept_index in range(self.departments_per_university):
+                self._department(graph, university, dept_index)
+        return graph
+
+
+def generate_lubm(universities: int = 1, departments_per_university: int = 3, seed: int = 0) -> RDFGraph:
+    """Generate a LUBM-like graph (deterministic for fixed parameters)."""
+    return LUBMGenerator(universities, departments_per_university, seed=seed).generate()

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single exception type at API boundaries while still being able to
+discriminate parse errors from store errors from summarization errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when an RDF serialization (N-Triples, Turtle) cannot be parsed.
+
+    Attributes
+    ----------
+    line_number:
+        1-based line number at which the error was detected, when known.
+    line:
+        The offending source line, when known.
+    """
+
+    def __init__(self, message, line_number=None, line=None):
+        location = f" (line {line_number})" if line_number is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+        self.line = line
+
+
+class MalformedTripleError(ReproError):
+    """Raised when a triple violates RDF well-formedness constraints."""
+
+
+class StoreError(ReproError):
+    """Raised for failures inside a :class:`repro.store.base.TripleStore`."""
+
+
+class StoreClosedError(StoreError):
+    """Raised when operating on a store that has already been closed."""
+
+
+class DictionaryError(ReproError):
+    """Raised when encoding/decoding through a :class:`Dictionary` fails."""
+
+
+class UnknownTermError(DictionaryError):
+    """Raised when decoding an integer id that was never assigned."""
+
+
+class QueryError(ReproError):
+    """Raised when a query is syntactically or semantically invalid."""
+
+
+class QueryParseError(QueryError):
+    """Raised when a BGP query string cannot be parsed."""
+
+
+class NotRBGPError(QueryError):
+    """Raised when a query does not belong to the RBGP dialect (Def. 3)."""
+
+
+class SummarizationError(ReproError):
+    """Raised when a summary cannot be built from the input graph."""
+
+
+class UnknownSummaryKindError(SummarizationError):
+    """Raised when an unsupported summary kind name is requested."""
+
+
+class SaturationError(ReproError):
+    """Raised when RDFS saturation fails (e.g. ill-formed schema triples)."""

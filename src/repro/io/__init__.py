@@ -1,0 +1,25 @@
+"""Input/output: N-Triples, Turtle-subset and DOT serialization."""
+
+from repro.io.dot import graph_to_dot, summary_to_dot, write_dot
+from repro.io.ntriples import (
+    dump_ntriples,
+    load_ntriples,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+)
+from repro.io.turtle_lite import load_turtle, parse_turtle, serialize_turtle
+
+__all__ = [
+    "graph_to_dot",
+    "summary_to_dot",
+    "write_dot",
+    "dump_ntriples",
+    "load_ntriples",
+    "parse_ntriples",
+    "parse_ntriples_line",
+    "serialize_ntriples",
+    "load_turtle",
+    "parse_turtle",
+    "serialize_turtle",
+]

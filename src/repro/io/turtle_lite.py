@@ -1,0 +1,214 @@
+"""A pragmatic Turtle subset parser and serializer.
+
+Datasets and examples are friendlier to read in Turtle than in N-Triples.
+This module supports the Turtle constructs actually needed by the library's
+examples and tests:
+
+* ``@prefix`` declarations and prefixed names (``ex:Book``),
+* the ``a`` keyword for ``rdf:type``,
+* ``;`` (same subject) and ``,`` (same subject and property) continuations,
+* ``<uri>``, ``_:blank``, plain/typed/language literals, and bare integers
+  and decimals (mapped to ``xsd:integer`` / ``xsd:decimal``),
+* ``#`` comments.
+
+It intentionally does not support collections, blank-node property lists or
+multi-line literals — inputs using those should be converted to N-Triples.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+from repro.errors import ParseError
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import RDF, RDF_TYPE, XSD
+from repro.model.terms import BlankNode, Literal, Term, URI
+from repro.model.triple import Triple
+
+__all__ = ["parse_turtle", "load_turtle", "serialize_turtle"]
+
+_PREFIX_RE = re.compile(r"@prefix\s+([A-Za-z][\w-]*)?:\s*<([^>]*)>\s*\.\s*$")
+_BASE_RE = re.compile(r"@base\s+<([^>]*)>\s*\.\s*$")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<uri><[^>]*>)
+  | (?P<blank>_:[A-Za-z0-9][\w.-]*)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^<[^>]*>|\^\^[A-Za-z][\w-]*:[\w.-]+|@[a-zA-Z-]+)?)
+  | (?P<number>[+-]?\d+(?:\.\d+)?)
+  | (?P<a_kw>\ba\b)
+  | (?P<pname>[A-Za-z][\w-]*:[\w.-]*)
+  | (?P<punct>[;,.\[\]])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPE_RE = re.compile(r'\\(["\\nrt])')
+_ESCAPE_MAP = {'"': '"', "\\": "\\", "n": "\n", "r": "\r", "t": "\t"}
+
+
+def _tokenize(line: str, line_number: int) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(line):
+        char = line[position]
+        if char in " \t":
+            position += 1
+            continue
+        if char == "#":
+            break
+        match = _TOKEN_RE.match(line, position)
+        if not match:
+            raise ParseError(f"cannot tokenize near: {line[position:position+30]!r}", line_number, line)
+        kind = match.lastgroup
+        tokens.append((kind, match.group(0)))
+        position = match.end()
+    return tokens
+
+
+class _TurtleParser:
+    def __init__(self, name: str = ""):
+        self.graph = RDFGraph(name=name)
+        self.prefixes: Dict[str, str] = {"rdf": RDF.prefix, "xsd": XSD.prefix}
+        self.base = ""
+        self._subject: Optional[Term] = None
+        self._predicate: Optional[URI] = None
+
+    def parse(self, stream: TextIO) -> RDFGraph:
+        for line_number, raw_line in enumerate(stream, start=1):
+            line = raw_line.rstrip("\n")
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            prefix_match = _PREFIX_RE.match(stripped)
+            if prefix_match:
+                self.prefixes[prefix_match.group(1) or ""] = prefix_match.group(2)
+                continue
+            base_match = _BASE_RE.match(stripped)
+            if base_match:
+                self.base = base_match.group(1)
+                continue
+            self._parse_statement_line(stripped, line_number)
+        return self.graph
+
+    # ------------------------------------------------------------------
+    def _resolve_pname(self, pname: str, line_number: int) -> URI:
+        prefix, _, local = pname.partition(":")
+        if prefix not in self.prefixes:
+            raise ParseError(f"undeclared prefix: {prefix!r}", line_number, pname)
+        return URI(self.prefixes[prefix] + local)
+
+    def _term_from_token(self, kind: str, text: str, line_number: int) -> Term:
+        if kind == "uri":
+            value = text[1:-1]
+            if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", value):
+                value = self.base + value
+            return URI(value)
+        if kind == "blank":
+            return BlankNode(text[2:])
+        if kind == "pname":
+            return self._resolve_pname(text, line_number)
+        if kind == "a_kw":
+            return RDF_TYPE
+        if kind == "number":
+            datatype = XSD.term("decimal") if "." in text else XSD.term("integer")
+            return Literal(text, datatype=datatype)
+        if kind == "literal":
+            return self._literal_from_token(text, line_number)
+        raise ParseError(f"unexpected token {text!r}", line_number, text)
+
+    def _literal_from_token(self, text: str, line_number: int) -> Literal:
+        closing = text.rindex('"')
+        lexical = _ESCAPE_RE.sub(lambda m: _ESCAPE_MAP[m.group(1)], text[1:closing])
+        suffix = text[closing + 1 :]
+        if suffix.startswith("^^<"):
+            return Literal(lexical, datatype=URI(suffix[3:-1]))
+        if suffix.startswith("^^"):
+            return Literal(lexical, datatype=self._resolve_pname(suffix[2:], line_number))
+        if suffix.startswith("@"):
+            return Literal(lexical, language=suffix[1:])
+        return Literal(lexical)
+
+    def _parse_statement_line(self, line: str, line_number: int) -> None:
+        tokens = _tokenize(line, line_number)
+        index = 0
+        while index < len(tokens):
+            kind, text = tokens[index]
+            if kind == "punct":
+                if text == ".":
+                    self._subject = None
+                    self._predicate = None
+                elif text == ";":
+                    self._predicate = None
+                elif text == ",":
+                    pass
+                else:
+                    raise ParseError(f"unsupported punctuation {text!r}", line_number, line)
+                index += 1
+                continue
+            term = self._term_from_token(kind, text, line_number)
+            if self._subject is None:
+                if isinstance(term, Literal):
+                    raise ParseError("literal cannot be a subject", line_number, line)
+                self._subject = term
+            elif self._predicate is None:
+                if not isinstance(term, URI):
+                    raise ParseError("property must be a URI", line_number, line)
+                self._predicate = term
+            else:
+                self.graph.add(Triple(self._subject, self._predicate, term))
+            index += 1
+
+
+def parse_turtle(source: Union[str, TextIO], name: str = "") -> RDFGraph:
+    """Parse Turtle *source* (string or stream) into a graph."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    return _TurtleParser(name=name).parse(source)
+
+
+def load_turtle(path, name: str = "") -> RDFGraph:
+    """Load a Turtle file from *path* into a graph."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_turtle(handle, name=name or str(path))
+
+
+def serialize_turtle(
+    graph: Iterable[Triple], prefixes: Optional[Dict[str, str]] = None
+) -> str:
+    """Serialize triples to Turtle, grouping by subject and applying prefixes."""
+    prefixes = dict(prefixes or {})
+    prefix_items = sorted(prefixes.items(), key=lambda item: -len(item[1]))
+
+    def shorten(term: Term) -> str:
+        if isinstance(term, URI):
+            if term == RDF_TYPE:
+                return "a"
+            for name, namespace in prefix_items:
+                if term.value.startswith(namespace):
+                    local = term.value[len(namespace) :]
+                    if re.fullmatch(r"[\w.-]*", local):
+                        return f"{name}:{local}"
+            return term.n3()
+        return term.n3()
+
+    by_subject: Dict[str, List[Triple]] = {}
+    subject_repr: Dict[str, Term] = {}
+    for triple in graph:
+        key = triple.subject.n3()
+        by_subject.setdefault(key, []).append(triple)
+        subject_repr[key] = triple.subject
+
+    lines = [f"@prefix {name}: <{namespace}> ." for name, namespace in sorted(prefixes.items())]
+    if lines:
+        lines.append("")
+    for key in sorted(by_subject):
+        triples = sorted(by_subject[key])
+        subject_text = shorten(subject_repr[key])
+        parts = [
+            f"    {shorten(t.predicate)} {shorten(t.object)}" for t in triples
+        ]
+        lines.append(f"{subject_text}\n" + " ;\n".join(parts) + " .")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,64 @@
+"""Data model: RDF terms, triples, graphs and dictionary encoding."""
+
+from repro.model.dictionary import Dictionary, EncodedGraphView, EncodedTriple
+from repro.model.graph import GraphStatistics, RDFGraph
+from repro.model.namespaces import (
+    EX,
+    OWL,
+    RDF,
+    RDF_TYPE,
+    RDFS,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    SCHEMA_PROPERTIES,
+    XSD,
+    Namespace,
+    is_schema_property,
+    is_type_property,
+)
+from repro.model.terms import (
+    URI,
+    BlankNode,
+    Literal,
+    Term,
+    is_blank,
+    is_literal,
+    is_uri,
+    term_sort_key,
+)
+from repro.model.triple import Triple, TripleKind, classify_triple
+
+__all__ = [
+    "Dictionary",
+    "EncodedGraphView",
+    "EncodedTriple",
+    "GraphStatistics",
+    "RDFGraph",
+    "Namespace",
+    "EX",
+    "OWL",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "RDF_TYPE",
+    "RDFS_DOMAIN",
+    "RDFS_RANGE",
+    "RDFS_SUBCLASSOF",
+    "RDFS_SUBPROPERTYOF",
+    "SCHEMA_PROPERTIES",
+    "is_schema_property",
+    "is_type_property",
+    "URI",
+    "BlankNode",
+    "Literal",
+    "Term",
+    "is_blank",
+    "is_literal",
+    "is_uri",
+    "term_sort_key",
+    "Triple",
+    "TripleKind",
+    "classify_triple",
+]

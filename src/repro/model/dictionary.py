@@ -1,0 +1,152 @@
+"""Dictionary encoding of RDF terms into dense integer identifiers.
+
+The paper's prototype (Section 6) encodes every resource of the input graph
+into an integer through a PostgreSQL ``dictionary`` table and performs all
+summarization on integers, decoding only at the end.  This module provides
+the equivalent component: a bidirectional mapping between
+:class:`~repro.model.terms.Term` objects and dense non-negative integers.
+
+Encoded graphs are represented by :class:`EncodedTriple` tuples, and
+:class:`EncodedGraphView` offers the split of encoded triples into data /
+type / schema tables used by the algorithms of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import UnknownTermError
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import RDF_TYPE, SCHEMA_PROPERTIES
+from repro.model.terms import Term
+from repro.model.triple import Triple
+
+__all__ = ["Dictionary", "EncodedTriple", "EncodedGraphView"]
+
+
+class EncodedTriple(NamedTuple):
+    """An integer-encoded triple ``(subject_id, predicate_id, object_id)``."""
+
+    subject: int
+    predicate: int
+    object: int
+
+
+class Dictionary:
+    """A bidirectional term ↔ integer-id dictionary.
+
+    Identifiers are assigned densely, starting at 0, in first-seen order,
+    which keeps encoded structures compact and reproducible.
+    """
+
+    def __init__(self):
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def encode(self, term: Term) -> int:
+        """Return the id of *term*, assigning a fresh one when unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def encode_existing(self, term: Term) -> int:
+        """Return the id of *term*; raise :class:`UnknownTermError` if unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is None:
+            raise UnknownTermError(f"term not in dictionary: {term!r}")
+        return existing
+
+    def decode(self, identifier: int) -> Term:
+        """Return the term with id *identifier*."""
+        if not 0 <= identifier < len(self._id_to_term):
+            raise UnknownTermError(f"unknown term id: {identifier}")
+        return self._id_to_term[identifier]
+
+    def try_decode(self, identifier: int) -> Optional[Term]:
+        """Return the term with id *identifier*, or ``None`` when unknown."""
+        if 0 <= identifier < len(self._id_to_term):
+            return self._id_to_term[identifier]
+        return None
+
+    def encode_triple(self, triple: Triple) -> EncodedTriple:
+        """Encode the three terms of *triple*."""
+        return EncodedTriple(
+            self.encode(triple.subject),
+            self.encode(triple.predicate),
+            self.encode(triple.object),
+        )
+
+    def decode_triple(self, encoded: EncodedTriple) -> Triple:
+        """Decode an :class:`EncodedTriple` back into a :class:`Triple`."""
+        return Triple(
+            self.decode(encoded.subject),
+            self.decode(encoded.predicate),
+            self.decode(encoded.object),
+        )
+
+    def items(self) -> Iterator[Tuple[Term, int]]:
+        """Iterate over ``(term, id)`` pairs in id order."""
+        for identifier, term in enumerate(self._id_to_term):
+            yield term, identifier
+
+
+class EncodedGraphView:
+    """Integer-encoded view of a graph, split into the three triple tables.
+
+    This mirrors the storage layout of the paper's prototype: one encoded
+    *data* table, one encoded *type* table and one encoded *schema* table,
+    plus the dictionary.
+
+    Parameters
+    ----------
+    graph:
+        The graph to encode.
+    dictionary:
+        Optional pre-populated dictionary to reuse (ids are shared).
+    """
+
+    def __init__(self, graph: RDFGraph, dictionary: Optional[Dictionary] = None):
+        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self.data_rows: List[EncodedTriple] = []
+        self.type_rows: List[EncodedTriple] = []
+        self.schema_rows: List[EncodedTriple] = []
+        self.type_property_id = self.dictionary.encode(RDF_TYPE)
+        self.schema_property_ids = frozenset(
+            self.dictionary.encode(p) for p in sorted(SCHEMA_PROPERTIES)
+        )
+        for triple in graph:
+            encoded = self.dictionary.encode_triple(triple)
+            if triple.is_schema():
+                self.schema_rows.append(encoded)
+            elif triple.is_type():
+                self.type_rows.append(encoded)
+            else:
+                self.data_rows.append(encoded)
+        # deterministic order for reproducible summarization traces
+        self.data_rows.sort()
+        self.type_rows.sort()
+        self.schema_rows.sort()
+
+    def __len__(self) -> int:
+        return len(self.data_rows) + len(self.type_rows) + len(self.schema_rows)
+
+    def all_rows(self) -> Iterator[EncodedTriple]:
+        """Iterate over every encoded triple (data, then type, then schema)."""
+        yield from self.data_rows
+        yield from self.type_rows
+        yield from self.schema_rows
+
+    def decode_rows(self, rows: Iterable[EncodedTriple]) -> Iterator[Triple]:
+        """Decode an iterable of encoded triples back to :class:`Triple`."""
+        for row in rows:
+            yield self.dictionary.decode_triple(row)

@@ -1,0 +1,385 @@
+"""The central :class:`RDFGraph` container.
+
+An :class:`RDFGraph` is a set of :class:`~repro.model.triple.Triple` objects
+partitioned, as in Section 2.1 of the paper, into the data component ``D_G``,
+the type component ``T_G`` and the schema component ``S_G``.  On top of plain
+set semantics the class maintains the indexes needed by summarization and
+query evaluation:
+
+* triples by predicate, by subject and by object;
+* the set of *data nodes*, *class nodes* and *property nodes* as defined by
+  the graph-based representation of an RDF graph;
+* the set of types of each resource;
+* size and cardinality statistics (``|G|_n``, ``|G|_e``, ``|G|^0_x``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from repro.model.namespaces import RDF_TYPE, RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBPROPERTYOF
+from repro.model.terms import BlankNode, Literal, Term, URI, is_literal
+from repro.model.triple import Triple, TripleKind
+
+__all__ = ["RDFGraph", "GraphStatistics"]
+
+
+class GraphStatistics:
+    """Size and cardinality metrics of a graph (Section 2.1 notations).
+
+    Attributes
+    ----------
+    node_count:
+        ``|G|_n`` — number of distinct nodes (subjects and objects).
+    edge_count:
+        ``|G|_e`` — number of triples.
+    distinct_subjects / distinct_properties / distinct_objects:
+        ``|G|^0_s``, ``|G|^0_p``, ``|G|^0_o``.
+    data_edge_count / type_edge_count / schema_edge_count:
+        Sizes of the three components.
+    distinct_data_properties:
+        ``|D_G|^0_p`` — the quantity that bounds the weak summary size
+        (Proposition 4).
+    distinct_classes:
+        ``|T_G|^0_o`` — number of distinct class URIs used in type triples.
+    """
+
+    __slots__ = (
+        "node_count",
+        "edge_count",
+        "distinct_subjects",
+        "distinct_properties",
+        "distinct_objects",
+        "data_edge_count",
+        "type_edge_count",
+        "schema_edge_count",
+        "distinct_data_properties",
+        "distinct_classes",
+    )
+
+    def __init__(self, **values):
+        for name in self.__slots__:
+            setattr(self, name, values.get(name, 0))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the statistics as a plain dictionary."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        inner = ", ".join(f"{name}={getattr(self, name)}" for name in self.__slots__)
+        return f"GraphStatistics({inner})"
+
+    def __eq__(self, other):
+        return isinstance(other, GraphStatistics) and self.as_dict() == other.as_dict()
+
+
+class RDFGraph:
+    """A mutable set of RDF triples with component and adjacency indexes.
+
+    Parameters
+    ----------
+    triples:
+        Optional iterable of triples to load initially.
+    name:
+        Optional human-readable name used in ``repr`` and reports.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None, name: str = ""):
+        self.name = name
+        self._triples: Set[Triple] = set()
+        self._data: Set[Triple] = set()
+        self._types: Set[Triple] = set()
+        self._schema: Set[Triple] = set()
+        # adjacency indexes
+        self._by_subject: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_predicate: Dict[URI, Set[Triple]] = defaultdict(set)
+        self._by_object: Dict[Term, Set[Triple]] = defaultdict(set)
+        # node type index: resource -> set of class URIs
+        self._types_of: Dict[Term, Set[URI]] = defaultdict(set)
+        if triples is not None:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # basic set protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __eq__(self, other):
+        return isinstance(other, RDFGraph) and self._triples == other._triples
+
+    def __repr__(self):
+        label = f" {self.name!r}" if self.name else ""
+        return f"<RDFGraph{label}: {len(self._triples)} triples>"
+
+    def copy(self, name: Optional[str] = None) -> "RDFGraph":
+        """Return a shallow copy of the graph (triples are immutable)."""
+        return RDFGraph(self._triples, name=self.name if name is None else name)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> bool:
+        """Add *triple*; return ``True`` when it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        kind = triple.kind
+        if kind is TripleKind.DATA:
+            self._data.add(triple)
+        elif kind is TripleKind.TYPE:
+            self._types.add(triple)
+            if isinstance(triple.object, URI):
+                self._types_of[triple.subject].add(triple.object)
+        else:
+            self._schema.add(triple)
+        self._by_subject[triple.subject].add(triple)
+        self._by_predicate[triple.predicate].add(triple)
+        self._by_object[triple.object].add(triple)
+        return True
+
+    def add_triple(self, subject: Term, predicate: URI, obj: Term) -> bool:
+        """Convenience: build and add a triple from its three terms."""
+        return self.add(Triple(subject, predicate, obj))
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add every triple in *triples*; return how many were new."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove *triple* if present; return ``True`` when it was removed."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._data.discard(triple)
+        self._schema.discard(triple)
+        if triple in self._types:
+            self._types.discard(triple)
+            if isinstance(triple.object, URI):
+                remaining = any(
+                    other != triple
+                    and other.predicate == RDF_TYPE
+                    and other.object == triple.object
+                    for other in self._by_subject.get(triple.subject, ())
+                )
+                if not remaining:
+                    self._types_of[triple.subject].discard(triple.object)
+                    if not self._types_of[triple.subject]:
+                        del self._types_of[triple.subject]
+        for index, key in (
+            (self._by_subject, triple.subject),
+            (self._by_predicate, triple.predicate),
+            (self._by_object, triple.object),
+        ):
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(triple)
+                if not bucket:
+                    del index[key]
+        return True
+
+    # ------------------------------------------------------------------
+    # components (triple-based representation)
+    # ------------------------------------------------------------------
+    @property
+    def data_triples(self) -> Set[Triple]:
+        """The data component ``D_G`` (as a read-only view by convention)."""
+        return self._data
+
+    @property
+    def type_triples(self) -> Set[Triple]:
+        """The type component ``T_G``."""
+        return self._types
+
+    @property
+    def schema_triples(self) -> Set[Triple]:
+        """The schema component ``S_G``."""
+        return self._schema
+
+    def data_graph(self) -> "RDFGraph":
+        """Return ``D_G`` as a standalone graph."""
+        return RDFGraph(self._data, name=f"{self.name}.data")
+
+    def type_graph(self) -> "RDFGraph":
+        """Return ``T_G`` as a standalone graph."""
+        return RDFGraph(self._types, name=f"{self.name}.types")
+
+    def schema_graph(self) -> "RDFGraph":
+        """Return ``S_G`` as a standalone graph."""
+        return RDFGraph(self._schema, name=f"{self.name}.schema")
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[URI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate over triples matching the given pattern.
+
+        ``None`` acts as a wildcard.  The most selective available index is
+        used to drive the scan.
+        """
+        candidates: Iterable[Triple]
+        if subject is not None:
+            candidates = self._by_subject.get(subject, ())
+        elif obj is not None:
+            candidates = self._by_object.get(obj, ())
+        elif predicate is not None:
+            candidates = self._by_predicate.get(predicate, ())
+        else:
+            candidates = self._triples
+        for triple in candidates:
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def subjects(self, predicate: Optional[URI] = None, obj: Optional[Term] = None) -> Set[Term]:
+        """Distinct subjects of triples matching ``(?, predicate, obj)``."""
+        return {t.subject for t in self.triples(None, predicate, obj)}
+
+    def objects(self, subject: Optional[Term] = None, predicate: Optional[URI] = None) -> Set[Term]:
+        """Distinct objects of triples matching ``(subject, predicate, ?)``."""
+        return {t.object for t in self.triples(subject, predicate, None)}
+
+    def predicates(self) -> Set[URI]:
+        """Distinct properties used in the graph."""
+        return set(self._by_predicate.keys())
+
+    def types_of(self, node: Term) -> Set[URI]:
+        """The (explicit) set of classes *node* belongs to."""
+        return set(self._types_of.get(node, set()))
+
+    def has_type(self, node: Term) -> bool:
+        """``True`` when *node* is the subject of at least one type triple."""
+        return node in self._types_of
+
+    # ------------------------------------------------------------------
+    # graph-based representation: node kinds (Section 2.1)
+    # ------------------------------------------------------------------
+    def nodes(self) -> Set[Term]:
+        """All nodes: subjects and objects of triples in the graph."""
+        result: Set[Term] = set()
+        for triple in self._triples:
+            result.add(triple.subject)
+            result.add(triple.object)
+        return result
+
+    def data_nodes(self) -> Set[Term]:
+        """Data nodes: URIs or literals occurring as subject or object of a
+        data triple, or as the subject of a type triple."""
+        result: Set[Term] = set()
+        for triple in self._data:
+            result.add(triple.subject)
+            result.add(triple.object)
+        for triple in self._types:
+            result.add(triple.subject)
+        return result
+
+    def class_nodes(self) -> Set[Term]:
+        """Class nodes: URIs in the object position of type triples."""
+        return {t.object for t in self._types if isinstance(t.object, URI)}
+
+    def property_nodes(self) -> Set[Term]:
+        """Property nodes: URIs appearing as subject or object of ``≺sp``
+        triples, or as subject of ``←d`` / ``→r`` triples."""
+        result: Set[Term] = set()
+        for triple in self._schema:
+            if triple.predicate == RDFS_SUBPROPERTYOF:
+                result.add(triple.subject)
+                result.add(triple.object)
+            elif triple.predicate in (RDFS_DOMAIN, RDFS_RANGE):
+                result.add(triple.subject)
+        return result
+
+    def data_properties(self) -> Set[URI]:
+        """The distinct properties of the data component ``D_G``."""
+        return {t.predicate for t in self._data}
+
+    def typed_resources(self) -> Set[Term]:
+        """``TR_G`` — subjects of type triples (Section 4.2)."""
+        return {t.subject for t in self._types}
+
+    def untyped_resources(self) -> Set[Term]:
+        """``UN_G`` — subjects/objects of data triples that have no type."""
+        typed = self.typed_resources()
+        result: Set[Term] = set()
+        for triple in self._data:
+            if triple.subject not in typed:
+                result.add(triple.subject)
+            if triple.object not in typed:
+                result.add(triple.object)
+        return result
+
+    def untyped_data_graph(self) -> "RDFGraph":
+        """``UD_G`` — data triples whose subject and object are both untyped."""
+        typed = self.typed_resources()
+        triples = [
+            t for t in self._data if t.subject not in typed and t.object not in typed
+        ]
+        return RDFGraph(triples, name=f"{self.name}.untyped_data")
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def statistics(self) -> GraphStatistics:
+        """Compute the size/cardinality statistics of the graph."""
+        subjects = {t.subject for t in self._triples}
+        objects = {t.object for t in self._triples}
+        return GraphStatistics(
+            node_count=len(subjects | objects),
+            edge_count=len(self._triples),
+            distinct_subjects=len(subjects),
+            distinct_properties=len(self._by_predicate),
+            distinct_objects=len(objects),
+            data_edge_count=len(self._data),
+            type_edge_count=len(self._types),
+            schema_edge_count=len(self._schema),
+            distinct_data_properties=len(self.data_properties()),
+            distinct_classes=len(self.class_nodes()),
+        )
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def literals(self) -> Set[Literal]:
+        """All literals occurring in the graph."""
+        return {t.object for t in self._triples if is_literal(t.object)}
+
+    def union(self, other: "RDFGraph", name: str = "") -> "RDFGraph":
+        """Return a new graph holding the triples of both graphs."""
+        result = RDFGraph(self._triples, name=name)
+        result.add_all(other)
+        return result
+
+    def is_well_behaved(self) -> bool:
+        """Check the paper's well-behavedness assumption.
+
+        A graph is *well-behaved* when (i) no class URI appears in a property
+        position and (ii) class nodes only appear in type or schema triples.
+        """
+        classes = self.class_nodes()
+        for triple in self._triples:
+            if triple.predicate in classes:
+                return False
+        for triple in self._data:
+            if triple.subject in classes or triple.object in classes:
+                return False
+        return True

@@ -1,0 +1,110 @@
+"""Well-known RDF namespaces and the RDFS vocabulary used by the paper.
+
+The paper relies on four RDF Schema constraint properties (Figure 1, bottom):
+
+* ``rdfs:subClassOf``     (written ``≺sc``)
+* ``rdfs:subPropertyOf``  (written ``≺sp``)
+* ``rdfs:domain``         (written ``←d``)
+* ``rdfs:range``          (written ``→r``)
+
+and the ``rdf:type`` property (written ``τ``) for class assertions.
+"""
+
+from __future__ import annotations
+
+from repro.model.terms import URI
+
+__all__ = [
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "OWL",
+    "EX",
+    "RDF_TYPE",
+    "RDFS_SUBCLASSOF",
+    "RDFS_SUBPROPERTYOF",
+    "RDFS_DOMAIN",
+    "RDFS_RANGE",
+    "SCHEMA_PROPERTIES",
+    "is_schema_property",
+    "is_type_property",
+]
+
+
+class Namespace:
+    """A URI prefix from which terms can be minted by attribute access.
+
+    Example
+    -------
+    >>> ns = Namespace("http://example.org/")
+    >>> ns.Book
+    URI('http://example.org/Book')
+    >>> ns["has title"]
+    URI('http://example.org/has title')
+    """
+
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def term(self, local_name: str) -> URI:
+        """Mint the URI ``prefix + local_name``."""
+        return URI(self._prefix + local_name)
+
+    def __getattr__(self, local_name: str) -> URI:
+        if local_name.startswith("_"):
+            raise AttributeError(local_name)
+        return self.term(local_name)
+
+    def __getitem__(self, local_name: str) -> URI:
+        return self.term(local_name)
+
+    def __contains__(self, uri) -> bool:
+        value = uri.value if isinstance(uri, URI) else str(uri)
+        return value.startswith(self._prefix)
+
+    def __repr__(self):
+        return f"Namespace({self._prefix!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+
+#: Default example namespace used by tests, examples and dataset generators.
+EX = Namespace("http://example.org/")
+
+#: ``rdf:type`` — written τ throughout the paper.
+RDF_TYPE = RDF.term("type")
+
+#: ``rdfs:subClassOf`` — written ≺sc.
+RDFS_SUBCLASSOF = RDFS.term("subClassOf")
+
+#: ``rdfs:subPropertyOf`` — written ≺sp.
+RDFS_SUBPROPERTYOF = RDFS.term("subPropertyOf")
+
+#: ``rdfs:domain`` — written ←d.
+RDFS_DOMAIN = RDFS.term("domain")
+
+#: ``rdfs:range`` — written →r.
+RDFS_RANGE = RDFS.term("range")
+
+#: The four RDFS constraint properties forming the schema component S_G.
+SCHEMA_PROPERTIES = frozenset(
+    {RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDFS_DOMAIN, RDFS_RANGE}
+)
+
+
+def is_schema_property(uri) -> bool:
+    """Return ``True`` when *uri* is one of the four RDFS constraint properties."""
+    return uri in SCHEMA_PROPERTIES
+
+
+def is_type_property(uri) -> bool:
+    """Return ``True`` when *uri* is ``rdf:type``."""
+    return uri == RDF_TYPE

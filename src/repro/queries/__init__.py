@@ -1,0 +1,26 @@
+"""BGP / RBGP queries: model, parser, evaluation and workload generation."""
+
+from repro.queries.bgp import BGPQuery, TriplePattern, Variable
+from repro.queries.evaluation import (
+    count_answers,
+    evaluate,
+    evaluate_saturated,
+    has_answers,
+    iter_embeddings,
+)
+from repro.queries.generator import RBGPQueryGenerator, generate_rbgp_workload
+from repro.queries.parser import parse_query
+
+__all__ = [
+    "BGPQuery",
+    "TriplePattern",
+    "Variable",
+    "count_answers",
+    "evaluate",
+    "evaluate_saturated",
+    "has_answers",
+    "iter_embeddings",
+    "RBGPQueryGenerator",
+    "generate_rbgp_workload",
+    "parse_query",
+]

@@ -1,0 +1,217 @@
+"""Basic graph pattern (BGP) queries and the RBGP dialect.
+
+The paper (Section 2.1) considers SPARQL BGP — conjunctive — queries:
+``q(x̄) :- t1, ..., tα`` where each ``ti`` is a triple pattern whose subject,
+property and object may be variables or constants.  The *relational BGP*
+(RBGP, Definition 3) dialect further requires URIs in every property
+position, a URI in the object position of every ``rdf:type`` pattern, and
+variables everywhere else; summary representativeness and accuracy are
+stated with respect to RBGP queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import NotRBGPError, QueryError
+from repro.model.namespaces import RDF_TYPE
+from repro.model.terms import BlankNode, Literal, Term, URI
+
+__all__ = ["Variable", "TriplePattern", "BGPQuery", "PatternTerm"]
+
+
+class Variable:
+    """A query variable, written ``?name`` in SPARQL / ``x`` in the paper."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise QueryError(f"variable name must be a non-empty string, got {name!r}")
+        self.name = name.lstrip("?")
+
+    def __eq__(self, other):
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("var", self.name))
+
+    def __repr__(self):
+        return f"Variable({self.name!r})"
+
+    def __str__(self):
+        return f"?{self.name}"
+
+
+PatternTerm = Union[Variable, URI, Literal, BlankNode]
+
+
+def _is_constant(term: PatternTerm) -> bool:
+    return not isinstance(term, Variable)
+
+
+class TriplePattern:
+    """A triple pattern: subject / property / object, each variable or constant."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: PatternTerm, predicate: PatternTerm, obj: PatternTerm):
+        if isinstance(subject, Literal):
+            raise QueryError("a literal cannot appear in subject position")
+        self.subject = subject
+        self.predicate = predicate
+        self.object = obj
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TriplePattern)
+            and self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self):
+        return hash((self.subject, self.predicate, self.object))
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def __repr__(self):
+        return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def __str__(self):
+        def render(term: PatternTerm) -> str:
+            return str(term) if isinstance(term, Variable) else term.n3()
+
+        return f"{render(self.subject)} {render(self.predicate)} {render(self.object)} ."
+
+    def variables(self) -> Set[Variable]:
+        """The variables occurring in the pattern."""
+        return {term for term in self if isinstance(term, Variable)}
+
+    def constants(self) -> Set[Term]:
+        """The constant terms occurring in the pattern."""
+        return {term for term in self if _is_constant(term)}
+
+    def is_type_pattern(self) -> bool:
+        """``True`` when the pattern's property is the constant ``rdf:type``."""
+        return self.predicate == RDF_TYPE
+
+    def bound_count(self, bound_variables: Set[Variable]) -> int:
+        """Number of positions that are constants or already-bound variables.
+
+        Used by the evaluator to order patterns greedily (most selective
+        first).
+        """
+        count = 0
+        for term in self:
+            if _is_constant(term) or term in bound_variables:
+                count += 1
+        return count
+
+
+class BGPQuery:
+    """A conjunctive (BGP) query ``q(x̄) :- t1, ..., tα``.
+
+    Parameters
+    ----------
+    patterns:
+        The triple patterns forming the query body.
+    head:
+        The distinguished (answer) variables; empty for a boolean query.
+    name:
+        Optional label used in reports.
+    """
+
+    def __init__(
+        self,
+        patterns: Iterable[TriplePattern],
+        head: Sequence[Variable] = (),
+        name: str = "",
+    ):
+        self.patterns: List[TriplePattern] = list(patterns)
+        self.head: Tuple[Variable, ...] = tuple(head)
+        self.name = name
+        if not self.patterns:
+            raise QueryError("a BGP query needs at least one triple pattern")
+        body_variables = self.variables()
+        for variable in self.head:
+            if variable not in body_variables:
+                raise QueryError(
+                    f"distinguished variable {variable} does not occur in the query body"
+                )
+
+    def __repr__(self):
+        head = ", ".join(str(v) for v in self.head)
+        return f"BGPQuery(q({head}) :- {len(self.patterns)} patterns)"
+
+    def __str__(self):
+        head = ", ".join(str(v) for v in self.head)
+        body = " ".join(str(p) for p in self.patterns)
+        return f"q({head}) :- {body}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, BGPQuery)
+            and self.head == other.head
+            and set(self.patterns) == set(other.patterns)
+        )
+
+    def __hash__(self):
+        return hash((self.head, frozenset(self.patterns)))
+
+    # ------------------------------------------------------------------
+    def variables(self) -> Set[Variable]:
+        """All variables occurring in the body."""
+        result: Set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        return result
+
+    def constants(self) -> Set[Term]:
+        """All constants occurring in the body."""
+        result: Set[Term] = set()
+        for pattern in self.patterns:
+            result |= pattern.constants()
+        return result
+
+    def is_boolean(self) -> bool:
+        """``True`` for a boolean query (empty head)."""
+        return not self.head
+
+    # ------------------------------------------------------------------
+    # RBGP dialect (Definition 3)
+    # ------------------------------------------------------------------
+    def is_rbgp(self) -> bool:
+        """``True`` when the query belongs to the RBGP dialect."""
+        try:
+            self.check_rbgp()
+        except NotRBGPError:
+            return False
+        return True
+
+    def check_rbgp(self) -> None:
+        """Raise :class:`NotRBGPError` when the query violates Definition 3."""
+        for pattern in self.patterns:
+            if not isinstance(pattern.predicate, URI):
+                raise NotRBGPError(
+                    f"RBGP requires a URI in every property position: {pattern}"
+                )
+            if pattern.is_type_pattern():
+                if not isinstance(pattern.object, URI):
+                    raise NotRBGPError(
+                        f"RBGP requires a URI as the object of every rdf:type pattern: {pattern}"
+                    )
+                if not isinstance(pattern.subject, Variable):
+                    raise NotRBGPError(
+                        f"RBGP requires a variable subject in rdf:type patterns: {pattern}"
+                    )
+            else:
+                if not isinstance(pattern.subject, Variable):
+                    raise NotRBGPError(
+                        f"RBGP requires variables in non-property positions: {pattern}"
+                    )
+                if not isinstance(pattern.object, Variable):
+                    raise NotRBGPError(
+                        f"RBGP requires variables in non-property positions: {pattern}"
+                    )

@@ -1,0 +1,124 @@
+"""Random RBGP query workload generation.
+
+The representativeness experiments (E8 in DESIGN.md) need query workloads
+that (a) belong to the RBGP dialect of Definition 3 and (b) are guaranteed to
+have answers on the input graph — Definition 1 quantifies over queries with
+non-empty answers on ``G∞``.  The generator below walks the (saturated)
+graph: it picks a seed resource and grows a connected set of triple patterns
+around it, replacing resources by variables and keeping property URIs and
+type URIs, which is precisely the RBGP shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import RDF_TYPE
+from repro.model.terms import Term, URI
+from repro.queries.bgp import BGPQuery, TriplePattern, Variable
+
+__all__ = ["RBGPQueryGenerator", "generate_rbgp_workload"]
+
+
+class RBGPQueryGenerator:
+    """Generates RBGP queries that have at least one answer on the graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph the queries are sampled from.  Pass the *saturated* graph
+        to obtain queries with answers on ``G∞``.
+    seed:
+        Seed for the internal pseudo-random generator (reproducible
+        workloads).
+    """
+
+    def __init__(self, graph: RDFGraph, seed: int = 0):
+        self.graph = graph
+        self._random = random.Random(seed)
+        self._data_triples = sorted(graph.data_triples)
+        self._type_triples = sorted(graph.type_triples)
+
+    def generate(self, size: int = 2, include_type_pattern: bool = True) -> Optional[BGPQuery]:
+        """Generate one connected RBGP query with about *size* data patterns.
+
+        Returns ``None`` when the graph has no data triples to seed from.
+        """
+        if not self._data_triples:
+            return None
+        seed_triple = self._random.choice(self._data_triples)
+        variable_of: Dict[Term, Variable] = {}
+
+        def variable_for(node: Term) -> Variable:
+            existing = variable_of.get(node)
+            if existing is not None:
+                return existing
+            variable = Variable(f"x{len(variable_of) + 1}")
+            variable_of[node] = variable
+            return variable
+
+        patterns: List[TriplePattern] = []
+        frontier: List[Term] = []
+
+        def add_data_pattern(triple) -> None:
+            patterns.append(
+                TriplePattern(
+                    variable_for(triple.subject), triple.predicate, variable_for(triple.object)
+                )
+            )
+            frontier.append(triple.subject)
+            frontier.append(triple.object)
+
+        add_data_pattern(seed_triple)
+        attempts = 0
+        while len(patterns) < size and attempts < size * 10 and frontier:
+            attempts += 1
+            node = self._random.choice(frontier)
+            neighbours = list(self.graph.triples(subject=node)) + list(
+                self.graph.triples(obj=node)
+            )
+            neighbours = [t for t in neighbours if not t.is_schema() and not t.is_type()]
+            if not neighbours:
+                continue
+            candidate = self._random.choice(neighbours)
+            pattern = TriplePattern(
+                variable_for(candidate.subject),
+                candidate.predicate,
+                variable_for(candidate.object),
+            )
+            if pattern not in patterns:
+                add_data_pattern(candidate)
+
+        if include_type_pattern:
+            typed_nodes = [node for node in variable_of if self.graph.has_type(node)]
+            if typed_nodes:
+                node = self._random.choice(typed_nodes)
+                class_uri = sorted(self.graph.types_of(node))[0]
+                if isinstance(class_uri, URI):
+                    pattern = TriplePattern(variable_of[node], RDF_TYPE, class_uri)
+                    if pattern not in patterns:
+                        patterns.append(pattern)
+
+        head = sorted({v for p in patterns for v in p.variables()}, key=lambda v: v.name)
+        query = BGPQuery(patterns, head=head[:2], name=f"rbgp_{len(patterns)}")
+        query.check_rbgp()
+        return query
+
+    def workload(self, count: int, size: int = 2) -> List[BGPQuery]:
+        """Generate a list of *count* queries (duplicates are allowed)."""
+        queries: List[BGPQuery] = []
+        while len(queries) < count:
+            query = self.generate(size=size)
+            if query is None:
+                break
+            queries.append(query)
+        return queries
+
+
+def generate_rbgp_workload(
+    graph: RDFGraph, count: int = 20, size: int = 2, seed: int = 0
+) -> List[BGPQuery]:
+    """Convenience wrapper: a reproducible RBGP workload over *graph*."""
+    return RBGPQueryGenerator(graph, seed=seed).workload(count, size=size)

@@ -1,0 +1,141 @@
+"""Parsing of BGP queries from a SPARQL-like concrete syntax.
+
+Two statement forms are supported, which cover the paper's examples and the
+needs of the test suite and benchmarks:
+
+* ``SELECT ?x ?y WHERE { ?x <uri> ?y . ?y a <uri> }`` with optional
+  ``PREFIX pfx: <uri>`` lines and prefixed names in patterns;
+* ``ASK WHERE { ... }`` / ``ASK { ... }`` for boolean queries.
+
+The ``a`` keyword abbreviates ``rdf:type`` as in SPARQL / Turtle.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import QueryParseError
+from repro.model.namespaces import RDF, RDF_TYPE, RDFS, XSD
+from repro.model.terms import BlankNode, Literal, URI
+from repro.queries.bgp import BGPQuery, PatternTerm, TriplePattern, Variable
+
+__all__ = ["parse_query"]
+
+_PREFIX_RE = re.compile(r"PREFIX\s+([A-Za-z][\w-]*)?:\s*<([^>]*)>", re.IGNORECASE)
+_SELECT_RE = re.compile(r"SELECT\s+(.*?)\s+WHERE\s*\{(.*)\}", re.IGNORECASE | re.DOTALL)
+_ASK_RE = re.compile(r"ASK\s*(?:WHERE\s*)?\{(.*)\}", re.IGNORECASE | re.DOTALL)
+
+_TERM_RE = re.compile(
+    r"""
+    (?P<var>\?[A-Za-z_][\w]*)
+  | (?P<uri><[^>]*>)
+  | (?P<blank>_:[A-Za-z0-9][\w.-]*)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^<[^>]*>|@[a-zA-Z-]+)?)
+  | (?P<a_kw>\ba\b)
+  | (?P<pname>[A-Za-z][\w-]*:[\w.-]+)
+    """,
+    re.VERBOSE,
+)
+
+_DEFAULT_PREFIXES = {"rdf": RDF.prefix, "rdfs": RDFS.prefix, "xsd": XSD.prefix}
+
+
+def _parse_term(kind: str, text: str, prefixes: Dict[str, str]) -> PatternTerm:
+    if kind == "var":
+        return Variable(text)
+    if kind == "uri":
+        return URI(text[1:-1])
+    if kind == "blank":
+        return BlankNode(text[2:])
+    if kind == "a_kw":
+        return RDF_TYPE
+    if kind == "pname":
+        prefix, _, local = text.partition(":")
+        if prefix not in prefixes:
+            raise QueryParseError(f"undeclared prefix in query: {prefix!r}")
+        return URI(prefixes[prefix] + local)
+    if kind == "literal":
+        closing = text.rindex('"')
+        lexical = text[1:closing].replace('\\"', '"').replace("\\\\", "\\")
+        suffix = text[closing + 1 :]
+        if suffix.startswith("^^<"):
+            return Literal(lexical, datatype=URI(suffix[3:-1]))
+        if suffix.startswith("@"):
+            return Literal(lexical, language=suffix[1:])
+        return Literal(lexical)
+    raise QueryParseError(f"cannot parse query term: {text!r}")
+
+
+def _parse_patterns(body: str, prefixes: Dict[str, str]) -> List[TriplePattern]:
+    """Tokenize the whole WHERE body, then group terms into triple patterns.
+
+    The ``.`` separating patterns is recognised as a token of its own, so
+    dots inside URIs or literals (``http://www.w3.org/...``) never split a
+    pattern apart.
+    """
+    patterns: List[TriplePattern] = []
+    terms: List[PatternTerm] = []
+    position = 0
+
+    def flush_pattern() -> None:
+        if not terms:
+            return
+        if len(terms) != 3:
+            raise QueryParseError(
+                f"each triple pattern needs exactly 3 terms, got {len(terms)}"
+            )
+        patterns.append(TriplePattern(terms[0], terms[1], terms[2]))
+        terms.clear()
+
+    while position < len(body):
+        character = body[position]
+        if character in " \t\n\r":
+            position += 1
+            continue
+        if character == ".":
+            flush_pattern()
+            position += 1
+            continue
+        match = _TERM_RE.match(body, position)
+        if not match:
+            raise QueryParseError(
+                f"cannot tokenize query pattern near: {body[position:position+30]!r}"
+            )
+        terms.append(_parse_term(match.lastgroup, match.group(0), prefixes))
+        position = match.end()
+        if len(terms) == 3:
+            flush_pattern()
+    flush_pattern()
+
+    if not patterns:
+        raise QueryParseError("the query body contains no triple pattern")
+    return patterns
+
+
+def parse_query(text: str, name: str = "") -> BGPQuery:
+    """Parse a SELECT or ASK query string into a :class:`BGPQuery`."""
+    prefixes = dict(_DEFAULT_PREFIXES)
+    for match in _PREFIX_RE.finditer(text):
+        prefixes[match.group(1) or ""] = match.group(2)
+    stripped = _PREFIX_RE.sub("", text).strip()
+
+    select_match = _SELECT_RE.search(stripped)
+    if select_match:
+        head_text, body = select_match.group(1), select_match.group(2)
+        if head_text.strip() == "*":
+            patterns = _parse_patterns(body, prefixes)
+            variables = sorted(
+                {v for p in patterns for v in p.variables()}, key=lambda v: v.name
+            )
+            return BGPQuery(patterns, head=variables, name=name)
+        head = [Variable(token) for token in head_text.split() if token.startswith("?")]
+        if not head:
+            raise QueryParseError("SELECT clause names no variables")
+        return BGPQuery(_parse_patterns(body, prefixes), head=head, name=name)
+
+    ask_match = _ASK_RE.search(stripped)
+    if ask_match:
+        return BGPQuery(_parse_patterns(ask_match.group(1), prefixes), head=(), name=name)
+
+    raise QueryParseError("query must be a SELECT or ASK form")

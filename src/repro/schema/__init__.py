@@ -1,0 +1,6 @@
+"""RDF Schema handling: constraint extraction and saturation (``G∞``)."""
+
+from repro.schema.rdfs import RDFSchema
+from repro.schema.saturation import entails, is_saturated, saturate
+
+__all__ = ["RDFSchema", "entails", "is_saturated", "saturate"]

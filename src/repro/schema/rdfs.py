@@ -1,0 +1,224 @@
+"""RDF Schema model: the constraint triples of a graph, in closed form.
+
+The paper (Figure 1, bottom) considers four kinds of RDFS constraints:
+``rdfs:subClassOf`` (≺sc), ``rdfs:subPropertyOf`` (≺sp), ``rdfs:domain``
+(←d) and ``rdfs:range`` (→r), interpreted under the open-world assumption.
+
+:class:`RDFSchema` extracts those constraints from a graph's schema
+component ``S_G`` and computes their *closure*:
+
+* transitive closure of the subclass and subproperty hierarchies;
+* propagation of domain/range up the subclass hierarchy
+  (``p ←d c, c ≺sc d  ⟹  p ←d d``);
+* inheritance of domain/range along subproperties
+  (``p ≺sp q, q ←d c  ⟹  p ←d c``).
+
+These closed relations are what the saturation engine and Lemma 1
+(saturation vs. property cliques) consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import (
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from repro.model.terms import Term, URI
+from repro.model.triple import Triple
+
+__all__ = ["RDFSchema"]
+
+
+def _transitive_closure(direct: Dict[Term, Set[Term]]) -> Dict[Term, Set[Term]]:
+    """Compute, for every key, the set of all ancestors reachable through *direct*."""
+    closure: Dict[Term, Set[Term]] = {}
+
+    def ancestors_of(node: Term, visiting: Set[Term]) -> Set[Term]:
+        cached = closure.get(node)
+        if cached is not None:
+            return cached
+        visiting.add(node)
+        result: Set[Term] = set()
+        for parent in direct.get(node, ()):  # direct super-entities
+            result.add(parent)
+            if parent not in visiting:  # guard against cycles
+                result |= ancestors_of(parent, visiting)
+        visiting.discard(node)
+        closure[node] = result
+        return result
+
+    for node in list(direct):
+        ancestors_of(node, set())
+    return closure
+
+
+class RDFSchema:
+    """The closed RDFS constraints of a graph.
+
+    Parameters
+    ----------
+    schema_triples:
+        The schema component ``S_G`` (any iterable of schema triples; non
+        schema triples are ignored).
+    """
+
+    def __init__(self, schema_triples: Iterable[Triple] = ()):
+        self._direct_subclass: Dict[Term, Set[Term]] = defaultdict(set)
+        self._direct_subproperty: Dict[Term, Set[Term]] = defaultdict(set)
+        self._direct_domain: Dict[Term, Set[Term]] = defaultdict(set)
+        self._direct_range: Dict[Term, Set[Term]] = defaultdict(set)
+        self._triples: Set[Triple] = set()
+        for triple in schema_triples:
+            self.add(triple)
+        self._closed = False
+        self._superclasses: Dict[Term, Set[Term]] = {}
+        self._superproperties: Dict[Term, Set[Term]] = {}
+        self._domains: Dict[Term, Set[Term]] = {}
+        self._ranges: Dict[Term, Set[Term]] = {}
+
+    @classmethod
+    def from_graph(cls, graph: RDFGraph) -> "RDFSchema":
+        """Build the schema from a graph's schema component."""
+        return cls(graph.schema_triples)
+
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> bool:
+        """Register one schema triple; returns ``False`` for non-schema triples."""
+        predicate = triple.predicate
+        if predicate == RDFS_SUBCLASSOF:
+            self._direct_subclass[triple.subject].add(triple.object)
+        elif predicate == RDFS_SUBPROPERTYOF:
+            self._direct_subproperty[triple.subject].add(triple.object)
+        elif predicate == RDFS_DOMAIN:
+            self._direct_domain[triple.subject].add(triple.object)
+        elif predicate == RDFS_RANGE:
+            self._direct_range[triple.subject].add(triple.object)
+        else:
+            return False
+        self._triples.add(triple)
+        self._closed = False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def is_empty(self) -> bool:
+        """``True`` when the graph carries no RDFS constraints."""
+        return not self._triples
+
+    def triples(self) -> Set[Triple]:
+        """The original (direct, non-closed) schema triples."""
+        return set(self._triples)
+
+    # ------------------------------------------------------------------
+    def _ensure_closure(self) -> None:
+        if self._closed:
+            return
+        self._superclasses = _transitive_closure(self._direct_subclass)
+        self._superproperties = _transitive_closure(self._direct_subproperty)
+
+        # domains/ranges: start from the direct declarations, inherit from
+        # superproperties, and propagate up the subclass hierarchy.
+        domains: Dict[Term, Set[Term]] = defaultdict(set)
+        ranges: Dict[Term, Set[Term]] = defaultdict(set)
+        properties = (
+            set(self._direct_domain)
+            | set(self._direct_range)
+            | set(self._direct_subproperty)
+            | set(self._superproperties)
+        )
+        for prop in properties:
+            related = {prop} | self._superproperties.get(prop, set())
+            for candidate in related:
+                domains[prop] |= self._direct_domain.get(candidate, set())
+                ranges[prop] |= self._direct_range.get(candidate, set())
+            for cls in list(domains[prop]):
+                domains[prop] |= self._superclasses.get(cls, set())
+            for cls in list(ranges[prop]):
+                ranges[prop] |= self._superclasses.get(cls, set())
+        self._domains = dict(domains)
+        self._ranges = dict(ranges)
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def superclasses(self, cls: Term) -> Set[Term]:
+        """All (strict) superclasses of *cls* under the closed ≺sc relation."""
+        self._ensure_closure()
+        return set(self._superclasses.get(cls, set()))
+
+    def superproperties(self, prop: Term) -> Set[Term]:
+        """All (strict) superproperties of *prop* under the closed ≺sp relation."""
+        self._ensure_closure()
+        return set(self._superproperties.get(prop, set()))
+
+    def domains(self, prop: Term) -> Set[Term]:
+        """Closed set of domain classes of *prop* (including inherited ones)."""
+        self._ensure_closure()
+        return set(self._domains.get(prop, set()))
+
+    def ranges(self, prop: Term) -> Set[Term]:
+        """Closed set of range classes of *prop* (including inherited ones)."""
+        self._ensure_closure()
+        return set(self._ranges.get(prop, set()))
+
+    def saturated_property_set(self, properties: Iterable[Term]) -> Set[Term]:
+        """The paper's ``C+``: *properties* together with all their generalizations."""
+        result: Set[Term] = set()
+        for prop in properties:
+            result.add(prop)
+            result |= self.superproperties(prop)
+        return result
+
+    def classes(self) -> Set[Term]:
+        """Every class mentioned by the schema constraints."""
+        self._ensure_closure()
+        result: Set[Term] = set()
+        for subject, parents in self._direct_subclass.items():
+            result.add(subject)
+            result |= parents
+        for values in self._direct_domain.values():
+            result |= values
+        for values in self._direct_range.values():
+            result |= values
+        for values in self._superclasses.values():
+            result |= values
+        return result
+
+    def properties(self) -> Set[Term]:
+        """Every property mentioned by ≺sp / ←d / →r constraints."""
+        result: Set[Term] = set()
+        for subject, parents in self._direct_subproperty.items():
+            result.add(subject)
+            result |= parents
+        result |= set(self._direct_domain)
+        result |= set(self._direct_range)
+        return result
+
+    # ------------------------------------------------------------------
+    def closure_triples(self) -> Set[Triple]:
+        """The schema triples entailed by the constraints (closed form).
+
+        Includes the original triples plus the transitive subclass and
+        subproperty edges and the propagated domain/range declarations.
+        """
+        self._ensure_closure()
+        result: Set[Triple] = set(self._triples)
+        for cls, ancestors in self._superclasses.items():
+            for ancestor in ancestors:
+                result.add(Triple(cls, RDFS_SUBCLASSOF, ancestor))
+        for prop, ancestors in self._superproperties.items():
+            for ancestor in ancestors:
+                result.add(Triple(prop, RDFS_SUBPROPERTYOF, ancestor))
+        for prop, classes in self._domains.items():
+            for cls in classes:
+                result.add(Triple(prop, RDFS_DOMAIN, cls))
+        for prop, classes in self._ranges.items():
+            for cls in classes:
+                result.add(Triple(prop, RDFS_RANGE, cls))
+        return result

@@ -1,0 +1,7 @@
+"""Encoded triple stores: the relational substrate of the summarizer."""
+
+from repro.store.base import StoreStatistics, TripleStore
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
+
+__all__ = ["StoreStatistics", "TripleStore", "MemoryStore", "SQLiteStore"]

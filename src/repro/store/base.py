@@ -1,0 +1,162 @@
+"""The :class:`TripleStore` interface.
+
+The paper's prototype (Section 6) stores the encoded input graph in three
+relational tables — data triples, type triples and schema triples — plus a
+dictionary table, and drives summarization by scanning / selecting over
+those tables.  :class:`TripleStore` captures exactly that contract so the
+summarization algorithms can run against any backend:
+
+* :class:`repro.store.memory.MemoryStore` — default, pure in-memory;
+* :class:`repro.store.sqlite.SQLiteStore` — SQL-backed, mirroring the
+  PostgreSQL architecture of the original system.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.model.dictionary import Dictionary, EncodedTriple
+from repro.model.graph import RDFGraph
+from repro.model.terms import Term
+from repro.model.triple import Triple, TripleKind
+
+__all__ = ["TripleStore", "StoreStatistics"]
+
+
+class StoreStatistics:
+    """Row counts of the three encoded triple tables plus the dictionary."""
+
+    __slots__ = ("data_rows", "type_rows", "schema_rows", "dictionary_size")
+
+    def __init__(self, data_rows: int, type_rows: int, schema_rows: int, dictionary_size: int):
+        self.data_rows = data_rows
+        self.type_rows = type_rows
+        self.schema_rows = schema_rows
+        self.dictionary_size = dictionary_size
+
+    @property
+    def total_rows(self) -> int:
+        return self.data_rows + self.type_rows + self.schema_rows
+
+    def as_dict(self) -> dict:
+        return {
+            "data_rows": self.data_rows,
+            "type_rows": self.type_rows,
+            "schema_rows": self.schema_rows,
+            "dictionary_size": self.dictionary_size,
+            "total_rows": self.total_rows,
+        }
+
+    def __repr__(self):
+        return (
+            f"StoreStatistics(data={self.data_rows}, type={self.type_rows}, "
+            f"schema={self.schema_rows}, dict={self.dictionary_size})"
+        )
+
+
+class TripleStore(abc.ABC):
+    """Abstract encoded triple store with data / type / schema tables."""
+
+    def __init__(self):
+        self.dictionary = Dictionary()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_graph(self, graph: RDFGraph) -> int:
+        """Encode and load every triple of *graph*; return the row count."""
+        count = 0
+        batch: List[Tuple[TripleKind, EncodedTriple]] = []
+        for triple in graph:
+            encoded = self.dictionary.encode_triple(triple)
+            batch.append((triple.kind, encoded))
+            count += 1
+        self._insert_rows(batch)
+        return count
+
+    def load_triples(self, triples: Iterable[Triple]) -> int:
+        """Encode and load an arbitrary iterable of triples."""
+        return self.load_graph(RDFGraph(triples))
+
+    @abc.abstractmethod
+    def _insert_rows(self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]) -> None:
+        """Insert encoded rows tagged with the table they belong to."""
+
+    # ------------------------------------------------------------------
+    # scans (the SELECTs issued by the summarization algorithms)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def scan_data(self) -> Iterator[EncodedTriple]:
+        """Scan the data-triples table (``SELECT s, p, o FROM D_G``)."""
+
+    @abc.abstractmethod
+    def scan_types(self) -> Iterator[EncodedTriple]:
+        """Scan the type-triples table (``SELECT s, c FROM T_G`` with the
+        type property id in the middle position)."""
+
+    @abc.abstractmethod
+    def scan_schema(self) -> Iterator[EncodedTriple]:
+        """Scan the schema-triples table."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        kind: TripleKind,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        """Select rows of the *kind* table matching the given id pattern."""
+
+    @abc.abstractmethod
+    def count(self, kind: TripleKind) -> int:
+        """Number of rows in the *kind* table."""
+
+    @abc.abstractmethod
+    def distinct_properties(self, kind: TripleKind) -> List[int]:
+        """Distinct property ids occurring in the *kind* table."""
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources.  Idempotent."""
+
+    def __enter__(self) -> "TripleStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # decoding helpers
+    # ------------------------------------------------------------------
+    def decode_term(self, identifier: int) -> Term:
+        """Decode an integer id back to an RDF term."""
+        return self.dictionary.decode(identifier)
+
+    def decode_triple(self, row: EncodedTriple) -> Triple:
+        """Decode an encoded row back to a :class:`Triple`."""
+        return self.dictionary.decode_triple(row)
+
+    def to_graph(self, name: str = "") -> RDFGraph:
+        """Decode the whole store back into an :class:`RDFGraph`."""
+        graph = RDFGraph(name=name)
+        for row in self.scan_data():
+            graph.add(self.decode_triple(row))
+        for row in self.scan_types():
+            graph.add(self.decode_triple(row))
+        for row in self.scan_schema():
+            graph.add(self.decode_triple(row))
+        return graph
+
+    def statistics(self) -> StoreStatistics:
+        """Return row counts per table and dictionary size."""
+        return StoreStatistics(
+            data_rows=self.count(TripleKind.DATA),
+            type_rows=self.count(TripleKind.TYPE),
+            schema_rows=self.count(TripleKind.SCHEMA),
+            dictionary_size=len(self.dictionary),
+        )

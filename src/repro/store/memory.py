@@ -1,0 +1,128 @@
+"""In-memory encoded triple store.
+
+This is the default backend: three lists of encoded rows (data, type,
+schema) with hash indexes on subject, property and object, playing the role
+of the PostgreSQL tables plus B-tree indexes of the paper's prototype.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import StoreClosedError
+from repro.model.dictionary import EncodedTriple
+from repro.model.triple import TripleKind
+from repro.store.base import TripleStore
+
+__all__ = ["MemoryStore"]
+
+
+class _Table:
+    """One encoded triple table with per-column indexes."""
+
+    __slots__ = ("rows", "by_subject", "by_predicate", "by_object")
+
+    def __init__(self):
+        self.rows: List[EncodedTriple] = []
+        self.by_subject: Dict[int, List[int]] = defaultdict(list)
+        self.by_predicate: Dict[int, List[int]] = defaultdict(list)
+        self.by_object: Dict[int, List[int]] = defaultdict(list)
+
+    def insert(self, row: EncodedTriple) -> None:
+        position = len(self.rows)
+        self.rows.append(row)
+        self.by_subject[row.subject].append(position)
+        self.by_predicate[row.predicate].append(position)
+        self.by_object[row.object].append(position)
+
+    def select(
+        self,
+        subject: Optional[int],
+        predicate: Optional[int],
+        obj: Optional[int],
+    ) -> Iterator[EncodedTriple]:
+        candidate_positions: Optional[Iterable[int]] = None
+        if subject is not None:
+            candidate_positions = self.by_subject.get(subject, ())
+        elif obj is not None:
+            candidate_positions = self.by_object.get(obj, ())
+        elif predicate is not None:
+            candidate_positions = self.by_predicate.get(predicate, ())
+
+        rows = self.rows
+        if candidate_positions is None:
+            candidates: Iterable[EncodedTriple] = rows
+        else:
+            candidates = (rows[position] for position in candidate_positions)
+        for row in candidates:
+            if subject is not None and row.subject != subject:
+                continue
+            if predicate is not None and row.predicate != predicate:
+                continue
+            if obj is not None and row.object != obj:
+                continue
+            yield row
+
+    def distinct_properties(self) -> List[int]:
+        return sorted(self.by_predicate.keys())
+
+
+class MemoryStore(TripleStore):
+    """Pure in-memory :class:`TripleStore` backend."""
+
+    def __init__(self):
+        super().__init__()
+        self._tables: Dict[TripleKind, _Table] = {
+            TripleKind.DATA: _Table(),
+            TripleKind.TYPE: _Table(),
+            TripleKind.SCHEMA: _Table(),
+        }
+        self._seen: Set[Tuple[TripleKind, EncodedTriple]] = set()
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("the store has been closed")
+
+    def _insert_rows(self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]) -> None:
+        self._check_open()
+        for kind, row in rows:
+            key = (kind, row)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self._tables[kind].insert(row)
+
+    def scan_data(self) -> Iterator[EncodedTriple]:
+        self._check_open()
+        return iter(list(self._tables[TripleKind.DATA].rows))
+
+    def scan_types(self) -> Iterator[EncodedTriple]:
+        self._check_open()
+        return iter(list(self._tables[TripleKind.TYPE].rows))
+
+    def scan_schema(self) -> Iterator[EncodedTriple]:
+        self._check_open()
+        return iter(list(self._tables[TripleKind.SCHEMA].rows))
+
+    def select(
+        self,
+        kind: TripleKind,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        self._check_open()
+        return self._tables[kind].select(subject, predicate, obj)
+
+    def count(self, kind: TripleKind) -> int:
+        self._check_open()
+        return len(self._tables[kind].rows)
+
+    def distinct_properties(self, kind: TripleKind) -> List[int]:
+        self._check_open()
+        return self._tables[kind].distinct_properties()
+
+    def close(self) -> None:
+        self._closed = True

@@ -1,0 +1,168 @@
+"""SQLite-backed encoded triple store.
+
+The paper's prototype stores the encoded graph in PostgreSQL tables and
+drives summarization through SQL queries.  PostgreSQL is not available in
+this environment; the standard-library ``sqlite3`` module provides the same
+relational substrate (tables + indexes + SQL selection), which is what the
+algorithms actually rely on.  The schema mirrors the paper's layout:
+
+* ``data_triples(s, p, o)``   — the encoded data component ``D_G``;
+* ``type_triples(s, p, o)``   — the encoded type component ``T_G``;
+* ``schema_triples(s, p, o)`` — the encoded schema component ``S_G``;
+* ``dictionary(id, value)``   — integer ↔ lexical form mapping (persisted on
+  :meth:`persist_dictionary`, primarily for debugging and decoding outside
+  the process).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import StoreClosedError, StoreError
+from repro.model.dictionary import EncodedTriple
+from repro.model.triple import TripleKind
+from repro.store.base import TripleStore
+
+__all__ = ["SQLiteStore"]
+
+_TABLE_FOR_KIND = {
+    TripleKind.DATA: "data_triples",
+    TripleKind.TYPE: "type_triples",
+    TripleKind.SCHEMA: "schema_triples",
+}
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS data_triples   (s INTEGER NOT NULL, p INTEGER NOT NULL, o INTEGER NOT NULL);
+CREATE TABLE IF NOT EXISTS type_triples   (s INTEGER NOT NULL, p INTEGER NOT NULL, o INTEGER NOT NULL);
+CREATE TABLE IF NOT EXISTS schema_triples (s INTEGER NOT NULL, p INTEGER NOT NULL, o INTEGER NOT NULL);
+CREATE TABLE IF NOT EXISTS dictionary     (id INTEGER PRIMARY KEY, value TEXT NOT NULL);
+CREATE INDEX IF NOT EXISTS idx_data_s   ON data_triples(s);
+CREATE INDEX IF NOT EXISTS idx_data_p   ON data_triples(p);
+CREATE INDEX IF NOT EXISTS idx_data_o   ON data_triples(o);
+CREATE INDEX IF NOT EXISTS idx_type_s   ON type_triples(s);
+CREATE INDEX IF NOT EXISTS idx_type_o   ON type_triples(o);
+CREATE INDEX IF NOT EXISTS idx_schema_p ON schema_triples(p);
+"""
+
+
+class SQLiteStore(TripleStore):
+    """A :class:`TripleStore` persisting encoded triples in SQLite.
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` (default) for an in-process
+        transient database.
+    batch_size:
+        Number of rows per ``executemany`` batch when loading; plays the role
+        of the JDBC fetch size tuned in the paper's experiments.
+    """
+
+    def __init__(self, path: str = ":memory:", batch_size: int = 100_000):
+        super().__init__()
+        if batch_size <= 0:
+            raise StoreError("batch_size must be positive")
+        self.path = path
+        self.batch_size = batch_size
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(path)
+        self._connection.executescript(_SCHEMA_SQL)
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    def _conn(self) -> sqlite3.Connection:
+        if self._connection is None:
+            raise StoreClosedError("the SQLite store has been closed")
+        return self._connection
+
+    def _insert_rows(self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]) -> None:
+        connection = self._conn()
+        buffers = {kind: [] for kind in _TABLE_FOR_KIND}
+        flushed = 0
+
+        def flush() -> None:
+            nonlocal flushed
+            for kind, buffer in buffers.items():
+                if buffer:
+                    connection.executemany(
+                        f"INSERT INTO {_TABLE_FOR_KIND[kind]} (s, p, o) VALUES (?, ?, ?)",
+                        buffer,
+                    )
+                    flushed += len(buffer)
+                    buffer.clear()
+
+        pending = 0
+        for kind, row in rows:
+            buffers[kind].append((row.subject, row.predicate, row.object))
+            pending += 1
+            if pending >= self.batch_size:
+                flush()
+                pending = 0
+        flush()
+        connection.commit()
+
+    # ------------------------------------------------------------------
+    def _scan(self, kind: TripleKind) -> Iterator[EncodedTriple]:
+        cursor = self._conn().execute(
+            f"SELECT s, p, o FROM {_TABLE_FOR_KIND[kind]} ORDER BY rowid"
+        )
+        for subject, predicate, obj in cursor:
+            yield EncodedTriple(subject, predicate, obj)
+
+    def scan_data(self) -> Iterator[EncodedTriple]:
+        return self._scan(TripleKind.DATA)
+
+    def scan_types(self) -> Iterator[EncodedTriple]:
+        return self._scan(TripleKind.TYPE)
+
+    def scan_schema(self) -> Iterator[EncodedTriple]:
+        return self._scan(TripleKind.SCHEMA)
+
+    def select(
+        self,
+        kind: TripleKind,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        clauses: List[str] = []
+        parameters: List[int] = []
+        for column, value in (("s", subject), ("p", predicate), ("o", obj)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                parameters.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        cursor = self._conn().execute(
+            f"SELECT s, p, o FROM {_TABLE_FOR_KIND[kind]}{where}", parameters
+        )
+        for row_subject, row_predicate, row_object in cursor:
+            yield EncodedTriple(row_subject, row_predicate, row_object)
+
+    def count(self, kind: TripleKind) -> int:
+        cursor = self._conn().execute(f"SELECT COUNT(*) FROM {_TABLE_FOR_KIND[kind]}")
+        return int(cursor.fetchone()[0])
+
+    def distinct_properties(self, kind: TripleKind) -> List[int]:
+        cursor = self._conn().execute(
+            f"SELECT DISTINCT p FROM {_TABLE_FOR_KIND[kind]} ORDER BY p"
+        )
+        return [row[0] for row in cursor]
+
+    # ------------------------------------------------------------------
+    def persist_dictionary(self) -> int:
+        """Write the in-memory dictionary to the ``dictionary`` table.
+
+        Returns the number of persisted entries.  Existing rows are replaced,
+        so the call is idempotent.
+        """
+        connection = self._conn()
+        connection.execute("DELETE FROM dictionary")
+        rows = [(identifier, term.n3()) for term, identifier in self.dictionary.items()]
+        connection.executemany("INSERT INTO dictionary (id, value) VALUES (?, ?)", rows)
+        connection.commit()
+        return len(rows)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None

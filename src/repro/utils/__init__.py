@@ -1,0 +1,6 @@
+"""Shared utilities: disjoint sets and timing helpers."""
+
+from repro.utils.timing import Stopwatch, TimingLog, time_call
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["Stopwatch", "TimingLog", "time_call", "UnionFind"]

@@ -1,0 +1,90 @@
+"""Small timing utilities used by the experiment harness and the CLI."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+
+__all__ = ["Stopwatch", "TimingLog", "time_call"]
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """A context-manager stopwatch measuring wall-clock elapsed seconds.
+
+    Example
+    -------
+    >>> with Stopwatch() as watch:
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+        return False
+
+    def restart(self) -> None:
+        """Reset the stopwatch and start a new measurement."""
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+
+    def lap(self) -> float:
+        """Return the elapsed time since the last (re)start without stopping."""
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+
+class TimingLog:
+    """Accumulates named timing measurements for reporting.
+
+    Each record is a ``(label, seconds)`` pair; ``summary()`` aggregates them
+    by label (count, total, mean).
+    """
+
+    def __init__(self):
+        self._records: List[Tuple[str, float]] = []
+
+    def record(self, label: str, seconds: float) -> None:
+        """Append a measurement."""
+        self._records.append((label, seconds))
+
+    def measure(self, label: str, callable_: Callable[[], T]) -> T:
+        """Call *callable_*, record its duration under *label*, return its result."""
+        with Stopwatch() as watch:
+            result = callable_()
+        self.record(label, watch.elapsed)
+        return result
+
+    def records(self) -> List[Tuple[str, float]]:
+        """Return a copy of the raw measurements."""
+        return list(self._records)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate measurements per label."""
+        aggregated: Dict[str, Dict[str, float]] = {}
+        for label, seconds in self._records:
+            entry = aggregated.setdefault(label, {"count": 0, "total": 0.0})
+            entry["count"] += 1
+            entry["total"] += seconds
+        for entry in aggregated.values():
+            entry["mean"] = entry["total"] / entry["count"]
+        return aggregated
+
+
+def time_call(callable_: Callable[[], T]) -> Tuple[T, float]:
+    """Call *callable_* and return ``(result, elapsed_seconds)``."""
+    with Stopwatch() as watch:
+        result = callable_()
+    return result, watch.elapsed

@@ -1,0 +1,78 @@
+"""Tests for the metrics table and the Figure 11-13 scale-sweep harness."""
+
+import pytest
+
+from repro.analysis.harness import format_figure_series, run_scale_sweep
+from repro.analysis.metrics import PAPER_KINDS, format_table, summary_size_table
+from repro.datasets.bsbm import generate_bsbm
+
+
+class TestSummarySizeTable:
+    def test_one_row_per_kind(self, fig2):
+        rows = summary_size_table(fig2)
+        assert len(rows) == len(PAPER_KINDS)
+        assert {row.kind for row in rows} == set(PAPER_KINDS)
+
+    def test_row_fields_consistent(self, fig2):
+        for row in summary_size_table(fig2):
+            assert row.input_triples == len(fig2)
+            assert row.all_nodes >= row.data_nodes
+            assert row.all_edges >= row.data_edges
+            assert 0 < row.edge_ratio <= 1.0
+            assert row.build_seconds >= 0.0
+
+    def test_unknown_kind_rejected(self, fig2):
+        with pytest.raises(KeyError):
+            summary_size_table(fig2, kinds=["bogus"])
+
+    def test_format_table_contains_all_kinds(self, fig2):
+        text = format_table(summary_size_table(fig2))
+        for kind in PAPER_KINDS:
+            assert kind in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)\n"
+
+    def test_dataset_name_override(self, fig2):
+        rows = summary_size_table(fig2, dataset_name="custom")
+        assert all(row.dataset == "custom" for row in rows)
+
+
+class TestScaleSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_scale_sweep(scales=(20, 40), seed=0)
+
+    def test_rows_cover_scales_and_kinds(self, sweep):
+        assert len(sweep.rows) == 2 * len(PAPER_KINDS)
+        assert len(sweep.input_sizes()) == 2
+
+    def test_series_shapes(self, sweep):
+        node_series = sweep.series("all_nodes")
+        assert set(node_series) == set(PAPER_KINDS)
+        assert all(len(values) == 2 for values in node_series.values())
+
+    def test_weak_close_to_strong_and_smaller_than_typed(self, sweep):
+        # the paper's headline observation (Figures 11-12)
+        nodes = sweep.series("data_nodes")
+        for index in range(2):
+            weak, strong = nodes["weak"][index], nodes["strong"][index]
+            typed_weak = nodes["typed_weak"][index]
+            assert strong <= 3 * weak
+            assert typed_weak > weak
+
+    def test_compression_below_paper_threshold(self, sweep):
+        ratios = sweep.series("edge_ratio")
+        for kind in PAPER_KINDS:
+            assert all(value < 0.5 for value in ratios[kind])
+
+    def test_custom_generator(self):
+        result = run_scale_sweep(
+            scales=(10,), generator=lambda scale: generate_bsbm(scale=scale, seed=1), kinds=("weak",)
+        )
+        assert len(result.rows) == 1
+
+    def test_format_figure_series(self, sweep):
+        text = format_figure_series(sweep, "all_nodes", "Figure 11")
+        assert "Figure 11" in text
+        assert "weak" in text and "typed_strong" in text

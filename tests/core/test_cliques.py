@@ -1,0 +1,161 @@
+"""Tests for property cliques — Definitions 5 and 6, Table 1, Lemma 1."""
+
+from repro.core.cliques import compute_cliques, property_distance, saturated_clique
+from repro.datasets.sample import FIG2
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDFS_SUBPROPERTYOF
+from repro.model.triple import Triple
+from repro.schema.rdfs import RDFSchema
+from repro.schema.saturation import saturate
+
+
+def _local_names(clique):
+    return frozenset(uri.local_name for uri in clique)
+
+
+class TestTable1:
+    """The cliques of the Figure 2 graph must match Table 1 exactly."""
+
+    def test_source_cliques(self, fig2):
+        cliques = compute_cliques(fig2)
+        names = {_local_names(c) for c in cliques.source_cliques}
+        assert names == {
+            frozenset({"author", "title", "editor", "comment"}),
+            frozenset({"reviewed"}),
+            frozenset({"published"}),
+        }
+
+    def test_target_cliques(self, fig2):
+        cliques = compute_cliques(fig2)
+        names = {_local_names(c) for c in cliques.target_cliques}
+        assert names == {
+            frozenset({"author"}),
+            frozenset({"title"}),
+            frozenset({"editor"}),
+            frozenset({"comment"}),
+            frozenset({"reviewed", "published"}),
+        }
+
+    def test_source_clique_of_publications(self, fig2):
+        cliques = compute_cliques(fig2)
+        sc1 = frozenset({"author", "title", "editor", "comment"})
+        for resource in (FIG2.r1, FIG2.r2, FIG2.r3, FIG2.r4, FIG2.r5):
+            assert _local_names(cliques.source_clique_of(resource)) == sc1
+
+    def test_target_clique_of_r4_is_tc5(self, fig2):
+        cliques = compute_cliques(fig2)
+        assert _local_names(cliques.target_clique_of(FIG2.r4)) == {"reviewed", "published"}
+
+    def test_r1_has_empty_target_clique(self, fig2):
+        cliques = compute_cliques(fig2)
+        assert cliques.target_clique_of(FIG2.r1) == frozenset()
+
+    def test_a1_cliques(self, fig2):
+        cliques = compute_cliques(fig2)
+        assert _local_names(cliques.source_clique_of(FIG2.a1)) == {"reviewed"}
+        assert _local_names(cliques.target_clique_of(FIG2.a1)) == {"author"}
+
+    def test_e1_cliques(self, fig2):
+        cliques = compute_cliques(fig2)
+        assert _local_names(cliques.source_clique_of(FIG2.e1)) == {"published"}
+        assert _local_names(cliques.target_clique_of(FIG2.e1)) == {"editor"}
+
+    def test_typed_only_resource_has_empty_cliques(self, fig2):
+        cliques = compute_cliques(fig2)
+        assert cliques.source_clique_of(FIG2.r6) == frozenset()
+        assert cliques.target_clique_of(FIG2.r6) == frozenset()
+
+    def test_cliques_partition_data_properties(self, fig2):
+        cliques = compute_cliques(fig2)
+        assert cliques.is_partition_of(fig2.data_properties())
+
+    def test_clique_pair_of(self, fig2):
+        cliques = compute_cliques(fig2)
+        target, source = cliques.clique_pair_of(FIG2.r4)
+        assert _local_names(target) == {"reviewed", "published"}
+        assert _local_names(source) == {"author", "title", "editor", "comment"}
+
+    def test_clique_of_property_lookup(self, fig2):
+        cliques = compute_cliques(fig2)
+        assert _local_names(cliques.source_clique_of_property(FIG2.author)) == {
+            "author",
+            "title",
+            "editor",
+            "comment",
+        }
+        assert cliques.source_clique_of_property(FIG2.missing) == frozenset()
+
+
+class TestPropertyDistance:
+    """Definition 6 on the Figure 2 graph: d(a,t)=0, d(a,e)=1, d(a,c)=2."""
+
+    def test_distance_zero_for_co_occurring(self, fig2):
+        assert property_distance(fig2, FIG2.author, FIG2.title) == 0
+
+    def test_distance_one(self, fig2):
+        assert property_distance(fig2, FIG2.author, FIG2.editor) == 1
+
+    def test_distance_two(self, fig2):
+        assert property_distance(fig2, FIG2.author, FIG2.comment) == 2
+
+    def test_distance_same_property(self, fig2):
+        assert property_distance(fig2, FIG2.author, FIG2.author) == 0
+
+    def test_distance_between_unrelated_is_none(self, fig2):
+        assert property_distance(fig2, FIG2.author, FIG2.reviewed) is None
+
+    def test_target_side_distance(self, fig2):
+        assert property_distance(fig2, FIG2.reviewed, FIG2.published, on_source=False) == 0
+
+
+class TestRestrictedCliques:
+    def test_source_restriction_excludes_typed_subjects(self, fig2):
+        untyped = {node for node in fig2.data_nodes() if not fig2.has_type(node)}
+        cliques = compute_cliques(fig2, source_nodes=untyped, target_nodes=untyped)
+        # r1 (typed) does not contribute, so author/title only co-occur via r4
+        source = cliques.source_clique_of(FIG2.r4)
+        assert FIG2.author in source and FIG2.title in source
+        # r1 itself has no source clique under the restriction
+        assert cliques.source_clique_of(FIG2.r1) == frozenset()
+
+
+class TestSaturationVsCliques:
+    """Lemma 1: each clique of G is contained in exactly one clique of G∞."""
+
+    def test_cliques_only_grow_under_saturation(self, fig10_graph):
+        cliques_before = compute_cliques(fig10_graph)
+        cliques_after = compute_cliques(saturate(fig10_graph))
+        for clique in cliques_before.source_cliques:
+            containing = [c for c in cliques_after.source_cliques if clique <= c]
+            assert len(containing) == 1
+
+    def test_saturated_clique_adds_generalizations(self):
+        schema = RDFSchema([Triple(EX.a1, RDFS_SUBPROPERTYOF, EX.a)])
+        assert saturated_clique({EX.a1}, schema) == frozenset({EX.a1, EX.a})
+
+    def test_overlapping_saturated_cliques_merge_in_saturation(self, fig10_graph):
+        # a1 and a2 are in different source cliques of G but share the
+        # generalization a, so they are in one clique of G∞ (Lemma 1, item 2).
+        graph = fig10_graph
+        schema = RDFSchema.from_graph(graph)
+        cliques_before = compute_cliques(graph)
+        ns = graph  # just for readability below
+        a1_clique = cliques_before.source_clique_of_property(
+            next(p for p in graph.data_properties() if p.local_name == "a1")
+        )
+        a2_clique = cliques_before.source_clique_of_property(
+            next(p for p in graph.data_properties() if p.local_name == "a2")
+        )
+        assert a1_clique != a2_clique
+        assert saturated_clique(a1_clique, schema) & saturated_clique(a2_clique, schema)
+        cliques_after = compute_cliques(saturate(graph))
+        a1_after = cliques_after.source_clique_of_property(
+            next(p for p in graph.data_properties() if p.local_name == "a1")
+        )
+        assert any(p.local_name == "a2" for p in a1_after)
+
+    def test_empty_graph_has_no_cliques(self):
+        cliques = compute_cliques(RDFGraph())
+        assert cliques.source_cliques == []
+        assert cliques.target_cliques == []
+        assert cliques.nodes() == set()

@@ -1,0 +1,110 @@
+"""Tests for graph equality up to summary-node renaming."""
+
+from repro.core.builders import weak_summary
+from repro.core.isomorphism import canonical_signature, graphs_isomorphic, summaries_equivalent
+from repro.core.naming import SUMMARY_NS
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.terms import BlankNode
+from repro.model.triple import Triple
+
+
+def _summary_node(name):
+    return SUMMARY_NS.term(name)
+
+
+class TestGraphsIsomorphic:
+    def test_identical_graphs(self, fig2):
+        assert graphs_isomorphic(fig2, fig2.copy())
+
+    def test_renamed_summary_nodes_are_isomorphic(self):
+        first = RDFGraph(
+            [
+                Triple(_summary_node("A"), EX.p, _summary_node("B")),
+                Triple(_summary_node("A"), RDF_TYPE, EX.Book),
+            ]
+        )
+        second = RDFGraph(
+            [
+                Triple(_summary_node("X"), EX.p, _summary_node("Y")),
+                Triple(_summary_node("X"), RDF_TYPE, EX.Book),
+            ]
+        )
+        assert graphs_isomorphic(first, second)
+
+    def test_fixed_uris_must_match_exactly(self):
+        first = RDFGraph([Triple(EX.a, EX.p, EX.b)])
+        second = RDFGraph([Triple(EX.a, EX.p, EX.c)])
+        assert not graphs_isomorphic(first, second)
+
+    def test_different_sizes_not_isomorphic(self):
+        first = RDFGraph([Triple(_summary_node("A"), EX.p, _summary_node("B"))])
+        second = RDFGraph(
+            [
+                Triple(_summary_node("A"), EX.p, _summary_node("B")),
+                Triple(_summary_node("B"), EX.p, _summary_node("A")),
+            ]
+        )
+        assert not graphs_isomorphic(first, second)
+
+    def test_structure_difference_detected(self):
+        # chain vs fork with the same edge labels and sizes
+        chain = RDFGraph(
+            [
+                Triple(_summary_node("A"), EX.p, _summary_node("B")),
+                Triple(_summary_node("B"), EX.p, _summary_node("C")),
+            ]
+        )
+        fork = RDFGraph(
+            [
+                Triple(_summary_node("A"), EX.p, _summary_node("B")),
+                Triple(_summary_node("A"), EX.p, _summary_node("C")),
+            ]
+        )
+        assert not graphs_isomorphic(chain, fork)
+
+    def test_blank_nodes_are_renameable(self):
+        first = RDFGraph([Triple(BlankNode("x"), EX.p, EX.a)])
+        second = RDFGraph([Triple(BlankNode("y"), EX.p, EX.a)])
+        assert graphs_isomorphic(first, second)
+
+    def test_symmetric_nodes_requiring_backtracking(self):
+        # two interchangeable nodes with identical neighbourhoods
+        first = RDFGraph(
+            [
+                Triple(_summary_node("A"), EX.p, _summary_node("C")),
+                Triple(_summary_node("B"), EX.p, _summary_node("C")),
+            ]
+        )
+        second = RDFGraph(
+            [
+                Triple(_summary_node("X"), EX.p, _summary_node("Z")),
+                Triple(_summary_node("Y"), EX.p, _summary_node("Z")),
+            ]
+        )
+        assert graphs_isomorphic(first, second)
+
+    def test_empty_graphs(self):
+        assert graphs_isomorphic(RDFGraph(), RDFGraph())
+
+
+class TestCanonicalSignature:
+    def test_signature_invariant_under_renaming(self):
+        first = RDFGraph([Triple(_summary_node("A"), EX.p, _summary_node("B"))])
+        second = RDFGraph([Triple(_summary_node("Other"), EX.p, _summary_node("Name"))])
+        assert canonical_signature(first) == canonical_signature(second)
+
+    def test_signature_differs_for_different_structure(self):
+        first = RDFGraph([Triple(_summary_node("A"), EX.p, _summary_node("B"))])
+        second = RDFGraph([Triple(_summary_node("A"), EX.q, _summary_node("B"))])
+        assert canonical_signature(first) != canonical_signature(second)
+
+
+class TestSummariesEquivalent:
+    def test_same_graph_two_runs(self, bsbm_small):
+        assert summaries_equivalent(weak_summary(bsbm_small), weak_summary(bsbm_small))
+
+    def test_different_kinds_not_equivalent(self, fig2):
+        from repro.core.builders import strong_summary
+
+        assert not summaries_equivalent(weak_summary(fig2), strong_summary(fig2))

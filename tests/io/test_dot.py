@@ -1,0 +1,64 @@
+"""Tests for the GraphViz DOT export."""
+
+from repro.core.builders import weak_summary
+from repro.io.dot import graph_to_dot, summary_to_dot, write_dot
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.terms import Literal
+from repro.model.triple import Triple
+
+
+class TestGraphToDot:
+    def test_produces_digraph(self, fig2):
+        dot = graph_to_dot(fig2)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_every_triple_becomes_an_edge(self, fig2):
+        dot = graph_to_dot(fig2)
+        assert dot.count("->") == len(fig2)
+
+    def test_class_nodes_are_boxes(self, fig2):
+        dot = graph_to_dot(fig2)
+        assert "shape=box" in dot
+
+    def test_type_edges_are_dashed(self, fig2):
+        dot = graph_to_dot(fig2)
+        assert "style=dashed" in dot
+
+    def test_literals_rendered_plaintext(self):
+        graph = RDFGraph([Triple(EX.s, EX.p, Literal("hello"))])
+        dot = graph_to_dot(graph)
+        assert "shape=plaintext" in dot
+
+    def test_long_labels_truncated(self):
+        graph = RDFGraph([Triple(EX.term("x" * 100), EX.p, EX.o)])
+        dot = graph_to_dot(graph)
+        assert "..." in dot
+
+    def test_quotes_escaped_in_labels(self):
+        graph = RDFGraph([Triple(EX.s, EX.p, Literal('say "hi"'))])
+        dot = graph_to_dot(graph)
+        assert '\\"hi\\"' in dot
+
+    def test_schema_exclusion(self, book_graph):
+        with_schema = graph_to_dot(book_graph, include_schema=True)
+        without_schema = graph_to_dot(book_graph, include_schema=False)
+        assert with_schema.count("->") > without_schema.count("->")
+
+
+class TestSummaryToDot:
+    def test_summary_export(self, fig2):
+        summary = weak_summary(fig2)
+        dot = summary_to_dot(summary)
+        assert dot.count("->") == len(summary.graph)
+
+    def test_extent_annotations(self, fig2):
+        summary = weak_summary(fig2)
+        dot = summary_to_dot(summary, show_extents=True)
+        assert "nodes)" in dot
+
+    def test_write_dot(self, tmp_path, fig2):
+        path = tmp_path / "out.dot"
+        write_dot(graph_to_dot(fig2), path)
+        assert path.read_text().startswith("digraph")

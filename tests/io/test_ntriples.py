@@ -1,0 +1,118 @@
+"""Tests for the N-Triples parser and serializer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io.ntriples import (
+    dump_ntriples,
+    load_ntriples,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+)
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.terms import BlankNode, Literal, URI
+from repro.model.triple import Triple
+
+
+class TestLineParsing:
+    def test_uri_triple(self):
+        triple = parse_ntriples_line("<http://a> <http://p> <http://b> .")
+        assert triple == Triple(URI("http://a"), URI("http://p"), URI("http://b"))
+
+    def test_blank_nodes(self):
+        triple = parse_ntriples_line("_:s <http://p> _:o .")
+        assert triple.subject == BlankNode("s")
+        assert triple.object == BlankNode("o")
+
+    def test_plain_literal(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_language_literal(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "bonjour"@fr .')
+        assert triple.object == Literal("bonjour", language="fr")
+
+    def test_typed_literal(self):
+        triple = parse_ntriples_line(
+            '<http://a> <http://p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert triple.object.datatype.value.endswith("integer")
+
+    def test_escaped_literal(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "line\\nbreak \\"q\\"" .')
+        assert triple.object.lexical == 'line\nbreak "q"'
+
+    def test_unicode_escape(self):
+        triple = parse_ntriples_line('<http://a> <http://p> "caf\\u00e9" .')
+        assert triple.object.lexical == "café"
+
+    def test_trailing_comment_allowed(self):
+        triple = parse_ntriples_line("<http://a> <http://p> <http://b> . # comment")
+        assert triple.predicate == URI("http://p")
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<http://a> <http://p> <http://b>")
+
+    def test_missing_object_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<http://a> <http://p> .")
+
+    def test_garbage_subject_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("nonsense <http://p> <http://b> .")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<http://a> <http://p> <http://b> . extra")
+
+
+class TestDocumentParsing:
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\n<http://a> <http://p> <http://b> .\n"
+        graph = parse_ntriples(text)
+        assert len(graph) == 1
+
+    def test_duplicate_lines_collapse(self):
+        line = "<http://a> <http://p> <http://b> .\n"
+        graph = parse_ntriples(line * 3)
+        assert len(graph) == 1
+
+    def test_parse_error_carries_line_number(self):
+        with pytest.raises(ParseError) as info:
+            parse_ntriples("<http://a> <http://p> <http://b> .\nbroken line\n")
+        assert info.value.line_number == 2
+
+
+class TestRoundtrip:
+    def test_serialize_parse_roundtrip(self, fig2):
+        text = serialize_ntriples(fig2)
+        parsed = parse_ntriples(text)
+        assert set(parsed) == set(fig2)
+
+    def test_serialize_is_sorted_and_terminated(self):
+        graph = [Triple(EX.b, EX.p, EX.o), Triple(EX.a, EX.p, EX.o)]
+        text = serialize_ntriples(graph)
+        lines = text.strip().split("\n")
+        assert lines == sorted(lines)
+        assert text.endswith("\n")
+
+    def test_serialize_empty(self):
+        assert serialize_ntriples([]) == ""
+
+    def test_file_roundtrip(self, tmp_path, fig2):
+        path = tmp_path / "fig2.nt"
+        dump_ntriples(fig2, path)
+        loaded = load_ntriples(path)
+        assert set(loaded) == set(fig2)
+
+    def test_roundtrip_with_literals_and_types(self, book_graph):
+        text = serialize_ntriples(book_graph)
+        assert set(parse_ntriples(text)) == set(book_graph)
+
+    def test_type_triples_preserved(self):
+        graph = parse_ntriples(
+            f"<http://example.org/r> <{RDF_TYPE.value}> <http://example.org/Book> .\n"
+        )
+        assert len(graph.type_triples) == 1

@@ -1,0 +1,99 @@
+"""Tests for the Turtle-subset parser and serializer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io.turtle_lite import parse_turtle, serialize_turtle
+from repro.model.namespaces import RDF_TYPE, XSD
+from repro.model.terms import BlankNode, Literal, URI
+from repro.model.triple import Triple
+
+
+SAMPLE = """
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:doi1 a ex:Book ;
+    ex:hasTitle "Le Port des Brumes" ;
+    ex:writtenBy _:b1 ;
+    ex:publishedIn 1932 .
+
+_:b1 ex:hasName "G. Simenon" .
+"""
+
+
+class TestParsing:
+    def test_prefixed_names_resolved(self):
+        graph = parse_turtle(SAMPLE)
+        assert Triple(URI("http://example.org/doi1"), RDF_TYPE, URI("http://example.org/Book")) in graph
+
+    def test_a_keyword_is_rdf_type(self):
+        graph = parse_turtle("@prefix ex: <http://e/> .\nex:x a ex:C .\n")
+        assert len(graph.type_triples) == 1
+
+    def test_semicolon_shares_subject(self):
+        graph = parse_turtle(SAMPLE)
+        assert len(list(graph.triples(subject=URI("http://example.org/doi1")))) == 4
+
+    def test_comma_shares_predicate(self):
+        text = "@prefix ex: <http://e/> .\nex:x ex:p ex:a , ex:b , ex:c .\n"
+        graph = parse_turtle(text)
+        assert len(graph) == 3
+
+    def test_bare_integer_becomes_xsd_integer(self):
+        graph = parse_turtle(SAMPLE)
+        values = graph.objects(URI("http://example.org/doi1"), URI("http://example.org/publishedIn"))
+        assert Literal("1932", datatype=XSD.term("integer")) in values
+
+    def test_decimal_literal(self):
+        graph = parse_turtle("@prefix ex: <http://e/> .\nex:x ex:p 3.14 .\n")
+        literal = next(iter(graph.literals()))
+        assert literal.datatype == XSD.term("decimal")
+
+    def test_blank_node_object_and_subject(self):
+        graph = parse_turtle(SAMPLE)
+        assert BlankNode("b1") in graph.nodes()
+
+    def test_language_tag(self):
+        graph = parse_turtle('@prefix ex: <http://e/> .\nex:x ex:p "chat"@fr .\n')
+        assert Literal("chat", language="fr") in graph.literals()
+
+    def test_typed_literal_with_prefixed_datatype(self):
+        graph = parse_turtle('@prefix ex: <http://e/> .\nex:x ex:p "5"^^xsd:integer .\n')
+        literal = next(iter(graph.literals()))
+        assert literal.datatype.value.endswith("integer")
+
+    def test_base_resolution(self):
+        graph = parse_turtle("@base <http://base.org/> .\n<x> <p> <y> .\n")
+        assert Triple(URI("http://base.org/x"), URI("http://base.org/p"), URI("http://base.org/y")) in graph
+
+    def test_comments_ignored(self):
+        graph = parse_turtle("# nothing\n@prefix ex: <http://e/> .\nex:a ex:p ex:b . # end\n")
+        assert len(graph) == 1
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("foo:x foo:p foo:y .\n")
+
+    def test_literal_subject_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle('@prefix ex: <http://e/> .\n"lit" ex:p ex:y .\n')
+
+
+class TestSerialization:
+    def test_roundtrip_via_turtle(self, fig2):
+        text = serialize_turtle(fig2, prefixes={"f": "http://example.org/fig2/"})
+        parsed = parse_turtle(text)
+        assert set(parsed) == set(fig2)
+
+    def test_prefixes_used_in_output(self, fig2):
+        text = serialize_turtle(fig2, prefixes={"f": "http://example.org/fig2/"})
+        assert "f:r1" in text
+        assert "@prefix f:" in text
+
+    def test_rdf_type_rendered_as_a(self, fig2):
+        text = serialize_turtle(fig2, prefixes={"f": "http://example.org/fig2/"})
+        assert " a f:Book" in text
+
+    def test_empty_graph(self):
+        assert serialize_turtle([]) == ""

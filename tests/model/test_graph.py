@@ -1,0 +1,185 @@
+"""Tests for RDFGraph: components, indexes, node kinds, statistics."""
+
+import pytest
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE, RDFS_SUBCLASSOF
+from repro.model.terms import Literal
+from repro.model.triple import Triple
+
+
+def _small_graph():
+    graph = RDFGraph(name="small")
+    graph.add_all(
+        [
+            Triple(EX.r1, EX.author, EX.a1),
+            Triple(EX.r1, EX.title, Literal("t")),
+            Triple(EX.r2, EX.title, Literal("u")),
+            Triple(EX.r1, RDF_TYPE, EX.Book),
+            Triple(EX.Book, RDFS_SUBCLASSOF, EX.Publication),
+        ]
+    )
+    return graph
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        graph = RDFGraph()
+        assert graph.add(Triple(EX.s, EX.p, EX.o)) is True
+
+    def test_add_duplicate_returns_false(self):
+        graph = RDFGraph()
+        triple = Triple(EX.s, EX.p, EX.o)
+        graph.add(triple)
+        assert graph.add(triple) is False
+        assert len(graph) == 1
+
+    def test_add_triple_convenience(self):
+        graph = RDFGraph()
+        assert graph.add_triple(EX.s, EX.p, Literal("x"))
+        assert len(graph) == 1
+
+    def test_add_all_counts_new_only(self):
+        graph = RDFGraph()
+        triples = [Triple(EX.s, EX.p, EX.o), Triple(EX.s, EX.p, EX.o), Triple(EX.s, EX.q, EX.o)]
+        assert graph.add_all(triples) == 2
+
+    def test_discard_removes_triple_and_indexes(self):
+        graph = _small_graph()
+        triple = Triple(EX.r1, EX.author, EX.a1)
+        assert graph.discard(triple) is True
+        assert triple not in graph
+        assert list(graph.triples(predicate=EX.author)) == []
+
+    def test_discard_missing_returns_false(self):
+        graph = RDFGraph()
+        assert graph.discard(Triple(EX.s, EX.p, EX.o)) is False
+
+    def test_discard_type_triple_updates_types(self):
+        graph = _small_graph()
+        graph.discard(Triple(EX.r1, RDF_TYPE, EX.Book))
+        assert graph.types_of(EX.r1) == set()
+
+    def test_copy_is_independent(self):
+        graph = _small_graph()
+        clone = graph.copy()
+        clone.add(Triple(EX.z, EX.p, EX.o))
+        assert len(clone) == len(graph) + 1
+
+
+class TestComponents:
+    def test_component_sizes(self):
+        graph = _small_graph()
+        assert len(graph.data_triples) == 3
+        assert len(graph.type_triples) == 1
+        assert len(graph.schema_triples) == 1
+
+    def test_component_graphs_are_graphs(self):
+        graph = _small_graph()
+        assert len(graph.data_graph()) == 3
+        assert len(graph.type_graph()) == 1
+        assert len(graph.schema_graph()) == 1
+
+    def test_union(self):
+        first = RDFGraph([Triple(EX.a, EX.p, EX.b)])
+        second = RDFGraph([Triple(EX.c, EX.p, EX.d)])
+        assert len(first.union(second)) == 2
+
+
+class TestMatching:
+    def test_triples_by_subject(self):
+        graph = _small_graph()
+        assert len(list(graph.triples(subject=EX.r1))) == 3
+
+    def test_triples_by_predicate(self):
+        graph = _small_graph()
+        assert len(list(graph.triples(predicate=EX.title))) == 2
+
+    def test_triples_by_object(self):
+        graph = _small_graph()
+        assert len(list(graph.triples(obj=EX.a1))) == 1
+
+    def test_triples_combined_pattern(self):
+        graph = _small_graph()
+        assert len(list(graph.triples(EX.r1, EX.title, None))) == 1
+        assert len(list(graph.triples(EX.r2, EX.author, None))) == 0
+
+    def test_subjects_objects_predicates(self):
+        graph = _small_graph()
+        assert EX.r1 in graph.subjects(predicate=EX.title)
+        assert Literal("t") in graph.objects(subject=EX.r1, predicate=EX.title)
+        assert EX.author in graph.predicates()
+
+    def test_types_of(self):
+        graph = _small_graph()
+        assert graph.types_of(EX.r1) == {EX.Book}
+        assert graph.types_of(EX.r2) == set()
+        assert graph.has_type(EX.r1)
+        assert not graph.has_type(EX.r2)
+
+
+class TestNodeKinds:
+    def test_data_nodes_include_literals_and_typed_subjects(self):
+        graph = _small_graph()
+        data_nodes = graph.data_nodes()
+        assert EX.r1 in data_nodes
+        assert Literal("t") in data_nodes
+        assert EX.Book not in data_nodes
+
+    def test_class_nodes(self):
+        graph = _small_graph()
+        assert graph.class_nodes() == {EX.Book}
+
+    def test_property_nodes_from_schema(self):
+        graph = RDFGraph(
+            [
+                Triple(EX.writtenBy, RDFS_SUBCLASSOF, EX.hasAuthor),
+            ]
+        )
+        # subClassOf between properties is unusual but property_nodes only
+        # tracks subPropertyOf / domain / range subjects-objects.
+        assert graph.property_nodes() == set()
+
+    def test_typed_and_untyped_resources(self):
+        graph = _small_graph()
+        assert graph.typed_resources() == {EX.r1}
+        untyped = graph.untyped_resources()
+        assert EX.r2 in untyped
+        assert EX.r1 not in untyped
+
+    def test_untyped_data_graph_excludes_typed_endpoints(self):
+        graph = _small_graph()
+        untyped_data = graph.untyped_data_graph()
+        assert Triple(EX.r2, EX.title, Literal("u")) in untyped_data
+        assert Triple(EX.r1, EX.author, EX.a1) not in untyped_data
+
+    def test_data_properties(self):
+        graph = _small_graph()
+        assert graph.data_properties() == {EX.author, EX.title}
+
+
+class TestStatistics:
+    def test_edge_and_component_counts(self, fig2):
+        statistics = fig2.statistics()
+        assert statistics.edge_count == 16
+        assert statistics.data_edge_count == 12
+        assert statistics.type_edge_count == 4
+        assert statistics.schema_edge_count == 0
+        assert statistics.distinct_data_properties == 6
+        assert statistics.distinct_classes == 3
+
+    def test_statistics_as_dict_roundtrip(self):
+        statistics = _small_graph().statistics()
+        assert statistics.as_dict()["edge_count"] == 5
+
+    def test_literals(self):
+        graph = _small_graph()
+        assert graph.literals() == {Literal("t"), Literal("u")}
+
+    def test_well_behaved_graph(self, fig2):
+        assert fig2.is_well_behaved()
+
+    def test_not_well_behaved_when_class_used_as_property(self):
+        graph = _small_graph()
+        graph.add(Triple(EX.x, EX.Book, EX.y))
+        assert not graph.is_well_behaved()

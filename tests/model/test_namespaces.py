@@ -1,0 +1,67 @@
+"""Tests for namespace helpers and the RDFS vocabulary constants."""
+
+from repro.model.namespaces import (
+    EX,
+    RDF,
+    RDF_TYPE,
+    RDFS,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    SCHEMA_PROPERTIES,
+    Namespace,
+    is_schema_property,
+    is_type_property,
+)
+from repro.model.terms import URI
+
+
+class TestNamespace:
+    def test_attribute_access_mints_uri(self):
+        assert EX.Book == URI("http://example.org/Book")
+
+    def test_item_access_mints_uri(self):
+        assert EX["has title"] == URI("http://example.org/has title")
+
+    def test_term_method(self):
+        namespace = Namespace("http://x.org/")
+        assert namespace.term("a").value == "http://x.org/a"
+
+    def test_contains_uri(self):
+        assert EX.Book in EX
+        assert RDF_TYPE not in EX
+
+    def test_private_attribute_raises(self):
+        try:
+            EX._private
+        except AttributeError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected AttributeError")
+
+
+class TestVocabulary:
+    def test_rdf_type_uri(self):
+        assert RDF_TYPE.value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+    def test_schema_properties_are_the_four_constraints(self):
+        assert SCHEMA_PROPERTIES == {
+            RDFS_SUBCLASSOF,
+            RDFS_SUBPROPERTYOF,
+            RDFS_DOMAIN,
+            RDFS_RANGE,
+        }
+
+    def test_is_schema_property(self):
+        assert is_schema_property(RDFS_DOMAIN)
+        assert not is_schema_property(RDF_TYPE)
+        assert not is_schema_property(EX.author)
+
+    def test_is_type_property(self):
+        assert is_type_property(RDF_TYPE)
+        assert not is_type_property(RDFS_SUBCLASSOF)
+
+    def test_rdf_and_rdfs_prefixes(self):
+        assert RDF.prefix.endswith("rdf-syntax-ns#")
+        assert RDFS.prefix.endswith("rdf-schema#")

@@ -1,0 +1,109 @@
+"""Tests for the BGP query model and the RBGP dialect check."""
+
+import pytest
+
+from repro.errors import NotRBGPError, QueryError
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.terms import Literal
+from repro.queries.bgp import BGPQuery, TriplePattern, Variable
+
+
+class TestVariable:
+    def test_name_normalization_strips_question_mark(self):
+        assert Variable("?x") == Variable("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            Variable("")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("x")) == "?x"
+
+
+class TestTriplePattern:
+    def test_variables_and_constants(self):
+        pattern = TriplePattern(Variable("x"), EX.author, Variable("y"))
+        assert pattern.variables() == {Variable("x"), Variable("y")}
+        assert pattern.constants() == {EX.author}
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(QueryError):
+            TriplePattern(Literal("x"), EX.p, Variable("y"))
+
+    def test_is_type_pattern(self):
+        assert TriplePattern(Variable("x"), RDF_TYPE, EX.Book).is_type_pattern()
+        assert not TriplePattern(Variable("x"), EX.p, EX.Book).is_type_pattern()
+
+    def test_bound_count(self):
+        pattern = TriplePattern(Variable("x"), EX.p, Variable("y"))
+        assert pattern.bound_count(set()) == 1
+        assert pattern.bound_count({Variable("x")}) == 2
+        assert pattern.bound_count({Variable("x"), Variable("y")}) == 3
+
+    def test_equality(self):
+        first = TriplePattern(Variable("x"), EX.p, Variable("y"))
+        second = TriplePattern(Variable("x"), EX.p, Variable("y"))
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestBGPQuery:
+    def test_requires_at_least_one_pattern(self):
+        with pytest.raises(QueryError):
+            BGPQuery([], head=[])
+
+    def test_head_variables_must_occur_in_body(self):
+        pattern = TriplePattern(Variable("x"), EX.p, Variable("y"))
+        with pytest.raises(QueryError):
+            BGPQuery([pattern], head=[Variable("z")])
+
+    def test_variables_collected_from_all_patterns(self):
+        query = BGPQuery(
+            [
+                TriplePattern(Variable("x"), EX.p, Variable("y")),
+                TriplePattern(Variable("y"), EX.q, Variable("z")),
+            ],
+            head=[Variable("x")],
+        )
+        assert query.variables() == {Variable("x"), Variable("y"), Variable("z")}
+
+    def test_boolean_query(self):
+        query = BGPQuery([TriplePattern(Variable("x"), EX.p, Variable("y"))])
+        assert query.is_boolean()
+
+    def test_str_rendering(self):
+        query = BGPQuery([TriplePattern(Variable("x"), EX.p, Variable("y"))], head=[Variable("x")])
+        assert str(query).startswith("q(?x)")
+
+
+class TestRBGP:
+    def test_valid_rbgp(self):
+        query = BGPQuery(
+            [
+                TriplePattern(Variable("x"), EX.author, Variable("y")),
+                TriplePattern(Variable("x"), RDF_TYPE, EX.Book),
+            ],
+            head=[Variable("x")],
+        )
+        assert query.is_rbgp()
+
+    def test_variable_property_rejected(self):
+        query = BGPQuery([TriplePattern(Variable("x"), Variable("p"), Variable("y"))])
+        assert not query.is_rbgp()
+        with pytest.raises(NotRBGPError):
+            query.check_rbgp()
+
+    def test_constant_object_in_data_pattern_rejected(self):
+        query = BGPQuery([TriplePattern(Variable("x"), EX.hasTitle, Literal("t"))])
+        assert not query.is_rbgp()
+
+    def test_constant_subject_rejected(self):
+        query = BGPQuery([TriplePattern(EX.r1, EX.author, Variable("y"))])
+        assert not query.is_rbgp()
+
+    def test_variable_class_in_type_pattern_rejected(self):
+        query = BGPQuery([TriplePattern(Variable("x"), RDF_TYPE, Variable("c"))])
+        assert not query.is_rbgp()

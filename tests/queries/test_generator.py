@@ -1,0 +1,45 @@
+"""Tests for the RBGP workload generator."""
+
+from repro.queries.evaluation import has_answers
+from repro.queries.generator import RBGPQueryGenerator, generate_rbgp_workload
+from repro.model.graph import RDFGraph
+
+
+class TestGenerator:
+    def test_generated_queries_are_rbgp(self, fig2):
+        for query in generate_rbgp_workload(fig2, count=10, size=2, seed=3):
+            assert query.is_rbgp()
+
+    def test_generated_queries_have_answers_on_source(self, fig2):
+        for query in generate_rbgp_workload(fig2, count=10, size=2, seed=5):
+            assert has_answers(fig2, query)
+
+    def test_deterministic_for_fixed_seed(self, fig2):
+        first = generate_rbgp_workload(fig2, count=5, seed=9)
+        second = generate_rbgp_workload(fig2, count=5, seed=9)
+        assert [str(q) for q in first] == [str(q) for q in second]
+
+    def test_different_seeds_differ(self, bsbm_small):
+        first = generate_rbgp_workload(bsbm_small, count=8, seed=1)
+        second = generate_rbgp_workload(bsbm_small, count=8, seed=2)
+        assert [str(q) for q in first] != [str(q) for q in second]
+
+    def test_empty_graph_yields_no_queries(self):
+        generator = RBGPQueryGenerator(RDFGraph())
+        assert generator.generate() is None
+        assert generator.workload(5) == []
+
+    def test_requested_count_respected(self, bsbm_small):
+        queries = generate_rbgp_workload(bsbm_small, count=12, size=3, seed=4)
+        assert len(queries) == 12
+
+    def test_size_parameter_grows_queries(self, bsbm_small):
+        small = generate_rbgp_workload(bsbm_small, count=5, size=1, seed=6)
+        large = generate_rbgp_workload(bsbm_small, count=5, size=4, seed=6)
+        average_small = sum(len(q.patterns) for q in small) / len(small)
+        average_large = sum(len(q.patterns) for q in large) / len(large)
+        assert average_large >= average_small
+
+    def test_queries_on_bsbm_have_answers(self, bsbm_small):
+        for query in generate_rbgp_workload(bsbm_small, count=6, size=2, seed=8):
+            assert has_answers(bsbm_small, query)

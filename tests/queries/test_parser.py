@@ -1,0 +1,96 @@
+"""Tests for the SPARQL-like query parser."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.model.namespaces import RDF_TYPE
+from repro.model.terms import Literal, URI
+from repro.queries.bgp import Variable
+from repro.queries.parser import parse_query
+
+
+class TestSelect:
+    def test_simple_select(self):
+        query = parse_query("SELECT ?x WHERE { ?x <http://e/p> ?y }")
+        assert query.head == (Variable("x"),)
+        assert len(query.patterns) == 1
+
+    def test_multiple_patterns_split_on_dot(self):
+        query = parse_query(
+            "SELECT ?x ?z WHERE { ?x <http://e/p> ?y . ?y <http://e/q> ?z }"
+        )
+        assert len(query.patterns) == 2
+        assert query.head == (Variable("x"), Variable("z"))
+
+    def test_prefix_declarations(self):
+        query = parse_query(
+            "PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:p ?y }"
+        )
+        assert query.patterns[0].predicate == URI("http://e/p")
+
+    def test_a_keyword(self):
+        query = parse_query("PREFIX ex: <http://e/> SELECT ?x WHERE { ?x a ex:Book }")
+        assert query.patterns[0].predicate == RDF_TYPE
+        assert query.patterns[0].object == URI("http://e/Book")
+
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?x <http://e/p> ?y }")
+        assert set(query.head) == {Variable("x"), Variable("y")}
+
+    def test_literal_object(self):
+        query = parse_query('SELECT ?x WHERE { ?x <http://e/title> "Le Port des Brumes" }')
+        assert query.patterns[0].object == Literal("Le Port des Brumes")
+
+    def test_typed_literal_object(self):
+        query = parse_query(
+            'SELECT ?x WHERE { ?x <http://e/year> "1932"^^<http://www.w3.org/2001/XMLSchema#integer> }'
+        )
+        assert query.patterns[0].object.datatype is not None
+
+    def test_rdf_prefix_is_predeclared(self):
+        query = parse_query("SELECT ?x WHERE { ?x rdf:type <http://e/Book> }")
+        assert query.patterns[0].predicate == RDF_TYPE
+
+
+class TestAsk:
+    def test_ask_is_boolean(self):
+        query = parse_query("ASK { ?x <http://e/p> ?y }")
+        assert query.is_boolean()
+
+    def test_ask_where_form(self):
+        query = parse_query("ASK WHERE { ?x <http://e/p> ?y }")
+        assert query.is_boolean()
+
+
+class TestErrors:
+    def test_missing_where_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x { ?x <http://e/p> ?y }")
+
+    def test_wrong_arity_pattern_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE { ?x <http://e/p> }")
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE { ?x foo:p ?y }")
+
+    def test_empty_body_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE {  }")
+
+    def test_select_without_variables_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT WHERE { ?x <http://e/p> ?y }")
+
+
+class TestEndToEnd:
+    def test_parsed_query_evaluates(self, fig2):
+        from repro.queries.evaluation import evaluate
+
+        query = parse_query(
+            "PREFIX f: <http://example.org/fig2/> "
+            "SELECT ?x WHERE { ?x f:author ?a . ?x a f:Book }"
+        )
+        answers = evaluate(fig2, query)
+        assert answers == {(URI("http://example.org/fig2/r1"),)}

@@ -1,0 +1,111 @@
+"""Tests for RDFS constraint extraction and closure."""
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import (
+    EX,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from repro.model.triple import Triple
+from repro.schema.rdfs import RDFSchema
+
+
+def _schema_graph():
+    return RDFGraph(
+        [
+            Triple(EX.Book, RDFS_SUBCLASSOF, EX.Publication),
+            Triple(EX.Publication, RDFS_SUBCLASSOF, EX.Work),
+            Triple(EX.writtenBy, RDFS_SUBPROPERTYOF, EX.hasAuthor),
+            Triple(EX.hasAuthor, RDFS_SUBPROPERTYOF, EX.hasContributor),
+            Triple(EX.writtenBy, RDFS_DOMAIN, EX.Book),
+            Triple(EX.writtenBy, RDFS_RANGE, EX.Person),
+        ]
+    )
+
+
+class TestExtraction:
+    def test_from_graph_only_reads_schema_component(self, book_graph):
+        schema = RDFSchema.from_graph(book_graph)
+        assert len(schema) == 4
+
+    def test_add_rejects_non_schema(self):
+        schema = RDFSchema()
+        assert schema.add(Triple(EX.a, EX.p, EX.b)) is False
+        assert schema.is_empty()
+
+    def test_triples_returns_original(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        assert Triple(EX.Book, RDFS_SUBCLASSOF, EX.Publication) in schema.triples()
+
+
+class TestClosure:
+    def test_transitive_subclasses(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        assert schema.superclasses(EX.Book) == {EX.Publication, EX.Work}
+        assert schema.superclasses(EX.Publication) == {EX.Work}
+        assert schema.superclasses(EX.Work) == set()
+
+    def test_transitive_subproperties(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        assert schema.superproperties(EX.writtenBy) == {EX.hasAuthor, EX.hasContributor}
+
+    def test_domains_include_superclasses(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        assert schema.domains(EX.writtenBy) == {EX.Book, EX.Publication, EX.Work}
+
+    def test_ranges(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        assert schema.ranges(EX.writtenBy) == {EX.Person}
+
+    def test_domain_inherited_from_superproperty(self):
+        graph = RDFGraph(
+            [
+                Triple(EX.headOf, RDFS_SUBPROPERTYOF, EX.worksFor),
+                Triple(EX.worksFor, RDFS_DOMAIN, EX.Employee),
+            ]
+        )
+        schema = RDFSchema.from_graph(graph)
+        assert EX.Employee in schema.domains(EX.headOf)
+
+    def test_cycle_does_not_hang(self):
+        graph = RDFGraph(
+            [
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.A),
+            ]
+        )
+        schema = RDFSchema.from_graph(graph)
+        assert EX.B in schema.superclasses(EX.A)
+        assert EX.A in schema.superclasses(EX.B)
+
+    def test_saturated_property_set(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        saturated = schema.saturated_property_set({EX.writtenBy})
+        assert saturated == {EX.writtenBy, EX.hasAuthor, EX.hasContributor}
+
+    def test_closure_triples_contain_entailed_constraints(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        closure = schema.closure_triples()
+        assert Triple(EX.Book, RDFS_SUBCLASSOF, EX.Work) in closure
+        assert Triple(EX.writtenBy, RDFS_SUBPROPERTYOF, EX.hasContributor) in closure
+        assert Triple(EX.writtenBy, RDFS_DOMAIN, EX.Publication) in closure
+
+    def test_classes_and_properties_inventories(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        assert EX.Work in schema.classes()
+        assert EX.Person in schema.classes()
+        assert EX.writtenBy in schema.properties()
+
+    def test_incremental_add_invalidates_closure(self):
+        schema = RDFSchema.from_graph(_schema_graph())
+        assert EX.Reference not in schema.superclasses(EX.Book)
+        schema.add(Triple(EX.Work, RDFS_SUBCLASSOF, EX.Reference))
+        assert EX.Reference in schema.superclasses(EX.Book)
+
+    def test_empty_schema(self):
+        schema = RDFSchema()
+        assert schema.is_empty()
+        assert schema.superclasses(EX.Book) == set()
+        assert schema.closure_triples() == set()

@@ -1,0 +1,147 @@
+"""Tests for RDF saturation (the entailment rules of Section 2.1)."""
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import (
+    EX,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from repro.model.terms import BlankNode, Literal
+from repro.model.triple import Triple
+from repro.schema.rdfs import RDFSchema
+from repro.schema.saturation import entails, is_saturated, saturate
+
+
+class TestPaperExample:
+    """The introductory example: the four implicit triples of Section 2.1."""
+
+    def test_book_is_publication(self, book_graph):
+        saturated = saturate(book_graph)
+        assert Triple(EX.doi1, RDF_TYPE, EX.Publication) in saturated
+
+    def test_written_by_entails_has_author(self, book_graph):
+        saturated = saturate(book_graph)
+        assert Triple(EX.doi1, EX.hasAuthor, BlankNode("b1")) in saturated
+
+    def test_author_typed_person_via_range(self, book_graph):
+        saturated = saturate(book_graph)
+        assert Triple(BlankNode("b1"), RDF_TYPE, EX.Person) in saturated
+
+    def test_domain_typing(self, book_graph):
+        saturated = saturate(book_graph)
+        assert Triple(EX.doi1, RDF_TYPE, EX.Book) in saturated
+
+    def test_domain_propagated_up_subclass_in_schema(self, book_graph):
+        # writtenBy ←d Publication is listed among the implicit triples.
+        saturated = saturate(book_graph)
+        assert Triple(EX.writtenBy, RDFS_DOMAIN, EX.Publication) in saturated
+
+    def test_explicit_triples_preserved(self, book_graph):
+        saturated = saturate(book_graph)
+        for triple in book_graph:
+            assert triple in saturated
+
+    def test_query_complete_answer_matches_paper(self, book_graph):
+        # q(x3) :- x1 hasAuthor x2, x2 hasName x3, x1 hasTitle "Le Port des Brumes"
+        from repro.queries.bgp import BGPQuery, TriplePattern, Variable
+        from repro.queries.evaluation import evaluate
+
+        x1, x2, x3 = Variable("x1"), Variable("x2"), Variable("x3")
+        query = BGPQuery(
+            [
+                TriplePattern(x1, EX.hasAuthor, x2),
+                TriplePattern(x2, EX.hasName, x3),
+                TriplePattern(x1, EX.hasTitle, Literal("Le Port des Brumes")),
+            ],
+            head=[x3],
+        )
+        assert evaluate(book_graph, query) == set()
+        assert evaluate(saturate(book_graph), query) == {(Literal("G. Simenon"),)}
+
+
+class TestRules:
+    def test_subclass_transitivity_on_instances(self):
+        graph = RDFGraph(
+            [
+                Triple(EX.x, RDF_TYPE, EX.A),
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.C),
+            ]
+        )
+        saturated = saturate(graph)
+        assert Triple(EX.x, RDF_TYPE, EX.B) in saturated
+        assert Triple(EX.x, RDF_TYPE, EX.C) in saturated
+
+    def test_subproperty_propagation(self):
+        graph = RDFGraph(
+            [
+                Triple(EX.x, EX.p, EX.y),
+                Triple(EX.p, RDFS_SUBPROPERTYOF, EX.q),
+            ]
+        )
+        assert Triple(EX.x, EX.q, EX.y) in saturate(graph)
+
+    def test_range_types_literal_values_too(self):
+        # The paper's saturation types every value of a ranged property,
+        # including literals (generalized type triples); this is what makes
+        # the Prop. 5 / Prop. 8 shortcuts exact.
+        graph = RDFGraph(
+            [
+                Triple(EX.x, EX.p, Literal("v")),
+                Triple(EX.p, RDFS_RANGE, EX.C),
+            ]
+        )
+        saturated = saturate(graph)
+        assert Triple(Literal("v"), RDF_TYPE, EX.C) in saturated
+
+    def test_domain_applied_through_subproperty(self):
+        graph = RDFGraph(
+            [
+                Triple(EX.x, EX.p, EX.y),
+                Triple(EX.p, RDFS_SUBPROPERTYOF, EX.q),
+                Triple(EX.q, RDFS_DOMAIN, EX.C),
+            ]
+        )
+        assert Triple(EX.x, RDF_TYPE, EX.C) in saturate(graph)
+
+    def test_schema_closure_included(self):
+        graph = RDFGraph(
+            [
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.C),
+            ]
+        )
+        assert Triple(EX.A, RDFS_SUBCLASSOF, EX.C) in saturate(graph)
+
+    def test_external_schema_argument(self):
+        data = RDFGraph([Triple(EX.x, EX.p, EX.y)])
+        schema = RDFSchema([Triple(EX.p, RDFS_DOMAIN, EX.C)])
+        assert Triple(EX.x, RDF_TYPE, EX.C) in saturate(data, schema=schema)
+
+
+class TestFixpointBehaviour:
+    def test_saturation_is_idempotent(self, book_graph):
+        once = saturate(book_graph)
+        twice = saturate(once)
+        assert set(once) == set(twice)
+
+    def test_is_saturated(self, book_graph):
+        assert not is_saturated(book_graph)
+        assert is_saturated(saturate(book_graph))
+
+    def test_schema_less_graph_is_its_own_saturation(self, fig2):
+        assert is_saturated(fig2)
+        assert set(saturate(fig2)) == set(fig2)
+
+    def test_entails(self, book_graph):
+        assert entails(book_graph, Triple(EX.doi1, RDF_TYPE, EX.Publication))
+        assert not entails(book_graph, Triple(EX.doi1, RDF_TYPE, EX.Person))
+
+    def test_saturation_on_lubm_grows_graph(self, lubm_small):
+        saturated = saturate(lubm_small)
+        assert len(saturated) > len(lubm_small)
+        # every original triple survives
+        assert set(lubm_small) <= set(saturated)

@@ -1,0 +1,140 @@
+"""Tests for the MemoryStore and SQLiteStore backends (shared contract)."""
+
+import pytest
+
+from repro.errors import StoreClosedError, StoreError
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE, RDFS_SUBCLASSOF
+from repro.model.terms import Literal
+from repro.model.triple import Triple, TripleKind
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
+
+
+BACKENDS = [MemoryStore, SQLiteStore]
+
+
+def _sample_graph():
+    return RDFGraph(
+        [
+            Triple(EX.r1, EX.author, EX.a1),
+            Triple(EX.r1, EX.title, Literal("t1")),
+            Triple(EX.r2, EX.title, Literal("t2")),
+            Triple(EX.r1, RDF_TYPE, EX.Book),
+            Triple(EX.Book, RDFS_SUBCLASSOF, EX.Publication),
+        ]
+    )
+
+
+@pytest.fixture(params=BACKENDS, ids=["memory", "sqlite"])
+def store(request):
+    instance = request.param()
+    yield instance
+    instance.close()
+
+
+class TestLoading:
+    def test_load_graph_counts_triples(self, store):
+        assert store.load_graph(_sample_graph()) == 5
+
+    def test_rows_split_into_tables(self, store):
+        store.load_graph(_sample_graph())
+        assert store.count(TripleKind.DATA) == 3
+        assert store.count(TripleKind.TYPE) == 1
+        assert store.count(TripleKind.SCHEMA) == 1
+
+    def test_load_triples_iterable(self, store):
+        store.load_triples([Triple(EX.a, EX.p, EX.b)])
+        assert store.count(TripleKind.DATA) == 1
+
+    def test_statistics(self, store):
+        store.load_graph(_sample_graph())
+        statistics = store.statistics()
+        assert statistics.total_rows == 5
+        assert statistics.dictionary_size == len(store.dictionary)
+
+
+class TestScansAndSelects:
+    def test_scan_data_roundtrip(self, store):
+        graph = _sample_graph()
+        store.load_graph(graph)
+        decoded = {store.decode_triple(row) for row in store.scan_data()}
+        assert decoded == set(graph.data_triples)
+
+    def test_scan_types_and_schema(self, store):
+        graph = _sample_graph()
+        store.load_graph(graph)
+        assert {store.decode_triple(r) for r in store.scan_types()} == set(graph.type_triples)
+        assert {store.decode_triple(r) for r in store.scan_schema()} == set(graph.schema_triples)
+
+    def test_select_by_subject(self, store):
+        store.load_graph(_sample_graph())
+        subject_id = store.dictionary.encode_existing(EX.r1)
+        rows = list(store.select(TripleKind.DATA, subject=subject_id))
+        assert len(rows) == 2
+
+    def test_select_by_predicate(self, store):
+        store.load_graph(_sample_graph())
+        predicate_id = store.dictionary.encode_existing(EX.title)
+        rows = list(store.select(TripleKind.DATA, predicate=predicate_id))
+        assert len(rows) == 2
+
+    def test_select_combined(self, store):
+        store.load_graph(_sample_graph())
+        subject_id = store.dictionary.encode_existing(EX.r1)
+        predicate_id = store.dictionary.encode_existing(EX.title)
+        rows = list(store.select(TripleKind.DATA, subject=subject_id, predicate=predicate_id))
+        assert len(rows) == 1
+
+    def test_distinct_properties(self, store):
+        store.load_graph(_sample_graph())
+        properties = {
+            store.decode_term(identifier)
+            for identifier in store.distinct_properties(TripleKind.DATA)
+        }
+        assert properties == {EX.author, EX.title}
+
+    def test_to_graph_roundtrip(self, store):
+        graph = _sample_graph()
+        store.load_graph(graph)
+        assert set(store.to_graph()) == set(graph)
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+        with pytest.raises(StoreClosedError):
+            list(store.scan_data())
+
+    def test_sqlite_closed_raises(self):
+        store = SQLiteStore()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.count(TripleKind.DATA)
+
+    def test_memory_duplicate_rows_deduplicated(self):
+        store = MemoryStore()
+        graph = _sample_graph()
+        store.load_graph(graph)
+        store.load_graph(graph)
+        assert store.count(TripleKind.DATA) == 3
+
+    def test_sqlite_file_backend(self, tmp_path):
+        path = tmp_path / "triples.db"
+        store = SQLiteStore(path=str(path))
+        store.load_graph(_sample_graph())
+        store.persist_dictionary()
+        store.close()
+        assert path.exists()
+
+    def test_sqlite_invalid_batch_size(self):
+        with pytest.raises(StoreError):
+            SQLiteStore(batch_size=0)
+
+    def test_sqlite_persist_dictionary_is_idempotent(self):
+        store = SQLiteStore()
+        store.load_graph(_sample_graph())
+        first = store.persist_dictionary()
+        second = store.persist_dictionary()
+        assert first == second

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.ntriples import dump_ntriples, load_ntriples
+from repro.datasets.sample import figure2_graph
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    path = tmp_path / "fig2.nt"
+    dump_ntriples(figure2_graph(), path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_summarize_defaults(self, fig2_file):
+        args = build_parser().parse_args(["summarize", str(fig2_file)])
+        assert args.kind == "weak"
+        assert args.output is None
+
+
+class TestSummarizeCommand:
+    def test_prints_summary_sizes(self, fig2_file, capsys):
+        assert main(["summarize", str(fig2_file), "--kind", "weak"]) == 0
+        output = capsys.readouterr().out
+        assert "weak summary" in output
+        assert "9 nodes" in output
+
+    def test_writes_ntriples_output(self, fig2_file, tmp_path, capsys):
+        out = tmp_path / "summary.nt"
+        assert main(["summarize", str(fig2_file), "--kind", "strong", "-o", str(out)]) == 0
+        assert len(load_ntriples(out)) == 12
+
+    def test_writes_dot_output(self, fig2_file, tmp_path):
+        out = tmp_path / "summary.dot"
+        assert main(["summarize", str(fig2_file), "--dot", "-o", str(out)]) == 0
+        assert out.read_text().startswith("digraph")
+
+
+class TestOtherCommands:
+    def test_stats(self, fig2_file, capsys):
+        assert main(["stats", str(fig2_file)]) == 0
+        output = capsys.readouterr().out
+        assert "edge_count" in output
+        assert "typed_strong" in output
+
+    def test_saturate(self, tmp_path, capsys):
+        from repro.datasets.sample import book_example_graph
+
+        source = tmp_path / "book.nt"
+        dump_ntriples(book_example_graph(), source)
+        target = tmp_path / "book_sat.nt"
+        assert main(["saturate", str(source), "-o", str(target)]) == 0
+        assert len(load_ntriples(target)) > len(load_ntriples(source))
+
+    def test_generate_bsbm(self, tmp_path, capsys):
+        target = tmp_path / "bsbm.nt"
+        assert main(["generate", "bsbm", "--scale", "10", "-o", str(target)]) == 0
+        assert len(load_ntriples(target)) > 100
+
+    def test_generate_bibliography(self, tmp_path):
+        target = tmp_path / "bib.nt"
+        assert main(["generate", "bibliography", "--scale", "20", "-o", str(target)]) == 0
+        assert target.exists()
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--scales", "10", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 11" in output
+        assert "Figure 13" in output

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run to completion."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.stem)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    # run inside a temporary directory so DOT/output files do not pollute the repo
+    monkeypatch.chdir(tmp_path)
+    if script.stem == "bsbm_exploration":
+        # keep the runtime short by passing a small scale on argv
+        monkeypatch.setattr(sys, "argv", [str(script), "40"])
+    else:
+        monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+
+
+def test_quickstart_mentions_all_four_summary_kinds(capsys, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    for kind in ("weak", "strong", "typed_weak", "typed_strong"):
+        assert kind in output

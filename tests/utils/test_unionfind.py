@@ -1,0 +1,66 @@
+"""Tests for the disjoint-set structure."""
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons_after_add(self):
+        union = UnionFind(["a", "b", "c"])
+        assert union.set_count == 3
+        assert not union.connected("a", "b")
+
+    def test_add_duplicate_is_noop(self):
+        union = UnionFind()
+        assert union.add("a") is True
+        assert union.add("a") is False
+        assert len(union) == 1
+
+    def test_union_merges_sets(self):
+        union = UnionFind(["a", "b", "c"])
+        union.union("a", "b")
+        assert union.connected("a", "b")
+        assert not union.connected("a", "c")
+        assert union.set_count == 2
+
+    def test_union_is_transitive(self):
+        union = UnionFind()
+        union.union("a", "b")
+        union.union("b", "c")
+        assert union.connected("a", "c")
+
+    def test_find_registers_unknown_elements(self):
+        union = UnionFind()
+        assert union.find("x") == "x"
+        assert "x" in union
+
+    def test_union_idempotent(self):
+        union = UnionFind(["a", "b"])
+        union.union("a", "b")
+        count = union.set_count
+        union.union("a", "b")
+        assert union.set_count == count
+
+    def test_groups_partition_all_elements(self):
+        union = UnionFind(range(10))
+        for index in range(0, 10, 2):
+            union.union(0, index)
+        groups = union.groups()
+        assert sum(len(group) for group in groups) == 10
+        assert {0, 2, 4, 6, 8} in groups
+
+    def test_group_of(self):
+        union = UnionFind(["a", "b", "c"])
+        union.union("a", "b")
+        assert union.group_of("a") == {"a", "b"}
+        assert union.group_of("missing") == set()
+
+    def test_connected_unknown_elements(self):
+        union = UnionFind(["a"])
+        assert not union.connected("a", "zzz")
+
+    def test_large_chain_stays_consistent(self):
+        union = UnionFind(range(1000))
+        for index in range(999):
+            union.union(index, index + 1)
+        assert union.set_count == 1
+        assert union.connected(0, 999)

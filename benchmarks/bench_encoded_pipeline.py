@@ -1,0 +1,172 @@
+"""Encoded vs. legacy summarization pipeline benchmark.
+
+Compares, for every summary kind, the legacy ``Term``-object pipeline
+(``summarize(graph, kind, engine="term")``) against the integer-encoded
+engine of :mod:`repro.core.encoded` running over a pre-loaded
+:class:`~repro.store.memory.MemoryStore` — the apples-to-apples comparison
+the paper's prototype makes: data lives dictionary-encoded in the store and
+summarization works on integers, decoding only at the end.
+
+Reported per kind:
+
+* ``legacy`` — Term-pipeline wall time over the in-memory ``RDFGraph``;
+* ``encoded`` — encoded-engine wall time over the loaded store;
+* ``speedup`` — legacy / encoded;
+* one-time store ``load`` (dictionary-encoding) cost, amortized across all
+  kinds when the store is reused (the whole-pipeline rows).
+
+Every measured pair is also checked for graph isomorphism, so the benchmark
+doubles as an end-to-end equivalence test.
+
+Usage
+-----
+::
+
+    PYTHONPATH=src python benchmarks/bench_encoded_pipeline.py            # full run (>= 100k triples)
+    PYTHONPATH=src python benchmarks/bench_encoded_pipeline.py --quick    # CI smoke run
+
+The full run exits non-zero when the encoded path is not at least
+``--min-speedup`` (default 2.0) times faster than the legacy path on the
+large BSBM input, or when any summary pair is not isomorphic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.builders import summarize
+from repro.core.encoded import encoded_summarize
+from repro.core.isomorphism import graphs_isomorphic
+from repro.datasets.bsbm import generate_bsbm
+from repro.datasets.lubm import generate_lubm
+from repro.model.graph import RDFGraph
+from repro.store.memory import MemoryStore
+
+KINDS = ("weak", "strong", "type", "typed_weak", "typed_strong")
+
+
+def _bench_dataset(
+    name: str, graph: RDFGraph, check_isomorphism: bool = True
+) -> Dict[str, object]:
+    """Benchmark every kind on *graph*; return the per-kind timing rows."""
+    start = time.perf_counter()
+    store = MemoryStore()
+    store.load_graph(graph)
+    load_seconds = time.perf_counter() - start
+
+    rows: List[Tuple[str, float, float, float, bool]] = []
+    legacy_total = 0.0
+    encoded_total = 0.0
+    all_isomorphic = True
+    for kind in KINDS:
+        start = time.perf_counter()
+        legacy = summarize(graph, kind, engine="term")
+        legacy_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        encoded = encoded_summarize(store, kind)
+        encoded_seconds = time.perf_counter() - start
+
+        isomorphic = (
+            graphs_isomorphic(legacy.graph, encoded.graph) if check_isomorphism else True
+        )
+        all_isomorphic = all_isomorphic and isomorphic
+        legacy_total += legacy_seconds
+        encoded_total += encoded_seconds
+        rows.append(
+            (kind, legacy_seconds, encoded_seconds, legacy_seconds / encoded_seconds, isomorphic)
+        )
+    store.close()
+
+    print(f"\n{name}: {len(graph)} triples (store load/encode: {load_seconds:.3f}s)")
+    print(f"  {'kind':<14}{'legacy (s)':>12}{'encoded (s)':>13}{'speedup':>10}{'isomorphic':>12}")
+    for kind, legacy_seconds, encoded_seconds, speedup, isomorphic in rows:
+        print(
+            f"  {kind:<14}{legacy_seconds:>12.3f}{encoded_seconds:>13.3f}"
+            f"{speedup:>9.2f}x{str(isomorphic):>12}"
+        )
+    pipeline_speedup = legacy_total / (encoded_total + load_seconds)
+    print(
+        f"  {'all kinds':<14}{legacy_total:>12.3f}{encoded_total:>13.3f}"
+        f"{legacy_total / encoded_total:>9.2f}x"
+        f"   (whole pipeline incl. one-time load: {pipeline_speedup:.2f}x)"
+    )
+    return {
+        "name": name,
+        "triples": len(graph),
+        "rows": rows,
+        "legacy_total": legacy_total,
+        "encoded_total": encoded_total,
+        "load_seconds": load_seconds,
+        "all_isomorphic": all_isomorphic,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small inputs, isomorphism checks only (CI smoke mode; no speedup gate)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=3200, help="BSBM scale for the full run (3200 ≈ 110k triples)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required legacy/encoded speedup on the large BSBM input (full run only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        datasets = [
+            ("bsbm-quick", generate_bsbm(scale=100, seed=args.seed)),
+            ("lubm-quick", generate_lubm(universities=1, seed=args.seed)),
+        ]
+    else:
+        datasets = [
+            ("bsbm-large", generate_bsbm(scale=args.scale, seed=args.seed)),
+            ("lubm", generate_lubm(universities=10, seed=args.seed)),
+        ]
+
+    results = [_bench_dataset(name, graph) for name, graph in datasets]
+
+    failures: List[str] = []
+    for result in results:
+        if not result["all_isomorphic"]:
+            failures.append(f"{result['name']}: encoded and legacy summaries differ")
+    if not args.quick:
+        main_result = results[0]
+        if main_result["triples"] < 100_000:
+            failures.append(
+                f"{main_result['name']}: only {main_result['triples']} triples "
+                "(need >= 100k for the speedup gate; raise --scale)"
+            )
+        speedup = main_result["legacy_total"] / main_result["encoded_total"]
+        if speedup < args.min_speedup:
+            failures.append(
+                f"{main_result['name']}: encoded speedup {speedup:.2f}x "
+                f"below the {args.min_speedup:.1f}x gate"
+            )
+        else:
+            print(
+                f"\nPASS: encoded engine {speedup:.2f}x faster than the legacy pipeline "
+                f"on {main_result['triples']} triples (gate: {args.min_speedup:.1f}x)"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.quick:
+        print("\nPASS: encoded and legacy summaries isomorphic on every kind")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from repro.core.builders import (
     typed_weak_summary,
     weak_summary,
 )
+from repro.core.encoded import EncodedSummaryEngine, encoded_summarize
 from repro.core.summary import Summary
 from repro.model.graph import RDFGraph
 from repro.model.terms import URI, BlankNode, Literal
@@ -33,6 +34,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "summarize",
+    "EncodedSummaryEngine",
+    "encoded_summarize",
     "weak_summary",
     "strong_summary",
     "type_summary",

@@ -51,6 +51,7 @@ def run_scale_sweep(
     generator: Optional[Callable[[int], RDFGraph]] = None,
     kinds: Iterable[str] = PAPER_KINDS,
     seed: int = 0,
+    engine: Optional[str] = None,
 ) -> ScaleSweepResult:
     """Generate one graph per scale, summarize it with every kind, collect metrics.
 
@@ -65,6 +66,9 @@ def run_scale_sweep(
         generator with the given *seed*.
     kinds:
         Summary kinds to build at each point.
+    engine:
+        Summarization engine (``"encoded"`` by default, ``"term"`` for the
+        legacy object pipeline) — see :func:`repro.core.builders.summarize`.
     """
     if generator is None:
         def generator(scale: int) -> RDFGraph:  # noqa: ANN001 - scale is an int
@@ -73,7 +77,9 @@ def run_scale_sweep(
     rows: List[SummaryMetricsRow] = []
     for scale in scales:
         graph = generator(scale)
-        rows.extend(summary_size_table(graph, kinds=kinds, dataset_name=graph.name))
+        rows.extend(
+            summary_size_table(graph, kinds=kinds, dataset_name=graph.name, engine=engine)
+        )
     return ScaleSweepResult(rows, scales)
 
 

@@ -18,12 +18,13 @@ Sub-commands
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
 from repro.analysis.harness import format_figure_series, run_scale_sweep
 from repro.analysis.metrics import format_table, summary_size_table
-from repro.core.builders import SUMMARY_KINDS, summarize
+from repro.core.builders import ENGINE_CHOICES, SUMMARY_KINDS, summarize
 from repro.datasets.bibliography import generate_bibliography
 from repro.datasets.bsbm import generate_bsbm
 from repro.datasets.lubm import generate_lubm
@@ -55,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_parser.add_argument(
         "--kind", default="weak", choices=sorted(SUMMARY_KINDS), help="summary kind"
     )
+    summarize_parser.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINE_CHOICES),
+        help="summarization engine: the integer-encoded pipeline (default) "
+        "or the legacy Term-object pipeline",
+    )
     summarize_parser.add_argument("--output", "-o", help="output file (N-Triples, or DOT with --dot)")
     summarize_parser.add_argument("--dot", action="store_true", help="write GraphViz DOT instead of N-Triples")
 
@@ -78,18 +86,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--scales", type=int, nargs="+", default=[50, 100, 200], help="BSBM scales (products)"
     )
     sweep_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    sweep_parser.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINE_CHOICES),
+        help="summarization engine used for every sweep point",
+    )
 
     return parser
 
 
 def _command_summarize(args: argparse.Namespace) -> int:
     graph = _load_graph(args.input)
-    summary = summarize(graph, args.kind)
+    summary = summarize(graph, args.kind, engine=args.engine)
     statistics = summary.statistics()
+    ratio = statistics.compression_ratio
+    rendered_ratio = "n/a (empty input)" if math.isnan(ratio) else f"{ratio:.5f}"
     print(
         f"{args.kind} summary: {statistics.all_node_count} nodes, "
         f"{statistics.all_edge_count} edges "
-        f"(input: {statistics.input_edge_count} triples, ratio {statistics.compression_ratio:.5f})"
+        f"(input: {statistics.input_edge_count} triples, ratio {rendered_ratio})"
     )
     if args.output:
         if args.dot:
@@ -131,7 +147,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    result = run_scale_sweep(scales=args.scales, seed=args.seed)
+    result = run_scale_sweep(scales=args.scales, seed=args.seed, engine=args.engine)
     print(format_figure_series(result, "data_nodes", "Figure 11 (top): data nodes"))
     print(format_figure_series(result, "all_nodes", "Figure 11 (bottom): all nodes"))
     print(format_figure_series(result, "data_edges", "Figure 12 (top): data edges"))

@@ -15,6 +15,12 @@ from repro.core.builders import (
     typed_weak_summary,
     weak_summary,
 )
+from repro.core.encoded import (
+    ENCODED_KINDS,
+    EncodedSummaryEngine,
+    encoded_summarize,
+    summarize_graph_encoded,
+)
 from repro.core.cliques import (
     PropertyCliques,
     compute_cliques,
@@ -61,6 +67,10 @@ __all__ = [
     "typed_strong_summary",
     "typed_weak_summary",
     "weak_summary",
+    "ENCODED_KINDS",
+    "EncodedSummaryEngine",
+    "encoded_summarize",
+    "summarize_graph_encoded",
     "PropertyCliques",
     "compute_cliques",
     "property_distance",

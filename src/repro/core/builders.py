@@ -9,12 +9,27 @@
 All constructions run in time linear in the number of edges of the input
 graph (plus near-constant union-find overhead), matching the complexity
 claims of Sections 3–6.
+
+Two execution engines are available, selected by the ``engine`` parameter:
+
+* ``"encoded"`` (default) — dictionary-encode the graph and run the
+  integer-only pipeline of :mod:`repro.core.encoded`, mirroring the paper's
+  relational prototype: no ``Term`` is hashed on the hot path and the
+  summary is decoded only at the end;
+* ``"term"`` (alias ``"legacy"``) — the original object pipeline over
+  :mod:`repro.core.cliques` / :mod:`repro.core.equivalence` /
+  :mod:`repro.core.quotient`, kept as the executable specification.
+
+Both engines produce isomorphic summaries with complete (isomorphic, not
+byte-identical — minted node URIs may differ) provenance maps; the test
+suite asserts this for every kind.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.core.encoded import summarize_graph_encoded
 from repro.core.equivalence import (
     NodePartition,
     strong_partition,
@@ -36,32 +51,56 @@ __all__ = [
     "typed_strong_summary",
     "summarize",
     "SUMMARY_KINDS",
+    "SUMMARY_ENGINES",
+    "ENGINE_CHOICES",
+    "DEFAULT_ENGINE",
+    "normalize_engine",
 ]
 
+#: Partition function behind each summary kind (the legacy ``Term`` path).
+_PARTITIONS: Dict[str, Callable[[RDFGraph], NodePartition]] = {
+    "weak": weak_partition,
+    "strong": strong_partition,
+    "type": type_partition,
+    "typed_weak": untyped_weak_partition,
+    "typed_strong": untyped_strong_partition,
+}
 
-def weak_summary(graph: RDFGraph) -> Summary:
+#: Supported execution engines (``"legacy"`` is accepted as an alias of ``"term"``).
+SUMMARY_ENGINES = ("encoded", "term")
+
+#: Engine used when callers do not pick one explicitly.
+DEFAULT_ENGINE = "encoded"
+
+
+def _term_summary(graph: RDFGraph, kind: str) -> Summary:
+    """The legacy object pipeline: partition ``Term`` nodes, then quotient."""
+    return build_quotient_summary(graph, _PARTITIONS[kind](graph), kind=kind)
+
+
+def weak_summary(graph: RDFGraph, engine: Optional[str] = None) -> Summary:
     """Build the weak summary ``W_G`` (quotient by ``≡W``)."""
-    return build_quotient_summary(graph, weak_partition(graph), kind="weak")
+    return summarize(graph, "weak", engine=engine)
 
 
-def strong_summary(graph: RDFGraph) -> Summary:
+def strong_summary(graph: RDFGraph, engine: Optional[str] = None) -> Summary:
     """Build the strong summary ``S_G`` (quotient by ``≡S``)."""
-    return build_quotient_summary(graph, strong_partition(graph), kind="strong")
+    return summarize(graph, "strong", engine=engine)
 
 
-def type_summary(graph: RDFGraph) -> Summary:
+def type_summary(graph: RDFGraph, engine: Optional[str] = None) -> Summary:
     """Build the type-based summary ``T_G`` (quotient by ``≡T``)."""
-    return build_quotient_summary(graph, type_partition(graph), kind="type")
+    return summarize(graph, "type", engine=engine)
 
 
-def typed_weak_summary(graph: RDFGraph) -> Summary:
+def typed_weak_summary(graph: RDFGraph, engine: Optional[str] = None) -> Summary:
     """Build the typed weak summary ``TW_G = UW(T_G)``."""
-    return build_quotient_summary(graph, untyped_weak_partition(graph), kind="typed_weak")
+    return summarize(graph, "typed_weak", engine=engine)
 
 
-def typed_strong_summary(graph: RDFGraph) -> Summary:
+def typed_strong_summary(graph: RDFGraph, engine: Optional[str] = None) -> Summary:
     """Build the typed strong summary ``TS_G = US(T_G)``."""
-    return build_quotient_summary(graph, untyped_strong_partition(graph), kind="typed_strong")
+    return summarize(graph, "typed_strong", engine=engine)
 
 
 #: Mapping from kind name to builder, used by :func:`summarize` and the CLI.
@@ -84,8 +123,28 @@ _ALIASES = {
     "typed-strong": "typed_strong",
 }
 
+_ENGINE_ALIASES = {"legacy": "term"}
 
-def summarize(graph: RDFGraph, kind: str = "weak") -> Summary:
+#: Every engine name a user may pass (canonical names plus aliases) — the
+#: single source for CLI ``choices`` lists.
+ENGINE_CHOICES = tuple(SUMMARY_ENGINES) + tuple(sorted(_ENGINE_ALIASES))
+
+
+def normalize_engine(engine: Optional[str]) -> str:
+    """Resolve an engine name (or ``None``) to ``"encoded"`` or ``"term"``."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    normalized = engine.strip().lower()
+    normalized = _ENGINE_ALIASES.get(normalized, normalized)
+    if normalized not in SUMMARY_ENGINES:
+        supported = ", ".join(SUMMARY_ENGINES)
+        raise UnknownSummaryKindError(
+            f"unknown summary engine {engine!r}; supported: {supported}"
+        )
+    return normalized
+
+
+def summarize(graph: RDFGraph, kind: str = "weak", engine: Optional[str] = None) -> Summary:
     """Summarize *graph* with the requested summary *kind*.
 
     Parameters
@@ -96,16 +155,22 @@ def summarize(graph: RDFGraph, kind: str = "weak") -> Summary:
         One of ``"weak"``, ``"strong"``, ``"type"``, ``"typed_weak"``,
         ``"typed_strong"`` (or the aliases ``w`` / ``s`` / ``t`` / ``tw`` /
         ``ts``).
+    engine:
+        ``"encoded"`` (default) to run the integer-encoded pipeline, or
+        ``"term"`` / ``"legacy"`` for the original ``Term``-object pipeline.
+        Both produce isomorphic summaries.
 
     Raises
     ------
     UnknownSummaryKindError
-        When *kind* does not name a supported summary.
+        When *kind* does not name a supported summary (or *engine* a
+        supported engine).
     """
     normalized = kind.strip().lower()
     normalized = _ALIASES.get(normalized, normalized)
-    builder = SUMMARY_KINDS.get(normalized)
-    if builder is None:
-        supported = ", ".join(sorted(SUMMARY_KINDS))
+    if normalized not in _PARTITIONS:
+        supported = ", ".join(sorted(_PARTITIONS))
         raise UnknownSummaryKindError(f"unknown summary kind {kind!r}; supported: {supported}")
-    return builder(graph)
+    if normalize_engine(engine) == "encoded":
+        return summarize_graph_encoded(graph, normalized)
+    return _term_summary(graph, normalized)

@@ -15,9 +15,11 @@ maintaining the maps described in Section 6.1:
 Whenever a new data triple reveals that two previously distinct summary
 nodes must coincide (the subject is already represented *and* the property
 already has a source, but they differ), the two nodes are merged —
-``MERGEDATANODES`` — keeping the one with more edges.  This mirrors the
-union-by-size policy of the underlying equivalence computation and keeps the
-overall pass linear in the number of data triples.
+``MERGEDATANODES`` — keeping the one with more *data* edges (class
+memberships do not count, and ties go to the older node so the result is
+deterministic across insertion orders).  This mirrors the union-by-size
+policy of the underlying equivalence computation and keeps the overall pass
+linear in the number of data triples.
 
 The resulting summary is isomorphic to the quotient-based
 :func:`repro.core.builders.weak_summary`; the test suite asserts this.
@@ -68,18 +70,31 @@ class IncrementalWeakSummarizer:
         return node
 
     def _edge_count(self, node: int) -> int:
-        return len(self.src_dps.get(node, ())) + len(self.targ_dps.get(node, ())) + len(
-            self.dcls.get(node, ())
-        )
+        """Number of summary *data* edges the node is an endpoint of.
+
+        Class memberships (``dcls``) deliberately do not count: the paper's
+        union-by-size policy sizes a node by the data edges that must be
+        rewritten when it is dropped, and counting classes would skew the
+        keep/drop choice toward heavily-typed nodes whose merge is no
+        cheaper.
+        """
+        return len(self.src_dps.get(node, ())) + len(self.targ_dps.get(node, ()))
 
     def _merge_data_nodes(self, first: int, second: int) -> int:
-        """Merge two summary nodes, keeping the one with more edges."""
+        """Merge two summary nodes, keeping the one with more data edges.
+
+        Ties are broken toward the node minted first (smaller id), so the
+        summary structure is reproducible regardless of dict iteration or
+        triple insertion order.
+        """
         if first == second:
             return first
-        keep, drop = (first, second) if self._edge_count(first) >= self._edge_count(second) else (
-            second,
-            first,
-        )
+        first_edges = self._edge_count(first)
+        second_edges = self._edge_count(second)
+        if first_edges != second_edges:
+            keep, drop = (first, second) if first_edges > second_edges else (second, first)
+        else:
+            keep, drop = (first, second) if first < second else (second, first)
         for resource in self.dr.pop(drop, set()):
             self.rd[resource] = keep
             self.dr.setdefault(keep, set()).add(resource)

@@ -48,9 +48,14 @@ class SummaryStatistics:
 
     @property
     def compression_ratio(self) -> float:
-        """Summary edges divided by input edges (the paper's 0.028 figure)."""
+        """Summary edges divided by input edges (the paper's 0.028 figure).
+
+        ``nan`` when the input edge count is unknown or zero — a ``0.0``
+        here used to read as "perfect compression" in reports, which is the
+        opposite of "no input to compress".
+        """
         if not self.input_edge_count:
-            return 0.0
+            return float("nan")
         return self.all_edge_count / self.input_edge_count
 
     def __repr__(self):

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import io
 import re
-from typing import Iterable, Iterator, List, TextIO, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.errors import ParseError
 from repro.model.graph import RDFGraph
@@ -53,8 +53,52 @@ _ESCAPES = {
 }
 
 
-def _unescape(value: str) -> str:
-    """Decode N-Triples string escapes (``\\n``, ``\\uXXXX``, ``\\UXXXXXXXX``)."""
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+def _code_point(
+    value: str, start: int, digits: int, line_number: Optional[int], line: Optional[str]
+) -> str:
+    """Decode the ``digits``-digit hex payload of a ``\\u`` / ``\\U`` escape.
+
+    *start* points at the first hex digit.  Truncated payloads (too few
+    digits, including an end-of-string cut), non-hex digits, surrogate code
+    points and values beyond U+10FFFF all raise :class:`ParseError` carrying
+    the line context — previously a short slice was decoded silently (e.g.
+    ``\\u41`` became ``"A"``) and bad digits surfaced as a bare
+    ``ValueError``.
+    """
+    payload = value[start : start + digits]
+    if len(payload) < digits or not all(char in _HEX_DIGITS for char in payload):
+        marker = "\\u" if digits == 4 else "\\U"
+        raise ParseError(
+            f"truncated or invalid {marker} escape: expected {digits} hex digits, "
+            f"got {payload!r}",
+            line_number,
+            line,
+        )
+    code = int(payload, 16)
+    if 0xD800 <= code <= 0xDFFF:
+        raise ParseError(
+            f"surrogate code point U+{code:04X} is not allowed in literals",
+            line_number,
+            line,
+        )
+    if code > 0x10FFFF:
+        raise ParseError(
+            f"code point U+{code:X} is beyond U+10FFFF", line_number, line
+        )
+    return chr(code)
+
+
+def _unescape(
+    value: str, line_number: Optional[int] = None, line: Optional[str] = None
+) -> str:
+    """Decode N-Triples string escapes (``\\n``, ``\\uXXXX``, ``\\UXXXXXXXX``).
+
+    Raises :class:`ParseError` (with the caller's line context, when given)
+    on dangling, unknown, truncated or out-of-range escapes.
+    """
     if "\\" not in value:
         return value
     output: List[str] = []
@@ -67,19 +111,19 @@ def _unescape(value: str) -> str:
             index += 1
             continue
         if index + 1 >= length:
-            raise ParseError("dangling escape at end of literal")
+            raise ParseError("dangling escape at end of literal", line_number, line)
         escape = value[index + 1]
         if escape in _ESCAPES:
             output.append(_ESCAPES[escape])
             index += 2
         elif escape == "u":
-            output.append(chr(int(value[index + 2 : index + 6], 16)))
+            output.append(_code_point(value, index + 2, 4, line_number, line))
             index += 6
         elif escape == "U":
-            output.append(chr(int(value[index + 2 : index + 10], 16)))
+            output.append(_code_point(value, index + 2, 8, line_number, line))
             index += 10
         else:
-            raise ParseError(f"unknown escape sequence: \\{escape}")
+            raise ParseError(f"unknown escape sequence: \\{escape}", line_number, line)
     return "".join(output)
 
 
@@ -121,7 +165,7 @@ def parse_ntriples_line(line: str, line_number: int = 0) -> Triple:
     elif object_match.group(2) is not None:
         obj = BlankNode(object_match.group(2))
     else:
-        lexical = _unescape(object_match.group(3))
+        lexical = _unescape(object_match.group(3), line_number, line)
         datatype = object_match.group(4)
         language = object_match.group(5)
         if datatype is not None:

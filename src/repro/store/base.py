@@ -99,6 +99,34 @@ class TripleStore(abc.ABC):
     def scan_schema(self) -> Iterator[EncodedTriple]:
         """Scan the schema-triples table."""
 
+    def scan_batches(
+        self, kind: TripleKind, batch_size: int = 50_000
+    ) -> Iterator[List[EncodedTriple]]:
+        """Scan the *kind* table in chunks of up to *batch_size* rows.
+
+        The encoded summarization engine iterates these batches instead of
+        single rows so per-row iterator overhead stays off the hot path
+        (the ``fetchmany`` discipline of the paper's JDBC experiments).
+        Backends override this with a genuinely batched implementation; the
+        default chunks the row-wise scan.  Rows are ``(s, p, o)`` integer
+        tuples (:class:`EncodedTriple` or any 3-tuple).
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        scans = {
+            TripleKind.DATA: self.scan_data,
+            TripleKind.TYPE: self.scan_types,
+            TripleKind.SCHEMA: self.scan_schema,
+        }
+        batch: List[EncodedTriple] = []
+        for row in scans[kind]():
+            batch.append(row)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     @abc.abstractmethod
     def select(
         self,

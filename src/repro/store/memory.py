@@ -106,6 +106,17 @@ class MemoryStore(TripleStore):
         self._check_open()
         return iter(list(self._tables[TripleKind.SCHEMA].rows))
 
+    def scan_batches(
+        self, kind: TripleKind, batch_size: int = 50_000
+    ) -> Iterator[List[EncodedTriple]]:
+        """Yield slices of the in-memory row list directly (no per-row work)."""
+        self._check_open()
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        rows = self._tables[kind].rows
+        for start in range(0, len(rows), batch_size):
+            yield rows[start : start + batch_size]
+
     def select(
         self,
         kind: TripleKind,

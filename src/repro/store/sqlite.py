@@ -37,8 +37,8 @@ CREATE TABLE IF NOT EXISTS data_triples   (s INTEGER NOT NULL, p INTEGER NOT NUL
 CREATE TABLE IF NOT EXISTS type_triples   (s INTEGER NOT NULL, p INTEGER NOT NULL, o INTEGER NOT NULL);
 CREATE TABLE IF NOT EXISTS schema_triples (s INTEGER NOT NULL, p INTEGER NOT NULL, o INTEGER NOT NULL);
 CREATE TABLE IF NOT EXISTS dictionary     (id INTEGER PRIMARY KEY, value TEXT NOT NULL);
-CREATE INDEX IF NOT EXISTS idx_data_s   ON data_triples(s);
-CREATE INDEX IF NOT EXISTS idx_data_p   ON data_triples(p);
+CREATE INDEX IF NOT EXISTS idx_data_spo ON data_triples(s, p, o);
+CREATE INDEX IF NOT EXISTS idx_data_ps  ON data_triples(p, s);
 CREATE INDEX IF NOT EXISTS idx_data_o   ON data_triples(o);
 CREATE INDEX IF NOT EXISTS idx_type_s   ON type_triples(s);
 CREATE INDEX IF NOT EXISTS idx_type_o   ON type_triples(o);
@@ -118,6 +118,29 @@ class SQLiteStore(TripleStore):
     def scan_schema(self) -> Iterator[EncodedTriple]:
         return self._scan(TripleKind.SCHEMA)
 
+    def scan_batches(
+        self, kind: TripleKind, batch_size: int = 50_000
+    ) -> Iterator[List[EncodedTriple]]:
+        """Scan the *kind* table with ``fetchmany`` chunks.
+
+        Fetching *batch_size* rows per cursor round-trip (instead of one row
+        per ``__next__``) is what keeps the table scan itself from being the
+        bottleneck of the encoded summarization passes.  The raw SQLite rows
+        are yielded as-is: they are plain ``(s, p, o)`` tuples, which is all
+        the integer pipeline needs.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        cursor = self._conn().execute(
+            f"SELECT s, p, o FROM {_TABLE_FOR_KIND[kind]} ORDER BY rowid"
+        )
+        cursor.arraysize = batch_size
+        while True:
+            rows = cursor.fetchmany(batch_size)
+            if not rows:
+                break
+            yield rows
+
     def select(
         self,
         kind: TripleKind,
@@ -147,6 +170,37 @@ class SQLiteStore(TripleStore):
             f"SELECT DISTINCT p FROM {_TABLE_FOR_KIND[kind]} ORDER BY p"
         )
         return [row[0] for row in cursor]
+
+    # ------------------------------------------------------------------
+    def load_graph(self, graph) -> int:
+        """Bulk-load *graph*, then refresh the summarization index pass."""
+        count = super().load_graph(graph)
+        self.ensure_summarization_indexes()
+        return count
+
+    def ensure_summarization_indexes(self) -> None:
+        """Composite-index pass for the summarization workload.
+
+        Guarantees the two composite indexes the selection patterns rely on
+        and re-``ANALYZE``s so the query planner sees post-load table shapes
+        (:meth:`load_graph` runs this after every bulk load):
+
+        * ``data_triples(s, p, o)`` — a covering index for subject-anchored
+          lookups, so ``select(subject=...)`` never touches the base table;
+        * ``data_triples(p, s)`` — property-anchored access, the pattern of
+          per-property passes (``dpSrc`` / ``dpTarg`` maintenance).
+
+        Idempotent; cheap when the indexes already exist.
+        """
+        connection = self._conn()
+        connection.executescript(
+            """
+            CREATE INDEX IF NOT EXISTS idx_data_spo ON data_triples(s, p, o);
+            CREATE INDEX IF NOT EXISTS idx_data_ps  ON data_triples(p, s);
+            ANALYZE;
+            """
+        )
+        connection.commit()
 
     # ------------------------------------------------------------------
     def persist_dictionary(self) -> int:

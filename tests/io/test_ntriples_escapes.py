@@ -1,0 +1,132 @@
+"""Hardened escape handling in the N-Triples parser.
+
+Covers the satellite fix to ``_unescape``: truncated / invalid ``\\uXXXX``
+and ``\\UXXXXXXXX`` payloads, surrogate and out-of-range code points (all
+now :class:`ParseError` with line context instead of bare ``ValueError`` or
+silent mis-slices), plus property-based serialize→parse round-trips over
+control characters, quotes, backslash runs and astral-plane code points.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.io.ntriples import parse_ntriples, parse_ntriples_line, serialize_ntriples
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX
+from repro.model.terms import Literal
+from repro.model.triple import Triple
+
+
+def _literal_line(escaped: str) -> str:
+    return f'<http://a> <http://p> "{escaped}" .'
+
+
+class TestMalformedEscapes:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "\\u12",          # truncated \u at end of literal
+            "\\u12 after",    # truncated \u followed by more text (the old
+                              # code silently decoded the short slice)
+            "\\uGGGG",        # non-hex digits
+            "\\u12G4",
+            "\\U0001F60",     # truncated \U (7 digits)
+            "\\UZZZZZZZZ",    # non-hex \U
+        ],
+    )
+    def test_truncated_or_invalid_hex_raises_parse_error(self, payload):
+        with pytest.raises(ParseError):
+            parse_ntriples_line(_literal_line(payload))
+
+    def test_truncated_escape_is_not_silently_missliced(self):
+        # "\u41" must NOT decode to "A" (the old behaviour): it is an error.
+        with pytest.raises(ParseError):
+            parse_ntriples_line(_literal_line("\\u41"))
+
+    @pytest.mark.parametrize("payload", ["\\uD800", "\\uDFFF", "\\U0000DAAA"])
+    def test_surrogate_code_points_rejected(self, payload):
+        with pytest.raises(ParseError) as info:
+            parse_ntriples_line(_literal_line(payload))
+        assert "surrogate" in str(info.value)
+
+    def test_out_of_range_code_point_rejected(self):
+        with pytest.raises(ParseError) as info:
+            parse_ntriples_line(_literal_line("\\U00110000"))
+        assert "U+10FFFF" in str(info.value)
+
+    def test_dangling_backslash_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line(_literal_line("ends with \\"))
+
+    def test_error_carries_line_context(self):
+        source = '<http://a> <http://p> "fine" .\n<http://a> <http://p> "\\u12" .\n'
+        with pytest.raises(ParseError) as info:
+            parse_ntriples(source)
+        assert info.value.line_number == 2
+        assert info.value.line is not None and "\\u12" in info.value.line
+        assert "(line 2)" in str(info.value)
+
+    def test_never_raises_bare_value_error(self):
+        for payload in ("\\u12", "\\uXYZW", "\\U0001F60", "\\U00110000", "\\uD800"):
+            try:
+                parse_ntriples_line(_literal_line(payload))
+            except ParseError:
+                pass  # the only acceptable outcome
+
+
+class TestWellFormedEscapes:
+    def test_astral_plane_escape(self):
+        triple = parse_ntriples_line(_literal_line("\\U0001F600"))
+        assert triple.object.lexical == "\U0001F600"
+
+    def test_max_code_point(self):
+        triple = parse_ntriples_line(_literal_line("\\U0010FFFF"))
+        assert triple.object.lexical == "\U0010FFFF"
+
+    def test_mixed_escapes(self):
+        triple = parse_ntriples_line(_literal_line("a\\tb\\u0041\\\\c\\\"d"))
+        assert triple.object.lexical == 'a\tbA\\c"d'
+
+
+# ----------------------------------------------------------------------
+# property-based round-trips
+# ----------------------------------------------------------------------
+_text_with_nasty_chars = st.text(
+    alphabet=st.one_of(
+        st.characters(min_codepoint=0x20, max_codepoint=0x7E),      # printable ASCII
+        st.sampled_from(['"', "\\", "\n", "\r", "\t", "\b", "\f"]),  # escapes & controls
+        st.characters(min_codepoint=0xA0, max_codepoint=0x2FFF),     # BMP text
+        st.characters(min_codepoint=0x10000, max_codepoint=0x10FFFF),  # astral plane
+    ),
+    max_size=60,
+)
+
+_ROUND_TRIP_SETTINGS = settings(max_examples=80, deadline=None)
+
+
+@_ROUND_TRIP_SETTINGS
+@given(_text_with_nasty_chars)
+def test_serialize_parse_identity(text):
+    graph = RDFGraph([Triple(EX.s, EX.p, Literal(text))])
+    parsed = parse_ntriples(serialize_ntriples(graph))
+    assert set(parsed) == set(graph)
+
+
+@_ROUND_TRIP_SETTINGS
+@given(_text_with_nasty_chars, st.sampled_from(["en", "fr", "en-GB"]))
+def test_language_literal_round_trip(text, language):
+    graph = RDFGraph([Triple(EX.s, EX.p, Literal(text, language=language))])
+    parsed = parse_ntriples(serialize_ntriples(graph))
+    assert set(parsed) == set(graph)
+
+
+@_ROUND_TRIP_SETTINGS
+@given(st.lists(st.sampled_from(["\\", '"']), min_size=1, max_size=12))
+def test_backslash_and_quote_runs_round_trip(chars):
+    text = "".join(chars)
+    graph = RDFGraph([Triple(EX.s, EX.p, Literal(text))])
+    parsed = parse_ntriples(serialize_ntriples(graph))
+    assert next(iter(parsed)).object.lexical == text

@@ -4,7 +4,9 @@ A from-scratch Python reproduction of the weak, strong, typed weak and typed
 strong RDF quotient summaries of Čebirić, Goasdoué and Manolescu, together
 with every substrate they rely on: an RDF data model, N-Triples/Turtle I/O,
 an encoded triple store (in-memory and SQLite), RDFS saturation, BGP/RBGP
-query evaluation and synthetic dataset generators.
+query evaluation, synthetic dataset generators, and a summary-guarded query
+service (:mod:`repro.service`) that prunes provably-empty queries against
+the summaries before touching the base graph.
 
 Quickstart
 ----------
@@ -29,11 +31,15 @@ from repro.model.graph import RDFGraph
 from repro.model.terms import URI, BlankNode, Literal
 from repro.model.triple import Triple
 from repro.schema.saturation import saturate
+from repro.service.catalog import GraphCatalog
+from repro.service.service import QueryService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "summarize",
+    "GraphCatalog",
+    "QueryService",
     "EncodedSummaryEngine",
     "encoded_summarize",
     "weak_summary",

@@ -11,6 +11,13 @@ size and reports, per summary kind and dataset size:
 is one generated graph and four summary constructions) and
 :func:`format_figure_series` prints them the way the paper's plots are
 organised (one line per summary kind, one column per dataset size).
+
+:func:`run_query_service_workload` is the workload driver of the serving
+layer: it registers a graph in a :class:`~repro.service.catalog.GraphCatalog`,
+generates a mixed (satisfiable / unsatisfiable) RBGP workload, and times the
+summary-guarded :class:`~repro.service.service.QueryService` against direct
+per-query evaluation on the same store — the experiment behind
+``repro query --workload`` and ``benchmarks/bench_query_service.py``.
 """
 
 from __future__ import annotations
@@ -20,8 +27,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.analysis.metrics import PAPER_KINDS, SummaryMetricsRow, summary_size_table
 from repro.datasets.bsbm import generate_bsbm
 from repro.model.graph import RDFGraph
+from repro.service.catalog import GraphCatalog
+from repro.service.workload import compare_guarded_vs_direct, generate_mixed_workload
 
-__all__ = ["ScaleSweepResult", "run_scale_sweep", "format_figure_series"]
+__all__ = [
+    "ScaleSweepResult",
+    "run_scale_sweep",
+    "format_figure_series",
+    "run_query_service_workload",
+    "format_query_service_report",
+]
 
 
 class ScaleSweepResult:
@@ -81,6 +96,69 @@ def run_scale_sweep(
             summary_size_table(graph, kinds=kinds, dataset_name=graph.name, engine=engine)
         )
     return ScaleSweepResult(rows, scales)
+
+
+def run_query_service_workload(
+    graph: RDFGraph,
+    count: int = 60,
+    unsatisfiable_fraction: float = 0.5,
+    kind: str = "weak+strong",
+    seed: int = 0,
+    size: int = 2,
+    answer_limit: Optional[int] = 100,
+    max_embeddings: Optional[int] = 1_000,
+) -> Dict[str, object]:
+    """Drive a mixed workload through the guarded service; report the gap.
+
+    Returns a flat dictionary (JSON-serializable) with the comparison
+    numbers of :class:`~repro.service.workload.ComparisonReport` plus the
+    workload composition — the row format shared by the CLI ``query
+    --workload`` command and the query-service benchmark.
+    """
+    name = graph.name or "graph"
+    with GraphCatalog() as catalog:
+        catalog.register(name, graph=graph)
+        workload = generate_mixed_workload(
+            graph,
+            count=count,
+            unsatisfiable_fraction=unsatisfiable_fraction,
+            size=size,
+            seed=seed,
+            max_embeddings=max_embeddings,
+            answer_limit=answer_limit,
+        )
+        report = compare_guarded_vs_direct(
+            catalog, name, workload, kind=kind, answer_limit=answer_limit
+        )
+        result: Dict[str, object] = {
+            "graph": name,
+            "triples": len(graph),
+            "kind": kind,
+            "answer_limit": answer_limit,
+            "satisfiable_queries": sum(1 for item in workload if item.satisfiable),
+            "unsatisfiable_queries": sum(1 for item in workload if not item.satisfiable),
+        }
+        result.update(report.as_dict())
+        return result
+
+
+def format_query_service_report(report: Dict[str, object]) -> str:
+    """Render a :func:`run_query_service_workload` row for the terminal."""
+    lines = [
+        f"graph {report['graph']}: {report['triples']} triples, "
+        f"{report['queries']} queries "
+        f"({report['satisfiable_queries']} satisfiable / "
+        f"{report['unsatisfiable_queries']} unsatisfiable), "
+        f"guard: {report['kind']} summary",
+        f"  guarded service : {report['guarded_seconds']:.4f}s "
+        f"({report['pruned']} queries pruned)",
+        f"  direct evaluation: {report['direct_seconds']:.4f}s",
+        f"  speedup          : {report['speedup']:.2f}x",
+        f"  soundness        : {report['pruning_errors']} pruning errors, "
+        f"{report['disagreements']} disagreements "
+        f"({'OK' if report['sound'] else 'FAILED'})",
+    ]
+    return "\n".join(lines)
 
 
 def format_figure_series(result: ScaleSweepResult, metric: str, title: str) -> str:

@@ -13,16 +13,25 @@ Sub-commands
     Generate a synthetic dataset (bsbm / lubm / bibliography) as N-Triples.
 ``sweep``
     Run the Figure 11-13 scale sweep and print the three series.
+``query``
+    Answer a BGP query through the summary-guarded query service, or run a
+    mixed workload comparing the guarded service against direct evaluation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 from typing import List, Optional
 
-from repro.analysis.harness import format_figure_series, run_scale_sweep
+from repro.analysis.harness import (
+    format_figure_series,
+    format_query_service_report,
+    run_query_service_workload,
+    run_scale_sweep,
+)
 from repro.analysis.metrics import format_table, summary_size_table
 from repro.core.builders import ENGINE_CHOICES, SUMMARY_KINDS, summarize
 from repro.datasets.bibliography import generate_bibliography
@@ -32,7 +41,11 @@ from repro.io.dot import summary_to_dot, write_dot
 from repro.io.ntriples import dump_ntriples, load_ntriples
 from repro.io.turtle_lite import load_turtle
 from repro.model.graph import RDFGraph
+from repro.model.terms import term_sort_key
+from repro.queries.parser import parse_query
 from repro.schema.saturation import saturate
+from repro.service.catalog import GraphCatalog
+from repro.service.service import QueryService
 
 __all__ = ["main", "build_parser"]
 
@@ -91,6 +104,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=list(ENGINE_CHOICES),
         help="summarization engine used for every sweep point",
+    )
+
+    query_parser = subparsers.add_parser(
+        "query", help="answer BGP queries through the summary-guarded service"
+    )
+    query_parser.add_argument("input", help="input .nt or .ttl file")
+    group = query_parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--query", help="a SELECT/ASK query string")
+    group.add_argument("--query-file", help="file holding a SELECT/ASK query")
+    group.add_argument(
+        "--workload",
+        type=int,
+        metavar="N",
+        help="generate a mixed N-query workload and compare the guarded "
+        "service against direct evaluation",
+    )
+    query_parser.add_argument(
+        "--kind",
+        default="weak+strong",
+        help="guard summary kind(s); '+'-joined names cascade, e.g. weak+strong",
+    )
+    query_parser.add_argument(
+        "--no-prune", action="store_true", help="disable the summary guard"
+    )
+    query_parser.add_argument(
+        "--saturated",
+        action="store_true",
+        help="answer over the saturation G∞ (certain answers)",
+    )
+    query_parser.add_argument(
+        "--limit", type=int, default=None, help="maximum distinct answers per query"
+    )
+    query_parser.add_argument(
+        "--unsat-fraction",
+        type=float,
+        default=0.5,
+        help="unsatisfiable share of the generated workload",
+    )
+    query_parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    query_parser.add_argument(
+        "--json", dest="json_output", help="write the workload report as JSON to this file"
     )
 
     return parser
@@ -156,12 +210,80 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.input)
+    if not graph.name:
+        graph.name = args.input
+
+    if args.workload is not None:
+        if args.saturated or args.no_prune:
+            print(
+                "error: --saturated / --no-prune apply to single queries only; "
+                "the workload comparison measures the guard over the explicit graph",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_query_service_workload(
+            graph,
+            count=args.workload,
+            unsatisfiable_fraction=args.unsat_fraction,
+            kind=args.kind,
+            seed=args.seed,
+            answer_limit=args.limit if args.limit is not None else 100,
+        )
+        print(format_query_service_report(report))
+        if args.json_output:
+            with open(args.json_output, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+            print(f"report written to {args.json_output}")
+        return 0 if report["sound"] else 1
+
+    if args.query_file:
+        with open(args.query_file, "r", encoding="utf-8") as handle:
+            query_text = handle.read()
+    else:
+        query_text = args.query
+    query = parse_query(query_text, name="cli")
+
+    limit = args.limit
+    if query.is_boolean() and limit is None:
+        # () is the only possible answer tuple — stop at the first embedding
+        limit = 1
+    with GraphCatalog() as catalog:
+        catalog.register(graph.name, graph=graph)
+        service = QueryService(catalog, kind=args.kind, prune=not args.no_prune)
+        answer = service.answer(graph.name, query, limit=limit, saturated=args.saturated)
+        if answer.pruned:
+            print(
+                f"pruned by the {args.kind} summary in {answer.guard_seconds*1000:.2f} ms "
+                "(no answers on the graph)"
+            )
+        elif query.is_boolean():
+            verdict = "yes" if answer.answers else "no"
+            print(f"{verdict} ({answer.total_seconds*1000:.2f} ms)")
+        else:
+            print(
+                f"{len(answer.answers)} answer(s) in {answer.total_seconds*1000:.2f} ms "
+                f"(guard: {answer.guard_seconds*1000:.2f} ms)"
+            )
+            rows = sorted(
+                answer.answers,
+                key=lambda row: tuple(term_sort_key(term) for term in row),
+            )
+            for row in rows[:20]:
+                print("  " + "\t".join(term.n3() for term in row))
+            if len(answer.answers) > 20:
+                print(f"  ... and {len(answer.answers) - 20} more")
+    return 0
+
+
 _COMMANDS = {
     "summarize": _command_summarize,
     "stats": _command_stats,
     "saturate": _command_saturate,
     "generate": _command_generate,
     "sweep": _command_sweep,
+    "query": _command_query,
 }
 
 

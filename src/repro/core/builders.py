@@ -55,6 +55,7 @@ __all__ = [
     "ENGINE_CHOICES",
     "DEFAULT_ENGINE",
     "normalize_engine",
+    "normalize_kind",
 ]
 
 #: Partition function behind each summary kind (the legacy ``Term`` path).
@@ -130,6 +131,20 @@ _ENGINE_ALIASES = {"legacy": "term"}
 ENGINE_CHOICES = tuple(SUMMARY_ENGINES) + tuple(sorted(_ENGINE_ALIASES))
 
 
+def normalize_kind(kind: str) -> str:
+    """Resolve a summary-kind name (or alias) to its canonical form.
+
+    Shared by :func:`summarize`, the CLI and the query-service catalog so
+    every entry point accepts the same spellings.
+    """
+    normalized = kind.strip().lower()
+    normalized = _ALIASES.get(normalized, normalized)
+    if normalized not in _PARTITIONS:
+        supported = ", ".join(sorted(_PARTITIONS))
+        raise UnknownSummaryKindError(f"unknown summary kind {kind!r}; supported: {supported}")
+    return normalized
+
+
 def normalize_engine(engine: Optional[str]) -> str:
     """Resolve an engine name (or ``None``) to ``"encoded"`` or ``"term"``."""
     if engine is None:
@@ -166,11 +181,7 @@ def summarize(graph: RDFGraph, kind: str = "weak", engine: Optional[str] = None)
         When *kind* does not name a supported summary (or *engine* a
         supported engine).
     """
-    normalized = kind.strip().lower()
-    normalized = _ALIASES.get(normalized, normalized)
-    if normalized not in _PARTITIONS:
-        supported = ", ".join(sorted(_PARTITIONS))
-        raise UnknownSummaryKindError(f"unknown summary kind {kind!r}; supported: {supported}")
+    normalized = normalize_kind(kind)
     if normalize_engine(engine) == "encoded":
         return summarize_graph_encoded(graph, normalized)
     return _term_summary(graph, normalized)

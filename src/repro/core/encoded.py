@@ -346,6 +346,7 @@ class EncodedSummaryEngine:
         block_of: Dict[int, int] = {}
         block_uris: List[URI] = []
         block_of_classes: Dict[FrozenSet[int], int] = {}
+        mint_untyped = namer.fresh_minter("N_untyped")
 
         def typed_block(class_ids: FrozenSet[int]) -> int:
             existing = block_of_classes.get(class_ids)
@@ -358,10 +359,10 @@ class EncodedSummaryEngine:
             return block
 
         def singleton_block() -> int:
-            # ``C(∅)`` behaviour: untyped nodes are copied, one fresh URI
-            # per node (cheaper than the legacy per-key digest, same
-            # injectivity guarantee).
-            uri = namer.fresh("N_untyped")
+            # ``C(∅)`` behaviour: untyped nodes are copied.  The arena minter
+            # skips the per-call namer dispatch — one string build and one
+            # set probe per node, same injectivity guarantee.
+            uri = mint_untyped()
             block = len(block_uris)
             block_uris.append(uri)
             return block

@@ -23,18 +23,28 @@ linear in the number of data triples.
 
 The resulting summary is isomorphic to the quotient-based
 :func:`repro.core.builders.weak_summary`; the test suite asserts this.
+
+Beyond the one-shot :meth:`IncrementalWeakSummarizer.build` pass, the maps
+are maintainable *online*: :meth:`ingest_data` / :meth:`ingest_type` /
+:meth:`ingest_row` apply one encoded triple each, in any arrival order, and
+:meth:`snapshot` decodes the current state into a :class:`Summary` without
+mutating it — so a long-lived summarizer (the weak-summary maintenance of
+:class:`repro.service.catalog.GraphCatalog`) can serve a fresh summary after
+every batch of additions at cost proportional to the *summary*, never
+re-scanning the store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.naming import SUMMARY_NS, SummaryNamer
 from repro.core.summary import Summary
+from repro.model.dictionary import EncodedTriple
 from repro.model.graph import RDFGraph
 from repro.model.namespaces import RDF_TYPE
 from repro.model.terms import Term, URI
-from repro.model.triple import Triple
+from repro.model.triple import Triple, TripleKind
 from repro.store.base import TripleStore
 
 __all__ = ["IncrementalWeakSummarizer", "incremental_weak_summary"]
@@ -56,6 +66,14 @@ class IncrementalWeakSummarizer:
         self.targ_dps: Dict[int, Set[int]] = {}
         self.dcls: Dict[int, Set[int]] = {}
         self.dtp: Dict[int, Tuple[int, int, int]] = {}
+        # resources seen only as subjects of type triples so far, with their
+        # class ids.  They are *not* pooled into the shared ``Nτ`` node
+        # eagerly: a data triple may still arrive for them (in which case the
+        # classes move to the proper data node), and pooling them early would
+        # wrongly glue unrelated resources together.  The pooling of the
+        # batch algorithm (Algorithm 3's trailing step) happens at
+        # :meth:`snapshot` time instead, on the decoded output only.
+        self._typed_only: Dict[int, Set[int]] = {}
 
     # ------------------------------------------------------------------
     # node management
@@ -148,49 +166,79 @@ class IncrementalWeakSummarizer:
     # ------------------------------------------------------------------
     # Algorithm 1: summarizing data triples
     # ------------------------------------------------------------------
-    def _summarize_data_triples(self) -> None:
-        for row in self.store.scan_data():
-            subject, prop, obj = row.subject, row.predicate, row.object
-            self._get_source(subject, prop)
-            self._get_target(obj, prop)
-            # GETTARGET may have merged the node GETSOURCE returned (and
-            # vice-versa), so both are re-resolved before creating the edge.
-            source = self._get_source(subject, prop)
-            target = self._get_target(obj, prop)
-            if prop not in self.dtp:
-                self.dtp[prop] = (source, prop, target)
-                self.dp_src[prop] = source
-                self.src_dps.setdefault(source, set()).add(prop)
-                self.dp_targ[prop] = target
-                self.targ_dps.setdefault(target, set()).add(prop)
+    def ingest_data(self, subject: int, prop: int, obj: int) -> None:
+        """Apply one encoded data triple to the summary maps (Algorithm 1).
+
+        Safe in any arrival order: a resource previously known only from
+        type triples is promoted to a proper data node here, carrying its
+        pending classes along.
+        """
+        pending_subject = self._typed_only.pop(subject, None)
+        pending_object = self._typed_only.pop(obj, None)
+        self._get_source(subject, prop)
+        self._get_target(obj, prop)
+        # GETTARGET may have merged the node GETSOURCE returned (and
+        # vice-versa), so both are re-resolved before creating the edge.
+        source = self._get_source(subject, prop)
+        target = self._get_target(obj, prop)
+        if prop not in self.dtp:
+            self.dtp[prop] = (source, prop, target)
+            self.dp_src[prop] = source
+            self.src_dps.setdefault(source, set()).add(prop)
+            self.dp_targ[prop] = target
+            self.targ_dps.setdefault(target, set()).add(prop)
+        if pending_subject:
+            self.dcls.setdefault(self.rd[subject], set()).update(pending_subject)
+        if pending_object:
+            self.dcls.setdefault(self.rd[obj], set()).update(pending_object)
 
     # ------------------------------------------------------------------
     # Algorithm 3: summarizing type triples
     # ------------------------------------------------------------------
-    def _summarize_type_triples(self) -> None:
-        typed_only_resources = []
-        typed_only_classes = []
-        for row in self.store.scan_types():
-            subject, class_id = row.subject, row.object
-            node = self.rd.get(subject)
-            if node is None:
-                typed_only_resources.append(subject)
-                typed_only_classes.append(class_id)
-                continue
+    def ingest_type(self, subject: int, class_id: int) -> None:
+        """Apply one encoded type triple (Algorithm 3, order-independent)."""
+        node = self.rd.get(subject)
+        if node is None:
+            self._typed_only.setdefault(subject, set()).add(class_id)
+        else:
             self.dcls.setdefault(node, set()).add(class_id)
-        if typed_only_resources:
-            node = self._create_data_node()
-            for resource in typed_only_resources:
-                self.rd[resource] = node
-                self.dr[node].add(resource)
-            self.dcls.setdefault(node, set()).update(typed_only_classes)
+
+    def ingest_row(self, kind: TripleKind, row: EncodedTriple) -> None:
+        """Apply one encoded store row of any kind.
+
+        Schema rows carry no summarization state — they are copied from the
+        store at decode time — so they are accepted and ignored here, which
+        lets callers feed the raw output of
+        :meth:`repro.store.base.TripleStore.insert_triples` straight through.
+        """
+        if kind is TripleKind.DATA:
+            self.ingest_data(row[0], row[1], row[2])
+        elif kind is TripleKind.TYPE:
+            self.ingest_type(row[0], row[2])
+
+    def ingest_rows(self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]) -> None:
+        """Apply a batch of ``(kind, row)`` pairs (insert-order preserved)."""
+        for kind, row in rows:
+            self.ingest_row(kind, row)
 
     # ------------------------------------------------------------------
     def build(self) -> Summary:
-        """Run the two summarization passes and decode the result."""
-        self._summarize_data_triples()
-        self._summarize_type_triples()
+        """Run the two summarization passes over the store and decode."""
+        for row in self.store.scan_data():
+            self.ingest_data(row[0], row[1], row[2])
+        for row in self.store.scan_types():
+            self.ingest_type(row[0], row[2])
+        return self.snapshot()
 
+    def snapshot(self) -> Summary:
+        """Decode the current maps into a :class:`Summary` without mutating.
+
+        Resources still waiting in the typed-only buffer are pooled into one
+        shared ``Nτ`` node *of the output only* — exactly the trailing step
+        of the batch Algorithm 3 — so the snapshot matches the from-scratch
+        weak summary of the triples ingested so far, while the live maps stay
+        ready for further :meth:`ingest_data` / :meth:`ingest_type` calls.
+        """
         namer = SummaryNamer()
         node_uri: Dict[int, URI] = {}
 
@@ -219,6 +267,15 @@ class IncrementalWeakSummarizer:
         representative_of: Dict[Term, Term] = {}
         for resource, node in self.rd.items():
             representative_of[self.store.decode_term(resource)] = uri_of(node)
+
+        if self._typed_only:
+            ntau_uri = namer.for_key(("incremental", "typed-only"), hint="Ntau")
+            class_ids: Set[int] = set()
+            for resource, classes in self._typed_only.items():
+                representative_of[self.store.decode_term(resource)] = ntau_uri
+                class_ids |= classes
+            for class_id in class_ids:
+                summary_graph.add(Triple(ntau_uri, RDF_TYPE, self.store.decode_term(class_id)))
 
         return Summary(
             kind="weak",

@@ -18,7 +18,7 @@ collide.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
 from repro.model.namespaces import Namespace
 from repro.model.terms import Term, URI
@@ -59,6 +59,7 @@ class SummaryNamer:
         self._by_key: Dict[Hashable, URI] = {}
         self._used_values: set = set()
         self._fresh_counter = 0
+        self._minters: Dict[str, Callable[[], URI]] = {}
 
     # ------------------------------------------------------------------
     def _mint(self, key: Hashable, label: str) -> URI:
@@ -101,12 +102,40 @@ class SummaryNamer:
 
     def fresh(self, hint: str = "fresh") -> URI:
         """A brand-new URI on every call (``C(∅)`` behaviour)."""
-        while True:
-            self._fresh_counter += 1
-            candidate = self._namespace.term(f"{hint}_{self._fresh_counter}")
-            if candidate.value not in self._used_values:
-                self._used_values.add(candidate.value)
-                return candidate
+        return self.fresh_minter(hint)()
+
+    def fresh_minter(self, hint: str = "fresh") -> Callable[[], URI]:
+        """An arena-style mint function for bulk ``C(∅)`` / ``Nτ`` naming.
+
+        The type summary copies every untyped data node, so graphs with
+        millions of untyped resources mint millions of fresh URIs.  The
+        returned closure amortizes that: the namespace prefix is concatenated
+        once, the counter lives in a cell instead of an attribute, and the
+        only per-mint work is one string build plus one membership probe on
+        the used-value set (still required for global injectivity against the
+        other naming paths).  Calling the method again with the same hint
+        returns the same arena, so the counter never restarts from a used
+        range.
+        """
+        minter = self._minters.get(hint)
+        if minter is not None:
+            return minter
+        base = self._namespace.prefix + hint + "_"
+        used = self._used_values
+        counter_cell = [0]
+
+        def mint() -> URI:
+            counter = counter_cell[0]
+            while True:
+                counter += 1
+                value = base + str(counter)
+                if value not in used:
+                    counter_cell[0] = counter
+                    used.add(value)
+                    return URI(value)
+
+        self._minters[hint] = mint
+        return mint
 
     def for_key(self, key: Hashable, hint: str = "N") -> URI:
         """An injective URI for an arbitrary block key (fallback naming)."""

@@ -29,7 +29,7 @@ from repro.model.namespaces import RDF_TYPE
 from repro.model.triple import Triple
 from repro.queries.bgp import BGPQuery
 from repro.queries.evaluation import has_answers
-from repro.schema.saturation import saturate
+from repro.schema.saturation import saturate_cached
 
 __all__ = [
     "has_unique_data_properties",
@@ -117,6 +117,8 @@ def check_representativeness(
     summary: Summary,
     queries: Iterable[BGPQuery],
     require_answers_on_graph: bool = True,
+    saturated_graph: Optional[RDFGraph] = None,
+    saturated_summary: Optional[RDFGraph] = None,
 ) -> RepresentativenessReport:
     """Definition 1 instantiated on a concrete RBGP workload.
 
@@ -124,9 +126,16 @@ def check_representativeness(
     Queries with no answer on ``G∞`` are skipped (they do not constrain
     representativeness) unless ``require_answers_on_graph`` is ``False``, in
     which case all queries are evaluated on the summary regardless.
+
+    ``G∞`` and ``(H_G)∞`` are saturated at most once per call — through the
+    per-graph cache of :func:`saturate_cached`, so repeated checks against an
+    unchanged graph/summary pay nothing — and callers that already hold the
+    saturations can pass them in directly.
     """
-    saturated_graph = saturate(graph)
-    saturated_summary = saturate(summary.graph)
+    if saturated_graph is None:
+        saturated_graph = saturate_cached(graph)
+    if saturated_summary is None:
+        saturated_summary = saturate_cached(summary.graph)
     total = 0
     preserved = 0
     failures: List[BGPQuery] = []
@@ -153,7 +162,7 @@ def check_accuracy_witness(
     point of exposing it is to exercise the reasoning chain and to report
     which queries are supported by the summary at all.
     """
-    saturated_summary = saturate(summary.graph)
+    saturated_summary = saturate_cached(summary.graph)
     total = 0
     preserved = 0
     failures: List[BGPQuery] = []

@@ -72,3 +72,15 @@ class UnknownSummaryKindError(SummarizationError):
 
 class SaturationError(ReproError):
     """Raised when RDFS saturation fails (e.g. ill-formed schema triples)."""
+
+
+class ServiceError(ReproError):
+    """Raised for failures inside the query service layer."""
+
+
+class UnknownGraphError(ServiceError):
+    """Raised when a catalog lookup names a graph that was never registered."""
+
+
+class DuplicateGraphError(ServiceError):
+    """Raised when registering a graph under a name already in use."""

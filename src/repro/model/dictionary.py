@@ -86,6 +86,40 @@ class Dictionary:
             self.encode(triple.object),
         )
 
+    def encode_triples(self, triples: Iterable[Triple]) -> List[EncodedTriple]:
+        """Encode an iterable of triples in one batched pass.
+
+        This is the bulk-load path of the stores: the per-call overhead of
+        :meth:`encode_triple` (three bound-method dispatches per triple) is
+        replaced by direct dict probes on locals, which measurably cuts the
+        dictionary-encoding share of store loading.
+        """
+        term_to_id = self._term_to_id
+        id_to_term = self._id_to_term
+        append = id_to_term.append
+        rows: List[EncodedTriple] = []
+        for triple in triples:
+            subject = triple.subject
+            subject_id = term_to_id.get(subject)
+            if subject_id is None:
+                subject_id = len(id_to_term)
+                term_to_id[subject] = subject_id
+                append(subject)
+            predicate = triple.predicate
+            predicate_id = term_to_id.get(predicate)
+            if predicate_id is None:
+                predicate_id = len(id_to_term)
+                term_to_id[predicate] = predicate_id
+                append(predicate)
+            obj = triple.object
+            object_id = term_to_id.get(obj)
+            if object_id is None:
+                object_id = len(id_to_term)
+                term_to_id[obj] = object_id
+                append(obj)
+            rows.append(EncodedTriple(subject_id, predicate_id, object_id))
+        return rows
+
     def decode_triple(self, encoded: EncodedTriple) -> Triple:
         """Decode an :class:`EncodedTriple` back into a :class:`Triple`."""
         return Triple(

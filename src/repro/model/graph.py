@@ -87,6 +87,7 @@ class RDFGraph:
 
     def __init__(self, triples: Optional[Iterable[Triple]] = None, name: str = ""):
         self.name = name
+        self._version = 0
         self._triples: Set[Triple] = set()
         self._data: Set[Triple] = set()
         self._types: Set[Triple] = set()
@@ -123,6 +124,19 @@ class RDFGraph:
         """Return a shallow copy of the graph (triples are immutable)."""
         return RDFGraph(self._triples, name=self.name if name is None else name)
 
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every successful add or discard.
+
+        Derived artifacts that are expensive to rebuild (the cached
+        saturation of :func:`repro.schema.saturation.saturate_cached`, the
+        summary caches of :class:`repro.service.catalog.GraphCatalog`) pair
+        this counter with the graph's identity to detect staleness, which an
+        edge count alone cannot (an add followed by a discard leaves the
+        length unchanged).
+        """
+        return self._version
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -130,6 +144,7 @@ class RDFGraph:
         """Add *triple*; return ``True`` when it was not already present."""
         if triple in self._triples:
             return False
+        self._version += 1
         self._triples.add(triple)
         kind = triple.kind
         if kind is TripleKind.DATA:
@@ -161,6 +176,7 @@ class RDFGraph:
         """Remove *triple* if present; return ``True`` when it was removed."""
         if triple not in self._triples:
             return False
+        self._version += 1
         self._triples.discard(triple)
         self._data.discard(triple)
         self._schema.discard(triple)

@@ -7,7 +7,11 @@ term, plus helpers to classify and render them.
 
 Terms are deliberately lightweight (``__slots__``-based, hashable, totally
 ordered within their kind) because graphs routinely contain millions of them
-and they are used as dictionary keys throughout the library.
+and they are used as dictionary keys throughout the library.  Since terms
+are immutable, every class memoizes its hash in a dedicated slot: during
+dictionary-encoding a term is hashed several times (set membership, id
+lookup, index maintenance), and recomputing a tuple hash over the lexical
+value each time dominated the load phase of the encoded pipeline.
 """
 
 from __future__ import annotations
@@ -37,18 +41,19 @@ class URI:
         The URI string, e.g. ``"http://example.org/book/doi1"``.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: str):
         if not isinstance(value, str) or not value:
             raise MalformedTripleError(f"URI value must be a non-empty string, got {value!r}")
         self.value = value
+        self._hash = hash(("uri", value))
 
     def __eq__(self, other):
         return isinstance(other, URI) and self.value == other.value
 
     def __hash__(self):
-        return hash(("uri", self.value))
+        return self._hash
 
     def __lt__(self, other):
         if not isinstance(other, URI):
@@ -91,7 +96,7 @@ class Literal:
         both a datatype and a language tag.
     """
 
-    __slots__ = ("lexical", "datatype", "language")
+    __slots__ = ("lexical", "datatype", "language", "_hash")
 
     def __init__(self, lexical: str, datatype: "URI | None" = None, language: "str | None" = None):
         if not isinstance(lexical, str):
@@ -103,6 +108,7 @@ class Literal:
         self.lexical = lexical
         self.datatype = datatype
         self.language = language
+        self._hash = hash(("literal", lexical, datatype, language))
 
     def __eq__(self, other):
         return (
@@ -113,7 +119,7 @@ class Literal:
         )
 
     def __hash__(self):
-        return hash(("literal", self.lexical, self.datatype, self.language))
+        return self._hash
 
     def __lt__(self, other):
         if not isinstance(other, Literal):
@@ -159,7 +165,7 @@ class BlankNode:
     label inside the same graph denote the same unknown resource.
     """
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     _counter = 0
 
@@ -170,12 +176,13 @@ class BlankNode:
         if not isinstance(label, str) or not label:
             raise MalformedTripleError(f"blank node label must be a non-empty string, got {label!r}")
         self.label = label
+        self._hash = hash(("blank", label))
 
     def __eq__(self, other):
         return isinstance(other, BlankNode) and self.label == other.label
 
     def __hash__(self):
-        return hash(("blank", self.label))
+        return self._hash
 
     def __lt__(self, other):
         if not isinstance(other, BlankNode):

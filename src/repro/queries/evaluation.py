@@ -19,7 +19,7 @@ from repro.model.graph import RDFGraph
 from repro.model.terms import Term
 from repro.queries.bgp import BGPQuery, PatternTerm, TriplePattern, Variable
 from repro.schema.rdfs import RDFSchema
-from repro.schema.saturation import saturate
+from repro.schema.saturation import saturate_cached
 
 __all__ = ["Bindings", "evaluate", "evaluate_saturated", "has_answers", "count_answers"]
 
@@ -105,23 +105,56 @@ def evaluate(graph: RDFGraph, query: BGPQuery, limit: Optional[int] = None) -> S
 def evaluate_saturated(
     graph: RDFGraph, query: BGPQuery, schema: Optional[RDFSchema] = None
 ) -> Set[Tuple[Term, ...]]:
-    """Evaluate *query* against the saturation ``G∞`` (complete answers)."""
-    return evaluate(saturate(graph, schema=schema), query)
+    """Evaluate *query* against the saturation ``G∞`` (complete answers).
+
+    The saturation is computed through :func:`saturate_cached`, so workload
+    loops evaluating many queries against the same graph saturate it once.
+    """
+    return evaluate(saturate_cached(graph, schema=schema), query)
 
 
-def has_answers(graph: RDFGraph, query: BGPQuery, saturated: bool = False) -> bool:
+def _saturation_target(
+    graph: RDFGraph, saturated: bool, saturated_graph: Optional[RDFGraph]
+) -> RDFGraph:
+    """The graph a check should run against.
+
+    A caller that already holds ``G∞`` passes it as *saturated_graph* and no
+    saturation work happens at all; otherwise ``saturated=True`` uses the
+    per-graph saturation cache, paying ``O(|G∞|)`` only when the graph
+    changed since the previous query.
+    """
+    if saturated_graph is not None:
+        return saturated_graph
+    if saturated:
+        return saturate_cached(graph)
+    return graph
+
+
+def has_answers(
+    graph: RDFGraph,
+    query: BGPQuery,
+    saturated: bool = False,
+    saturated_graph: Optional[RDFGraph] = None,
+) -> bool:
     """``True`` when the query has at least one answer on *graph*.
 
     With ``saturated=True`` the check runs against ``G∞`` — the notion used
-    by query-based representativeness (Definition 1).
+    by query-based representativeness (Definition 1).  A pre-computed
+    saturation can be supplied as *saturated_graph* to skip even the cache
+    lookup.
     """
-    target = saturate(graph) if saturated else graph
+    target = _saturation_target(graph, saturated, saturated_graph)
     for _ in iter_embeddings(target, query):
         return True
     return False
 
 
-def count_answers(graph: RDFGraph, query: BGPQuery, saturated: bool = False) -> int:
+def count_answers(
+    graph: RDFGraph,
+    query: BGPQuery,
+    saturated: bool = False,
+    saturated_graph: Optional[RDFGraph] = None,
+) -> int:
     """Number of distinct answer tuples of *query* on *graph* (or ``G∞``)."""
-    target = saturate(graph) if saturated else graph
+    target = _saturation_target(graph, saturated, saturated_graph)
     return len(evaluate(target, query))

@@ -36,25 +36,31 @@ __all__ = ["RDFSchema"]
 
 
 def _transitive_closure(direct: Dict[Term, Set[Term]]) -> Dict[Term, Set[Term]]:
-    """Compute, for every key, the set of all ancestors reachable through *direct*."""
-    closure: Dict[Term, Set[Term]] = {}
+    """Compute, for every key, the set of all ancestors reachable through *direct*.
 
-    def ancestors_of(node: Term, visiting: Set[Term]) -> Set[Term]:
-        cached = closure.get(node)
-        if cached is not None:
-            return cached
-        visiting.add(node)
-        result: Set[Term] = set()
-        for parent in direct.get(node, ()):  # direct super-entities
-            result.add(parent)
-            if parent not in visiting:  # guard against cycles
-                result |= ancestors_of(parent, visiting)
-        visiting.discard(node)
-        closure[node] = result
-        return result
-
-    for node in list(direct):
-        ancestors_of(node, set())
+    A fixpoint loop rather than a memoized DFS: the DFS cached *truncated*
+    ancestor sets for nodes visited inside a cycle (whichever cycle member
+    the hash-ordered iteration entered first kept an incomplete set), which
+    made saturation non-idempotent on ``subClassOf``/``subPropertyOf``
+    cycles and dependent on ``PYTHONHASHSEED``.  The fixpoint is insensitive
+    to iteration order, and on a cycle every member correctly reaches every
+    other — including itself, which is exactly the ``C ≺sc C`` entailment
+    rdfs11 derives.  Schemas are small (tens to hundreds of constraints),
+    so the extra passes are irrelevant next to the instance-triple work.
+    """
+    closure: Dict[Term, Set[Term]] = {node: set(parents) for node, parents in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for ancestors in closure.values():
+            additions: Set[Term] = set()
+            for parent in ancestors:
+                parent_ancestors = closure.get(parent)
+                if parent_ancestors is not None:
+                    additions |= parent_ancestors
+            if not additions <= ancestors:
+                ancestors |= additions
+                changed = True
     return closure
 
 

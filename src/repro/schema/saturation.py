@@ -22,14 +22,15 @@ following the paper's formal treatment — see :class:`repro.model.triple.Triple
 
 from __future__ import annotations
 
-from typing import Optional
+import weakref
+from typing import Dict, Optional, Tuple
 
 from repro.model.graph import RDFGraph
 from repro.model.namespaces import RDF_TYPE
 from repro.model.triple import Triple
 from repro.schema.rdfs import RDFSchema
 
-__all__ = ["saturate", "is_saturated", "entails"]
+__all__ = ["saturate", "saturate_cached", "is_saturated", "entails"]
 
 
 def saturate(graph: RDFGraph, schema: Optional[RDFSchema] = None, name: str = "") -> RDFGraph:
@@ -81,6 +82,41 @@ def saturate(graph: RDFGraph, schema: Optional[RDFSchema] = None, name: str = ""
         for super_class in schema.superclasses(triple.object):
             result.add(Triple(triple.subject, RDF_TYPE, super_class))
 
+    return result
+
+
+#: ``id(graph) -> (graph_version, saturated_graph)``.  Entries are evicted by
+#: a ``weakref.finalize`` hook when the source graph is collected, so the
+#: cache never resurrects a stale id; the version check catches mutation.
+_SATURATION_CACHE: Dict[int, Tuple[int, RDFGraph]] = {}
+
+
+def saturate_cached(graph: RDFGraph, schema: Optional[RDFSchema] = None) -> RDFGraph:
+    """Return ``G∞``, reusing a cached saturation while *graph* is unchanged.
+
+    Workload loops (:func:`repro.queries.evaluation.has_answers` with
+    ``saturated=True``, :func:`repro.core.properties.check_representativeness`,
+    the query service's pruning checks) used to pay a full ``O(|G∞|)``
+    re-saturation per query.  This helper caches the saturation per graph
+    *identity* and invalidates it through :attr:`RDFGraph.version` whenever
+    the graph has been mutated since.  The cached graph is shared — callers
+    must treat it as read-only.
+
+    A caller-supplied *schema* bypasses the cache (the cache key would need
+    to include the schema's identity and mutable schemas are cheap to misuse;
+    explicit-schema saturation stays uncached and exact).
+    """
+    if schema is not None:
+        return saturate(graph, schema=schema)
+    key = id(graph)
+    version = graph.version
+    entry = _SATURATION_CACHE.get(key)
+    if entry is not None and entry[0] == version:
+        return entry[1]
+    result = saturate(graph)
+    if entry is None:
+        weakref.finalize(graph, _SATURATION_CACHE.pop, key, None)
+    _SATURATION_CACHE[key] = (version, result)
     return result
 
 

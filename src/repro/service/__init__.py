@@ -1,0 +1,30 @@
+"""Summary-guarded query service: catalog, encoded evaluation, pruning."""
+
+from repro.service.catalog import CatalogEntry, GraphCatalog
+from repro.service.evaluator import CompiledQuery, EncodedEvaluator, compile_query
+from repro.service.service import QueryAnswer, QueryService, ServiceStatistics
+from repro.service.workload import (
+    ComparisonReport,
+    WorkloadQuery,
+    WorkloadReport,
+    compare_guarded_vs_direct,
+    generate_mixed_workload,
+    run_workload,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "GraphCatalog",
+    "CompiledQuery",
+    "EncodedEvaluator",
+    "compile_query",
+    "QueryAnswer",
+    "QueryService",
+    "ServiceStatistics",
+    "ComparisonReport",
+    "WorkloadQuery",
+    "WorkloadReport",
+    "compare_guarded_vs_direct",
+    "generate_mixed_workload",
+    "run_workload",
+]

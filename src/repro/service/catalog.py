@@ -1,0 +1,255 @@
+"""The :class:`GraphCatalog`: named graphs with cached encoded summaries.
+
+The serving layer keeps each registered graph where the paper's prototype
+keeps it — dictionary-encoded in a :class:`~repro.store.base.TripleStore` —
+and maintains, per graph:
+
+* an :class:`~repro.service.evaluator.EncodedEvaluator` joined directly on
+  the store's integer rows;
+* a live :class:`~repro.core.incremental.IncrementalWeakSummarizer` fed one
+  encoded row per added triple, so the weak summary every query is guarded
+  by stays fresh under updates at the cost of the paper's Algorithms 1-3,
+  never a re-summarization;
+* lazily built, version-invalidated caches of the other summary kinds
+  (rebuilt by the encoded engine on demand) and of the summary graphs'
+  saturations used by pruning.
+
+Freshness is tracked by a per-entry version counter bumped on every
+:meth:`CatalogEntry.add_triples` batch: a cached artifact tagged with an
+older version is silently rebuilt on next access.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.builders import normalize_kind
+from repro.core.encoded import encoded_summarize
+from repro.core.incremental import IncrementalWeakSummarizer
+from repro.core.summary import Summary
+from repro.errors import DuplicateGraphError, UnknownGraphError
+from repro.model.graph import RDFGraph
+from repro.model.triple import Triple, TripleKind
+from repro.model.dictionary import EncodedTriple
+from repro.schema.saturation import saturate, saturate_cached
+from repro.service.evaluator import EncodedEvaluator
+from repro.store.base import TripleStore
+from repro.store.memory import MemoryStore
+
+__all__ = ["CatalogEntry", "GraphCatalog"]
+
+
+class CatalogEntry:
+    """One registered graph: its store, evaluator and summary caches."""
+
+    def __init__(
+        self,
+        name: str,
+        store: TripleStore,
+        loaded_rows: Optional[List[Tuple[TripleKind, EncodedTriple]]] = None,
+    ):
+        self.name = name
+        self.store = store
+        self.evaluator = EncodedEvaluator(store)
+        self.version = 0
+        self._maintainer = IncrementalWeakSummarizer(store)
+        self._summaries: Dict[str, Tuple[int, Summary]] = {}
+        self._saturated_store: Optional[Tuple[int, TripleStore]] = None
+        if loaded_rows is not None:
+            # the registering caller just inserted these rows and already
+            # holds them encoded — skip the store re-scan
+            self._maintainer.ingest_rows(loaded_rows)
+        else:
+            self._prime_from_store()
+
+    def _prime_from_store(self) -> None:
+        """Feed the weak-summary maintainer every row already in the store."""
+        for batch in self.store.scan_batches(TripleKind.DATA):
+            for subject, prop, obj in batch:
+                self._maintainer.ingest_data(subject, prop, obj)
+        for batch in self.store.scan_batches(TripleKind.TYPE):
+            for subject, _prop, class_id in batch:
+                self._maintainer.ingest_type(subject, class_id)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        """Encode and insert *triples*; maintain the weak summary online.
+
+        Triples already present are skipped (on every backend — the store
+        filters against its rows), so re-adding data neither duplicates
+        SQLite rows nor invalidates caches.  Every other cached artifact
+        (non-weak summaries, saturated stores, pruning graphs) is
+        invalidated by the version bump and rebuilt only when next
+        requested.  Returns the number of rows actually inserted.
+        """
+        rows = self.store.insert_triples(triples, skip_existing=True)
+        if not rows:
+            return 0
+        self._maintainer.ingest_rows(rows)
+        self.version += 1
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # summaries and pruning graphs
+    # ------------------------------------------------------------------
+    def summary(self, kind: str = "weak") -> Summary:
+        """The *kind* summary of the graph, served from cache when fresh.
+
+        The weak summary is decoded from the live incremental maps — cost
+        proportional to the summary, not the graph; the other kinds run the
+        encoded engine over the store on first use after a change.
+        """
+        kind = normalize_kind(kind)
+        cached = self._summaries.get(kind)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        if kind == "weak":
+            summary = self._maintainer.snapshot()
+            summary.source_name = self.name
+        else:
+            summary = encoded_summarize(self.store, kind, source_name=self.name)
+        self._summaries[kind] = (self.version, summary)
+        return summary
+
+    def pruning_graph(self, kind: str = "weak", saturated: bool = False) -> RDFGraph:
+        """The summary graph queries are checked against before evaluation.
+
+        With ``saturated=True`` this is ``(H_G)∞`` (what Proposition 1
+        quantifies over); the saturation is cached per summary object via
+        :func:`saturate_cached`, and the summary object itself is cached per
+        version, so repeated queries between updates saturate nothing.
+        """
+        graph = self.summary(kind).graph
+        return saturate_cached(graph) if saturated else graph
+
+    # ------------------------------------------------------------------
+    # saturated evaluation support
+    # ------------------------------------------------------------------
+    def saturated_evaluator(self) -> EncodedEvaluator:
+        """An evaluator over ``G∞``, loaded into its own store and cached.
+
+        Built on first use after a change: the store's triples are decoded,
+        saturated, and re-encoded into a fresh in-memory store (the
+        saturated side is a serving cache, always memory-backed).  This
+        keeps complete (certain-answer) evaluation available without
+        touching the primary store's tables.
+        """
+        cached = self._saturated_store
+        if cached is not None and cached[0] == self.version:
+            return EncodedEvaluator(cached[1])
+        # the stale store is dropped, not closed: evaluators handed out
+        # before the update still wrap it and must keep working; the memory
+        # is reclaimed when the last of them goes away
+        saturated_graph = saturate(self.to_graph())
+        store = MemoryStore()
+        store.load_graph(saturated_graph)
+        self._saturated_store = (self.version, store)
+        return EncodedEvaluator(store)
+
+    # ------------------------------------------------------------------
+    def to_graph(self) -> RDFGraph:
+        """Decode the store back into an :class:`RDFGraph` (fresh object)."""
+        return self.store.to_graph(name=self.name)
+
+    def close(self) -> None:
+        """Release the entry's stores."""
+        if self._saturated_store is not None:
+            self._saturated_store[1].close()
+            self._saturated_store = None
+        self.store.close()
+
+    def __repr__(self):
+        statistics = self.store.statistics()
+        return (
+            f"<CatalogEntry {self.name!r}: {statistics.total_rows} rows, "
+            f"version {self.version}>"
+        )
+
+
+class GraphCatalog:
+    """A registry of named graphs behind the query service.
+
+    Parameters
+    ----------
+    store_factory:
+        Backend constructor used when :meth:`register` is handed a graph
+        rather than a pre-loaded store (``MemoryStore`` by default; pass
+        ``SQLiteStore`` for the relational backend).
+    """
+
+    def __init__(self, store_factory: Callable[[], TripleStore] = MemoryStore):
+        self._store_factory = store_factory
+        self._entries: Dict[str, CatalogEntry] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        graph: Optional[RDFGraph] = None,
+        store: Optional[TripleStore] = None,
+    ) -> CatalogEntry:
+        """Register a graph under *name* and return its entry.
+
+        Exactly one of *graph* (loaded into a fresh backend) or *store* (an
+        already-loaded :class:`TripleStore`, adopted as-is) must be given.
+        """
+        if name in self._entries:
+            raise DuplicateGraphError(f"graph {name!r} is already registered")
+        if (graph is None) == (store is None):
+            raise ValueError("register() needs exactly one of graph= or store=")
+        loaded_rows = None
+        if store is None:
+            store = self._store_factory()
+            loaded_rows = store.insert_triples(graph)
+        entry = CatalogEntry(name, store, loaded_rows=loaded_rows)
+        self._entries[name] = entry
+        return entry
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The entry registered under *name*."""
+        entry = self._entries.get(name)
+        if entry is None:
+            known = ", ".join(sorted(self._entries)) or "none"
+            raise UnknownGraphError(f"unknown graph {name!r} (registered: {known})")
+        return entry
+
+    def drop(self, name: str) -> None:
+        """Unregister *name* and close its stores."""
+        self.entry(name).close()
+        del self._entries[name]
+
+    def names(self) -> List[str]:
+        """Registered graph names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # conveniences forwarding to the entry
+    # ------------------------------------------------------------------
+    def add_triples(self, name: str, triples: Iterable[Triple]) -> int:
+        """Add triples to the named graph (see :meth:`CatalogEntry.add_triples`)."""
+        return self.entry(name).add_triples(triples)
+
+    def summary(self, name: str, kind: str = "weak") -> Summary:
+        """The cached *kind* summary of the named graph."""
+        return self.entry(name).summary(kind)
+
+    def close(self) -> None:
+        """Close every registered entry."""
+        for entry in self._entries.values():
+            entry.close()
+        self._entries.clear()
+
+    def __enter__(self) -> "GraphCatalog":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False

@@ -1,0 +1,251 @@
+"""Encoded BGP evaluation over a :class:`~repro.store.base.TripleStore`.
+
+The paper's prototype answers queries where the data lives: dictionary-
+encoded integer triples in relational tables (Section 6).  This module
+brings BGP evaluation to that substrate, mirroring the join strategy of the
+``Term``-object evaluator (:mod:`repro.queries.evaluation`) — greedy
+most-bound-first ordering driving an index-nested-loop join — but with
+every comparison an integer comparison and every probe a
+:meth:`TripleStore.select` against the backend's indexes.
+
+Compilation (:func:`compile_query`) lowers a :class:`BGPQuery` to term ids
+through the store dictionary once, up front.  A constant that fails to
+encode — a URI or literal the store has never seen — proves the query empty
+on this store before any row is touched; the compiled form records the
+missing term and evaluation returns immediately.  This is the cheapest of
+the service's pruning levels and needs no summary at all.
+
+Routing exploits the three-table layout: a pattern whose property is
+``rdf:type`` only ever matches the type table, a pattern carrying one of the
+four RDFS constraint properties only the schema table, every other constant
+property only the data table.  Patterns with a variable property (legal in
+general BGP, excluded from RBGP) chain all three tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import UnknownTermError
+from repro.model.dictionary import Dictionary
+from repro.model.namespaces import is_schema_property, is_type_property
+from repro.model.terms import Term
+from repro.model.triple import TripleKind
+from repro.queries.bgp import BGPQuery, Variable
+from repro.store.base import TripleStore
+
+__all__ = ["CompiledPattern", "CompiledQuery", "EncodedEvaluator", "compile_query"]
+
+_ALL_TABLES = (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA)
+
+
+class CompiledPattern:
+    """One triple pattern lowered to integers.
+
+    Each position is a term id (``>= 0``) for a constant, or ``-(slot + 1)``
+    for the variable assigned to binding *slot* — the sign carries the
+    var/constant distinction without boxing, keeping the inner join loop on
+    plain ``int`` comparisons.
+    """
+
+    __slots__ = ("subject", "predicate", "object", "tables")
+
+    def __init__(self, subject: int, predicate: int, obj: int, tables: Tuple[TripleKind, ...]):
+        self.subject = subject
+        self.predicate = predicate
+        self.object = obj
+        self.tables = tables
+
+    def bound_count(self, bound_slots: Set[int]) -> int:
+        """Positions that are constants or already-bound variables."""
+        count = 0
+        for spec in (self.subject, self.predicate, self.object):
+            if spec >= 0 or -spec - 1 in bound_slots:
+                count += 1
+        return count
+
+    def slots(self) -> Set[int]:
+        """The variable slots occurring in the pattern."""
+        return {-spec - 1 for spec in (self.subject, self.predicate, self.object) if spec < 0}
+
+    def __repr__(self):
+        return f"CompiledPattern({self.subject}, {self.predicate}, {self.object})"
+
+
+class CompiledQuery:
+    """A :class:`BGPQuery` lowered against one store dictionary.
+
+    ``unsatisfiable_term`` is the first constant of the query that the
+    dictionary does not know, when there is one — the *dictionary miss* fast
+    path: such a query has no answer on the store, whatever the data says.
+    A compiled query is only valid against the dictionary it was compiled
+    with (ids are store-local).
+    """
+
+    __slots__ = ("query", "patterns", "head_slots", "variable_count", "unsatisfiable_term")
+
+    def __init__(
+        self,
+        query: BGPQuery,
+        patterns: Sequence[CompiledPattern],
+        head_slots: Tuple[int, ...],
+        variable_count: int,
+        unsatisfiable_term: Optional[Term] = None,
+    ):
+        self.query = query
+        self.patterns = list(patterns)
+        self.head_slots = head_slots
+        self.variable_count = variable_count
+        self.unsatisfiable_term = unsatisfiable_term
+
+    @property
+    def trivially_empty(self) -> bool:
+        """``True`` when a constant failed to encode (instant empty answer)."""
+        return self.unsatisfiable_term is not None
+
+    def __repr__(self):
+        state = f"empty: {self.unsatisfiable_term!r}" if self.trivially_empty else "ready"
+        return f"<CompiledQuery {len(self.patterns)} patterns, {state}>"
+
+
+def _tables_for(predicate) -> Tuple[TripleKind, ...]:
+    """The store tables a pattern with this property term can match."""
+    if isinstance(predicate, Variable):
+        return _ALL_TABLES
+    if is_type_property(predicate):
+        return (TripleKind.TYPE,)
+    if is_schema_property(predicate):
+        return (TripleKind.SCHEMA,)
+    return (TripleKind.DATA,)
+
+
+def compile_query(query: BGPQuery, dictionary: Dictionary) -> CompiledQuery:
+    """Lower *query* to term ids via *dictionary* (constants encoded once)."""
+    slot_of: Dict[str, int] = {}
+
+    def slot(variable: Variable) -> int:
+        return slot_of.setdefault(variable.name, len(slot_of))
+
+    patterns: List[CompiledPattern] = []
+    missing: Optional[Term] = None
+    for pattern in query.patterns:
+        specs: List[int] = []
+        for term in pattern:
+            if isinstance(term, Variable):
+                specs.append(-(slot(term) + 1))
+            elif missing is None:
+                try:
+                    specs.append(dictionary.encode_existing(term))
+                except UnknownTermError:
+                    missing = term
+                    specs.append(0)
+            else:
+                specs.append(0)
+        patterns.append(CompiledPattern(specs[0], specs[1], specs[2], _tables_for(pattern.predicate)))
+    head_slots = tuple(slot(variable) for variable in query.head)
+    if missing is not None:
+        return CompiledQuery(query, (), head_slots, len(slot_of), unsatisfiable_term=missing)
+    return CompiledQuery(query, patterns, head_slots, len(slot_of))
+
+
+def _order_patterns(patterns: Sequence[CompiledPattern]) -> List[CompiledPattern]:
+    """Greedy join ordering: repeatedly pick the most-bound remaining pattern."""
+    remaining = list(patterns)
+    ordered: List[CompiledPattern] = []
+    bound: Set[int] = set()
+    while remaining:
+        best = max(remaining, key=lambda p: (p.bound_count(bound), -len(p.slots())))
+        ordered.append(best)
+        remaining.remove(best)
+        bound |= best.slots()
+    return ordered
+
+
+class EncodedEvaluator:
+    """BGP evaluation over the encoded rows of one :class:`TripleStore`."""
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    def compile(self, query: BGPQuery) -> CompiledQuery:
+        """Compile *query* against this store's dictionary."""
+        return compile_query(query, self.store.dictionary)
+
+    def _compiled(self, query) -> CompiledQuery:
+        return query if isinstance(query, CompiledQuery) else self.compile(query)
+
+    # ------------------------------------------------------------------
+    def iter_embeddings(self, query) -> Iterator[Tuple[int, ...]]:
+        """Yield every embedding as a tuple of term ids, one per var slot.
+
+        Accepts a :class:`BGPQuery` or a pre-compiled query.  The join is an
+        index-nested-loop over :meth:`TripleStore.select`: at each level the
+        already-bound positions are pushed into the select, so the backend's
+        per-column indexes do the candidate filtering.
+        """
+        compiled = self._compiled(query)
+        if compiled.trivially_empty:
+            return
+        ordered = _order_patterns(compiled.patterns)
+        select = self.store.select
+        bindings: List[Optional[int]] = [None] * compiled.variable_count
+        depth = len(ordered)
+
+        def recurse(index: int) -> Iterator[Tuple[int, ...]]:
+            if index == depth:
+                yield tuple(bindings)  # type: ignore[arg-type]
+                return
+            pattern = ordered[index]
+            s_spec, p_spec, o_spec = pattern.subject, pattern.predicate, pattern.object
+            subject = s_spec if s_spec >= 0 else bindings[-s_spec - 1]
+            predicate = p_spec if p_spec >= 0 else bindings[-p_spec - 1]
+            obj = o_spec if o_spec >= 0 else bindings[-o_spec - 1]
+            for kind in pattern.tables:
+                for row in select(kind, subject, predicate, obj):
+                    touched: List[int] = []
+                    consistent = True
+                    for spec, value in ((s_spec, row[0]), (p_spec, row[1]), (o_spec, row[2])):
+                        if spec < 0:
+                            slot = -spec - 1
+                            bound = bindings[slot]
+                            if bound is None:
+                                bindings[slot] = value
+                                touched.append(slot)
+                            elif bound != value:
+                                # same variable twice in one pattern with two
+                                # different row values
+                                consistent = False
+                                break
+                    if consistent:
+                        yield from recurse(index + 1)
+                    for slot in touched:
+                        bindings[slot] = None
+
+        yield from recurse(0)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, query, limit: Optional[int] = None) -> Set[Tuple[Term, ...]]:
+        """Distinct decoded answer tuples (head projections of embeddings).
+
+        Matches the semantics of :func:`repro.queries.evaluation.evaluate`:
+        a boolean query answers ``{()}`` or ``set()``.
+        """
+        compiled = self._compiled(query)
+        decode = self.store.dictionary.decode
+        head = compiled.head_slots
+        answers: Set[Tuple[Term, ...]] = set()
+        for binding in self.iter_embeddings(compiled):
+            answers.add(tuple(decode(binding[slot]) for slot in head))
+            if limit is not None and len(answers) >= limit:
+                break
+        return answers
+
+    def has_answers(self, query) -> bool:
+        """``True`` when the query has at least one embedding on the store."""
+        for _ in self.iter_embeddings(query):
+            return True
+        return False
+
+    def count_answers(self, query) -> int:
+        """Number of distinct answer tuples on the store."""
+        return len(self.evaluate(query))

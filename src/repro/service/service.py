@@ -1,0 +1,250 @@
+"""The :class:`QueryService`: summary-guarded query answering.
+
+Proposition 1 makes summaries *representative*: an RBGP query with answers
+on ``G∞`` has answers on the summary's saturation.  The contrapositive is a
+server-side guard — if the (tiny) summary rejects the query, the (huge)
+graph certainly has no answer and base evaluation is skipped entirely.  The
+service runs that guard in front of every eligible query:
+
+1. **dictionary miss** — a constant the store never saw compiles to an
+   instant empty answer (no summary, no rows);
+2. **summary miss** — the query has no embedding on the (possibly
+   saturated) summary graph; the base graph is provably answer-free;
+3. **base evaluation** — only queries surviving both guards reach the
+   encoded evaluator on the full store.
+
+Soundness of step 2 rests on the quotient homomorphism: every embedding of
+an RBGP query into ``G`` composes with ``rd`` into an embedding into
+``H_G`` (and, saturated, on Proposition 1), so a summary miss can never
+hide a real answer.  The guard therefore only fires for queries where the
+argument applies: RBGP queries (Definition 3) without schema-property
+patterns, on the well-behaved graphs the paper assumes.  Everything else —
+constants in node positions, variable properties, schema lookups — skips
+straight to step 3 and is answered exactly, just without the shortcut.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.builders import normalize_kind
+from repro.model.namespaces import is_schema_property
+from repro.model.terms import Term
+from repro.queries.bgp import BGPQuery
+from repro.queries.evaluation import has_answers
+from repro.service.catalog import GraphCatalog
+
+__all__ = ["QueryAnswer", "QueryService", "ServiceStatistics"]
+
+
+class QueryAnswer:
+    """The outcome of one :meth:`QueryService.answer` call."""
+
+    __slots__ = (
+        "query",
+        "graph_name",
+        "kind",
+        "answers",
+        "pruned",
+        "prunable",
+        "guard_seconds",
+        "evaluation_seconds",
+    )
+
+    def __init__(
+        self,
+        query: BGPQuery,
+        graph_name: str,
+        kind: str,
+        answers: Set[Tuple[Term, ...]],
+        pruned: bool,
+        prunable: bool,
+        guard_seconds: float,
+        evaluation_seconds: float,
+    ):
+        self.query = query
+        self.graph_name = graph_name
+        self.kind = kind
+        self.answers = answers
+        #: ``True`` when the summary (or dictionary) guard proved the query
+        #: empty and base evaluation was skipped.
+        self.pruned = pruned
+        #: ``True`` when the query was eligible for the summary guard at all.
+        self.prunable = prunable
+        self.guard_seconds = guard_seconds
+        self.evaluation_seconds = evaluation_seconds
+
+    @property
+    def empty(self) -> bool:
+        """``True`` when the query has no answer."""
+        return not self.answers
+
+    @property
+    def total_seconds(self) -> float:
+        return self.guard_seconds + self.evaluation_seconds
+
+    def __repr__(self):
+        state = "pruned" if self.pruned else f"{len(self.answers)} answers"
+        return f"<QueryAnswer {self.query.name or 'query'!s} on {self.graph_name!r}: {state}>"
+
+
+class ServiceStatistics:
+    """Running counters of a :class:`QueryService` (per-query pruning/timing)."""
+
+    __slots__ = (
+        "queries",
+        "pruned",
+        "evaluated",
+        "unprunable",
+        "guard_seconds",
+        "evaluation_seconds",
+    )
+
+    def __init__(self):
+        self.queries = 0
+        self.pruned = 0
+        self.evaluated = 0
+        self.unprunable = 0
+        self.guard_seconds = 0.0
+        self.evaluation_seconds = 0.0
+
+    def record(self, answer: QueryAnswer) -> None:
+        self.queries += 1
+        if answer.pruned:
+            self.pruned += 1
+        else:
+            self.evaluated += 1
+        if not answer.prunable:
+            self.unprunable += 1
+        self.guard_seconds += answer.guard_seconds
+        self.evaluation_seconds += answer.evaluation_seconds
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of queries the guard answered without base evaluation."""
+        return self.pruned / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "queries": self.queries,
+            "pruned": self.pruned,
+            "evaluated": self.evaluated,
+            "unprunable": self.unprunable,
+            "pruning_rate": self.pruning_rate,
+            "guard_seconds": self.guard_seconds,
+            "evaluation_seconds": self.evaluation_seconds,
+        }
+
+    def __repr__(self):
+        return (
+            f"ServiceStatistics(queries={self.queries}, pruned={self.pruned}, "
+            f"evaluated={self.evaluated})"
+        )
+
+
+def _guard_applies(query: BGPQuery) -> bool:
+    """Whether the summary guard is sound for *query*.
+
+    RBGP membership gives the homomorphism/Proposition-1 argument; the extra
+    schema-pattern exclusion keeps the guard conservative on inputs that
+    violate the paper's well-behavedness assumption (a schema pattern's
+    join variable could name a class node that also carries data edges
+    there).
+    """
+    if not query.is_rbgp():
+        return False
+    return all(not is_schema_property(pattern.predicate) for pattern in query.patterns)
+
+
+class QueryService:
+    """Answers BGP queries over catalog graphs, summary guard first.
+
+    Parameters
+    ----------
+    catalog:
+        The :class:`GraphCatalog` holding the registered graphs.
+    kind:
+        Summary kind(s) used for the guard: one of the five names, a
+        ``"+"``-joined cascade such as ``"weak+strong"``, or a sequence of
+        names.  A cascade checks the summaries in order and prunes on the
+        first rejection — each kind is a sound over-approximation on its
+        own, so any rejection proves emptiness, and a sharper (larger)
+        summary behind a coarser (smaller) one catches joins the coarser
+        one over-merges while keeping the common case one tiny check.
+    prune:
+        ``False`` disables the summary guard entirely — every query runs
+        base evaluation.  The dictionary-miss fast path stays on (it is part
+        of compilation, not of the guard).
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        kind: Union[str, Sequence[str]] = "weak",
+        prune: bool = True,
+    ):
+        self.catalog = catalog
+        if isinstance(kind, str):
+            parts = [part.strip() for part in kind.split("+") if part.strip()]
+        else:
+            parts = list(kind)
+        self.kinds: Tuple[str, ...] = tuple(normalize_kind(part) for part in parts)
+        if not self.kinds:
+            raise ValueError("the guard needs at least one summary kind")
+        self.kind = "+".join(self.kinds)
+        self.prune = prune
+        self.statistics = ServiceStatistics()
+
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        graph_name: str,
+        query: BGPQuery,
+        limit: Optional[int] = None,
+        saturated: bool = False,
+    ) -> QueryAnswer:
+        """Answer *query* on the named graph, guard first.
+
+        With ``saturated=True`` answers are computed over ``G∞`` (certain
+        answers, the paper's query semantics) and the guard checks the
+        summary's saturation as Proposition 1 requires; the default answers
+        over the explicit triples, guarded by the plain summary.
+        """
+        entry = self.catalog.entry(graph_name)
+        prunable = self.prune and _guard_applies(query)
+
+        guard_start = perf_counter()
+        pruned = False
+        if prunable:
+            for guard_kind in self.kinds:
+                pruning_graph = entry.pruning_graph(guard_kind, saturated=saturated)
+                if not has_answers(pruning_graph, query):
+                    pruned = True
+                    break
+        guard_seconds = perf_counter() - guard_start
+
+        answers: Set[Tuple[Term, ...]] = set()
+        evaluation_seconds = 0.0
+        if not pruned:
+            evaluator = entry.saturated_evaluator() if saturated else entry.evaluator
+            evaluation_start = perf_counter()
+            answers = evaluator.evaluate(query, limit=limit)
+            evaluation_seconds = perf_counter() - evaluation_start
+
+        result = QueryAnswer(
+            query=query,
+            graph_name=graph_name,
+            kind=self.kind,
+            answers=answers,
+            pruned=pruned,
+            prunable=prunable,
+            guard_seconds=guard_seconds,
+            evaluation_seconds=evaluation_seconds,
+        )
+        self.statistics.record(result)
+        return result
+
+    def has_answers(self, graph_name: str, query: BGPQuery, saturated: bool = False) -> bool:
+        """Boolean form of :meth:`answer` (stops at the first embedding)."""
+        return not self.answer(graph_name, query, limit=1, saturated=saturated).empty

@@ -14,7 +14,7 @@ summarization algorithms can run against any backend:
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.model.dictionary import Dictionary, EncodedTriple
 from repro.model.graph import RDFGraph
@@ -66,18 +66,72 @@ class TripleStore(abc.ABC):
     # ------------------------------------------------------------------
     def load_graph(self, graph: RDFGraph) -> int:
         """Encode and load every triple of *graph*; return the row count."""
-        count = 0
-        batch: List[Tuple[TripleKind, EncodedTriple]] = []
-        for triple in graph:
-            encoded = self.dictionary.encode_triple(triple)
-            batch.append((triple.kind, encoded))
-            count += 1
-        self._insert_rows(batch)
-        return count
+        return len(self.insert_triples(graph))
 
     def load_triples(self, triples: Iterable[Triple]) -> int:
         """Encode and load an arbitrary iterable of triples."""
         return self.load_graph(RDFGraph(triples))
+
+    def insert_triples(
+        self, triples: Iterable[Triple], skip_existing: bool = False
+    ) -> List[Tuple[TripleKind, EncodedTriple]]:
+        """Encode *triples* in one batched pass, insert them, return the rows.
+
+        The returned ``(kind, encoded_row)`` list (input order) lets callers
+        that maintain derived state — e.g. the incremental weak-summary
+        maintenance of :class:`repro.service.catalog.GraphCatalog` — consume
+        the freshly assigned ids without re-encoding.
+
+        With ``skip_existing=False`` (the bulk-load default) callers are
+        expected not to hand in triples already present: backends may or may
+        not deduplicate (:class:`~repro.store.memory.MemoryStore` does, the
+        SQLite backend inserts plain rows).  ``skip_existing=True`` filters
+        both within the batch and against the stored rows (one indexed
+        ``select`` probe per triple) and returns only the rows actually
+        inserted — the contract incremental updaters need.
+        """
+        triple_list = triples if isinstance(triples, (list, tuple)) else list(triples)
+        encoded = self.dictionary.encode_triples(triple_list)
+        rows: List[Tuple[TripleKind, EncodedTriple]] = [
+            (triple.kind, row) for triple, row in zip(triple_list, encoded)
+        ]
+        if skip_existing:
+            by_kind: Dict[TripleKind, List[EncodedTriple]] = {}
+            for kind, row in rows:
+                by_kind.setdefault(kind, []).append(row)
+            existing = {
+                kind: self._existing_rows(kind, kind_rows)
+                for kind, kind_rows in by_kind.items()
+            }
+            fresh: List[Tuple[TripleKind, EncodedTriple]] = []
+            batch_seen = set()
+            for kind, row in rows:
+                key = (kind, row[0], row[1], row[2])
+                if key in batch_seen:
+                    continue
+                if (row[0], row[1], row[2]) in existing[kind]:
+                    continue
+                batch_seen.add(key)
+                fresh.append((kind, row))
+            rows = fresh
+        self._insert_rows(rows)
+        return rows
+
+    def _existing_rows(
+        self, kind: TripleKind, rows: List[EncodedTriple]
+    ) -> "set[Tuple[int, int, int]]":
+        """Which of *rows* the *kind* table already holds.
+
+        The default probes the per-row ``select`` path; backends with a real
+        query engine override this with one batched statement (the SQLite
+        store does), so :meth:`insert_triples` deduplication stays O(1)
+        round-trips per batch instead of per triple.
+        """
+        present = set()
+        for row in rows:
+            if next(iter(self.select(kind, row[0], row[1], row[2])), None) is not None:
+                present.add((row[0], row[1], row[2]))
+        return present
 
     @abc.abstractmethod
     def _insert_rows(self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]) -> None:

@@ -161,6 +161,33 @@ class SQLiteStore(TripleStore):
         for row_subject, row_predicate, row_object in cursor:
             yield EncodedTriple(row_subject, row_predicate, row_object)
 
+    def _existing_rows(self, kind: TripleKind, rows):
+        """Batched existence check: one row-value ``IN`` query per chunk.
+
+        Chunks stay under SQLite's default 999-parameter limit (3 parameters
+        per triple), so a 10k-triple dedup costs ~31 statements instead of
+        10k single-row probes.  Row-value syntax needs SQLite >= 3.15; older
+        linked libraries fall back to the base per-row probes.
+        """
+        if sqlite3.sqlite_version_info < (3, 15, 0):
+            return super()._existing_rows(kind, rows)
+        table = _TABLE_FOR_KIND[kind]
+        connection = self._conn()
+        present = set()
+        chunk_size = 300
+        for start in range(0, len(rows), chunk_size):
+            chunk = rows[start : start + chunk_size]
+            placeholders = ", ".join("(?, ?, ?)" for _ in chunk)
+            parameters: List[int] = []
+            for row in chunk:
+                parameters.extend((row[0], row[1], row[2]))
+            cursor = connection.execute(
+                f"SELECT s, p, o FROM {table} WHERE (s, p, o) IN (VALUES {placeholders})",
+                parameters,
+            )
+            present.update((s, p, o) for s, p, o in cursor)
+        return present
+
     def count(self, kind: TripleKind) -> int:
         cursor = self._conn().execute(f"SELECT COUNT(*) FROM {_TABLE_FOR_KIND[kind]}")
         return int(cursor.fetchone()[0])

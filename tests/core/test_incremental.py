@@ -88,3 +88,48 @@ class TestAlgorithmInvariants:
         with MemoryStore() as store:
             summary = incremental_weak_summary(store)
         assert len(summary.graph) == 0
+
+
+class TestOnlineIngestion:
+    """ingest_data / ingest_type in arbitrary arrival order + snapshot."""
+
+    def _ingest_shuffled(self, graph, seed):
+        import random
+
+        store = MemoryStore()
+        rows = store.insert_triples(sorted(graph))
+        random.Random(seed).shuffle(rows)
+        summarizer = IncrementalWeakSummarizer(store)
+        summarizer.ingest_rows(rows)
+        return summarizer
+
+    def test_snapshot_matches_batch_build_any_order(self, fig2):
+        declarative = weak_summary(fig2)
+        for seed in (0, 5, 9):
+            summarizer = self._ingest_shuffled(fig2, seed)
+            assert graphs_isomorphic(summarizer.snapshot().graph, declarative.graph)
+
+    def test_types_before_data_promotes_resources(self, fig2):
+        # feed every type row first, then the data rows: resources first
+        # parked in the typed-only buffer must end on proper data nodes
+        store = MemoryStore()
+        rows = store.insert_triples(sorted(fig2))
+        types_first = [r for r in rows if r[0].name == "TYPE"] + [
+            r for r in rows if r[0].name != "TYPE"
+        ]
+        summarizer = IncrementalWeakSummarizer(store)
+        summarizer.ingest_rows(types_first)
+        declarative = weak_summary(fig2)
+        assert graphs_isomorphic(summarizer.snapshot().graph, declarative.graph)
+
+    def test_snapshot_does_not_mutate_state(self, bibliography_small):
+        store = MemoryStore()
+        rows = store.insert_triples(sorted(bibliography_small))
+        summarizer = IncrementalWeakSummarizer(store)
+        half = len(rows) // 2
+        summarizer.ingest_rows(rows[:half])
+        first = summarizer.snapshot()
+        assert graphs_isomorphic(summarizer.snapshot().graph, first.graph)
+        summarizer.ingest_rows(rows[half:])
+        declarative = weak_summary(bibliography_small)
+        assert graphs_isomorphic(summarizer.snapshot().graph, declarative.graph)

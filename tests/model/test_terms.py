@@ -122,3 +122,26 @@ class TestPredicates:
     def test_sort_key_rejects_non_terms(self):
         with pytest.raises(TypeError):
             term_sort_key("not a term")
+
+
+class TestHashMemoization:
+    """Terms memoize their hash (hot path of dictionary encoding)."""
+
+    def test_equal_terms_hash_equal(self):
+        assert hash(URI("http://e/a")) == hash(URI("http://e/a"))
+        assert hash(Literal("v", datatype=URI("http://e/t"))) == hash(
+            Literal("v", datatype=URI("http://e/t"))
+        )
+        assert hash(BlankNode("b")) == hash(BlankNode("b"))
+
+    def test_distinct_kinds_hash_differently(self):
+        # a URI and a literal with the same lexical form must not collide
+        assert hash(URI("x")) != hash(Literal("x"))
+
+    def test_memoized_hash_is_stable(self):
+        term = URI("http://e/stable")
+        assert hash(term) == hash(term) == term._hash
+
+    def test_terms_usable_as_dict_keys_across_instances(self):
+        mapping = {URI("http://e/k"): 1}
+        assert mapping[URI("http://e/k")] == 1

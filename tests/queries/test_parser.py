@@ -84,6 +84,67 @@ class TestErrors:
             parse_query("SELECT WHERE { ?x <http://e/p> ?y }")
 
 
+class TestEdgeCases:
+    def test_dots_inside_uris_do_not_split_patterns(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x <http://www.w3.org/ns/prop.v1> ?y . ?y <http://e/q> ?z }"
+        )
+        assert len(query.patterns) == 2
+        assert query.patterns[0].predicate == URI("http://www.w3.org/ns/prop.v1")
+
+    def test_escaped_quote_inside_literal(self):
+        query = parse_query(r'SELECT ?x WHERE { ?x <http://e/says> "he said \"hi\"" }')
+        assert query.patterns[0].object == Literal('he said "hi"')
+
+    def test_language_tagged_literal(self):
+        query = parse_query('SELECT ?x WHERE { ?x <http://e/title> "Brumes"@fr }')
+        assert query.patterns[0].object.language == "fr"
+
+    def test_trailing_dot_is_optional(self):
+        with_dot = parse_query("SELECT ?x WHERE { ?x <http://e/p> ?y . }")
+        without = parse_query("SELECT ?x WHERE { ?x <http://e/p> ?y }")
+        assert with_dot.patterns == without.patterns
+
+    def test_newlines_and_tabs_between_terms(self):
+        query = parse_query(
+            "SELECT ?x ?z WHERE {\n\t?x <http://e/p> ?y .\n\t?y <http://e/q> ?z\n}"
+        )
+        assert len(query.patterns) == 2
+
+    def test_blank_node_term(self):
+        query = parse_query("SELECT ?x WHERE { _:b1 <http://e/p> ?x }")
+        from repro.model.terms import BlankNode
+
+        assert query.patterns[0].subject == BlankNode("b1")
+
+    def test_prefix_redeclaration_overrides_default(self):
+        query = parse_query(
+            "PREFIX rdf: <http://other/> SELECT ?x WHERE { ?x rdf:thing ?y }"
+        )
+        assert query.patterns[0].predicate == URI("http://other/thing")
+
+    def test_ask_with_multiple_patterns_and_a_keyword(self):
+        query = parse_query(
+            "PREFIX e: <http://e/> ASK { ?x a e:Book . ?x e:by ?y . ?y a e:Person }"
+        )
+        assert query.is_boolean()
+        assert sum(1 for p in query.patterns if p.predicate == RDF_TYPE) == 2
+
+    def test_select_head_not_in_body_raises(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            parse_query("SELECT ?missing WHERE { ?x <http://e/p> ?y }")
+
+    def test_four_terms_in_pattern_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE { ?x <http://e/p> ?y ?z . }")
+
+    def test_garbage_token_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE { ?x <http://e/p> %%% }")
+
+
 class TestEndToEnd:
     def test_parsed_query_evaluates(self, fig2):
         from repro.queries.evaluation import evaluate

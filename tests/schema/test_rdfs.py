@@ -109,3 +109,31 @@ class TestClosure:
         assert schema.is_empty()
         assert schema.superclasses(EX.Book) == set()
         assert schema.closure_triples() == set()
+
+
+class TestCycleClosure:
+    def test_cycle_members_reach_themselves(self):
+        graph = RDFGraph(
+            [
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.A),
+            ]
+        )
+        schema = RDFSchema.from_graph(graph)
+        # rdfs11 on a cycle entails the self-loops; the old memoized DFS
+        # dropped them for whichever member was visited first
+        assert EX.A in schema.superclasses(EX.A)
+        assert EX.B in schema.superclasses(EX.B)
+
+    def test_saturation_idempotent_on_cycles(self):
+        from repro.schema.saturation import saturate
+
+        graph = RDFGraph(
+            [
+                Triple(EX.C0, RDFS_SUBCLASSOF, EX.C1),
+                Triple(EX.C1, RDFS_SUBCLASSOF, EX.C2),
+                Triple(EX.C2, RDFS_SUBCLASSOF, EX.C0),
+            ]
+        )
+        once = saturate(graph)
+        assert set(saturate(once)) == set(once)

@@ -145,3 +145,56 @@ class TestFixpointBehaviour:
         assert len(saturated) > len(lubm_small)
         # every original triple survives
         assert set(lubm_small) <= set(saturated)
+
+
+class TestSaturationCache:
+    def test_cached_object_is_reused_while_unchanged(self, book_graph):
+        from repro.schema.saturation import saturate_cached
+
+        first = saturate_cached(book_graph)
+        second = saturate_cached(book_graph)
+        assert first is second
+        assert set(first) == set(saturate(book_graph))
+
+    def test_mutation_invalidates_cache(self, book_graph):
+        from repro.schema.saturation import saturate_cached
+
+        graph = book_graph.copy()
+        first = saturate_cached(graph)
+        graph.add(Triple(EX.doi9, EX.writtenBy, EX.someone))
+        second = saturate_cached(graph)
+        assert second is not first
+        assert Triple(EX.doi9, RDF_TYPE, EX.Book) in second
+
+    def test_add_then_discard_still_invalidates(self, fig2):
+        from repro.schema.saturation import saturate_cached
+
+        graph = fig2.copy()
+        first = saturate_cached(graph)
+        extra = Triple(EX.tmp, EX.p, EX.q)
+        graph.add(extra)
+        graph.discard(extra)
+        # same length as before, but the version counter moved twice
+        assert len(graph) == len(fig2)
+        second = saturate_cached(graph)
+        assert second is not first
+        assert set(second) == set(first)
+
+    def test_explicit_schema_bypasses_cache(self, book_graph):
+        from repro.schema.saturation import saturate_cached
+
+        schema = RDFSchema.from_graph(book_graph)
+        first = saturate_cached(book_graph, schema=schema)
+        second = saturate_cached(book_graph, schema=schema)
+        assert first is not second
+
+    def test_version_counter_tracks_mutations(self, fig2):
+        graph = fig2.copy()
+        before = graph.version
+        triple = Triple(EX.v, EX.p, EX.w)
+        assert graph.add(triple)
+        assert graph.version == before + 1
+        assert not graph.add(triple)  # duplicate: no bump
+        assert graph.version == before + 1
+        assert graph.discard(triple)
+        assert graph.version == before + 2

@@ -1,0 +1,163 @@
+"""Tests for the graph catalog: registration, caching, incremental updates."""
+
+import pytest
+
+from repro.core.builders import summarize
+from repro.core.isomorphism import graphs_isomorphic
+from repro.errors import DuplicateGraphError, UnknownGraphError, UnknownSummaryKindError
+from repro.model.graph import RDFGraph
+from repro.service.catalog import GraphCatalog
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
+
+ALL_KINDS = ("weak", "strong", "type", "typed_weak", "typed_strong")
+
+
+class TestRegistration:
+    def test_register_graph_and_lookup(self, fig2):
+        with GraphCatalog() as catalog:
+            entry = catalog.register("fig2", graph=fig2)
+            assert catalog.entry("fig2") is entry
+            assert "fig2" in catalog
+            assert catalog.names() == ["fig2"]
+
+    def test_register_preloaded_store(self, fig2):
+        store = SQLiteStore()
+        store.load_graph(fig2)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("fig2", store=store)
+            assert entry.store is store
+            assert len(entry.to_graph()) == len(fig2)
+
+    def test_duplicate_name_rejected(self, fig2):
+        with GraphCatalog() as catalog:
+            catalog.register("g", graph=fig2)
+            with pytest.raises(DuplicateGraphError):
+                catalog.register("g", graph=fig2)
+
+    def test_unknown_name_rejected(self):
+        with GraphCatalog() as catalog:
+            with pytest.raises(UnknownGraphError):
+                catalog.entry("missing")
+
+    def test_register_needs_exactly_one_source(self, fig2):
+        store = MemoryStore()
+        with GraphCatalog() as catalog:
+            with pytest.raises(ValueError):
+                catalog.register("g")
+            with pytest.raises(ValueError):
+                catalog.register("g", graph=fig2, store=store)
+
+    def test_drop_closes_and_forgets(self, fig2):
+        with GraphCatalog() as catalog:
+            catalog.register("g", graph=fig2)
+            catalog.drop("g")
+            assert "g" not in catalog
+
+
+class TestSummaryCaching:
+    def test_every_kind_matches_direct_summarization(self, fig2):
+        with GraphCatalog() as catalog:
+            catalog.register("fig2", graph=fig2)
+            for kind in ALL_KINDS:
+                cached = catalog.summary("fig2", kind)
+                direct = summarize(fig2, kind)
+                assert graphs_isomorphic(cached.graph, direct.graph), kind
+
+    def test_summary_is_cached_until_update(self, fig2):
+        with GraphCatalog() as catalog:
+            catalog.register("fig2", graph=fig2)
+            first = catalog.summary("fig2", "strong")
+            assert catalog.summary("fig2", "strong") is first
+
+    def test_kind_aliases_accepted(self, fig2):
+        with GraphCatalog() as catalog:
+            catalog.register("fig2", graph=fig2)
+            assert catalog.summary("fig2", "tw").kind == "typed_weak"
+
+    def test_unknown_kind_rejected(self, fig2):
+        with GraphCatalog() as catalog:
+            catalog.register("fig2", graph=fig2)
+            with pytest.raises(UnknownSummaryKindError):
+                catalog.summary("fig2", "nope")
+
+
+class TestIncrementalUpdates:
+    def test_add_triples_keeps_weak_summary_exact(self, bibliography_small):
+        triples = sorted(bibliography_small)
+        half = len(triples) // 2
+        with GraphCatalog() as catalog:
+            entry = catalog.register("bib", graph=RDFGraph(triples[:half]))
+            entry.add_triples(triples[half:])
+            expected = summarize(RDFGraph(triples), "weak")
+            assert graphs_isomorphic(entry.summary("weak").graph, expected.graph)
+
+    def test_one_by_one_additions_match_batch(self, fig2):
+        triples = sorted(fig2)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(triples[:1]))
+            for triple in triples[1:]:
+                entry.add_triples([triple])
+            expected = summarize(fig2, "weak")
+            assert graphs_isomorphic(entry.summary("weak").graph, expected.graph)
+
+    def test_update_invalidates_other_kinds(self, fig2):
+        triples = sorted(fig2)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(triples[:-2]))
+            stale = entry.summary("strong")
+            entry.add_triples(triples[-2:])
+            fresh = entry.summary("strong")
+            assert fresh is not stale
+            expected = summarize(fig2, "strong")
+            assert graphs_isomorphic(fresh.graph, expected.graph)
+
+    def test_version_bumps_on_update(self, fig2):
+        triples = sorted(fig2)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(triples[:-1]))
+            before = entry.version
+            entry.add_triples(triples[-1:])
+            assert entry.version == before + 1
+
+    @pytest.mark.parametrize("backend", [MemoryStore, SQLiteStore], ids=["memory", "sqlite"])
+    def test_duplicate_adds_are_noops(self, fig2, backend):
+        triples = sorted(fig2)
+        store = backend()
+        store.load_graph(fig2)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", store=store)
+            rows_before = entry.store.statistics().total_rows
+            version_before = entry.version
+            assert entry.add_triples(triples[:3]) == 0
+            assert entry.store.statistics().total_rows == rows_before
+            assert entry.version == version_before
+
+    def test_held_saturated_evaluator_survives_update(self, book_graph):
+        from repro.queries.generator import generate_rbgp_workload
+
+        triples = sorted(book_graph)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(triples[:-1], name="g"))
+            held = entry.saturated_evaluator()
+            query = generate_rbgp_workload(RDFGraph(triples[:-1]), count=1, seed=1)[0]
+            before = held.evaluate(query)
+            entry.add_triples(triples[-1:])
+            fresh = entry.saturated_evaluator()
+            # the evaluator handed out before the update must keep working
+            assert held.evaluate(query) == before
+            assert fresh.has_answers(query) or not before
+
+    def test_shuffled_insertion_orders_converge(self, fig2):
+        import random
+
+        triples = sorted(fig2)
+        expected = summarize(fig2, "weak")
+        for seed in (1, 2, 3):
+            shuffled = list(triples)
+            random.Random(seed).shuffle(shuffled)
+            with GraphCatalog() as catalog:
+                entry = catalog.register("g", graph=RDFGraph(shuffled[:1]))
+                for triple in shuffled[1:]:
+                    entry.add_triples([triple])
+                assert graphs_isomorphic(entry.summary("weak").graph, expected.graph)

@@ -1,0 +1,81 @@
+"""Tests for mixed workload generation and the guarded-vs-direct driver."""
+
+from repro.queries.evaluation import has_answers
+from repro.service.catalog import GraphCatalog
+from repro.service.workload import (
+    compare_guarded_vs_direct,
+    generate_mixed_workload,
+    run_workload,
+)
+from repro.service.service import QueryService
+
+
+class TestMixedWorkloadGeneration:
+    def test_composition_and_ground_truth(self, bibliography_small):
+        workload = generate_mixed_workload(
+            bibliography_small, count=20, unsatisfiable_fraction=0.5, seed=3
+        )
+        assert len(workload) == 20
+        satisfiable = [item for item in workload if item.satisfiable]
+        unsatisfiable = [item for item in workload if not item.satisfiable]
+        assert len(unsatisfiable) == 10
+        for item in satisfiable:
+            assert has_answers(bibliography_small, item.query), item.query
+        for item in unsatisfiable:
+            assert not has_answers(bibliography_small, item.query), item.query
+
+    def test_all_queries_are_rbgp(self, bibliography_small):
+        for item in generate_mixed_workload(bibliography_small, count=16, seed=5):
+            assert item.query.is_rbgp()
+
+    def test_deterministic_for_fixed_seed(self, bibliography_small):
+        first = generate_mixed_workload(bibliography_small, count=14, seed=9)
+        second = generate_mixed_workload(bibliography_small, count=14, seed=9)
+        assert [(str(a.query), a.satisfiable) for a in first] == [
+            (str(b.query), b.satisfiable) for b in second
+        ]
+
+    def test_different_seeds_differ(self, bibliography_small):
+        first = generate_mixed_workload(bibliography_small, count=14, seed=1)
+        second = generate_mixed_workload(bibliography_small, count=14, seed=2)
+        assert [str(a.query) for a in first] != [str(b.query) for b in second]
+
+    def test_unsat_fraction_fallback_on_tiny_graph(self, fig2):
+        # few structural candidates: dictionary misses fill the quota
+        workload = generate_mixed_workload(fig2, count=10, unsatisfiable_fraction=0.8, seed=0)
+        unsatisfiable = [item for item in workload if not item.satisfiable]
+        assert len(unsatisfiable) == 8
+        for item in unsatisfiable:
+            assert not has_answers(fig2, item.query)
+
+
+class TestDrivers:
+    def test_run_workload_is_sound(self, bibliography_small):
+        workload = generate_mixed_workload(bibliography_small, count=16, seed=4)
+        with GraphCatalog() as catalog:
+            catalog.register("bib", graph=bibliography_small)
+            service = QueryService(catalog, kind="weak+strong")
+            report = run_workload(service, "bib", workload)
+            assert report.sound
+            assert report.query_count == 16
+            assert report.pruned >= 1
+
+    def test_compare_guarded_vs_direct_agrees(self, bibliography_small):
+        workload = generate_mixed_workload(bibliography_small, count=16, seed=6)
+        with GraphCatalog() as catalog:
+            catalog.register("bib", graph=bibliography_small)
+            report = compare_guarded_vs_direct(catalog, "bib", workload, kind="weak")
+            assert report.sound
+            assert not report.disagreements
+            assert report.guarded.query_count == 16
+
+    def test_compare_with_answer_limit(self, bibliography_small):
+        workload = generate_mixed_workload(
+            bibliography_small, count=12, seed=7, answer_limit=3, max_embeddings=5000
+        )
+        with GraphCatalog() as catalog:
+            catalog.register("bib", graph=bibliography_small)
+            report = compare_guarded_vs_direct(
+                catalog, "bib", workload, kind="weak+strong", answer_limit=3
+            )
+            assert report.sound

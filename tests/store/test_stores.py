@@ -138,3 +138,44 @@ class TestLifecycle:
         first = store.persist_dictionary()
         second = store.persist_dictionary()
         assert first == second
+
+
+class TestBatchedInsertion:
+    """insert_triples: the batched encode+insert path shared by the catalog."""
+
+    def test_returns_rows_in_input_order(self, fig2):
+        from repro.model.triple import TripleKind
+
+        triples = sorted(fig2)
+        store = MemoryStore()
+        rows = store.insert_triples(triples)
+        assert len(rows) == len(triples)
+        for triple, (kind, row) in zip(triples, rows):
+            assert kind is triple.kind
+            assert store.decode_triple(row) == triple
+
+    def test_load_graph_delegates_to_batch_path(self, fig2):
+        direct = MemoryStore()
+        direct.load_graph(fig2)
+        batched = MemoryStore()
+        batched.insert_triples(sorted(fig2))
+        assert direct.statistics().total_rows == batched.statistics().total_rows
+
+    def test_encode_triples_matches_encode_triple(self, fig2):
+        from repro.model.dictionary import Dictionary
+
+        triples = sorted(fig2)
+        one = Dictionary()
+        rows_single = [one.encode_triple(triple) for triple in triples]
+        many = Dictionary()
+        rows_batch = many.encode_triples(triples)
+        assert rows_single == rows_batch
+
+    def test_incremental_inserts_share_dictionary_ids(self, fig2):
+        triples = sorted(fig2)
+        store = SQLiteStore()
+        store.insert_triples(triples[: len(triples) // 2])
+        before = len(store.dictionary)
+        store.insert_triples(triples[len(triples) // 2 :])
+        assert len(store.dictionary) >= before
+        assert store.count(TripleKind.DATA) == len(fig2.data_triples)

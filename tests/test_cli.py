@@ -74,3 +74,94 @@ class TestOtherCommands:
         output = capsys.readouterr().out
         assert "Figure 11" in output
         assert "Figure 13" in output
+
+
+class TestQueryCommand:
+    def test_single_query_with_answers(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    str(fig2_file),
+                    "--query",
+                    "PREFIX f: <http://example.org/fig2/> SELECT ?x WHERE { ?x f:author ?a }",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "answer(s)" in output
+
+    def test_unsatisfiable_ask_is_pruned(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    str(fig2_file),
+                    "--query",
+                    "ASK { ?x <http://example.org/fig2/cites> ?y }",
+                ]
+            )
+            == 0
+        )
+        assert "pruned" in capsys.readouterr().out
+
+    def test_query_file_input(self, fig2_file, tmp_path, capsys):
+        query_file = tmp_path / "q.rq"
+        query_file.write_text(
+            "PREFIX f: <http://example.org/fig2/> ASK { ?x f:author ?a }"
+        )
+        assert main(["query", str(fig2_file), "--query-file", str(query_file)]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_mixed_term_kinds_in_answers_print(self, tmp_path, capsys):
+        # answers mixing URIs and literals in one column must not crash sorting
+        from repro.model.graph import RDFGraph
+        from repro.model.namespaces import EX
+        from repro.model.terms import Literal
+        from repro.model.triple import Triple
+
+        graph = RDFGraph(
+            [Triple(EX.a, EX.p, EX.b), Triple(EX.c, EX.p, Literal("v"))]
+        )
+        path = tmp_path / "mixed.nt"
+        dump_ntriples(graph, path)
+        assert (
+            main(
+                [
+                    "query",
+                    str(path),
+                    "--query",
+                    "SELECT ?y WHERE { ?x <http://example.org/p> ?y }",
+                ]
+            )
+            == 0
+        )
+        assert "2 answer(s)" in capsys.readouterr().out
+
+    def test_workload_rejects_single_query_flags(self, fig2_file, capsys):
+        assert main(["query", str(fig2_file), "--workload", "4", "--saturated"]) == 2
+        assert main(["query", str(fig2_file), "--workload", "4", "--no-prune"]) == 2
+
+    def test_workload_mode_writes_json(self, fig2_file, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "query",
+                    str(fig2_file),
+                    "--workload",
+                    "8",
+                    "--json",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        report = json.loads(report_path.read_text())
+        assert report["sound"] is True
+        assert report["queries"] == 8

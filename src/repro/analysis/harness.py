@@ -107,6 +107,7 @@ def run_query_service_workload(
     size: int = 2,
     answer_limit: Optional[int] = 100,
     max_embeddings: Optional[int] = 1_000,
+    strategy: str = "hash",
 ) -> Dict[str, object]:
     """Drive a mixed workload through the guarded service; report the gap.
 
@@ -128,12 +129,13 @@ def run_query_service_workload(
             answer_limit=answer_limit,
         )
         report = compare_guarded_vs_direct(
-            catalog, name, workload, kind=kind, answer_limit=answer_limit
+            catalog, name, workload, kind=kind, answer_limit=answer_limit, strategy=strategy
         )
         result: Dict[str, object] = {
             "graph": name,
             "triples": len(graph),
             "kind": kind,
+            "strategy": strategy,
             "answer_limit": answer_limit,
             "satisfiable_queries": sum(1 for item in workload if item.satisfiable),
             "unsatisfiable_queries": sum(1 for item in workload if not item.satisfiable),

@@ -126,6 +126,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="guard summary kind(s); '+'-joined names cascade, e.g. weak+strong",
     )
     query_parser.add_argument(
+        "--strategy",
+        default="hash",
+        choices=["hash", "nested"],
+        help="join strategy of base evaluation: the statistics-planned "
+        "vectorized hash join (default) or the legacy index-nested-loop",
+    )
+    query_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the chosen plan (pattern order, estimated vs actual "
+        "cardinalities, probes) and the guard cascade order",
+    )
+    query_parser.add_argument(
         "--no-prune", action="store_true", help="disable the summary guard"
     )
     query_parser.add_argument(
@@ -230,6 +243,7 @@ def _command_query(args: argparse.Namespace) -> int:
             kind=args.kind,
             seed=args.seed,
             answer_limit=args.limit if args.limit is not None else 100,
+            strategy=args.strategy,
         )
         print(format_query_service_report(report))
         if args.json_output:
@@ -250,13 +264,17 @@ def _command_query(args: argparse.Namespace) -> int:
         # () is the only possible answer tuple — stop at the first embedding
         limit = 1
     with GraphCatalog() as catalog:
-        catalog.register(graph.name, graph=graph)
-        service = QueryService(catalog, kind=args.kind, prune=not args.no_prune)
-        answer = service.answer(graph.name, query, limit=limit, saturated=args.saturated)
+        entry = catalog.register(graph.name, graph=graph)
+        service = QueryService(
+            catalog, kind=args.kind, prune=not args.no_prune, strategy=args.strategy
+        )
+        answer = service.answer(
+            graph.name, query, limit=limit, saturated=args.saturated, explain=args.explain
+        )
         if answer.pruned:
             print(
-                f"pruned by the {args.kind} summary in {answer.guard_seconds*1000:.2f} ms "
-                "(no answers on the graph)"
+                f"pruned by the {answer.pruned_by or args.kind} summary in "
+                f"{answer.guard_seconds*1000:.2f} ms (no answers on the graph)"
             )
         elif query.is_boolean():
             verdict = "yes" if answer.answers else "no"
@@ -274,7 +292,51 @@ def _command_query(args: argparse.Namespace) -> int:
                 print("  " + "\t".join(term.n3() for term in row))
             if len(answer.answers) > 20:
                 print(f"  ... and {len(answer.answers) - 20} more")
+        if args.explain:
+            _print_explain(answer, entry)
     return 0
+
+
+def _print_explain(answer, entry) -> None:
+    """Render the guard cascade and the executed plan of one answer."""
+
+    def guard_size(kind: str) -> str:
+        # report only what the cascade actually materialized — forcing a
+        # summary build just to print its size would undo the lazy
+        # escalation the ordering exists for
+        size = entry.cached_pruning_size(kind)
+        return f"{kind} ({size} edges)" if size is not None else f"{kind} (not built)"
+
+    print(f"\nexplain (strategy: {answer.strategy})")
+    if answer.guard_order:
+        sized = ", ".join(guard_size(kind) for kind in answer.guard_order)
+        print(f"  guard cascade : {sized}")
+        if answer.pruned_by is not None:
+            print(f"  pruned by     : {answer.pruned_by} summary (base evaluation skipped)")
+        else:
+            print("  guard verdict : not prunable by the cascade, evaluated on the base store")
+    else:
+        print("  guard cascade : skipped (query not eligible or pruning disabled)")
+    trace = answer.trace
+    if trace is None or not trace.stages:
+        return
+    cached = "hit" if trace.plan_cached else "miss"
+    if trace.plan_cached is None:
+        print("  plan          :")
+    else:
+        print(f"  plan          : (cache {cached}, {trace.total_probes} probes)")
+    for index, stage in enumerate(trace.stages, start=1):
+        estimated = (
+            "-"
+            if stage.cumulative_estimate is None
+            else f"{stage.cumulative_estimate:,.0f}"
+        )
+        produced = "-" if stage.produced is None else f"{stage.produced:,}"
+        fetched = "-" if stage.fetched is None else f"{stage.fetched:,}"
+        print(
+            f"    {index}. {stage.description}"
+            f"  [est {estimated} rows, fetched {fetched}, actual {produced}]"
+        )
 
 
 _COMMANDS = {

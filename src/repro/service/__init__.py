@@ -1,8 +1,15 @@
-"""Summary-guarded query service: catalog, encoded evaluation, pruning."""
+"""Summary-guarded query service: catalog, planned encoded evaluation, pruning."""
 
 from repro.service.catalog import CatalogEntry, GraphCatalog
-from repro.service.evaluator import CompiledQuery, EncodedEvaluator, compile_query
+from repro.service.evaluator import (
+    STRATEGIES,
+    CompiledQuery,
+    EncodedEvaluator,
+    compile_query,
+)
+from repro.service.planner import ExecutionTrace, QueryPlan, QueryPlanner
 from repro.service.service import QueryAnswer, QueryService, ServiceStatistics
+from repro.service.statistics import CardinalityStatistics, PredicateStatistics
 from repro.service.workload import (
     ComparisonReport,
     WorkloadQuery,
@@ -18,6 +25,12 @@ __all__ = [
     "CompiledQuery",
     "EncodedEvaluator",
     "compile_query",
+    "STRATEGIES",
+    "CardinalityStatistics",
+    "PredicateStatistics",
+    "QueryPlanner",
+    "QueryPlan",
+    "ExecutionTrace",
     "QueryAnswer",
     "QueryService",
     "ServiceStatistics",

@@ -32,7 +32,9 @@ from repro.model.graph import RDFGraph
 from repro.model.triple import Triple, TripleKind
 from repro.model.dictionary import EncodedTriple
 from repro.schema.saturation import saturate, saturate_cached
-from repro.service.evaluator import EncodedEvaluator
+from repro.service.evaluator import STRATEGIES, EncodedEvaluator
+from repro.service.planner import QueryPlanner
+from repro.service.statistics import CardinalityStatistics
 from repro.store.base import TripleStore
 from repro.store.memory import MemoryStore
 
@@ -40,7 +42,7 @@ __all__ = ["CatalogEntry", "GraphCatalog"]
 
 
 class CatalogEntry:
-    """One registered graph: its store, evaluator and summary caches."""
+    """One registered graph: its store, evaluators, statistics and caches."""
 
     def __init__(
         self,
@@ -50,11 +52,14 @@ class CatalogEntry:
     ):
         self.name = name
         self.store = store
-        self.evaluator = EncodedEvaluator(store)
         self.version = 0
         self._maintainer = IncrementalWeakSummarizer(store)
         self._summaries: Dict[str, Tuple[int, Summary]] = {}
-        self._saturated_store: Optional[Tuple[int, TripleStore]] = None
+        self._saturated: Optional[Tuple[int, TripleStore, Dict[str, EncodedEvaluator]]] = None
+        self._statistics: Optional[Tuple[int, CardinalityStatistics]] = None
+        self._planner: Optional[Tuple[int, QueryPlanner]] = None
+        self._evaluators: Dict[str, EncodedEvaluator] = {}
+        self.evaluator = self.evaluator_for("hash")
         if loaded_rows is not None:
             # the registering caller just inserted these rows and already
             # holds them encoded — skip the store re-scan
@@ -79,17 +84,72 @@ class CatalogEntry:
 
         Triples already present are skipped (on every backend — the store
         filters against its rows), so re-adding data neither duplicates
-        SQLite rows nor invalidates caches.  Every other cached artifact
-        (non-weak summaries, saturated stores, pruning graphs) is
-        invalidated by the version bump and rebuilt only when next
-        requested.  Returns the number of rows actually inserted.
+        SQLite rows nor invalidates caches.  The cardinality statistics are
+        refreshed in the same breath as the summary caches: the freshly
+        inserted rows are folded into the live profile (exact — the profile
+        keeps distinct-id sets) and re-tagged with the new version, so the
+        planner's estimates never lag an incremental ingest.  Every other
+        cached artifact (non-weak summaries, saturated stores, pruning
+        graphs, plan caches) is invalidated by the version bump and rebuilt
+        only when next requested.  Returns the number of rows actually
+        inserted.
         """
         rows = self.store.insert_triples(triples, skip_existing=True)
         if not rows:
             return 0
         self._maintainer.ingest_rows(rows)
         self.version += 1
+        if self._statistics is not None:
+            statistics = self._statistics[1]
+            statistics.ingest_rows(rows)
+            self._statistics = (self.version, statistics)
         return len(rows)
+
+    # ------------------------------------------------------------------
+    # statistics, planning and evaluators
+    # ------------------------------------------------------------------
+    def statistics_index(self) -> CardinalityStatistics:
+        """The store's cardinality profile, version-fresh.
+
+        Built in one scan pass on first use; kept fresh *incrementally* by
+        :meth:`add_triples` afterwards (never re-scanned).
+        """
+        cached = self._statistics
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        statistics = CardinalityStatistics.from_store(self.store)
+        self._statistics = (self.version, statistics)
+        return statistics
+
+    def planner(self) -> QueryPlanner:
+        """The entry's query planner, rebuilt (with an empty plan cache)
+        whenever the statistics version moves — cached plans can never
+        carry stale estimates."""
+        cached = self._planner
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        planner = QueryPlanner(self.statistics_index())
+        self._planner = (self.version, planner)
+        return planner
+
+    def evaluator_for(self, strategy: str) -> EncodedEvaluator:
+        """The entry's evaluator for *strategy* (one cached per strategy).
+
+        Both strategies share the store; the hash evaluator additionally
+        draws its plans from the entry's version-fresh planner.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r} (choose from {STRATEGIES})")
+        evaluator = self._evaluators.get(strategy)
+        if evaluator is None:
+            evaluator = EncodedEvaluator(
+                self.store,
+                strategy=strategy,
+                statistics=self.statistics_index,
+                planner=self.planner,
+            )
+            self._evaluators[strategy] = evaluator
+        return evaluator
 
     # ------------------------------------------------------------------
     # summaries and pruning graphs
@@ -113,6 +173,20 @@ class CatalogEntry:
         self._summaries[kind] = (self.version, summary)
         return summary
 
+    def cached_pruning_size(self, kind: str) -> Optional[int]:
+        """Edge count of the *kind* summary graph **iff** it is cached at
+        the current version — never triggers a build.
+
+        The query service uses this to order a guard cascade by cost
+        without forcing summaries into existence: an unbuilt summary's
+        construction is exactly the cost the lazy cascade is designed to
+        avoid paying until every cheaper guard has failed to prune.
+        """
+        cached = self._summaries.get(normalize_kind(kind))
+        if cached is None or cached[0] != self.version:
+            return None
+        return len(cached[1].graph)
+
     def pruning_graph(self, kind: str = "weak", saturated: bool = False) -> RDFGraph:
         """The summary graph queries are checked against before evaluation.
 
@@ -127,26 +201,36 @@ class CatalogEntry:
     # ------------------------------------------------------------------
     # saturated evaluation support
     # ------------------------------------------------------------------
-    def saturated_evaluator(self) -> EncodedEvaluator:
+    def saturated_evaluator(self, strategy: str = "hash") -> EncodedEvaluator:
         """An evaluator over ``G∞``, loaded into its own store and cached.
 
         Built on first use after a change: the store's triples are decoded,
         saturated, and re-encoded into a fresh in-memory store (the
-        saturated side is a serving cache, always memory-backed).  This
-        keeps complete (certain-answer) evaluation available without
-        touching the primary store's tables.
+        saturated side is a serving cache, always memory-backed).  One
+        evaluator per join *strategy* is cached alongside, so statistics
+        profiles and plan caches survive across queries between updates —
+        and a ``strategy="nested"`` service really runs nested on the
+        saturated path too.  This keeps complete (certain-answer)
+        evaluation available without touching the primary store's tables.
         """
-        cached = self._saturated_store
-        if cached is not None and cached[0] == self.version:
-            return EncodedEvaluator(cached[1])
-        # the stale store is dropped, not closed: evaluators handed out
-        # before the update still wrap it and must keep working; the memory
-        # is reclaimed when the last of them goes away
-        saturated_graph = saturate(self.to_graph())
-        store = MemoryStore()
-        store.load_graph(saturated_graph)
-        self._saturated_store = (self.version, store)
-        return EncodedEvaluator(store)
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r} (choose from {STRATEGIES})")
+        cached = self._saturated
+        if cached is None or cached[0] != self.version:
+            # the stale store is dropped, not closed: evaluators handed out
+            # before the update still wrap it and must keep working; the
+            # memory is reclaimed when the last of them goes away
+            saturated_graph = saturate(self.to_graph())
+            store = MemoryStore()
+            store.load_graph(saturated_graph)
+            cached = (self.version, store, {})
+            self._saturated = cached
+        evaluators = cached[2]
+        evaluator = evaluators.get(strategy)
+        if evaluator is None:
+            evaluator = EncodedEvaluator(cached[1], strategy=strategy)
+            evaluators[strategy] = evaluator
+        return evaluator
 
     # ------------------------------------------------------------------
     def to_graph(self) -> RDFGraph:
@@ -155,9 +239,9 @@ class CatalogEntry:
 
     def close(self) -> None:
         """Release the entry's stores."""
-        if self._saturated_store is not None:
-            self._saturated_store[1].close()
-            self._saturated_store = None
+        if self._saturated is not None:
+            self._saturated[1].close()
+            self._saturated = None
         self.store.close()
 
     def __repr__(self):

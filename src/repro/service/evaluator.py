@@ -2,11 +2,20 @@
 
 The paper's prototype answers queries where the data lives: dictionary-
 encoded integer triples in relational tables (Section 6).  This module
-brings BGP evaluation to that substrate, mirroring the join strategy of the
-``Term``-object evaluator (:mod:`repro.queries.evaluation`) — greedy
-most-bound-first ordering driving an index-nested-loop join — but with
-every comparison an integer comparison and every probe a
-:meth:`TripleStore.select` against the backend's indexes.
+brings BGP evaluation to that substrate with two interchangeable join
+strategies over the same compiled form:
+
+* ``strategy="hash"`` (default) — a *vectorized hash join*: the
+  :class:`~repro.service.planner.QueryPlanner` orders the patterns by
+  estimated cardinality, and each pattern's candidate rows are fetched
+  **once** with a batched :meth:`TripleStore.select_many` (posting lists in
+  the memory store, chunked SQL ``IN (...)`` on SQLite), then hash-joined
+  against the integer binding table.  The executor issues O(patterns)
+  store lookups per query — never one probe per intermediate binding.
+* ``strategy="nested"`` — the PR 2 index-nested-loop join (greedy
+  most-bound-first ordering, one :meth:`TripleStore.select` per binding),
+  kept verbatim for A/B benchmarking; both strategies produce identical
+  answer sets.
 
 Compilation (:func:`compile_query`) lowers a :class:`BGPQuery` to term ids
 through the store dictionary once, up front.  A constant that fails to
@@ -24,7 +33,19 @@ general BGP, excluded from RBGP) chain all three tables.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from itertools import islice
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.errors import UnknownTermError
 from repro.model.dictionary import Dictionary
@@ -32,11 +53,22 @@ from repro.model.namespaces import is_schema_property, is_type_property
 from repro.model.terms import Term
 from repro.model.triple import TripleKind
 from repro.queries.bgp import BGPQuery, Variable
+from repro.service.planner import ExecutionTrace, QueryPlan, QueryPlanner
+from repro.service.statistics import CardinalityStatistics
 from repro.store.base import TripleStore
 
-__all__ = ["CompiledPattern", "CompiledQuery", "EncodedEvaluator", "compile_query"]
+__all__ = [
+    "CompiledPattern",
+    "CompiledQuery",
+    "EncodedEvaluator",
+    "compile_query",
+    "STRATEGIES",
+]
 
 _ALL_TABLES = (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA)
+
+#: The two join strategies the evaluator can run.
+STRATEGIES = ("hash", "nested")
 
 
 class CompiledPattern:
@@ -79,10 +111,18 @@ class CompiledQuery:
     dictionary does not know, when there is one — the *dictionary miss* fast
     path: such a query has no answer on the store, whatever the data says.
     A compiled query is only valid against the dictionary it was compiled
-    with (ids are store-local).
+    with (ids are store-local).  ``slot_names`` maps binding slots back to
+    the variable names that fill them (used by plan explanations).
     """
 
-    __slots__ = ("query", "patterns", "head_slots", "variable_count", "unsatisfiable_term")
+    __slots__ = (
+        "query",
+        "patterns",
+        "head_slots",
+        "variable_count",
+        "unsatisfiable_term",
+        "slot_names",
+    )
 
     def __init__(
         self,
@@ -91,12 +131,14 @@ class CompiledQuery:
         head_slots: Tuple[int, ...],
         variable_count: int,
         unsatisfiable_term: Optional[Term] = None,
+        slot_names: Tuple[str, ...] = (),
     ):
         self.query = query
         self.patterns = list(patterns)
         self.head_slots = head_slots
         self.variable_count = variable_count
         self.unsatisfiable_term = unsatisfiable_term
+        self.slot_names = slot_names
 
     @property
     def trivially_empty(self) -> bool:
@@ -143,13 +185,20 @@ def compile_query(query: BGPQuery, dictionary: Dictionary) -> CompiledQuery:
                 specs.append(0)
         patterns.append(CompiledPattern(specs[0], specs[1], specs[2], _tables_for(pattern.predicate)))
     head_slots = tuple(slot(variable) for variable in query.head)
+    slot_names = tuple(sorted(slot_of, key=slot_of.get))
     if missing is not None:
-        return CompiledQuery(query, (), head_slots, len(slot_of), unsatisfiable_term=missing)
-    return CompiledQuery(query, patterns, head_slots, len(slot_of))
+        return CompiledQuery(
+            query, (), head_slots, len(slot_of), unsatisfiable_term=missing, slot_names=slot_names
+        )
+    return CompiledQuery(query, patterns, head_slots, len(slot_of), slot_names=slot_names)
 
 
 def _order_patterns(patterns: Sequence[CompiledPattern]) -> List[CompiledPattern]:
-    """Greedy join ordering: repeatedly pick the most-bound remaining pattern."""
+    """Greedy join ordering: repeatedly pick the most-bound remaining pattern.
+
+    This is the statistics-free ordering of the ``nested`` strategy; the
+    ``hash`` strategy orders through the :class:`QueryPlanner` instead.
+    """
     remaining = list(patterns)
     ordered: List[CompiledPattern] = []
     bound: Set[int] = set()
@@ -161,11 +210,64 @@ def _order_patterns(patterns: Sequence[CompiledPattern]) -> List[CompiledPattern
     return ordered
 
 
-class EncodedEvaluator:
-    """BGP evaluation over the encoded rows of one :class:`TripleStore`."""
+#: A statistics source: a ready profile, a zero-arg provider, or ``None``
+#: (profile the store lazily on first use).
+StatisticsSource = Union[CardinalityStatistics, Callable[[], CardinalityStatistics], None]
+PlannerSource = Union[QueryPlanner, Callable[[], QueryPlanner], None]
 
-    def __init__(self, store: TripleStore):
+
+class EncodedEvaluator:
+    """BGP evaluation over the encoded rows of one :class:`TripleStore`.
+
+    Parameters
+    ----------
+    store:
+        The encoded triple store to evaluate against.
+    strategy:
+        ``"hash"`` (planned, vectorized — the default) or ``"nested"``
+        (the legacy per-binding index-nested-loop).  Answer sets are
+        identical; only the access pattern differs.
+    statistics:
+        Cardinality profile driving the planner: a
+        :class:`CardinalityStatistics`, a zero-arg callable returning one
+        (the serving layer passes the catalog's version-fresh provider), or
+        ``None`` to profile the store once on first planned evaluation.
+    planner:
+        A :class:`QueryPlanner` or provider thereof; by default one is
+        built over ``statistics`` and kept for the evaluator's lifetime
+        (its plan cache makes repeated query shapes plan-free).
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        strategy: str = "hash",
+        statistics: StatisticsSource = None,
+        planner: PlannerSource = None,
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r} (choose from {STRATEGIES})")
         self.store = store
+        self.strategy = strategy
+        self._statistics = statistics
+        self._planner = planner
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> CardinalityStatistics:
+        """The cardinality profile the planner runs on (built lazily)."""
+        if callable(self._statistics):
+            return self._statistics()
+        if self._statistics is None:
+            self._statistics = CardinalityStatistics.from_store(self.store)
+        return self._statistics
+
+    def planner(self) -> QueryPlanner:
+        """The query planner (and its plan cache) for this evaluator."""
+        if callable(self._planner):
+            return self._planner()
+        if self._planner is None:
+            self._planner = QueryPlanner(self.statistics())
+        return self._planner
 
     def compile(self, query: BGPQuery) -> CompiledQuery:
         """Compile *query* against this store's dictionary."""
@@ -175,18 +277,36 @@ class EncodedEvaluator:
         return query if isinstance(query, CompiledQuery) else self.compile(query)
 
     # ------------------------------------------------------------------
-    def iter_embeddings(self, query) -> Iterator[Tuple[int, ...]]:
+    def iter_embeddings(
+        self, query, trace: Optional[ExecutionTrace] = None
+    ) -> Iterator[Tuple[int, ...]]:
         """Yield every embedding as a tuple of term ids, one per var slot.
 
-        Accepts a :class:`BGPQuery` or a pre-compiled query.  The join is an
-        index-nested-loop over :meth:`TripleStore.select`: at each level the
-        already-bound positions are pushed into the select, so the backend's
-        per-column indexes do the candidate filtering.
+        Accepts a :class:`BGPQuery` or a pre-compiled query.  Pass an
+        :class:`ExecutionTrace` to capture the executed plan (pattern
+        order, estimated vs. actual cardinalities, store probes).
         """
         compiled = self._compiled(query)
+        if trace is not None:
+            trace.strategy = self.strategy
         if compiled.trivially_empty:
             return
+        if self.strategy == "nested":
+            yield from self._iter_nested(compiled, trace)
+        else:
+            yield from self._iter_hash(compiled, trace)
+
+    # ------------------------------------------------------------------
+    # nested-loop strategy (PR 2, kept for A/B comparison)
+    # ------------------------------------------------------------------
+    def _iter_nested(
+        self, compiled: CompiledQuery, trace: Optional[ExecutionTrace]
+    ) -> Iterator[Tuple[int, ...]]:
+        """Index-nested-loop join: one ``select`` probe per binding level."""
         ordered = _order_patterns(compiled.patterns)
+        if trace is not None:
+            for pattern in ordered:
+                trace.add_stage(_describe_pattern(pattern, compiled, self.store.dictionary))
         select = self.store.select
         bindings: List[Optional[int]] = [None] * compiled.variable_count
         depth = len(ordered)
@@ -224,7 +344,198 @@ class EncodedEvaluator:
         yield from recurse(0)
 
     # ------------------------------------------------------------------
-    def evaluate(self, query, limit: Optional[int] = None) -> Set[Tuple[Term, ...]]:
+    # hash strategy (planned, vectorized)
+    # ------------------------------------------------------------------
+    def _iter_hash(
+        self, compiled: CompiledQuery, trace: Optional[ExecutionTrace]
+    ) -> Iterator[Tuple[int, ...]]:
+        binding_rows, slot_positions = self._hash_bindings(
+            compiled, trace, stream_final=trace is None
+        )
+        order = [slot_positions[slot] for slot in range(compiled.variable_count)]
+        for binding in binding_rows:
+            yield tuple(binding[position] for position in order)
+
+    def _hash_bindings(
+        self,
+        compiled: CompiledQuery,
+        trace: Optional[ExecutionTrace],
+        stream_final: bool = False,
+        plan: Optional["QueryPlan"] = None,
+    ) -> Tuple[Iterable[Tuple[int, ...]], List[int]]:
+        """Planned hash join: batched fetch per pattern, integer hash tables.
+
+        The binding table is a list of plain integer tuples that grow one
+        newly bound slot at a time (``slot_positions`` maps a slot to its
+        tuple index, ``-1`` while unbound); every stage fetches its
+        pattern's candidate rows in one batched lookup per routed table —
+        pushing the distinct values of one already-bound column into the
+        store — and hash-joins them in, keyed on all bound positions.  The
+        join inner loops are specialized for the dominant shapes (one join
+        column, one or two fresh columns) so per-output-row work is a
+        single small-tuple concatenation.
+
+        With ``stream_final=True`` (only honoured when no trace is being
+        captured — a trace needs exact per-stage actuals) the *last* stage
+        is returned as a lazy iterator instead of a materialized list:
+        consumers that stop early — ``limit``-bounded evaluation,
+        ``has_answers`` — never pay for the part of the final fan-out they
+        do not read, restoring the nested loop's early-termination property
+        without giving up batched access for the earlier stages.
+        """
+        if plan is None:
+            planner = self.planner()
+            plan = planner.plan(compiled)
+            if trace is not None:
+                trace.plan_cached = planner.last_was_hit
+
+        patterns = compiled.patterns
+        width = compiled.variable_count
+        slot_positions: List[int] = [-1] * width
+        binding_rows: List[Tuple[int, ...]] = [()]
+        stream_final = stream_final and trace is None
+        last_stage_index = len(plan.stages) - 1
+        next_position = 0  # positions are assigned densely, in stage order
+
+        for stage_index, stage in enumerate(plan.stages):
+            pattern = patterns[stage.pattern_index]
+            fetched, probes = self._fetch_pattern(pattern, binding_rows, slot_positions)
+
+            join_on: List[Tuple[int, int]] = []  # (row column, binding position)
+            fresh: List[Tuple[int, int]] = []  # (row column, slot) — first occurrence
+            fresh_seen: Dict[int, int] = {}
+            same_row_checks: List[Tuple[int, int]] = []  # (column, column) equal-value
+            for column, spec in enumerate((pattern.subject, pattern.predicate, pattern.object)):
+                if spec >= 0:
+                    continue
+                slot = -spec - 1
+                position = slot_positions[slot]
+                if position >= 0:
+                    join_on.append((column, position))
+                elif slot in fresh_seen:
+                    # repeated fresh variable in one pattern (e.g. ?x p ?x)
+                    same_row_checks.append((fresh_seen[slot], column))
+                else:
+                    fresh_seen[slot] = column
+                    fresh.append((column, slot))
+
+            if same_row_checks:
+                fetched = [
+                    row
+                    for row in fetched
+                    if all(row[left] == row[right] for left, right in same_row_checks)
+                ]
+
+            fresh_columns = [column for column, _slot in fresh]
+            if stream_final and stage_index == last_stage_index:
+                lazy = _join_stage_iter(binding_rows, fetched, join_on, fresh_columns)
+                for _column, slot in fresh:
+                    slot_positions[slot] = next_position
+                    next_position += 1
+                return lazy, slot_positions
+            binding_rows = _join_stage(binding_rows, fetched, join_on, fresh_columns)
+
+            if trace is not None:
+                trace.add_stage(
+                    _describe_pattern(pattern, compiled, self.store.dictionary),
+                    estimate=stage.estimate,
+                    cumulative_estimate=stage.cumulative,
+                    fetched=len(fetched),
+                    produced=len(binding_rows),
+                    probes=probes,
+                )
+            if not binding_rows:
+                return [], slot_positions
+            for _column, slot in fresh:
+                slot_positions[slot] = next_position
+                next_position += 1
+
+        return binding_rows, slot_positions
+
+    def _fetch_pattern(
+        self,
+        pattern: CompiledPattern,
+        binding_rows: List[Tuple[int, ...]],
+        slot_positions: List[int],
+    ) -> Tuple[List, int]:
+        """Fetch a pattern's candidate rows in one batched lookup per table.
+
+        The distinct values of the bound subject/object columns are pushed
+        into :meth:`TripleStore.select_many` (sorted, for deterministic
+        backend iteration); a bound *predicate* variable is not pushed down
+        — the fetch spans the pattern's tables unconstrained on ``p`` and
+        the hash join filters on the predicate column instead, keeping the
+        probe count at one per table even for variable-property joins.
+        """
+        s_spec, p_spec, o_spec = pattern.subject, pattern.predicate, pattern.object
+        predicate = p_spec if p_spec >= 0 else None
+
+        subject_values: Optional[Set[int]] = None
+        subjects_const: Optional[Sequence[int]] = None
+        if s_spec < 0 and slot_positions[-s_spec - 1] >= 0:
+            position = slot_positions[-s_spec - 1]
+            subject_values = {binding[position] for binding in binding_rows}
+        elif s_spec >= 0:
+            subjects_const = (s_spec,)
+        object_values: Optional[Set[int]] = None
+        objects_const: Optional[Sequence[int]] = None
+        if o_spec < 0 and slot_positions[-o_spec - 1] >= 0:
+            position = slot_positions[-o_spec - 1]
+            object_values = {binding[position] for binding in binding_rows}
+        elif o_spec >= 0:
+            objects_const = (o_spec,)
+
+        statistics = self.statistics()
+        subjects_sorted: Optional[List[int]] = None
+        objects_sorted: Optional[List[int]] = None
+        rows: List = []
+        probes = 0
+        select_many = self.store.select_many
+        for kind in pattern.tables:
+            probes += 1
+            # semi-join pushdown is only worth it when the bound-value set
+            # is small relative to the pattern's relation: pushing 20k ids
+            # against a 25k-row property costs more per-id probes (or SQL
+            # `IN` chunks) than fetching the relation once and letting the
+            # hash join discard the misses.  Constants are always pushed —
+            # the join cannot filter them.  Pushed values are sorted (once,
+            # lazily) for deterministic backend iteration.
+            if predicate is not None:
+                relation_rows = statistics.predicate_rows(kind, predicate)
+            else:
+                relation_rows = statistics.table_rows(kind)
+            kind_subjects = subjects_const
+            if subject_values is not None and len(subject_values) * 3 <= relation_rows:
+                if subjects_sorted is None:
+                    subjects_sorted = sorted(subject_values)
+                kind_subjects = subjects_sorted
+            kind_objects = objects_const
+            if object_values is not None and len(object_values) * 3 <= relation_rows:
+                if objects_sorted is None:
+                    objects_sorted = sorted(object_values)
+                kind_objects = objects_sorted
+            fetched = select_many(
+                kind, subjects=kind_subjects, predicate=predicate, objects=kind_objects
+            )
+            if isinstance(fetched, list) and not rows:
+                rows = fetched
+            else:
+                rows.extend(fetched)
+        return rows, probes
+
+    # ------------------------------------------------------------------
+    def explain(self, query, limit: Optional[int] = None) -> ExecutionTrace:
+        """Evaluate *query* and return the captured execution trace."""
+        trace = ExecutionTrace()
+        self.evaluate(query, limit=limit, trace=trace)
+        return trace
+
+    def evaluate(
+        self,
+        query,
+        limit: Optional[int] = None,
+        trace: Optional[ExecutionTrace] = None,
+    ) -> Set[Tuple[Term, ...]]:
         """Distinct decoded answer tuples (head projections of embeddings).
 
         Matches the semantics of :func:`repro.queries.evaluation.evaluate`:
@@ -234,18 +545,211 @@ class EncodedEvaluator:
         decode = self.store.dictionary.decode
         head = compiled.head_slots
         answers: Set[Tuple[Term, ...]] = set()
-        for binding in self.iter_embeddings(compiled):
+        if self.strategy == "hash" and not compiled.trivially_empty:
+            # project straight off the binding table: deduplicate on integer
+            # head tuples first (C-level set comprehensions for the common
+            # head widths), then decode each distinct tuple exactly once
+            if trace is not None:
+                trace.strategy = self.strategy
+            if limit is not None and trace is None:
+                plan = self.planner().plan(compiled)
+                if _prefer_pipelined(plan, limit):
+                    # limit-aware plan choice: when the statistics predict
+                    # intermediate binding tables far beyond what the limit
+                    # can consume, a blocking hash join would materialize
+                    # fan-out the caller never reads — run the pipelined
+                    # nested loop instead, which stops at the limit (the
+                    # classic LIMIT-pushes-toward-index-nested-loop rule)
+                    for binding in self._iter_nested(compiled, None):
+                        answers.add(tuple(decode(binding[slot]) for slot in head))
+                        if len(answers) >= limit:
+                            break
+                    return answers
+                # stream the final stage so a limit (or an ASK) never pays
+                # for join fan-out beyond what it reads
+                lazy_rows, slot_positions = self._hash_bindings(
+                    compiled, trace, stream_final=True, plan=plan
+                )
+                head_positions = [slot_positions[slot] for slot in head]
+                add = answers.add
+                for binding in lazy_rows:
+                    add(tuple(decode(binding[position]) for position in head_positions))
+                    if len(answers) >= limit:
+                        break
+                return answers
+            binding_rows, slot_positions = self._hash_bindings(compiled, trace)
+            if not binding_rows:
+                return answers
+            head_positions = [slot_positions[slot] for slot in head]
+            if not head_positions:
+                return {()}
+            if len(head_positions) == 1:
+                (first,) = head_positions
+                distinct: Set = {binding[first] for binding in binding_rows}
+                answers = {(decode(value),) for value in distinct}
+            elif len(head_positions) == 2:
+                first, second = head_positions
+                distinct = {(binding[first], binding[second]) for binding in binding_rows}
+                answers = {(decode(left), decode(right)) for left, right in distinct}
+            else:
+                distinct = {
+                    tuple(binding[position] for position in head_positions)
+                    for binding in binding_rows
+                }
+                answers = {tuple(decode(value) for value in row) for row in distinct}
+            if limit is not None and len(answers) > limit:
+                answers = set(islice(answers, limit))
+            return answers
+        for binding in self.iter_embeddings(compiled, trace=trace):
             answers.add(tuple(decode(binding[slot]) for slot in head))
             if limit is not None and len(answers) >= limit:
                 break
         return answers
 
     def has_answers(self, query) -> bool:
-        """``True`` when the query has at least one embedding on the store."""
-        for _ in self.iter_embeddings(query):
-            return True
-        return False
+        """``True`` when the query has at least one embedding on the store.
+
+        Routed through ``limit=1`` evaluation so the limit-aware plan
+        choice applies: a satisfiable high-fan-out query answers from the
+        pipelined path's first embedding, an unsatisfiable one from the
+        batched hash join's empty result.
+        """
+        return bool(self.evaluate(query, limit=1))
 
     def count_answers(self, query) -> int:
         """Number of distinct answer tuples on the store."""
         return len(self.evaluate(query))
+
+
+def _prefer_pipelined(plan: "QueryPlan", limit: int) -> bool:
+    """Whether a *limit*-bounded run should pipeline instead of block.
+
+    ``True`` when the plan's largest estimated *intermediate* binding
+    table exceeds what the limit can plausibly consume (a fixed
+    per-answer fan-out allowance): materializing it would be pure waste
+    for a caller that reads at most *limit* distinct answers.
+    """
+    if len(plan.stages) <= 1:
+        return False
+    intermediate = max(stage.cumulative for stage in plan.stages[:-1])
+    return intermediate > max(5_000.0, float(limit) * 200.0)
+
+
+def _join_stage(
+    binding_rows: List[Tuple[int, ...]],
+    fetched: List,
+    join_on: List[Tuple[int, int]],
+    fresh_columns: List[int],
+) -> List[Tuple[int, ...]]:
+    """One hash-join stage: extend every binding with its matching rows.
+
+    *join_on* pairs a fetched-row column with the binding-tuple position it
+    must equal; *fresh_columns* are the row columns appended (in slot
+    order) to each surviving binding.  The common shapes — one join column,
+    zero to two fresh columns — run as straight-line loops; every other
+    shape delegates to :func:`_join_stage_iter`, the single source of
+    truth for the general join semantics.
+    """
+    out: List[Tuple[int, ...]] = []
+    append = out.append
+    if not join_on:
+        if len(fresh_columns) == 2:
+            # no shared variable: cartesian extension (the planner keeps
+            # such stages first or tiny)
+            left, right = fresh_columns
+            if binding_rows == [()]:
+                return [(row[left], row[right]) for row in fetched]
+            for binding in binding_rows:
+                for row in fetched:
+                    append(binding + (row[left], row[right]))
+            return out
+        return list(_join_stage_iter(binding_rows, fetched, join_on, fresh_columns))
+
+    if len(join_on) == 1 and len(fresh_columns) <= 2:
+        buckets: Dict = {}
+        setdefault = buckets.setdefault
+        join_column, join_position = join_on[0]
+        for row in fetched:
+            setdefault(row[join_column], []).append(row)
+        get = buckets.get
+        if len(fresh_columns) == 1:
+            (fresh_column,) = fresh_columns
+            for binding in binding_rows:
+                bucket = get(binding[join_position])
+                if bucket is not None:
+                    for row in bucket:
+                        append(binding + (row[fresh_column],))
+        elif len(fresh_columns) == 2:
+            left, right = fresh_columns
+            for binding in binding_rows:
+                bucket = get(binding[join_position])
+                if bucket is not None:
+                    for row in bucket:
+                        append(binding + (row[left], row[right]))
+        else:
+            for binding in binding_rows:
+                bucket = get(binding[join_position])
+                if bucket is not None:
+                    for _row in bucket:
+                        append(binding)
+        return out
+
+    return list(_join_stage_iter(binding_rows, fetched, join_on, fresh_columns))
+
+
+def _join_stage_iter(
+    binding_rows: List[Tuple[int, ...]],
+    fetched: List,
+    join_on: List[Tuple[int, int]],
+    fresh_columns: List[int],
+) -> Iterator[Tuple[int, ...]]:
+    """Lazy variant of :func:`_join_stage` for the plan's final stage.
+
+    The hash table over the fetched rows is still built eagerly (it is
+    bounded by the batched fetch), but extended bindings are yielded one at
+    a time, so early-terminating consumers stop the fan-out mid-way.
+    """
+    if not join_on:
+        for binding in binding_rows:
+            for row in fetched:
+                yield binding + tuple(row[column] for column in fresh_columns)
+        return
+    buckets: Dict = {}
+    setdefault = buckets.setdefault
+    if len(join_on) == 1:
+        join_column, join_position = join_on[0]
+        for row in fetched:
+            setdefault(row[join_column], []).append(row)
+        get = buckets.get
+        for binding in binding_rows:
+            bucket = get(binding[join_position])
+            if bucket is not None:
+                for row in bucket:
+                    yield binding + tuple(row[column] for column in fresh_columns)
+        return
+    for row in fetched:
+        setdefault(tuple(row[column] for column, _position in join_on), []).append(row)
+    get = buckets.get
+    for binding in binding_rows:
+        bucket = get(tuple(binding[position] for _column, position in join_on))
+        if bucket is not None:
+            for row in bucket:
+                yield binding + tuple(row[column] for column in fresh_columns)
+
+
+def _describe_pattern(
+    pattern: CompiledPattern, compiled: CompiledQuery, dictionary: Dictionary
+) -> str:
+    """Human-readable ``?s <p> ?o`` rendering of a compiled pattern."""
+
+    def render(spec: int) -> str:
+        if spec < 0:
+            slot = -spec - 1
+            name = compiled.slot_names[slot] if slot < len(compiled.slot_names) else str(slot)
+            return f"?{name}"
+        try:
+            return dictionary.decode(spec).n3()
+        except Exception:
+            return f"#{spec}"
+
+    return f"{render(pattern.subject)} {render(pattern.predicate)} {render(pattern.object)}"

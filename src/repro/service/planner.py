@@ -1,0 +1,268 @@
+"""Statistics-driven join planning for the encoded BGP evaluator.
+
+The nested-loop evaluator of PR 2 ordered patterns greedily by *bound
+position count* — a purely syntactic criterion that knows nothing about the
+data.  This module replaces it with textbook cost-based ordering over the
+:class:`~repro.service.statistics.CardinalityStatistics` profile of the
+store:
+
+* the *cardinality estimate* of a pattern given the already-bound variable
+  slots is the row count of the pattern's property (or table, for a
+  variable property), divided by the distinct-value count of every column a
+  constant or bound variable pins down — the classic uniform-distribution
+  selectivity formula (`rows(p) / V(column, p)`), with class-membership
+  counts sharpening ``rdf:type`` patterns;
+* the *plan* orders patterns greedily by that estimate: at every step the
+  remaining pattern with the smallest estimated output joins next, so the
+  intermediate binding tables the vectorized executor materializes stay as
+  small as the statistics can make them;
+* plans are cached per *query shape* — the tuple of compiled integer
+  patterns — so a repeated workload query costs one dictionary lookup, not
+  a planning pass.  The cache belongs to the planner, and the serving layer
+  drops the planner whenever the statistics change, which keeps cached
+  plans and estimates consistent by construction.
+
+Pessimistic (upper-bound) join-size reasoning in the spirit of the
+Sidorenko-style bounds (see PAPERS.md) is approximated here by clamping
+every division at one row: an estimate never drops below the certainty
+that a matching row, if any, costs at least one probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.model.triple import TripleKind
+from repro.service.statistics import CardinalityStatistics
+
+__all__ = ["PatternEstimate", "QueryPlan", "QueryPlanner", "ExecutionTrace", "StageTrace"]
+
+
+class PatternEstimate:
+    """One planned stage: a pattern index plus its cardinality estimates."""
+
+    __slots__ = ("pattern_index", "estimate", "cumulative")
+
+    def __init__(self, pattern_index: int, estimate: float, cumulative: float):
+        #: Index of the pattern in the compiled query's original order.
+        self.pattern_index = pattern_index
+        #: Estimated matching rows for the pattern given the bound slots.
+        self.estimate = estimate
+        #: Estimated binding-table size after this stage joins.
+        self.cumulative = cumulative
+
+    def __repr__(self):
+        return (
+            f"PatternEstimate(#{self.pattern_index}, est={self.estimate:.1f}, "
+            f"cum={self.cumulative:.1f})"
+        )
+
+
+class QueryPlan:
+    """An ordered execution plan for one compiled query shape."""
+
+    __slots__ = ("stages", "shape")
+
+    def __init__(self, stages: Sequence[PatternEstimate], shape: Tuple):
+        self.stages = list(stages)
+        self.shape = shape
+
+    @property
+    def order(self) -> List[int]:
+        """Pattern indices in execution order."""
+        return [stage.pattern_index for stage in self.stages]
+
+    def __repr__(self):
+        return f"<QueryPlan {self.order}>"
+
+
+def plan_shape(compiled) -> Tuple:
+    """The cache key of a compiled query: its integer patterns.
+
+    Two queries over the same store that lower to the same constants, the
+    same variable slots and the same table routing are the same planning
+    problem, whatever their surface syntax.
+    """
+    return tuple(
+        (pattern.subject, pattern.predicate, pattern.object, pattern.tables)
+        for pattern in compiled.patterns
+    )
+
+
+class QueryPlanner:
+    """Cost-based pattern ordering with a shape-keyed plan cache."""
+
+    def __init__(self, statistics: CardinalityStatistics):
+        self.statistics = statistics
+        self._plans: Dict[Tuple, QueryPlan] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Whether the most recent :meth:`plan` call was served from cache.
+        self.last_was_hit = False
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def estimate_pattern(self, pattern, bound_slots: Set[int]) -> float:
+        """Estimated rows matching *pattern* given the bound variable slots.
+
+        Sums the per-table estimates over the tables the pattern routes to
+        (more than one only for variable-property patterns).
+        """
+        return sum(
+            self._estimate_for_table(pattern, bound_slots, kind) for kind in pattern.tables
+        )
+
+    def _estimate_for_table(self, pattern, bound_slots: Set[int], kind: TripleKind) -> float:
+        statistics = self.statistics
+        s_spec, p_spec, o_spec = pattern.subject, pattern.predicate, pattern.object
+        subject_pinned = s_spec >= 0 or (-s_spec - 1) in bound_slots
+        object_const = o_spec >= 0
+        object_pinned = object_const or (-o_spec - 1) in bound_slots
+
+        if p_spec >= 0:
+            profile = statistics.predicate(kind, p_spec)
+            if profile is None:
+                return 0.0
+            base = float(profile.rows)
+            distinct_subjects = profile.distinct_subjects
+            distinct_objects = profile.distinct_objects
+        else:
+            base = float(statistics.table_rows(kind))
+            if base == 0.0:
+                return 0.0
+            distinct_subjects = statistics.distinct_subjects(kind)
+            distinct_objects = statistics.distinct_objects(kind)
+            if (-p_spec - 1) in bound_slots:
+                base /= max(1, statistics.distinct_predicates(kind))
+
+        if object_const and kind is TripleKind.TYPE:
+            # class-membership counts are exact for `?x rdf:type C`
+            base = float(statistics.class_count(o_spec))
+            if base == 0.0:
+                return 0.0
+        elif object_pinned:
+            base /= max(1, distinct_objects)
+        if subject_pinned:
+            base /= max(1, distinct_subjects)
+        return max(base, 1.0)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, compiled) -> QueryPlan:
+        """The execution plan for *compiled*, cached per query shape."""
+        shape = plan_shape(compiled)
+        cached = self._plans.get(shape)
+        if cached is not None:
+            self.cache_hits += 1
+            self.last_was_hit = True
+            return cached
+        self.cache_misses += 1
+        self.last_was_hit = False
+        plan = self._build_plan(compiled, shape)
+        self._plans[shape] = plan
+        return plan
+
+    def _build_plan(self, compiled, shape: Tuple) -> QueryPlan:
+        remaining = list(range(len(compiled.patterns)))
+        bound: Set[int] = set()
+        stages: List[PatternEstimate] = []
+        cumulative = 1.0
+        while remaining:
+            best_index: Optional[int] = None
+            best_estimate = float("inf")
+            for index in remaining:
+                estimate = self.estimate_pattern(compiled.patterns[index], bound)
+                # strict < keeps ties on the earliest pattern: deterministic
+                # plans for equal statistics
+                if estimate < best_estimate:
+                    best_index, best_estimate = index, estimate
+            assert best_index is not None
+            remaining.remove(best_index)
+            pattern = compiled.patterns[best_index]
+            cumulative *= max(best_estimate, 1.0)
+            stages.append(PatternEstimate(best_index, best_estimate, cumulative))
+            bound |= pattern.slots()
+        return QueryPlan(stages, shape)
+
+    def __repr__(self):
+        return (
+            f"QueryPlanner(plans={len(self._plans)}, hits={self.cache_hits}, "
+            f"misses={self.cache_misses})"
+        )
+
+
+class StageTrace:
+    """Observed execution of one plan stage (``--explain`` output)."""
+
+    __slots__ = ("description", "estimate", "cumulative_estimate", "fetched", "produced", "probes")
+
+    def __init__(
+        self,
+        description: str,
+        estimate: Optional[float],
+        cumulative_estimate: Optional[float],
+        fetched: Optional[int],
+        produced: Optional[int],
+        probes: int,
+    ):
+        self.description = description
+        self.estimate = estimate
+        self.cumulative_estimate = cumulative_estimate
+        #: Rows fetched from the store for this stage (None for the
+        #: nested-loop strategy, which has no per-stage fetch).
+        self.fetched = fetched
+        #: Binding-table rows after this stage joined.
+        self.produced = produced
+        self.probes = probes
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pattern": self.description,
+            "estimated_rows": self.estimate,
+            "estimated_cumulative": self.cumulative_estimate,
+            "fetched_rows": self.fetched,
+            "produced_rows": self.produced,
+            "probes": self.probes,
+        }
+
+
+class ExecutionTrace:
+    """What one evaluation actually did: plan, cardinalities, probes.
+
+    Filled in by :meth:`EncodedEvaluator.evaluate` when passed as its
+    ``trace`` argument; rendered by ``repro query --explain``.
+    """
+
+    __slots__ = ("strategy", "plan_cached", "stages")
+
+    def __init__(self):
+        self.strategy: Optional[str] = None
+        self.plan_cached: Optional[bool] = None
+        self.stages: List[StageTrace] = []
+
+    @property
+    def total_probes(self) -> int:
+        return sum(stage.probes for stage in self.stages)
+
+    def add_stage(
+        self,
+        description: str,
+        estimate: Optional[float] = None,
+        cumulative_estimate: Optional[float] = None,
+        fetched: Optional[int] = None,
+        produced: Optional[int] = None,
+        probes: int = 0,
+    ) -> None:
+        self.stages.append(
+            StageTrace(description, estimate, cumulative_estimate, fetched, produced, probes)
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "plan_cached": self.plan_cached,
+            "total_probes": self.total_probes,
+            "stages": [stage.as_dict() for stage in self.stages],
+        }

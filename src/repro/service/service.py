@@ -34,6 +34,8 @@ from repro.model.terms import Term
 from repro.queries.bgp import BGPQuery
 from repro.queries.evaluation import has_answers
 from repro.service.catalog import GraphCatalog
+from repro.service.evaluator import STRATEGIES
+from repro.service.planner import ExecutionTrace
 
 __all__ = ["QueryAnswer", "QueryService", "ServiceStatistics"]
 
@@ -50,6 +52,10 @@ class QueryAnswer:
         "prunable",
         "guard_seconds",
         "evaluation_seconds",
+        "strategy",
+        "guard_order",
+        "pruned_by",
+        "trace",
     )
 
     def __init__(
@@ -62,6 +68,10 @@ class QueryAnswer:
         prunable: bool,
         guard_seconds: float,
         evaluation_seconds: float,
+        strategy: str = "hash",
+        guard_order: Tuple[str, ...] = (),
+        pruned_by: Optional[str] = None,
+        trace: Optional[ExecutionTrace] = None,
     ):
         self.query = query
         self.graph_name = graph_name
@@ -74,6 +84,16 @@ class QueryAnswer:
         self.prunable = prunable
         self.guard_seconds = guard_seconds
         self.evaluation_seconds = evaluation_seconds
+        #: Join strategy of the base evaluation (``hash`` or ``nested``).
+        self.strategy = strategy
+        #: The guard kinds in the order actually checked (cheapest summary
+        #: first); empty when the query was not prunable.
+        self.guard_order = guard_order
+        #: The guard kind whose summary rejected the query, when pruned by
+        #: the cascade (``None`` otherwise).
+        self.pruned_by = pruned_by
+        #: Execution trace of the base evaluation (``explain=True`` only).
+        self.trace = trace
 
     @property
     def empty(self) -> bool:
@@ -99,6 +119,7 @@ class ServiceStatistics:
         "unprunable",
         "guard_seconds",
         "evaluation_seconds",
+        "pruned_by_kind",
     )
 
     def __init__(self):
@@ -108,11 +129,17 @@ class ServiceStatistics:
         self.unprunable = 0
         self.guard_seconds = 0.0
         self.evaluation_seconds = 0.0
+        #: Pruning attribution: guard kind → queries it rejected.
+        self.pruned_by_kind: Dict[str, int] = {}
 
     def record(self, answer: QueryAnswer) -> None:
         self.queries += 1
         if answer.pruned:
             self.pruned += 1
+            if answer.pruned_by is not None:
+                self.pruned_by_kind[answer.pruned_by] = (
+                    self.pruned_by_kind.get(answer.pruned_by, 0) + 1
+                )
         else:
             self.evaluated += 1
         if not answer.prunable:
@@ -134,6 +161,7 @@ class ServiceStatistics:
             "pruning_rate": self.pruning_rate,
             "guard_seconds": self.guard_seconds,
             "evaluation_seconds": self.evaluation_seconds,
+            "pruned_by_kind": dict(self.pruned_by_kind),
         }
 
     def __repr__(self):
@@ -176,6 +204,17 @@ class QueryService:
         ``False`` disables the summary guard entirely — every query runs
         base evaluation.  The dictionary-miss fast path stays on (it is part
         of compilation, not of the guard).
+    strategy:
+        Join strategy of base evaluation: ``"hash"`` (statistics-planned,
+        vectorized — the default) or ``"nested"`` (the legacy per-binding
+        index-nested-loop, kept for A/B comparison).
+    order_guards:
+        With ``True`` (default) the guard cascade is re-ordered per query,
+        cheapest first: cached summaries by ascending size, the
+        incrementally-maintained weak summary counted as cheap, and
+        not-yet-built summaries last in declared order (built only when
+        every cheaper guard failed to prune).  ``False`` keeps the
+        declared order.
     """
 
     def __init__(
@@ -183,6 +222,8 @@ class QueryService:
         catalog: GraphCatalog,
         kind: Union[str, Sequence[str]] = "weak",
         prune: bool = True,
+        strategy: str = "hash",
+        order_guards: bool = True,
     ):
         self.catalog = catalog
         if isinstance(kind, str):
@@ -192,9 +233,44 @@ class QueryService:
         self.kinds: Tuple[str, ...] = tuple(normalize_kind(part) for part in parts)
         if not self.kinds:
             raise ValueError("the guard needs at least one summary kind")
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r} (choose from {STRATEGIES})")
         self.kind = "+".join(self.kinds)
         self.prune = prune
+        self.strategy = strategy
+        self.order_guards = order_guards
         self.statistics = ServiceStatistics()
+
+    # ------------------------------------------------------------------
+    def _guard_cascade(self, entry) -> Tuple[str, ...]:
+        """The guard kinds in checking order for one query.
+
+        Cheapest-first, **without building anything**: kinds whose summary
+        is already cached at the current version sort by summary size (a
+        summary a tenth the size answers the common rejected case ten
+        times cheaper); the weak summary counts as cheap even when not yet
+        snapshotted (it is maintained incrementally — cost proportional to
+        the summary, never the graph); every other unbuilt kind keeps its
+        declared position *after* the cached ones, so an expensive summary
+        is only constructed when every cheaper guard failed to prune —
+        the lazy escalation a cascade exists for.  Every kind alone is a
+        sound rejector, so order never affects verdicts, only cost.  For
+        saturated guards the plain summary sizes serve as the cost proxy
+        (a saturation grows each summary by roughly the same factor).
+        """
+        if not self.order_guards or len(self.kinds) == 1:
+            return self.kinds
+
+        def cost_key(indexed: Tuple[int, str]) -> Tuple[int, int, int]:
+            index, guard_kind = indexed
+            size = entry.cached_pruning_size(guard_kind)
+            if size is not None:
+                return (0, size, index)
+            if guard_kind == "weak":
+                return (0, 0, index)
+            return (1, 0, index)
+
+        return tuple(kind for _i, kind in sorted(enumerate(self.kinds), key=cost_key))
 
     # ------------------------------------------------------------------
     def answer(
@@ -203,33 +279,45 @@ class QueryService:
         query: BGPQuery,
         limit: Optional[int] = None,
         saturated: bool = False,
+        explain: bool = False,
     ) -> QueryAnswer:
         """Answer *query* on the named graph, guard first.
 
         With ``saturated=True`` answers are computed over ``G∞`` (certain
         answers, the paper's query semantics) and the guard checks the
         summary's saturation as Proposition 1 requires; the default answers
-        over the explicit triples, guarded by the plain summary.
+        over the explicit triples, guarded by the plain summary.  With
+        ``explain=True`` the returned answer carries the base evaluation's
+        :class:`ExecutionTrace` (plan, estimated vs. actual cardinalities,
+        probes) alongside the guard decisions.
         """
         entry = self.catalog.entry(graph_name)
         prunable = self.prune and _guard_applies(query)
 
         guard_start = perf_counter()
         pruned = False
+        pruned_by: Optional[str] = None
+        guard_order: Tuple[str, ...] = ()
         if prunable:
-            for guard_kind in self.kinds:
+            guard_order = self._guard_cascade(entry)
+            for guard_kind in guard_order:
                 pruning_graph = entry.pruning_graph(guard_kind, saturated=saturated)
                 if not has_answers(pruning_graph, query):
                     pruned = True
+                    pruned_by = guard_kind
                     break
         guard_seconds = perf_counter() - guard_start
 
         answers: Set[Tuple[Term, ...]] = set()
         evaluation_seconds = 0.0
+        trace: Optional[ExecutionTrace] = ExecutionTrace() if explain else None
         if not pruned:
-            evaluator = entry.saturated_evaluator() if saturated else entry.evaluator
+            if saturated:
+                evaluator = entry.saturated_evaluator(self.strategy)
+            else:
+                evaluator = entry.evaluator_for(self.strategy)
             evaluation_start = perf_counter()
-            answers = evaluator.evaluate(query, limit=limit)
+            answers = evaluator.evaluate(query, limit=limit, trace=trace)
             evaluation_seconds = perf_counter() - evaluation_start
 
         result = QueryAnswer(
@@ -241,6 +329,10 @@ class QueryService:
             prunable=prunable,
             guard_seconds=guard_seconds,
             evaluation_seconds=evaluation_seconds,
+            strategy=self.strategy,
+            guard_order=guard_order,
+            pruned_by=pruned_by,
+            trace=trace,
         )
         self.statistics.record(result)
         return result

@@ -28,7 +28,10 @@ the engine behind ``repro query --workload`` and
 
 from __future__ import annotations
 
+import gc
 import random
+from collections import Counter
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -39,19 +42,42 @@ from repro.queries.bgp import BGPQuery, TriplePattern, Variable
 from repro.queries.evaluation import iter_embeddings
 from repro.queries.generator import RBGPQueryGenerator
 from repro.service.catalog import GraphCatalog
+from repro.service.evaluator import EncodedEvaluator
 from repro.service.service import QueryAnswer, QueryService
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
 
 __all__ = [
     "WorkloadQuery",
+    "FamilyQuery",
     "WorkloadReport",
     "ComparisonReport",
     "generate_mixed_workload",
+    "generate_join_workload",
     "run_workload",
     "compare_guarded_vs_direct",
+    "run_strategy_comparison",
 ]
 
 #: Namespace used for dictionary-miss (absent-constant) queries.
 _ABSENT_NS = Namespace("http://rdfsummary.example.org/absent/")
+
+
+@contextmanager
+def _gc_paused():
+    """Pause the cyclic collector across a timed region.
+
+    Both comparison drivers allocate large transient binding structures;
+    attributing a collection pause to whichever query happens to trigger
+    it would swamp the per-query numbers.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 class WorkloadQuery(NamedTuple):
@@ -62,7 +88,9 @@ class WorkloadQuery(NamedTuple):
     satisfiable: bool
 
 
-def _unsatisfiable_candidates(graph: RDFGraph, rng: random.Random) -> List[BGPQuery]:
+def _unsatisfiable_candidates(
+    graph: RDFGraph, rng: random.Random
+) -> List[Tuple[str, BGPQuery]]:
     """Structurally empty RBGP joins, proven empty by disjoint endpoint sets.
 
     One pass over the data and type components collects, per property, its
@@ -99,7 +127,7 @@ def _unsatisfiable_candidates(graph: RDFGraph, rng: random.Random) -> List[BGPQu
     variable_w = Variable("w")
     variable_x, variable_y, variable_z = Variable("x"), Variable("y"), Variable("z")
     properties = sorted(subjects_of)
-    candidates: List[Tuple[int, BGPQuery]] = []
+    candidates: List[Tuple[int, str, BGPQuery]] = []
     for first in properties:
         driver_cost = len(subjects_of[first])
         # the heaviest feeder into `first` makes the long chain's non-empty
@@ -116,6 +144,7 @@ def _unsatisfiable_candidates(graph: RDFGraph, rng: random.Random) -> List[BGPQu
                 candidates.append(
                     (
                         driver_cost,
+                        "unsat_chain",
                         BGPQuery(
                             [
                                 TriplePattern(variable_x, first, variable_y),
@@ -129,6 +158,7 @@ def _unsatisfiable_candidates(graph: RDFGraph, rng: random.Random) -> List[BGPQu
                     candidates.append(
                         (
                             len(subjects_of[feeder]) + driver_cost,
+                            "unsat_long_chain",
                             BGPQuery(
                                 [
                                     TriplePattern(variable_w, feeder, variable_x),
@@ -143,6 +173,7 @@ def _unsatisfiable_candidates(graph: RDFGraph, rng: random.Random) -> List[BGPQu
                 candidates.append(
                     (
                         driver_cost,
+                        "unsat_fork",
                         BGPQuery(
                             [
                                 TriplePattern(variable_x, first, variable_y),
@@ -158,6 +189,7 @@ def _unsatisfiable_candidates(graph: RDFGraph, rng: random.Random) -> List[BGPQu
                 candidates.append(
                     (
                         len(instances),
+                        "unsat_typed",
                         BGPQuery(
                             [
                                 TriplePattern(variable_x, RDF_TYPE, class_uri),
@@ -168,8 +200,8 @@ def _unsatisfiable_candidates(graph: RDFGraph, rng: random.Random) -> List[BGPQu
                     )
                 )
     rng.shuffle(candidates)
-    candidates.sort(key=lambda pair: -pair[0])
-    return [query for _cost, query in candidates]
+    candidates.sort(key=lambda item: -item[0])
+    return [(family, query) for _cost, family, query in candidates]
 
 
 def _cheap_under_budget(
@@ -249,7 +281,7 @@ def generate_mixed_workload(
 
     miss_target = round(unsat_target * dictionary_miss_fraction)
     produced = 0
-    for candidate in _unsatisfiable_candidates(graph, rng):
+    for _family, candidate in _unsatisfiable_candidates(graph, rng):
         if produced >= unsat_target - miss_target:
             break
         candidate.name = f"unsat_{produced}"
@@ -271,6 +303,275 @@ def generate_mixed_workload(
 
     rng.shuffle(workload)
     return workload
+
+
+class FamilyQuery(NamedTuple):
+    """A query tagged with its structural family and ground truth."""
+
+    query: BGPQuery
+    #: Family label: ``sat_chain`` / ``sat_fork`` / ``sat_long_chain`` for
+    #: satisfiable multi-joins, the ``unsat_*`` shapes of
+    #: :func:`_unsatisfiable_candidates`, or ``dictionary_miss``.
+    family: str
+    satisfiable: bool
+
+
+def generate_join_workload(
+    graph: RDFGraph,
+    per_family: int = 6,
+    seed: int = 0,
+    max_join_size: int = 50_000,
+) -> List[FamilyQuery]:
+    """A family-labelled join workload for strategy A/B comparison.
+
+    The *satisfiable* families are the join shapes where execution strategy
+    matters most — every query enumerates a real, non-empty join:
+
+    * ``sat_chain`` — ``?x p1 ?y . ?y p2 ?z`` with ``objects(p1)`` meeting
+      ``subjects(p2)``;
+    * ``sat_fork`` — ``?x p1 ?y . ?x p2 ?z`` with overlapping subjects;
+    * ``sat_long_chain`` — a three-pattern chain over two meeting pairs.
+
+    Exact embedding counts are computed at generation time from per-property
+    endpoint multisets (no join is ever evaluated), candidates are kept when
+    ``1 <= embeddings <= max_join_size``, and within each family the largest
+    joins — the heaviest per-binding probe traffic for a nested-loop
+    evaluator — come first.  The ``unsat_*`` families of
+    :func:`_unsatisfiable_candidates` and a few dictionary misses ride along
+    so a comparison also covers the traffic the guard usually absorbs.
+    """
+    rng = random.Random(seed)
+    subject_counts: Dict[URI, Counter] = {}
+    object_counts: Dict[URI, Counter] = {}
+    edges_of: Dict[URI, List[Tuple[object, object]]] = {}
+    for triple in graph.data_triples:
+        subject_counts.setdefault(triple.predicate, Counter())[triple.subject] += 1
+        object_counts.setdefault(triple.predicate, Counter())[triple.object] += 1
+        edges_of.setdefault(triple.predicate, []).append((triple.subject, triple.object))
+    properties = sorted(subject_counts)
+
+    variable_w = Variable("w")
+    variable_x, variable_y, variable_z = Variable("x"), Variable("y"), Variable("z")
+
+    def chain_size(first: URI, second: URI) -> int:
+        firsts, seconds = object_counts[first], subject_counts[second]
+        if len(firsts) > len(seconds):
+            firsts, seconds = seconds, firsts
+        return sum(count * seconds[node] for node, count in firsts.items() if node in seconds)
+
+    def fork_size(first: URI, second: URI) -> int:
+        firsts, seconds = subject_counts[first], subject_counts[second]
+        if len(firsts) > len(seconds):
+            firsts, seconds = seconds, firsts
+        return sum(count * seconds[node] for node, count in firsts.items() if node in seconds)
+
+    chains: List[Tuple[int, BGPQuery, Tuple[URI, URI]]] = []
+    forks: List[Tuple[int, BGPQuery, Tuple[URI, URI]]] = []
+    for first in properties:
+        for second in properties:
+            if first != second:
+                size = chain_size(first, second)
+                if 1 <= size <= max_join_size:
+                    chains.append(
+                        (
+                            size,
+                            BGPQuery(
+                                [
+                                    TriplePattern(variable_x, first, variable_y),
+                                    TriplePattern(variable_y, second, variable_z),
+                                ],
+                                head=(variable_x, variable_z),
+                            ),
+                            (first, second),
+                        )
+                    )
+            if first < second:
+                size = fork_size(first, second)
+                if 1 <= size <= max_join_size:
+                    forks.append(
+                        (
+                            size,
+                            BGPQuery(
+                                [
+                                    TriplePattern(variable_x, first, variable_y),
+                                    TriplePattern(variable_x, second, variable_z),
+                                ],
+                                head=(variable_y, variable_z),
+                            ),
+                            (first, second),
+                        )
+                    )
+    chains.sort(key=lambda item: -item[0])
+    forks.sort(key=lambda item: -item[0])
+
+    long_chains: List[Tuple[int, BGPQuery]] = []
+    for _size, _query, (first, second) in chains[: per_family * 4]:
+        for feeder in properties:
+            if feeder in (first, second):
+                continue
+            feeder_objects = object_counts[feeder]
+            second_subjects = subject_counts[second]
+            size = sum(
+                feeder_objects[edge_subject] * second_subjects[edge_object]
+                for edge_subject, edge_object in edges_of[first]
+                if edge_subject in feeder_objects and edge_object in second_subjects
+            )
+            if 1 <= size <= max_join_size:
+                long_chains.append(
+                    (
+                        size,
+                        BGPQuery(
+                            [
+                                TriplePattern(variable_w, feeder, variable_x),
+                                TriplePattern(variable_x, first, variable_y),
+                                TriplePattern(variable_y, second, variable_z),
+                            ],
+                            head=(variable_w, variable_z),
+                        ),
+                    )
+                )
+    long_chains.sort(key=lambda item: -item[0])
+
+    workload: List[FamilyQuery] = []
+
+    def take(family: str, ranked: List[Tuple], query_position: int) -> None:
+        for index, item in enumerate(ranked[:per_family]):
+            query = item[query_position]
+            query.name = f"{family}_{index}"
+            workload.append(FamilyQuery(query, family, family.startswith("sat")))
+
+    take("sat_chain", chains, 1)
+    take("sat_fork", forks, 1)
+    take("sat_long_chain", long_chains, 1)
+
+    unsat_per_family: Dict[str, int] = {}
+    for family, query in _unsatisfiable_candidates(graph, rng):
+        produced = unsat_per_family.get(family, 0)
+        if produced >= per_family:
+            continue
+        query.name = f"{family}_{produced}"
+        unsat_per_family[family] = produced + 1
+        workload.append(FamilyQuery(query, family, False))
+    for index in range(min(per_family, 3)):
+        query = BGPQuery(
+            [TriplePattern(variable_x, _ABSENT_NS.term(f"p{seed}_{index}"), variable_y)],
+            head=(variable_x,),
+            name=f"dictionary_miss_{index}",
+        )
+        workload.append(FamilyQuery(query, "dictionary_miss", False))
+    return workload
+
+
+def run_strategy_comparison(
+    graph: RDFGraph,
+    per_family: int = 6,
+    seed: int = 0,
+    backend: str = "memory",
+    max_join_size: int = 50_000,
+    answer_limit: Optional[int] = None,
+    repeat: int = 3,
+) -> Dict[str, object]:
+    """Time the nested-loop strategy against the hash-join strategy.
+
+    One store (``backend`` is ``"memory"`` or ``"sqlite"``) is loaded with
+    *graph*; every query of :func:`generate_join_workload` is evaluated by
+    both an ``strategy="nested"`` and a ``strategy="hash"``
+    :class:`EncodedEvaluator` over that same store, and the two answer sets
+    are compared exactly.  Each query is timed ``repeat`` times per
+    strategy and the best round counts, with the cyclic garbage collector
+    paused across the measured region — both join strategies allocate large
+    transient binding structures, and attributing a collection pause to
+    whichever query happens to trigger it would swamp the per-family
+    numbers.  The returned JSON-friendly report aggregates wall time and
+    answer differences per family, plus a ``satisfiable_join`` aggregate
+    over the ``sat_*`` families — the traffic where join strategy, not
+    pruning, is the whole story.  The hash side's one-off statistics build
+    is timed separately (``statistics_seconds``) and excluded from
+    per-query time, matching a serving layer that profiles a store once at
+    registration.
+    """
+    if repeat <= 0:
+        raise ValueError("repeat must be positive")
+    if backend == "memory":
+        store = MemoryStore()
+    elif backend == "sqlite":
+        store = SQLiteStore()
+    else:
+        raise ValueError(f"unknown backend {backend!r} (choose memory or sqlite)")
+    store.load_graph(graph)
+    workload = generate_join_workload(
+        graph, per_family=per_family, seed=seed, max_join_size=max_join_size
+    )
+
+    nested = EncodedEvaluator(store, strategy="nested")
+    hashed = EncodedEvaluator(store, strategy="hash")
+    statistics_start = perf_counter()
+    hashed.statistics()
+    statistics_seconds = perf_counter() - statistics_start
+
+    families: Dict[str, Dict[str, object]] = {}
+    differences = 0
+    try:
+        with _gc_paused():
+            for item in workload:
+                bucket = families.setdefault(
+                    item.family,
+                    {"queries": 0, "nested_seconds": 0.0, "hash_seconds": 0.0, "answer_differences": 0},
+                )
+                nested_seconds = hash_seconds = float("inf")
+                nested_answers = hash_answers = None
+                for _round in range(repeat):
+                    start = perf_counter()
+                    nested_answers = nested.evaluate(item.query, limit=answer_limit)
+                    nested_seconds = min(nested_seconds, perf_counter() - start)
+                    start = perf_counter()
+                    hash_answers = hashed.evaluate(item.query, limit=answer_limit)
+                    hash_seconds = min(hash_seconds, perf_counter() - start)
+                bucket["queries"] += 1
+                bucket["nested_seconds"] += nested_seconds
+                bucket["hash_seconds"] += hash_seconds
+                if answer_limit is None and nested_answers != hash_answers:
+                    bucket["answer_differences"] += 1
+                    differences += 1
+                elif answer_limit is not None:
+                    # under a limit both sides may legally truncate
+                    # differently; emptiness must still agree exactly
+                    if bool(nested_answers) != bool(hash_answers):
+                        bucket["answer_differences"] += 1
+                        differences += 1
+    finally:
+        store.close()
+
+    def aggregate(names: Sequence[str]) -> Dict[str, object]:
+        rows = [families[name] for name in names if name in families]
+        nested_seconds = sum(row["nested_seconds"] for row in rows)
+        hash_seconds = sum(row["hash_seconds"] for row in rows)
+        return {
+            "queries": sum(row["queries"] for row in rows),
+            "nested_seconds": nested_seconds,
+            "hash_seconds": hash_seconds,
+            "speedup": (nested_seconds / hash_seconds) if hash_seconds > 0 else float("inf"),
+        }
+
+    for bucket in families.values():
+        bucket["speedup"] = (
+            bucket["nested_seconds"] / bucket["hash_seconds"]
+            if bucket["hash_seconds"] > 0
+            else float("inf")
+        )
+    satisfiable_families = sorted(name for name in families if name.startswith("sat"))
+    return {
+        "graph": graph.name or "graph",
+        "triples": len(graph),
+        "backend": backend,
+        "queries": len(workload),
+        "statistics_seconds": statistics_seconds,
+        "families": families,
+        "satisfiable_join": aggregate(satisfiable_families),
+        "overall": aggregate(sorted(families)),
+        "answer_differences": differences,
+        "sound": differences == 0,
+    }
 
 
 class WorkloadReport:
@@ -386,32 +687,38 @@ def compare_guarded_vs_direct(
     workload: Sequence[WorkloadQuery],
     kind: str = "weak",
     answer_limit: Optional[int] = None,
+    strategy: str = "hash",
 ) -> ComparisonReport:
     """Time *workload* through the guard and through direct evaluation.
 
-    Both sides use the same encoded evaluator over the same store with the
-    same *answer_limit*; the only difference is the summary guard, so the
-    measured gap is the guard's contribution.  Every query's two answer sets
-    are compared — any disagreement (and any verdict contradicting the
-    generation-time ground truth) is reported, making the comparison double
-    as a soundness check.  Verdicts are exact despite the limit: an empty
-    result is only ever produced by exhaustive (or provably prunable)
-    evaluation.
+    Both sides use the same encoded evaluator (same join *strategy*) over
+    the same store with the same *answer_limit*; the only difference is the
+    summary guard, so the measured gap is the guard's contribution.  Every
+    query's two answer sets are compared — any disagreement (and any
+    verdict contradicting the generation-time ground truth) is reported,
+    making the comparison double as a soundness check.  Verdicts are exact
+    despite the limit: an empty result is only ever produced by exhaustive
+    (or provably prunable) evaluation.
     """
     entry = catalog.entry(graph_name)
-    service = QueryService(catalog, kind=kind, prune=True)
+    service = QueryService(catalog, kind=kind, prune=True, strategy=strategy)
 
-    # guard warm-up: build the summaries before timing, as a server would
+    # warm-up: build the summaries and the cardinality statistics before
+    # timing, as a server would at registration — neither side should be
+    # charged for one-off profile builds
     for guard_kind in service.kinds:
         entry.pruning_graph(guard_kind)
-    guarded = run_workload(service, graph_name, workload, answer_limit=answer_limit)
+    entry.statistics_index()
 
-    evaluator = entry.evaluator
-    direct_answers = []
-    direct_start = perf_counter()
-    for item in workload:
-        direct_answers.append(evaluator.evaluate(item.query, limit=answer_limit))
-    direct_seconds = perf_counter() - direct_start
+    with _gc_paused():
+        guarded = run_workload(service, graph_name, workload, answer_limit=answer_limit)
+
+        evaluator = entry.evaluator_for(strategy)
+        direct_answers = []
+        direct_start = perf_counter()
+        for item in workload:
+            direct_answers.append(evaluator.evaluate(item.query, limit=answer_limit))
+        direct_seconds = perf_counter() - direct_start
 
     disagreements: List[BGPQuery] = []
     direct_errors: List[WorkloadQuery] = []

@@ -191,6 +191,57 @@ class TripleStore(abc.ABC):
     ) -> Iterator[EncodedTriple]:
         """Select rows of the *kind* table matching the given id pattern."""
 
+    def select_many(
+        self,
+        kind: TripleKind,
+        subjects: Optional[Iterable[int]] = None,
+        predicate: Optional[int] = None,
+        objects: Optional[Iterable[int]] = None,
+    ) -> Iterable[EncodedTriple]:
+        """Batched selection: rows matching *predicate* (scalar, optional)
+        whose subject is in *subjects* and object is in *objects* (each an
+        optional id collection).
+
+        This is the vectorized probe of the hash-join executor: one call per
+        (pattern, table) replaces one :meth:`select` per intermediate
+        binding.  Backends override it with genuinely batched access
+        (posting lists in the memory store, chunked ``IN (...)`` statements
+        in SQLite); the default composes per-value :meth:`select` calls and
+        exists so third-party backends keep working unmodified.  Rows are
+        ``(s, p, o)`` integer triples; callers must not rely on their order.
+        """
+        if subjects is None and objects is None:
+            return self.select(kind, None, predicate, None)
+        return self._select_many_fallback(kind, subjects, predicate, objects)
+
+    def _select_many_fallback(
+        self,
+        kind: TripleKind,
+        subjects: Optional[Iterable[int]],
+        predicate: Optional[int],
+        objects: Optional[Iterable[int]],
+    ) -> Iterator[EncodedTriple]:
+        if subjects is not None and objects is not None:
+            subject_list = list(subjects)
+            object_set = set(objects)
+            if len(subject_list) <= len(object_set):
+                for subject in subject_list:
+                    for row in self.select(kind, subject, predicate, None):
+                        if row[2] in object_set:
+                            yield row
+            else:
+                subject_set = set(subject_list)
+                for obj in object_set:
+                    for row in self.select(kind, None, predicate, obj):
+                        if row[0] in subject_set:
+                            yield row
+        elif subjects is not None:
+            for subject in subjects:
+                yield from self.select(kind, subject, predicate, None)
+        else:
+            for obj in objects:  # type: ignore[union-attr]
+                yield from self.select(kind, None, predicate, obj)
+
     @abc.abstractmethod
     def count(self, kind: TripleKind) -> int:
         """Number of rows in the *kind* table."""

@@ -1,8 +1,14 @@
 """In-memory encoded triple store.
 
 This is the default backend: three lists of encoded rows (data, type,
-schema) with hash indexes on subject, property and object, playing the role
-of the PostgreSQL tables plus B-tree indexes of the paper's prototype.
+schema) with hash indexes playing the role of the PostgreSQL tables plus
+B-tree indexes of the paper's prototype.  Beyond the per-column indexes,
+each table keeps two composite posting lists — ``(p, s) → rows`` and
+``(p, o) → rows`` — which are what both the nested-loop evaluator's probes
+(``select(subject=…, predicate=…)``) and the hash-join executor's batched
+fetches (``select_many(subjects=…, predicate=…)``) actually hit; every
+select shape routes through the most selective applicable index, and no
+shape with at least one bound position ever scans the table.
 """
 
 from __future__ import annotations
@@ -17,17 +23,29 @@ from repro.store.base import TripleStore
 
 __all__ = ["MemoryStore"]
 
+_EMPTY: Tuple[int, ...] = ()
+
 
 class _Table:
-    """One encoded triple table with per-column indexes."""
+    """One encoded triple table with per-column and composite indexes.
 
-    __slots__ = ("rows", "by_subject", "by_predicate", "by_object")
+    All index posting lists hold row positions in insertion order, so every
+    selection shape iterates rows in the deterministic order they were
+    inserted — whichever index serves it.
+    """
+
+    __slots__ = ("rows", "by_subject", "by_predicate", "by_object", "by_ps", "by_po")
 
     def __init__(self):
         self.rows: List[EncodedTriple] = []
         self.by_subject: Dict[int, List[int]] = defaultdict(list)
         self.by_predicate: Dict[int, List[int]] = defaultdict(list)
         self.by_object: Dict[int, List[int]] = defaultdict(list)
+        #: ``(predicate, subject) → row positions`` — the probe shape of the
+        #: nested-loop join and the batch shape of the hash join.
+        self.by_ps: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        #: ``(predicate, object) → row positions`` — the object-anchored dual.
+        self.by_po: Dict[Tuple[int, int], List[int]] = defaultdict(list)
 
     def insert(self, row: EncodedTriple) -> None:
         position = len(self.rows)
@@ -35,6 +53,40 @@ class _Table:
         self.by_subject[row.subject].append(position)
         self.by_predicate[row.predicate].append(position)
         self.by_object[row.object].append(position)
+        self.by_ps[(row.predicate, row.subject)].append(position)
+        self.by_po[(row.predicate, row.object)].append(position)
+
+    def _candidate_positions(
+        self,
+        subject: Optional[int],
+        predicate: Optional[int],
+        obj: Optional[int],
+    ) -> Optional[Iterable[int]]:
+        """The most selective index posting list for the given shape.
+
+        Returns ``None`` only for the fully unbound shape (a genuine table
+        scan).  Composite shapes hit the composite posting lists directly;
+        the ``(s, o)`` shape picks the shorter of the two per-column lists.
+        """
+        if predicate is not None:
+            if subject is not None:
+                return self.by_ps.get((predicate, subject), _EMPTY)
+            if obj is not None:
+                return self.by_po.get((predicate, obj), _EMPTY)
+            return self.by_predicate.get(predicate, _EMPTY)
+        if subject is not None:
+            if obj is not None:
+                subject_positions = self.by_subject.get(subject, _EMPTY)
+                object_positions = self.by_object.get(obj, _EMPTY)
+                return (
+                    subject_positions
+                    if len(subject_positions) <= len(object_positions)
+                    else object_positions
+                )
+            return self.by_subject.get(subject, _EMPTY)
+        if obj is not None:
+            return self.by_object.get(obj, _EMPTY)
+        return None
 
     def select(
         self,
@@ -42,14 +94,7 @@ class _Table:
         predicate: Optional[int],
         obj: Optional[int],
     ) -> Iterator[EncodedTriple]:
-        candidate_positions: Optional[Iterable[int]] = None
-        if subject is not None:
-            candidate_positions = self.by_subject.get(subject, ())
-        elif obj is not None:
-            candidate_positions = self.by_object.get(obj, ())
-        elif predicate is not None:
-            candidate_positions = self.by_predicate.get(predicate, ())
-
+        candidate_positions = self._candidate_positions(subject, predicate, obj)
         rows = self.rows
         if candidate_positions is None:
             candidates: Iterable[EncodedTriple] = rows
@@ -63,6 +108,46 @@ class _Table:
             if obj is not None and row.object != obj:
                 continue
             yield row
+
+    def select_many(
+        self,
+        subjects: Optional[Iterable[int]],
+        predicate: Optional[int],
+        objects: Optional[Iterable[int]],
+    ) -> List[EncodedTriple]:
+        """Batched selection over the posting lists (see the store method)."""
+        rows = self.rows
+        out: List[EncodedTriple] = []
+        if subjects is not None:
+            object_set = None if objects is None else set(objects)
+            if predicate is not None:
+                by_ps = self.by_ps
+                for subject in subjects:
+                    for position in by_ps.get((predicate, subject), _EMPTY):
+                        row = rows[position]
+                        if object_set is None or row.object in object_set:
+                            out.append(row)
+            else:
+                by_subject = self.by_subject
+                for subject in subjects:
+                    for position in by_subject.get(subject, _EMPTY):
+                        row = rows[position]
+                        if object_set is None or row.object in object_set:
+                            out.append(row)
+            return out
+        if objects is not None:
+            if predicate is not None:
+                by_po = self.by_po
+                for obj in objects:
+                    out.extend(rows[position] for position in by_po.get((predicate, obj), _EMPTY))
+            else:
+                by_object = self.by_object
+                for obj in objects:
+                    out.extend(rows[position] for position in by_object.get(obj, _EMPTY))
+            return out
+        if predicate is not None:
+            return [rows[position] for position in self.by_predicate.get(predicate, _EMPTY)]
+        return list(rows)
 
     def distinct_properties(self) -> List[int]:
         return sorted(self.by_predicate.keys())
@@ -126,6 +211,16 @@ class MemoryStore(TripleStore):
     ) -> Iterator[EncodedTriple]:
         self._check_open()
         return self._tables[kind].select(subject, predicate, obj)
+
+    def select_many(
+        self,
+        kind: TripleKind,
+        subjects: Optional[Iterable[int]] = None,
+        predicate: Optional[int] = None,
+        objects: Optional[Iterable[int]] = None,
+    ) -> List[EncodedTriple]:
+        self._check_open()
+        return self._tables[kind].select_many(subjects, predicate, objects)
 
     def count(self, kind: TripleKind) -> int:
         self._check_open()

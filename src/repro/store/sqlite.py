@@ -39,11 +39,15 @@ CREATE TABLE IF NOT EXISTS schema_triples (s INTEGER NOT NULL, p INTEGER NOT NUL
 CREATE TABLE IF NOT EXISTS dictionary     (id INTEGER PRIMARY KEY, value TEXT NOT NULL);
 CREATE INDEX IF NOT EXISTS idx_data_spo ON data_triples(s, p, o);
 CREATE INDEX IF NOT EXISTS idx_data_ps  ON data_triples(p, s);
+CREATE INDEX IF NOT EXISTS idx_data_po  ON data_triples(p, o);
 CREATE INDEX IF NOT EXISTS idx_data_o   ON data_triples(o);
 CREATE INDEX IF NOT EXISTS idx_type_s   ON type_triples(s);
 CREATE INDEX IF NOT EXISTS idx_type_o   ON type_triples(o);
 CREATE INDEX IF NOT EXISTS idx_schema_p ON schema_triples(p);
 """
+
+#: SQLite's default variable limit is 999; keep chunks comfortably under it.
+_IN_CHUNK = 500
 
 
 class SQLiteStore(TripleStore):
@@ -161,6 +165,61 @@ class SQLiteStore(TripleStore):
         for row_subject, row_predicate, row_object in cursor:
             yield EncodedTriple(row_subject, row_predicate, row_object)
 
+    def select_many(
+        self,
+        kind: TripleKind,
+        subjects: Optional[Iterable[int]] = None,
+        predicate: Optional[int] = None,
+        objects: Optional[Iterable[int]] = None,
+    ) -> List[Tuple[int, int, int]]:
+        """Batched selection: chunked ``IN (...)`` statements on one column.
+
+        The id collection is pushed into SQL in chunks under the parameter
+        limit; when both *subjects* and *objects* are given, the smaller
+        collection goes into the ``IN`` clause and the other is applied as a
+        Python-side set filter — either way the call costs
+        ``ceil(n / chunk)`` statements, never one probe per id.  Rows come
+        back as plain ``(s, p, o)`` tuples (the integer pipeline's format).
+        """
+        connection = self._conn()
+        table = _TABLE_FOR_KIND[kind]
+        base_clauses: List[str] = []
+        base_parameters: List[int] = []
+        if predicate is not None:
+            base_clauses.append("p = ?")
+            base_parameters.append(predicate)
+
+        subject_list = None if subjects is None else list(subjects)
+        object_list = None if objects is None else list(objects)
+        if subject_list is None and object_list is None:
+            where = f" WHERE {' AND '.join(base_clauses)}" if base_clauses else ""
+            cursor = connection.execute(f"SELECT s, p, o FROM {table}{where}", base_parameters)
+            return cursor.fetchall()
+
+        if subject_list is not None and (
+            object_list is None or len(subject_list) <= len(object_list)
+        ):
+            in_column, in_values = "s", subject_list
+            filter_column, filter_set = 2, None if object_list is None else set(object_list)
+        else:
+            in_column, in_values = "o", object_list  # type: ignore[assignment]
+            filter_column, filter_set = 0, None if subject_list is None else set(subject_list)
+
+        out: List[Tuple[int, int, int]] = []
+        for start in range(0, len(in_values), _IN_CHUNK):
+            chunk = in_values[start : start + _IN_CHUNK]
+            placeholders = ", ".join("?" for _ in chunk)
+            clauses = base_clauses + [f"{in_column} IN ({placeholders})"]
+            cursor = connection.execute(
+                f"SELECT s, p, o FROM {table} WHERE {' AND '.join(clauses)}",
+                base_parameters + chunk,
+            )
+            if filter_set is None:
+                out.extend(cursor.fetchall())
+            else:
+                out.extend(row for row in cursor.fetchall() if row[filter_column] in filter_set)
+        return out
+
     def _existing_rows(self, kind: TripleKind, rows):
         """Batched existence check: one row-value ``IN`` query per chunk.
 
@@ -215,7 +274,10 @@ class SQLiteStore(TripleStore):
         * ``data_triples(s, p, o)`` — a covering index for subject-anchored
           lookups, so ``select(subject=...)`` never touches the base table;
         * ``data_triples(p, s)`` — property-anchored access, the pattern of
-          per-property passes (``dpSrc`` / ``dpTarg`` maintenance).
+          per-property passes (``dpSrc`` / ``dpTarg`` maintenance);
+        * ``data_triples(p, o)`` — the object-anchored dual, which the
+          hash-join executor's batched object-side fetches rely on (also
+          covers databases persisted before the index joined the schema).
 
         Idempotent; cheap when the indexes already exist.
         """
@@ -224,6 +286,7 @@ class SQLiteStore(TripleStore):
             """
             CREATE INDEX IF NOT EXISTS idx_data_spo ON data_triples(s, p, o);
             CREATE INDEX IF NOT EXISTS idx_data_ps  ON data_triples(p, s);
+            CREATE INDEX IF NOT EXISTS idx_data_po  ON data_triples(p, o);
             ANALYZE;
             """
         )

@@ -1,0 +1,342 @@
+"""Equivalence and probe-complexity tests for the vectorized hash join.
+
+The property the whole PR hangs on: for every query, on every backend, in
+every pattern order, ``strategy="hash"`` answers == ``strategy="nested"``
+answers == the reference ``Term``-object evaluator's answers — while the
+hash executor touches the store O(patterns) times, never once per binding.
+"""
+
+import random
+
+import pytest
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.triple import Triple
+from repro.queries.bgp import BGPQuery, TriplePattern, Variable
+from repro.queries.evaluation import evaluate
+from repro.queries.generator import generate_rbgp_workload
+from repro.service.evaluator import EncodedEvaluator
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
+
+
+@pytest.fixture(params=[MemoryStore, SQLiteStore], ids=["memory", "sqlite"])
+def backend(request):
+    return request.param
+
+
+def _evaluators(graph, backend):
+    store = backend()
+    store.load_graph(graph)
+    return (
+        EncodedEvaluator(store, strategy="hash"),
+        EncodedEvaluator(store, strategy="nested"),
+    )
+
+
+def _shuffles(query: BGPQuery, seed: int, count: int = 3):
+    """The query plus `count` pattern-order permutations of it."""
+    rng = random.Random(seed)
+    yield query
+    for _ in range(count):
+        patterns = list(query.patterns)
+        rng.shuffle(patterns)
+        yield BGPQuery(patterns, head=query.head, name=query.name)
+
+
+class TestThreeWayEquivalence:
+    def test_generated_workloads_shuffled(self, fig2, bibliography_small, backend):
+        for graph, seed in ((fig2, 3), (bibliography_small, 5)):
+            hashed, nested = _evaluators(graph, backend)
+            for query in generate_rbgp_workload(graph, count=8, size=2, seed=seed):
+                expected = evaluate(graph, query)
+                for variant in _shuffles(query, seed):
+                    assert hashed.evaluate(variant) == expected
+                    assert nested.evaluate(variant) == expected
+
+    def test_three_pattern_joins(self, bsbm_small, backend):
+        hashed, nested = _evaluators(bsbm_small, backend)
+        for query in generate_rbgp_workload(bsbm_small, count=6, size=3, seed=11):
+            expected = evaluate(bsbm_small, query)
+            for variant in _shuffles(query, 11):
+                assert hashed.evaluate(variant) == expected
+                assert nested.evaluate(variant) == expected
+
+    def test_variable_predicate_join(self, book_graph, backend):
+        x, p, y, z = Variable("x"), Variable("p"), Variable("y"), Variable("z")
+        query = BGPQuery(
+            [TriplePattern(x, p, y), TriplePattern(y, p, z)],
+            head=(x, z),
+        )
+        hashed, nested = _evaluators(book_graph, backend)
+        expected = evaluate(book_graph, query)
+        assert hashed.evaluate(query) == expected
+        assert nested.evaluate(query) == expected
+
+    def test_repeated_variable_in_pattern(self, backend):
+        graph = RDFGraph(
+            [
+                Triple(EX.a, EX.p, EX.a),
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.b, EX.p, EX.b),
+                Triple(EX.b, EX.q, EX.a),
+            ]
+        )
+        x, y = Variable("x"), Variable("y")
+        loop = BGPQuery([TriplePattern(x, EX.p, x)], head=(x,))
+        chained = BGPQuery(
+            [TriplePattern(x, EX.p, x), TriplePattern(x, EX.q, y)], head=(x, y)
+        )
+        hashed, nested = _evaluators(graph, backend)
+        for query in (loop, chained):
+            expected = evaluate(graph, query)
+            assert hashed.evaluate(query) == expected
+            assert nested.evaluate(query) == expected
+
+    def test_cartesian_product_patterns(self, backend):
+        graph = RDFGraph(
+            [Triple(EX.a, EX.p, EX.b), Triple(EX.c, EX.q, EX.d), Triple(EX.e, EX.q, EX.f)]
+        )
+        x, y, w, z = Variable("x"), Variable("y"), Variable("w"), Variable("z")
+        query = BGPQuery(
+            [TriplePattern(x, EX.p, y), TriplePattern(w, EX.q, z)], head=(x, w)
+        )
+        hashed, nested = _evaluators(graph, backend)
+        assert hashed.evaluate(query) == nested.evaluate(query) == evaluate(graph, query)
+
+    def test_boolean_and_limit_semantics(self, bibliography_small, backend):
+        hashed, nested = _evaluators(bibliography_small, backend)
+        for query in generate_rbgp_workload(bibliography_small, count=4, size=2, seed=9):
+            ask = BGPQuery(query.patterns, head=(), name="ask")
+            assert hashed.evaluate(ask) == nested.evaluate(ask)
+            assert hashed.has_answers(query) == nested.has_answers(query)
+            full = hashed.evaluate(query)
+            limited = hashed.evaluate(query, limit=2)
+            assert limited <= full
+            assert len(limited) == min(2, len(full))
+
+    def test_fully_ground_queries(self, backend):
+        """Zero-variable (ground) queries must answer, not crash (regression:
+        `max()` over an empty slot-position list)."""
+        graph = RDFGraph([Triple(EX.a, EX.p, EX.b), Triple(EX.b, EX.q, EX.c)])
+        hashed, nested = _evaluators(graph, backend)
+        present = BGPQuery([TriplePattern(EX.a, EX.p, EX.b)])
+        ground_join = BGPQuery(
+            [TriplePattern(EX.a, EX.p, EX.b), TriplePattern(EX.b, EX.q, EX.c)]
+        )
+        absent = BGPQuery([TriplePattern(EX.a, EX.q, EX.b)])
+        for query, expected in ((present, {()}), (ground_join, {()}), (absent, set())):
+            assert hashed.evaluate(query) == expected
+            assert nested.evaluate(query) == expected
+            assert hashed.evaluate(query, limit=1) == expected
+            assert hashed.has_answers(query) == bool(expected)
+
+    def test_unsatisfiable_joins_are_empty(self, backend):
+        graph = RDFGraph(
+            [Triple(EX.a, EX.p, EX.b), Triple(EX.c, EX.q, EX.d)]
+        )
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = BGPQuery(
+            [TriplePattern(x, EX.p, y), TriplePattern(y, EX.q, z)], head=(x,)
+        )
+        hashed, nested = _evaluators(graph, backend)
+        assert hashed.evaluate(query) == set()
+        assert nested.evaluate(query) == set()
+
+
+class _ProbeCountingStore(MemoryStore):
+    """A memory store that counts every select/select_many call."""
+
+    def __init__(self):
+        super().__init__()
+        self.select_calls = 0
+        self.select_many_calls = 0
+
+    def select(self, kind, subject=None, predicate=None, obj=None):
+        self.select_calls += 1
+        return super().select(kind, subject, predicate, obj)
+
+    def select_many(self, kind, subjects=None, predicate=None, objects=None):
+        self.select_many_calls += 1
+        return super().select_many(kind, subjects, predicate, objects)
+
+    @property
+    def probes(self):
+        return self.select_calls + self.select_many_calls
+
+    def reset(self):
+        self.select_calls = 0
+        self.select_many_calls = 0
+
+
+class TestProbeComplexity:
+    def _chain_fixture(self, fan_out: int = 40):
+        """A two-hop chain with `fan_out` bindings at the first level."""
+        triples = []
+        for index in range(fan_out):
+            mid = EX.term(f"m{index}")
+            triples.append(Triple(EX.term(f"s{index}"), EX.p, mid))
+            triples.append(Triple(mid, EX.q, EX.term(f"t{index}")))
+        store = _ProbeCountingStore()
+        store.load_graph(RDFGraph(triples))
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = BGPQuery(
+            [TriplePattern(x, EX.p, y), TriplePattern(y, EX.q, z)], head=(x, z)
+        )
+        return store, query
+
+    def test_hash_join_issues_o_patterns_probes(self):
+        store, query = self._chain_fixture()
+        evaluator = EncodedEvaluator(store, strategy="hash")
+        evaluator.statistics()  # profile build scans, it does not probe
+        store.reset()
+        answers = evaluator.evaluate(query)
+        assert len(answers) == 40
+        # one batched lookup per (pattern, routed table): 2 data patterns
+        assert store.probes == len(query.patterns)
+
+    def test_nested_probes_scale_with_bindings(self):
+        store, query = self._chain_fixture()
+        evaluator = EncodedEvaluator(store, strategy="nested")
+        store.reset()
+        evaluator.evaluate(query)
+        # one driver select plus one probe per intermediate binding
+        assert store.probes > 40
+
+    def test_hash_probe_count_immune_to_join_width(self):
+        """Three patterns, three probes — per-binding probing is gone."""
+        triples = []
+        for index in range(25):
+            a, b, c = EX.term(f"a{index}"), EX.term(f"b{index}"), EX.term(f"c{index}")
+            triples.append(Triple(a, EX.p, b))
+            triples.append(Triple(b, EX.q, c))
+            triples.append(Triple(c, EX.r, a))
+        store = _ProbeCountingStore()
+        store.load_graph(RDFGraph(triples))
+        w, x, y, z = Variable("w"), Variable("x"), Variable("y"), Variable("z")
+        query = BGPQuery(
+            [
+                TriplePattern(w, EX.p, x),
+                TriplePattern(x, EX.q, y),
+                TriplePattern(y, EX.r, z),
+            ],
+            head=(w, z),
+        )
+        evaluator = EncodedEvaluator(store, strategy="hash")
+        evaluator.statistics()
+        store.reset()
+        assert len(evaluator.evaluate(query)) == 25
+        assert store.probes == 3
+
+    def test_trace_reports_probes_and_cardinalities(self):
+        store, query = self._chain_fixture()
+        evaluator = EncodedEvaluator(store, strategy="hash")
+        trace = evaluator.explain(query)
+        assert trace.strategy == "hash"
+        assert trace.plan_cached is False
+        assert trace.total_probes == 2
+        assert [stage.produced for stage in trace.stages] == [40, 40]
+        assert all(stage.estimate is not None for stage in trace.stages)
+        again = evaluator.explain(query)
+        assert again.plan_cached is True
+
+
+class TestServiceIntegration:
+    def test_service_strategies_agree(self, bsbm_small):
+        from repro.service.catalog import GraphCatalog
+        from repro.service.service import QueryService
+
+        with GraphCatalog() as catalog:
+            catalog.register("g", graph=bsbm_small)
+            hashed = QueryService(catalog, kind="weak", strategy="hash")
+            nested = QueryService(catalog, kind="weak", strategy="nested")
+            for query in generate_rbgp_workload(bsbm_small, count=8, size=2, seed=2):
+                a = hashed.answer("g", query)
+                b = nested.answer("g", query)
+                assert a.answers == b.answers
+                assert a.strategy == "hash" and b.strategy == "nested"
+
+    def test_guard_order_and_attribution_exposed(self, bsbm_small):
+        from repro.service.catalog import GraphCatalog
+        from repro.service.service import QueryService
+
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=bsbm_small)
+            service = QueryService(catalog, kind="strong+weak")
+            x, y = Variable("x"), Variable("y")
+            absent = BGPQuery(
+                [TriplePattern(x, EX.term("not-in-bsbm"), y)], head=(x,)
+            )
+            answer = service.answer("g", absent)
+            assert answer.pruned
+            assert answer.pruned_by == answer.guard_order[0]
+            # cheapest (smallest) summary first, whatever the declared order
+            sizes = [
+                len(entry.pruning_graph(kind)) for kind in answer.guard_order
+            ]
+            assert sizes == sorted(sizes)
+            assert service.statistics.pruned_by_kind[answer.pruned_by] >= 1
+
+    def test_saturated_path_honours_the_strategy(self, book_graph):
+        from repro.service.catalog import GraphCatalog
+        from repro.service.service import QueryService
+
+        with GraphCatalog() as catalog:
+            entry = catalog.register("b", graph=book_graph)
+            nested_ev = entry.saturated_evaluator("nested")
+            assert nested_ev.strategy == "nested"
+            assert entry.saturated_evaluator("nested") is nested_ev
+            assert entry.saturated_evaluator("hash").strategy == "hash"
+            x = Variable("x")
+            from repro.model.namespaces import RDF_TYPE
+            from repro.model.terms import URI
+
+            query = BGPQuery(
+                [TriplePattern(x, RDF_TYPE, URI("http://example.org/Publication"))],
+                head=(x,),
+            )
+            a = QueryService(catalog, kind="weak", strategy="nested").answer(
+                "b", query, saturated=True
+            )
+            b = QueryService(catalog, kind="weak", strategy="hash").answer(
+                "b", query, saturated=True
+            )
+            assert a.answers == b.answers and a.answers
+            assert a.strategy == "nested" and b.strategy == "hash"
+
+    def test_guard_ordering_never_builds_uncached_summaries(self, bsbm_small):
+        """Re-ordering the cascade must keep PR 2's lazy escalation: a
+        query the weak summary prunes must not force a strong-summary
+        build just to sort the guards."""
+        from repro.service.catalog import GraphCatalog
+        from repro.service.service import QueryService
+
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=bsbm_small)
+            service = QueryService(catalog, kind="weak+strong")
+            x, y = Variable("x"), Variable("y")
+            absent = BGPQuery([TriplePattern(x, EX.term("not-in-bsbm"), y)], head=(x,))
+            answer = service.answer("g", absent)
+            assert answer.pruned and answer.pruned_by == "weak"
+            assert answer.guard_order == ("weak", "strong")
+            # the strong summary was never needed, so it was never built
+            assert entry.cached_pruning_size("strong") is None
+            assert entry.cached_pruning_size("weak") is not None
+
+    def test_explain_carries_trace_through_service(self, bsbm_small):
+        from repro.service.catalog import GraphCatalog
+        from repro.service.service import QueryService
+
+        with GraphCatalog() as catalog:
+            catalog.register("g", graph=bsbm_small)
+            service = QueryService(catalog, kind="weak")
+            for query in generate_rbgp_workload(bsbm_small, count=3, size=2, seed=4):
+                answer = service.answer("g", query, explain=True)
+                if not answer.pruned:
+                    assert answer.trace is not None
+                    assert answer.trace.strategy == "hash"
+                    assert len(answer.trace.stages) == len(query.patterns)
+                    break
+            else:
+                pytest.fail("no unpruned query in the sample")

@@ -1,0 +1,151 @@
+"""Tests for the statistics-driven query planner (`repro.service.planner`)."""
+
+import pytest
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.triple import Triple, TripleKind
+from repro.queries.bgp import BGPQuery, TriplePattern, Variable
+from repro.service.evaluator import compile_query
+from repro.service.planner import QueryPlanner, plan_shape
+from repro.service.statistics import CardinalityStatistics
+from repro.store.memory import MemoryStore
+
+
+def _skewed_store():
+    """`p` is broad (9 rows), `q` is rare (1 row), class C2 is tiny."""
+    triples = []
+    for index in range(9):
+        triples.append(Triple(EX.term(f"s{index}"), EX.p, EX.term(f"o{index}")))
+        triples.append(Triple(EX.term(f"s{index}"), RDF_TYPE, EX.C1))
+    triples.append(Triple(EX.term("s0"), EX.q, EX.term("o0")))
+    triples.append(Triple(EX.term("s0"), RDF_TYPE, EX.C2))
+    store = MemoryStore()
+    store.load_graph(RDFGraph(triples))
+    return store
+
+
+@pytest.fixture
+def planner_and_store():
+    store = _skewed_store()
+    return QueryPlanner(CardinalityStatistics.from_store(store)), store
+
+
+class TestEstimates:
+    def test_unbound_pattern_estimates_predicate_rows(self, planner_and_store):
+        planner, store = planner_and_store
+        x, y = Variable("x"), Variable("y")
+        compiled = compile_query(
+            BGPQuery([TriplePattern(x, EX.p, y)], head=(x,)), store.dictionary
+        )
+        assert planner.estimate_pattern(compiled.patterns[0], set()) == pytest.approx(9.0)
+
+    def test_bound_subject_divides_by_distinct_subjects(self, planner_and_store):
+        planner, store = planner_and_store
+        x, y = Variable("x"), Variable("y")
+        compiled = compile_query(
+            BGPQuery([TriplePattern(x, EX.p, y)], head=(x,)), store.dictionary
+        )
+        # 9 rows / 9 distinct subjects = 1 expected row per bound subject
+        bound = {0}  # x occupies slot 0
+        assert planner.estimate_pattern(compiled.patterns[0], bound) == pytest.approx(1.0)
+
+    def test_type_pattern_uses_class_membership(self, planner_and_store):
+        planner, store = planner_and_store
+        x = Variable("x")
+        rare = compile_query(
+            BGPQuery([TriplePattern(x, RDF_TYPE, EX.C2)], head=(x,)), store.dictionary
+        )
+        common = compile_query(
+            BGPQuery([TriplePattern(x, RDF_TYPE, EX.C1)], head=(x,)), store.dictionary
+        )
+        assert planner.estimate_pattern(rare.patterns[0], set()) == pytest.approx(1.0)
+        assert planner.estimate_pattern(common.patterns[0], set()) == pytest.approx(9.0)
+
+    def test_absent_predicate_estimates_zero(self, planner_and_store):
+        planner, store = planner_and_store
+        store.dictionary.encode(EX.never_used)  # known term, no rows
+        x, y = Variable("x"), Variable("y")
+        compiled = compile_query(
+            BGPQuery([TriplePattern(x, EX.never_used, y)], head=(x,)), store.dictionary
+        )
+        assert planner.estimate_pattern(compiled.patterns[0], set()) == 0.0
+
+    def test_variable_predicate_sums_all_tables(self, planner_and_store):
+        planner, store = planner_and_store
+        x, p, y = Variable("x"), Variable("p"), Variable("y")
+        compiled = compile_query(
+            BGPQuery([TriplePattern(x, p, y)], head=(p,)), store.dictionary
+        )
+        total = planner.statistics.total_rows
+        assert planner.estimate_pattern(compiled.patterns[0], set()) == pytest.approx(total)
+
+
+class TestOrdering:
+    def test_selective_pattern_goes_first(self, planner_and_store):
+        """The rare class drives the join, whatever the syntactic order —
+        the statistic the greedy bound-count order cannot see."""
+        planner, store = planner_and_store
+        x, y = Variable("x"), Variable("y")
+        query = BGPQuery(
+            [
+                TriplePattern(x, EX.p, y),  # 9 rows
+                TriplePattern(x, RDF_TYPE, EX.C2),  # 1 row
+            ],
+            head=(x,),
+        )
+        compiled = compile_query(query, store.dictionary)
+        plan = planner.plan(compiled)
+        assert plan.order == [1, 0]
+        assert plan.stages[0].estimate == pytest.approx(1.0)
+
+    def test_plan_is_deterministic_on_ties(self, planner_and_store):
+        planner, store = planner_and_store
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = BGPQuery(
+            [TriplePattern(x, EX.p, y), TriplePattern(x, EX.p, z)], head=(x,)
+        )
+        compiled = compile_query(query, store.dictionary)
+        assert planner.plan(compiled).order == planner.plan(compiled).order
+
+
+class TestPlanCache:
+    def test_repeated_shape_hits_the_cache(self, planner_and_store):
+        planner, store = planner_and_store
+        x, y = Variable("x"), Variable("y")
+        query = BGPQuery([TriplePattern(x, EX.p, y)], head=(x,))
+        first = planner.plan(compile_query(query, store.dictionary))
+        assert planner.cache_misses == 1 and planner.cache_hits == 0
+        second = planner.plan(compile_query(query, store.dictionary))
+        assert second is first
+        assert planner.cache_hits == 1
+        assert planner.last_was_hit
+
+    def test_different_constants_are_different_shapes(self, planner_and_store):
+        planner, store = planner_and_store
+        x, y = Variable("x"), Variable("y")
+        planner.plan(compile_query(BGPQuery([TriplePattern(x, EX.p, y)], head=(x,)), store.dictionary))
+        planner.plan(compile_query(BGPQuery([TriplePattern(x, EX.q, y)], head=(x,)), store.dictionary))
+        assert planner.cache_misses == 2
+
+    def test_limit_bounded_evaluation_plans_exactly_once(self, planner_and_store):
+        """The limit path must not double-count planner cache traffic
+        (regression: _prefer_pipelined planned the shape a second time)."""
+        from repro.service.evaluator import EncodedEvaluator
+
+        planner, store = planner_and_store
+        evaluator = EncodedEvaluator(store, strategy="hash", planner=planner)
+        x, y = Variable("x"), Variable("y")
+        query = BGPQuery([TriplePattern(x, EX.p, y)], head=(x,))
+        evaluator.evaluate(query, limit=2)
+        assert (planner.cache_hits, planner.cache_misses) == (0, 1)
+        evaluator.evaluate(query, limit=2)
+        assert (planner.cache_hits, planner.cache_misses) == (1, 1)
+
+    def test_shape_ignores_variable_names(self, planner_and_store):
+        planner, store = planner_and_store
+        a, b = Variable("alpha"), Variable("beta")
+        x, y = Variable("x"), Variable("y")
+        one = compile_query(BGPQuery([TriplePattern(a, EX.p, b)], head=(a,)), store.dictionary)
+        two = compile_query(BGPQuery([TriplePattern(x, EX.p, y)], head=(x,)), store.dictionary)
+        assert plan_shape(one) == plan_shape(two)

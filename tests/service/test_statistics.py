@@ -1,0 +1,153 @@
+"""Tests for the store-level cardinality statistics (`repro.service.statistics`)."""
+
+import pytest
+
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.triple import Triple, TripleKind
+from repro.service.statistics import CardinalityStatistics
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
+
+
+@pytest.fixture(params=[MemoryStore, SQLiteStore], ids=["memory", "sqlite"])
+def backend(request):
+    return request.param
+
+
+def _small_triples():
+    return [
+        Triple(EX.a, EX.p, EX.b),
+        Triple(EX.a, EX.p, EX.c),
+        Triple(EX.b, EX.p, EX.c),
+        Triple(EX.a, EX.q, EX.b),
+        Triple(EX.a, RDF_TYPE, EX.C1),
+        Triple(EX.b, RDF_TYPE, EX.C1),
+        Triple(EX.c, RDF_TYPE, EX.C2),
+    ]
+
+
+class TestOnePassCollection:
+    def test_per_predicate_counts(self, backend):
+        store = backend()
+        store.load_triples(_small_triples())
+        statistics = CardinalityStatistics.from_store(store)
+        p = store.dictionary.encode_existing(EX.p)
+        q = store.dictionary.encode_existing(EX.q)
+        assert statistics.predicate_rows(TripleKind.DATA, p) == 3
+        assert statistics.predicate_rows(TripleKind.DATA, q) == 1
+        assert statistics.distinct_subjects(TripleKind.DATA, p) == 2  # a, b
+        assert statistics.distinct_objects(TripleKind.DATA, p) == 2  # b, c
+        assert statistics.table_rows(TripleKind.DATA) == 4
+        assert statistics.table_rows(TripleKind.TYPE) == 3
+        assert statistics.table_rows(TripleKind.SCHEMA) == 0
+        store.close()
+
+    def test_class_membership_counts(self, backend):
+        store = backend()
+        store.load_triples(_small_triples())
+        statistics = CardinalityStatistics.from_store(store)
+        c1 = store.dictionary.encode_existing(EX.C1)
+        c2 = store.dictionary.encode_existing(EX.C2)
+        assert statistics.class_count(c1) == 2
+        assert statistics.class_count(c2) == 1
+        assert statistics.class_count(999_999) == 0
+        store.close()
+
+    def test_table_level_distincts(self, backend):
+        store = backend()
+        store.load_triples(_small_triples())
+        statistics = CardinalityStatistics.from_store(store)
+        assert statistics.distinct_subjects(TripleKind.DATA) == 2
+        assert statistics.distinct_objects(TripleKind.DATA) == 2
+        assert statistics.distinct_predicates(TripleKind.DATA) == 2
+        store.close()
+
+    def test_unknown_predicate_profile_is_none(self, backend):
+        store = backend()
+        store.load_triples(_small_triples())
+        statistics = CardinalityStatistics.from_store(store)
+        assert statistics.predicate(TripleKind.DATA, 424242) is None
+        assert statistics.predicate_rows(TripleKind.SCHEMA, 0) == 0
+        store.close()
+
+
+class TestIncrementalEquivalence:
+    def test_ingest_rows_matches_one_pass(self, backend, bibliography_small):
+        """Profile built row-by-row == profile built by scanning the store."""
+        store = backend()
+        rows = store.insert_triples(list(bibliography_small))
+        incremental = CardinalityStatistics()
+        incremental.ingest_rows(rows)
+        assert incremental == CardinalityStatistics.from_store(store)
+        store.close()
+
+    def test_ingest_is_order_independent(self, bsbm_small):
+        import random
+
+        store = MemoryStore()
+        rows = store.insert_triples(list(bsbm_small))
+        shuffled = list(rows)
+        random.Random(3).shuffle(shuffled)
+        forward, backward = CardinalityStatistics(), CardinalityStatistics()
+        forward.ingest_rows(rows)
+        backward.ingest_rows(shuffled)
+        assert forward == backward
+        store.close()
+
+    def test_as_dict_is_json_friendly(self, backend):
+        import json
+
+        store = backend()
+        store.load_triples(_small_triples())
+        statistics = CardinalityStatistics.from_store(store)
+        rendered = json.dumps(statistics.as_dict())
+        assert "class_rows" in rendered
+        store.close()
+
+
+class TestCatalogRefresh:
+    def test_add_triples_refreshes_statistics_in_place(self):
+        """The catalog must fold incremental ingest into the live profile —
+        no stale estimates, no re-scan (satellite bugfix)."""
+        from repro.model.graph import RDFGraph
+        from repro.service.catalog import GraphCatalog
+
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(_small_triples()))
+            before = entry.statistics_index()
+            p = entry.store.dictionary.encode_existing(EX.p)
+            assert before.predicate_rows(TripleKind.DATA, p) == 3
+
+            entry.add_triples([Triple(EX.c, EX.p, EX.a), Triple(EX.d, RDF_TYPE, EX.C2)])
+            after = entry.statistics_index()
+            # same object, updated in place and re-tagged with the version
+            assert after is before
+            assert after.predicate_rows(TripleKind.DATA, p) == 4
+            assert after.distinct_subjects(TripleKind.DATA, p) == 3
+            c2 = entry.store.dictionary.encode_existing(EX.C2)
+            assert after.class_count(c2) == 2
+            # and it agrees exactly with a fresh scan of the mutated store
+            assert after == CardinalityStatistics.from_store(entry.store)
+
+    def test_duplicate_adds_do_not_inflate_counts(self):
+        from repro.model.graph import RDFGraph
+        from repro.service.catalog import GraphCatalog
+
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(_small_triples()))
+            before = entry.statistics_index()
+            p = entry.store.dictionary.encode_existing(EX.p)
+            entry.add_triples([Triple(EX.a, EX.p, EX.b)])  # already present
+            assert entry.statistics_index().predicate_rows(TripleKind.DATA, p) == 3
+            assert entry.statistics_index() is before
+
+    def test_planner_rebuilt_after_ingest(self):
+        from repro.model.graph import RDFGraph
+        from repro.service.catalog import GraphCatalog
+
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(_small_triples()))
+            first = entry.planner()
+            assert entry.planner() is first  # cached while the version holds
+            entry.add_triples([Triple(EX.c, EX.q, EX.a)])
+            assert entry.planner() is not first  # stale plan cache dropped

@@ -79,3 +79,58 @@ class TestDrivers:
                 catalog, "bib", workload, kind="weak+strong", answer_limit=3
             )
             assert report.sound
+
+
+class TestJoinWorkloadAndStrategyComparison:
+    def test_families_are_labelled_and_truthful(self, bsbm_small):
+        from repro.queries.evaluation import evaluate
+        from repro.service.workload import generate_join_workload
+
+        workload = generate_join_workload(bsbm_small, per_family=2, seed=1)
+        families = {item.family for item in workload}
+        assert "sat_chain" in families
+        assert "sat_fork" in families
+        assert "dictionary_miss" in families
+        for item in workload:
+            if item.family.startswith("sat"):
+                assert item.satisfiable
+                assert len(item.query.patterns) >= 2
+        # spot-check the generation-time ground truth on the sat families
+        checked = 0
+        for item in workload:
+            if item.family in ("sat_chain", "sat_fork") and checked < 2:
+                assert evaluate(bsbm_small, item.query, limit=1)
+                checked += 1
+            elif item.family.startswith("unsat") or item.family == "dictionary_miss":
+                assert not item.satisfiable
+
+    def test_join_sizes_respect_the_cap(self, bsbm_small):
+        from repro.queries.evaluation import iter_embeddings
+        from repro.service.workload import generate_join_workload
+
+        cap = 50
+        workload = generate_join_workload(bsbm_small, per_family=2, seed=1, max_join_size=cap)
+        for item in workload:
+            if item.family == "sat_chain":
+                count = sum(1 for _ in iter_embeddings(bsbm_small, item.query))
+                assert 1 <= count <= cap
+
+    def test_run_strategy_comparison_reports_and_is_sound(self, bsbm_small):
+        from repro.service.workload import run_strategy_comparison
+
+        report = run_strategy_comparison(bsbm_small, per_family=2, seed=1, repeat=1)
+        assert report["sound"] is True
+        assert report["answer_differences"] == 0
+        assert report["satisfiable_join"]["queries"] >= 2
+        assert set(report["families"]) >= {"sat_chain", "sat_fork"}
+        for row in report["families"].values():
+            assert row["answer_differences"] == 0
+
+    def test_run_strategy_comparison_sqlite_backend(self, bsbm_small):
+        from repro.service.workload import run_strategy_comparison
+
+        report = run_strategy_comparison(
+            bsbm_small, per_family=1, seed=2, backend="sqlite", repeat=1
+        )
+        assert report["sound"] is True
+        assert report["backend"] == "sqlite"

@@ -179,3 +179,100 @@ class TestBatchedInsertion:
         store.insert_triples(triples[len(triples) // 2 :])
         assert len(store.dictionary) >= before
         assert store.count(TripleKind.DATA) == len(fig2.data_triples)
+
+
+class TestSelectShapesAndPostingLists:
+    """Every bound select shape routes through an index (satellite bugfix)
+    and iterates rows deterministically in insertion order."""
+
+    def _loaded(self, store_class):
+        store = store_class()
+        triples = [
+            Triple(EX.a, EX.p, EX.b),
+            Triple(EX.a, EX.p, EX.c),
+            Triple(EX.b, EX.p, EX.b),
+            Triple(EX.a, EX.q, EX.b),
+            Triple(EX.b, EX.q, EX.c),
+        ]
+        store.load_triples(triples)
+        ids = {name: store.dictionary.encode_existing(getattr(EX, name)) for name in "abcpq"}
+        return store, ids
+
+    @pytest.mark.parametrize("store_class", [MemoryStore, SQLiteStore])
+    def test_every_shape_filters_correctly(self, store_class):
+        store, ids = self._loaded(store_class)
+        rows = lambda **kw: {tuple(r) for r in store.select(TripleKind.DATA, **kw)}
+        a, b, c, p, q = (ids[k] for k in "abcpq")
+        assert rows(predicate=p) == {(a, p, b), (a, p, c), (b, p, b)}
+        assert rows(subject=a, predicate=p) == {(a, p, b), (a, p, c)}
+        assert rows(predicate=p, obj=b) == {(a, p, b), (b, p, b)}
+        assert rows(subject=a, obj=b) == {(a, p, b), (a, q, b)}
+        assert rows(subject=a, predicate=q, obj=b) == {(a, q, b)}
+        assert rows(subject=a, predicate=p, obj=c) == {(a, p, c)}
+        assert rows() == {(a, p, b), (a, p, c), (b, p, b), (a, q, b), (b, q, c)}
+        store.close()
+
+    def test_memory_select_is_insertion_ordered_per_shape(self):
+        store, ids = self._loaded(MemoryStore)
+        a, b, p = ids["a"], ids["b"], ids["p"]
+        shapes = [
+            dict(predicate=p),
+            dict(subject=a),
+            dict(obj=b),
+            dict(subject=a, predicate=p),
+            dict(predicate=p, obj=b),
+            dict(subject=a, obj=b),
+        ]
+        for shape in shapes:
+            listed = [tuple(r) for r in store.select(TripleKind.DATA, **shape)]
+            assert listed == sorted(listed, key=lambda r: store._tables[TripleKind.DATA].rows.index(r))
+            # repeated iteration yields the identical order
+            assert listed == [tuple(r) for r in store.select(TripleKind.DATA, **shape)]
+
+    def test_memory_bound_shapes_never_scan(self):
+        """Bound shapes must touch only posting-list candidates."""
+        store, ids = self._loaded(MemoryStore)
+        table = store._tables[TripleKind.DATA]
+        a, p, b = ids["a"], ids["p"], ids["b"]
+        assert table._candidate_positions(None, p, None) is not None
+        assert table._candidate_positions(a, p, None) is not None
+        assert table._candidate_positions(None, p, b) is not None
+        assert table._candidate_positions(a, None, b) is not None
+        assert table._candidate_positions(a, None, None) is not None
+        assert table._candidate_positions(None, None, b) is not None
+        # composite lists are exact: no post-filter survivors dropped
+        assert len(list(store.select(TripleKind.DATA, subject=a, predicate=p))) == 2
+        # only the fully unbound shape scans
+        assert table._candidate_positions(None, None, None) is None
+
+    @pytest.mark.parametrize("store_class", [MemoryStore, SQLiteStore])
+    def test_select_many_matches_per_value_selects(self, store_class):
+        store, ids = self._loaded(store_class)
+        a, b, c, p, q = (ids[k] for k in "abcpq")
+        batched = {tuple(r) for r in store.select_many(TripleKind.DATA, subjects=[a, b], predicate=p)}
+        single = {
+            tuple(r)
+            for s in (a, b)
+            for r in store.select(TripleKind.DATA, subject=s, predicate=p)
+        }
+        assert batched == single
+        by_objects = {tuple(r) for r in store.select_many(TripleKind.DATA, predicate=q, objects=[b, c])}
+        assert by_objects == {(a, q, b), (b, q, c)}
+        both = {
+            tuple(r)
+            for r in store.select_many(TripleKind.DATA, subjects=[a], predicate=p, objects=[b, c])
+        }
+        assert both == {(a, p, b), (a, p, c)}
+        no_constraint = {tuple(r) for r in store.select_many(TripleKind.DATA, predicate=p)}
+        assert no_constraint == {(a, p, b), (a, p, c), (b, p, b)}
+        store.close()
+
+    def test_sqlite_select_many_chunks_large_batches(self):
+        store = SQLiteStore()
+        triples = [Triple(EX.term(f"s{i}"), EX.p, EX.term(f"o{i}")) for i in range(1200)]
+        store.load_triples(triples)
+        p = store.dictionary.encode_existing(EX.p)
+        subjects = [store.dictionary.encode_existing(EX.term(f"s{i}")) for i in range(1200)]
+        rows = store.select_many(TripleKind.DATA, subjects=subjects, predicate=p)
+        assert len(rows) == 1200
+        store.close()

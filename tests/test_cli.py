@@ -165,3 +165,75 @@ class TestQueryCommand:
         report = json.loads(report_path.read_text())
         assert report["sound"] is True
         assert report["queries"] == 8
+
+
+class TestQueryStrategyAndExplain:
+    def test_strategy_choices(self, fig2_file):
+        args = build_parser().parse_args(["query", str(fig2_file), "--query", "ASK { ?x ?p ?y }"])
+        assert args.strategy == "hash"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", str(fig2_file), "--query", "q", "--strategy", "bogus"]
+            )
+
+    def test_nested_strategy_answers(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    str(fig2_file),
+                    "--strategy",
+                    "nested",
+                    "--query",
+                    "PREFIX f: <http://example.org/fig2/> SELECT ?x WHERE { ?x f:author ?a }",
+                ]
+            )
+            == 0
+        )
+        assert "answer(s)" in capsys.readouterr().out
+
+    def test_explain_prints_plan_and_guard_cascade(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    str(fig2_file),
+                    "--explain",
+                    "--query",
+                    "PREFIX f: <http://example.org/fig2/> "
+                    "SELECT ?x ?a WHERE { ?x f:author ?a . ?x a f:Book }",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "explain (strategy: hash)" in output
+        assert "guard cascade" in output
+        assert "plan" in output
+        assert "est" in output and "actual" in output
+
+    def test_explain_on_pruned_query(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    str(fig2_file),
+                    "--explain",
+                    "--query",
+                    "ASK { ?x <http://example.org/fig2/cites> ?y }",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "pruned by" in output
+        assert "base evaluation skipped" in output
+
+    def test_workload_mode_accepts_strategy(self, fig2_file, capsys):
+        assert (
+            main(
+                ["query", str(fig2_file), "--workload", "6", "--strategy", "nested"]
+            )
+            == 0
+        )
+        assert "speedup" in capsys.readouterr().out

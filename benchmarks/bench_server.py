@@ -1,0 +1,379 @@
+"""Durable serving layer benchmark: warm-start time and multi-client QPS.
+
+Three measurements over one BSBM-scale graph served from a persistent
+catalog (``GraphCatalog.open``):
+
+* **warm start** — the catalog is built and checkpointed cold (load +
+  encode + summarize + statistics + durable write), then reopened; the
+  warm open must be faster than the cold build and must answer its first
+  guarded query with **zero** re-summarization / re-scan, asserted via the
+  entry's ``build_counters``;
+* **read throughput** — a mixed guarded workload is answered once
+  serially and once through the :class:`QueryExecutor` thread pool;
+  per-query answer sets must be identical, and the full run gates
+  ``--threads``-way throughput at ``--min-scaling`` × the serial QPS.
+  The parallel win comes from SQLite's C evaluation releasing the GIL, so
+  the gate applies to the (default) file-backed ``sqlite`` backend;
+* **HTTP smoke** — the real :class:`ThreadingHTTPServer` front end is
+  started on the warm catalog, queried over HTTP (query / statistics /
+  summary / healthz / ingest), restarted once more (a warm-restart cycle),
+  and must return byte-identical answers across the restart.
+
+Usage
+-----
+::
+
+    PYTHONPATH=src python benchmarks/bench_server.py            # full run, gates on
+    PYTHONPATH=src python benchmarks/bench_server.py --quick    # CI smoke run
+    PYTHONPATH=src python benchmarks/bench_server.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import urllib.request
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.cli import _sqlite_store_factory
+from repro.datasets.bsbm import generate_bsbm
+from repro.queries.parser import parse_query
+from repro.server.executor import QueryExecutor
+from repro.server.http import ServerApp, start_background
+from repro.service.catalog import GraphCatalog
+from repro.service.service import QueryService
+from repro.service.workload import generate_mixed_workload
+from repro.store.memory import MemoryStore
+
+GRAPH_NAME = "bsbm"
+
+
+def _store_factory(backend: str, directory: str):
+    if backend == "memory":
+        return MemoryStore
+    return _sqlite_store_factory(os.path.join(directory, "stores"))
+
+
+def _http(method: str, url: str, body: Optional[Dict] = None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if body is not None else {},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def run_benchmark(args) -> Dict[str, object]:
+    scale = 200 if args.quick else args.scale
+    count = 16 if args.quick else args.count
+    workdir = tempfile.mkdtemp(prefix="bench-server-")
+    catalog_path = os.path.join(workdir, "catalog.db")
+    report: Dict[str, object] = {
+        "scale": scale,
+        "backend": args.backend,
+        "threads": args.threads,
+        "kind": args.kind,
+        "strategy": args.strategy,
+        "queries": count,
+        "quick": args.quick,
+    }
+    try:
+        graph = generate_bsbm(scale=scale, seed=args.seed)
+        report["triples"] = len(graph)
+        print(f"bsbm scale {scale}: {len(graph)} triples, backend {args.backend}")
+
+        # ------------------------------------------------------------------
+        # cold build + durable checkpoint
+        # ------------------------------------------------------------------
+        start = perf_counter()
+        catalog = GraphCatalog.open(catalog_path, store_factory=_store_factory(args.backend, workdir))
+        catalog.register(GRAPH_NAME, graph=graph)
+        # build every summary the guard cascade can escalate to, then
+        # checkpoint so the warm start below must rebuild *nothing*
+        cold_service = QueryService(catalog, kind=args.kind)
+        for kind in cold_service.kinds:
+            catalog.entry(GRAPH_NAME).summary(kind)
+        catalog.checkpoint()
+        cold_seconds = perf_counter() - start
+        catalog.close()
+        report["cold_build_seconds"] = cold_seconds
+
+        # ------------------------------------------------------------------
+        # warm start: reopen, first guarded query, zero rebuilds
+        # ------------------------------------------------------------------
+        start = perf_counter()
+        catalog = GraphCatalog.open(catalog_path, store_factory=_store_factory(args.backend, workdir))
+        warm_seconds = perf_counter() - start
+        entry = catalog.entry(GRAPH_NAME)
+        service = QueryService(catalog, kind=args.kind, strategy=args.strategy)
+        workload = generate_mixed_workload(
+            graph,
+            count=count,
+            unsatisfiable_fraction=args.unsat_fraction,
+            seed=args.seed,
+            answer_limit=args.limit,
+        )
+        report["warm_open_seconds"] = warm_seconds
+        first = service.answer(GRAPH_NAME, workload[0].query, limit=args.limit)
+        rebuilt = {name: hits for name, hits in entry.build_counters.items() if hits}
+        report["warm_first_query_rebuilds"] = rebuilt
+        report["warm_speedup"] = cold_seconds / warm_seconds if warm_seconds else float("inf")
+        print(
+            f"cold build {cold_seconds:.3f}s, warm open {warm_seconds:.3f}s "
+            f"({report['warm_speedup']:.1f}x), first query "
+            f"{'PRUNED' if first.pruned else f'{len(first.answers)} answers'}, "
+            f"rebuilds on warm start: {rebuilt or 'none'}"
+        )
+
+        # ------------------------------------------------------------------
+        # serial vs concurrent read throughput (same workload, same limits)
+        # ------------------------------------------------------------------
+        queries = [item.query for item in workload]
+        start = perf_counter()
+        serial_answers = [
+            service.answer(GRAPH_NAME, query, limit=args.limit).answers for query in queries
+        ]
+        serial_seconds = perf_counter() - start
+
+        # soundness: the serving strategy must agree, query by query, with
+        # the reference hash executor.  Under a limit two strategies may
+        # legitimately pick different answer subsets, so a clipped result
+        # is checked for size and containment against the full answer set.
+        reference = QueryService(catalog, kind=args.kind, strategy="hash")
+        strategy_differences = 0
+        for query, served in zip(queries, serial_answers):
+            full = reference.answer(GRAPH_NAME, query).answers
+            if args.limit is not None and len(full) > args.limit:
+                agrees = len(served) == args.limit and served <= full
+            else:
+                agrees = served == full
+            if not agrees:
+                strategy_differences += 1
+        report["strategy_differences"] = strategy_differences
+
+        executor = QueryExecutor(service, max_workers=args.threads)
+        # one warm lap primes every worker thread's SQLite read connection
+        executor.map_answers(GRAPH_NAME, queries[: args.threads], limit=args.limit)
+        start = perf_counter()
+        concurrent = executor.map_answers(GRAPH_NAME, queries, limit=args.limit)
+        concurrent_seconds = perf_counter() - start
+        executor.shutdown()
+
+        differences = sum(
+            1
+            for serial, parallel in zip(serial_answers, concurrent)
+            if serial != parallel.answers
+        )
+        serial_qps = len(queries) / serial_seconds if serial_seconds else float("inf")
+        concurrent_qps = (
+            len(queries) / concurrent_seconds if concurrent_seconds else float("inf")
+        )
+        scaling = concurrent_qps / serial_qps if serial_qps else float("inf")
+        report.update(
+            {
+                "serial_seconds": serial_seconds,
+                "concurrent_seconds": concurrent_seconds,
+                "serial_qps": serial_qps,
+                "concurrent_qps": concurrent_qps,
+                "scaling": scaling,
+                "answer_differences": differences,
+                "cpus": os.cpu_count() or 1,
+            }
+        )
+        print(
+            f"read throughput: serial {serial_qps:.1f} qps, "
+            f"{args.threads}-thread {concurrent_qps:.1f} qps "
+            f"({scaling:.2f}x on {report['cpus']} cpu(s)), "
+            f"{differences} answer-set differences, "
+            f"{strategy_differences} strategy disagreements vs hash"
+        )
+
+        # ------------------------------------------------------------------
+        # HTTP smoke with one warm-restart cycle
+        # ------------------------------------------------------------------
+        probe = next(
+            (item.query for item in workload if item.satisfiable), workload[0].query
+        )
+        probe_body = {"query": probe.to_sparql(), "limit": args.limit}
+
+        app = ServerApp(catalog, kind=args.kind, strategy=args.strategy, max_workers=args.threads)
+        server, _thread = start_background(app)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        status, health = _http("GET", f"{base}/healthz")
+        assert status == 200 and health["status"] == "ok", health
+        status, before = _http("POST", f"{base}/graphs/{GRAPH_NAME}/query", probe_body)
+        assert status == 200, before
+        status, statistics = _http("GET", f"{base}/graphs/{GRAPH_NAME}/statistics")
+        assert status == 200 and statistics["store"]["total_rows"] == len(graph), statistics
+        status, summary = _http("GET", f"{base}/graphs/{GRAPH_NAME}/summary/weak")
+        assert status == 200 and summary["statistics"]["all_edge_count"] > 0, summary
+        status, ingest = _http(
+            "POST",
+            f"{base}/graphs/{GRAPH_NAME}/triples",
+            {"triples": "<http://bench.example/s> <http://bench.example/p> <http://bench.example/o> .\n"},
+        )
+        assert status == 200 and ingest["inserted"] == 1, ingest
+        server.shutdown()
+        server.server_close()
+        app.close()
+        catalog.close()
+
+        # warm-restart cycle: reopen the catalog (the ingest above must have
+        # been written through), serve again, answers must match
+        catalog = GraphCatalog.open(catalog_path, store_factory=_store_factory(args.backend, workdir))
+        restarted_entry = catalog.entry(GRAPH_NAME)
+        app = ServerApp(catalog, kind=args.kind, strategy=args.strategy, max_workers=args.threads)
+        server, _thread = start_background(app)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        status, after = _http("POST", f"{base}/graphs/{GRAPH_NAME}/query", probe_body)
+        assert status == 200, after
+        restart_consistent = before["answers"] == after["answers"]
+        restart_rebuilds = {
+            name: hits for name, hits in restarted_entry.build_counters.items() if hits
+        }
+        status, restarted_stats = _http("GET", f"{base}/graphs/{GRAPH_NAME}/statistics")
+        ingest_survived = restarted_stats["store"]["total_rows"] == len(graph) + 1
+        server.shutdown()
+        server.server_close()
+        app.close()
+        catalog.close()
+        report.update(
+            {
+                "http_restart_consistent": restart_consistent,
+                "http_restart_rebuilds": restart_rebuilds,
+                "http_ingest_survived_restart": ingest_survived,
+            }
+        )
+        print(
+            f"http smoke: restart answers {'identical' if restart_consistent else 'DIFFER'}, "
+            f"ingest {'survived' if ingest_survived else 'LOST'}, "
+            f"warm-restart rebuilds: {restart_rebuilds or 'none'}"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small input, correctness checks only (CI smoke mode; no gates)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=3200, help="BSBM scale for the full run (3200 ≈ 110k triples)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator/workload seed")
+    parser.add_argument("--count", type=int, default=64, help="workload size")
+    parser.add_argument(
+        "--unsat-fraction",
+        type=float,
+        default=0.4,
+        help="unsatisfiable share of the workload",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=8, help="concurrent reader threads"
+    )
+    parser.add_argument(
+        "--backend",
+        default="sqlite",
+        choices=["memory", "sqlite"],
+        help="store backend; the scaling gate assumes sqlite (file-backed, "
+        "GIL-releasing reads) — memory reads are serialized by the GIL",
+    )
+    parser.add_argument(
+        "--kind", default="weak+strong", help="guard summary kind(s) for the service"
+    )
+    parser.add_argument(
+        "--strategy",
+        default="sql",
+        choices=["hash", "nested", "sql"],
+        help="serving join strategy; sql (whole-join pushdown, the default) "
+        "is what the thread pool scales on — its answers are cross-checked "
+        "against the hash reference either way",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=100, help="distinct answers served per query"
+    )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=2.0,
+        help="required concurrent/serial QPS ratio (full sqlite run only)",
+    )
+    parser.add_argument("--json", dest="json_output", help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args)
+
+    if args.json_output:
+        with open(args.json_output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json_output}")
+
+    failures: List[str] = []
+    if report["answer_differences"]:
+        failures.append(
+            f"{report['answer_differences']} answer-set differences between the "
+            f"serial and the concurrent path"
+        )
+    if report["strategy_differences"]:
+        failures.append(
+            f"{report['strategy_differences']} queries where the "
+            f"{args.strategy} strategy disagrees with the hash reference"
+        )
+    if report["warm_first_query_rebuilds"]:
+        failures.append(
+            f"warm start rebuilt state: {report['warm_first_query_rebuilds']} "
+            f"(expected zero re-summarization / re-scan)"
+        )
+    if not report["http_restart_consistent"]:
+        failures.append("answers changed across the HTTP warm-restart cycle")
+    if not report["http_ingest_survived_restart"]:
+        failures.append("an ingested triple was lost across the restart")
+    if not args.quick:
+        if report["warm_speedup"] < 1.0:
+            failures.append(
+                f"warm open ({report['warm_open_seconds']:.3f}s) is slower than the "
+                f"cold build ({report['cold_build_seconds']:.3f}s)"
+            )
+        if args.backend == "sqlite" and report["cpus"] < 2:
+            # a single-core host cannot exhibit thread scaling whatever the
+            # executor does; report instead of failing vacuously
+            print(
+                f"SKIPPED: the {args.min_scaling:.1f}x scaling gate needs >= 2 CPUs "
+                f"(this host has {report['cpus']})",
+                file=sys.stderr,
+            )
+        elif args.backend == "sqlite" and report["scaling"] < args.min_scaling:
+            failures.append(
+                f"{args.threads}-thread throughput is only {report['scaling']:.2f}x the "
+                f"serial QPS (gate: {args.min_scaling:.1f}x)"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.quick:
+        print("\nPASS: warm start rebuilt nothing; serial and concurrent answers identical")
+    else:
+        print(
+            f"\nPASS: warm open {report['warm_speedup']:.1f}x faster than the cold build, "
+            f"{args.threads}-thread throughput {report['scaling']:.2f}x serial "
+            f"(gate: {args.min_scaling:.1f}x), zero answer differences"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ Sub-commands
 ``query``
     Answer a BGP query through the summary-guarded query service, or run a
     mixed workload comparing the guarded service against direct evaluation.
+``serve``
+    Run the durable HTTP query server: a (optionally persistent) graph
+    catalog behind the JSON API of :mod:`repro.server.http`.
 """
 
 from __future__ import annotations
@@ -128,9 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--strategy",
         default="hash",
-        choices=["hash", "nested"],
+        choices=["hash", "nested", "sql"],
         help="join strategy of base evaluation: the statistics-planned "
-        "vectorized hash join (default) or the legacy index-nested-loop",
+        "vectorized hash join (default), the legacy index-nested-loop, or "
+        "whole-join SQL pushdown (SQLite-backed stores; falls back to hash)",
     )
     query_parser.add_argument(
         "--explain",
@@ -158,6 +162,55 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--seed", type=int, default=0, help="workload seed")
     query_parser.add_argument(
         "--json", dest="json_output", help="write the workload report as JSON to this file"
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the durable HTTP query server"
+    )
+    serve_parser.add_argument(
+        "--catalog",
+        help="persistent catalog file (created if absent; omitted = in-memory only)",
+    )
+    serve_parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="register FILE (N-Triples/Turtle) under NAME at startup; "
+        "skipped when the catalog already holds NAME (warm start wins)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks an ephemeral port)"
+    )
+    serve_parser.add_argument(
+        "--threads", type=int, default=8, help="query executor worker threads"
+    )
+    serve_parser.add_argument(
+        "--kind",
+        default="weak+strong",
+        help="guard summary kind(s); '+'-joined names cascade, e.g. weak+strong",
+    )
+    serve_parser.add_argument(
+        "--strategy",
+        default=None,
+        choices=["hash", "nested", "sql"],
+        help="join strategy of base evaluation (default: sql for the sqlite "
+        "backend — whole-join pushdown, the strategy that scales across "
+        "threads — and hash for the memory backend)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default="memory",
+        choices=["memory", "sqlite"],
+        help="store backend for graphs (sqlite uses per-graph database files "
+        "next to the catalog for parallel reads; memory is fastest serially)",
+    )
+    serve_parser.add_argument(
+        "--limit", type=int, default=1000, help="default answer limit per query"
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
     )
 
     return parser
@@ -339,6 +392,107 @@ def _print_explain(answer, entry) -> None:
         )
 
 
+def _sqlite_store_factory(directory: str):
+    """A factory minting one file-backed SQLite store per graph.
+
+    The files live next to the catalog and are pure caches: a warm start
+    rebuilds them from the catalog file, so a stale file is simply removed
+    and rewritten.  File-backed stores are what give the executor its read
+    parallelism (per-thread connections, GIL released inside SQLite).
+    """
+    import itertools
+    import os
+
+    from repro.store.sqlite import SQLiteStore
+
+    counter = itertools.count()
+    os.makedirs(directory, exist_ok=True)
+
+    def factory():
+        path = os.path.join(directory, f"store-{next(counter)}.db")
+        # remove the WAL/SHM sidecars along with the stale database: a
+        # fresh db paired with a leftover hot WAL is SQLite's documented
+        # corruption case
+        for stale in (path, path + "-wal", path + "-shm"):
+            if os.path.exists(stale):
+                os.remove(stale)
+        return SQLiteStore(path)
+
+    return factory
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.server.http import ServerApp, make_server
+
+    if args.backend == "sqlite":
+        store_factory = _sqlite_store_factory((args.catalog or "repro-serve") + ".stores")
+    else:
+        from repro.store.memory import MemoryStore
+
+        store_factory = MemoryStore
+    if args.strategy is None:
+        args.strategy = "sql" if args.backend == "sqlite" else "hash"
+
+    if args.catalog:
+        catalog = GraphCatalog.open(args.catalog, store_factory=store_factory)
+    else:
+        catalog = GraphCatalog(store_factory=store_factory)
+
+    for spec in args.load:
+        if "=" not in spec:
+            print(f"error: --load expects NAME=FILE, got {spec!r}", file=sys.stderr)
+            return 2
+        name, file_path = spec.split("=", 1)
+        if name in catalog:
+            # the persisted (warm-started) copy wins: re-loading would both
+            # waste the warm start and risk diverging from the durable state
+            print(f"graph {name!r} already in the catalog (warm start), skipping {file_path}")
+            continue
+        graph = _load_graph(file_path)
+        graph.name = name
+        catalog.register(name, graph=graph)
+
+    app = ServerApp(
+        catalog,
+        kind=args.kind,
+        strategy=args.strategy,
+        max_workers=args.threads,
+        default_limit=args.limit,
+        quiet=not args.verbose,
+    )
+    server = make_server(app, args.host, args.port)
+    host, port = server.server_address[:2]
+    names = ", ".join(catalog.names()) or "none"
+    print(
+        f"serving {len(catalog)} graph(s) [{names}] on http://{host}:{port} "
+        f"(catalog: {args.catalog or 'in-memory'}, guard: {args.kind}, "
+        f"strategy: {args.strategy}, workers: {args.threads})",
+        flush=True,
+    )
+    # a SIGTERM (docker stop, kill) should run the same graceful path as
+    # Ctrl-C: final checkpoint, then close
+    import signal
+
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.server_close()
+        app.close()
+        catalog.checkpoint()
+        catalog.close()
+    return 0
+
+
 _COMMANDS = {
     "summarize": _command_summarize,
     "stats": _command_stats,
@@ -346,6 +500,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "sweep": _command_sweep,
     "query": _command_query,
+    "serve": _command_serve,
 }
 
 

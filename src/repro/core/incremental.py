@@ -222,6 +222,51 @@ class IncrementalWeakSummarizer:
             self.ingest_row(kind, row)
 
     # ------------------------------------------------------------------
+    # durable state (the persistent-catalog warm-start path)
+    # ------------------------------------------------------------------
+    #: The attributes that fully determine the summarizer's state.  Every
+    #: one is a pure-integer structure (dicts / sets / tuples of term ids),
+    #: so a state dict serializes safely across processes — unlike
+    #: :class:`~repro.model.terms.Term` objects, whose memoized hashes are
+    #: salted per process and must never be persisted.
+    _STATE_KEYS = (
+        "rd",
+        "dr",
+        "dp_src",
+        "dp_targ",
+        "src_dps",
+        "targ_dps",
+        "dcls",
+        "dtp",
+        "_typed_only",
+        "_next_node",
+    )
+
+    def state_dict(self) -> Dict[str, object]:
+        """The summarizer's maps as one plain dictionary of integer structures.
+
+        The returned dict *references* the live maps (no copy): serialize or
+        deep-copy it before the summarizer ingests anything further.  This is
+        what the persistent catalog checkpoints, so a restarted process can
+        :meth:`load_state` and keep maintaining the weak summary without
+        re-scanning the store.
+        """
+        return {key: getattr(self, key) for key in self._STATE_KEYS}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Adopt a :meth:`state_dict` (ownership transfers to the summarizer).
+
+        The summarizer behaves exactly as if it had ingested the rows the
+        state was built from — :meth:`snapshot` decodes the same summary, and
+        further ``ingest_*`` calls continue from there.
+        """
+        missing = [key for key in self._STATE_KEYS if key not in state]
+        if missing:
+            raise ValueError(f"incomplete summarizer state: missing {missing}")
+        for key in self._STATE_KEYS:
+            setattr(self, key, state[key])
+
+    # ------------------------------------------------------------------
     def build(self) -> Summary:
         """Run the two summarization passes over the store and decode."""
         for row in self.store.scan_data():

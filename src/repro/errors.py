@@ -78,9 +78,28 @@ class ServiceError(ReproError):
     """Raised for failures inside the query service layer."""
 
 
-class UnknownGraphError(ServiceError):
+class CatalogError(ServiceError):
+    """Raised for failures of a :class:`repro.service.catalog.GraphCatalog`.
+
+    Catching this single type covers every catalog misuse — unknown names,
+    duplicate registrations, persistence failures — while the subclasses
+    keep the individual conditions distinguishable.
+    """
+
+
+class UnknownGraphError(CatalogError):
     """Raised when a catalog lookup names a graph that was never registered."""
 
 
-class DuplicateGraphError(ServiceError):
-    """Raised when registering a graph under a name already in use."""
+class DuplicateGraphError(CatalogError):
+    """Raised when registering a graph under a name already in use.
+
+    The existing entry is left untouched: the failed registration neither
+    replaces, mutates nor closes it.
+    """
+
+
+class PersistenceError(CatalogError):
+    """Raised when a persistent catalog file cannot be opened or written
+    (missing file in read-only contexts, schema-version mismatch, corrupt
+    artifact payloads)."""

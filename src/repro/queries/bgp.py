@@ -179,6 +179,26 @@ class BGPQuery:
         """``True`` for a boolean query (empty head)."""
         return not self.head
 
+    def to_sparql(self) -> str:
+        """Render in the concrete syntax :func:`repro.queries.parser.parse_query`
+        accepts (``SELECT ... WHERE { ... }`` / ``ASK WHERE { ... }``).
+
+        This is the wire format of the HTTP API: a query object serialized
+        here parses back to an equal query on the other side.
+        """
+
+        def render(term: PatternTerm) -> str:
+            return str(term) if isinstance(term, Variable) else term.n3()
+
+        body = " . ".join(
+            f"{render(p.subject)} {render(p.predicate)} {render(p.object)}"
+            for p in self.patterns
+        )
+        if self.is_boolean():
+            return f"ASK WHERE {{ {body} }}"
+        head = " ".join(str(variable) for variable in self.head)
+        return f"SELECT {head} WHERE {{ {body} }}"
+
     # ------------------------------------------------------------------
     # RBGP dialect (Definition 3)
     # ------------------------------------------------------------------

@@ -1,0 +1,32 @@
+"""The durable serving layer: persistent catalogs, a concurrent query
+executor, and the stdlib HTTP front end.
+
+``repro.server`` turns the query service of :mod:`repro.service` into a
+restartable, concurrent daemon:
+
+* :mod:`repro.server.persistence` — the SQLite-backed catalog file behind
+  :meth:`repro.service.catalog.GraphCatalog.open`: graphs, dictionaries,
+  encoded triples, weak-summary maps, cardinality statistics and cached
+  summaries survive restarts, so a reopened catalog answers its first
+  guarded query with zero re-summarization and zero re-scan;
+* :mod:`repro.server.executor` — a bounded thread-pool
+  :class:`~repro.server.executor.QueryExecutor` running queries under each
+  entry's shared lock (ingest takes the exclusive side);
+* :mod:`repro.server.http` — a :class:`ThreadingHTTPServer` JSON API
+  (``repro serve``) exposing query, ingest, statistics and summary
+  endpoints.
+"""
+
+from repro.server.executor import QueryExecutor
+from repro.server.http import ServerApp, make_server, serve, start_background
+from repro.server.persistence import GraphSnapshot, PersistentCatalog
+
+__all__ = [
+    "GraphSnapshot",
+    "PersistentCatalog",
+    "QueryExecutor",
+    "ServerApp",
+    "make_server",
+    "serve",
+    "start_background",
+]

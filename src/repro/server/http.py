@@ -1,0 +1,459 @@
+"""The stdlib HTTP front end of the serving layer (``repro serve``).
+
+A thin JSON API over one :class:`~repro.service.catalog.GraphCatalog`,
+served by :class:`http.server.ThreadingHTTPServer` (one handler thread per
+connection, actual query work bounded by the
+:class:`~repro.server.executor.QueryExecutor` pool).  Routes:
+
+========  =================================  =====================================
+method    path                               action
+========  =================================  =====================================
+GET       ``/healthz``                       liveness + catalog overview
+GET       ``/graphs``                        registered graphs with row counts
+POST      ``/graphs``                        register a graph (JSON name+triples)
+DELETE    ``/graphs/<name>``                 drop a graph
+GET       ``/graphs/<name>/statistics``      store + cardinality + service stats
+GET       ``/graphs/<name>/summary/<kind>``  summary metrics (``?format=ntriples``
+                                             for the summary graph itself)
+POST      ``/graphs/<name>/query``           answer a BGP query (summary-guarded)
+POST      ``/graphs/<name>/triples``         ingest N-Triples (write-locked)
+========  =================================  =====================================
+
+Request and response bodies are JSON (except the optional N-Triples
+rendering of a summary); RDF terms travel in N-Triples syntax.  Errors map
+onto conventional status codes: unknown graph → 404, malformed queries or
+triples → 400, duplicate registration → 409.
+
+The server binds ``127.0.0.1`` by default and has no authentication —
+front it with a reverse proxy before exposing it beyond localhost.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import time
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.errors import (
+    DuplicateGraphError,
+    PersistenceError,
+    QueryError,
+    ReproError,
+    UnknownGraphError,
+    UnknownSummaryKindError,
+)
+from repro.io.ntriples import parse_ntriples, serialize_ntriples
+from repro.model.graph import RDFGraph
+from repro.model.terms import term_sort_key
+from repro.queries.parser import parse_query
+from repro.server.executor import QueryExecutor
+from repro.service.catalog import GraphCatalog
+from repro.service.service import QueryAnswer, QueryService
+
+__all__ = ["ServerApp", "make_server", "serve", "start_background"]
+
+_GRAPH_ROUTE = re.compile(r"^/graphs/(?P<name>[^/]+)(?P<rest>/.*)?$")
+
+#: Largest accepted request body (64 MiB) — a guard against memory abuse,
+#: not a statement about sensible ingest batch sizes.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _HTTPError(Exception):
+    """Internal: an error with a status code, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServerApp:
+    """The server's state: catalog, guarded service, executor pool.
+
+    Parameters mirror ``repro serve``: the guard *kind* cascade and join
+    *strategy* configure the single shared :class:`QueryService`;
+    *max_workers* bounds concurrent query/ingest execution; *default_limit*
+    caps answers per query unless the request asks for fewer.
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        kind: str = "weak+strong",
+        strategy: str = "hash",
+        max_workers: int = 8,
+        default_limit: Optional[int] = 1000,
+        quiet: bool = True,
+    ):
+        self.catalog = catalog
+        self.service = QueryService(catalog, kind=kind, strategy=strategy)
+        self.executor = QueryExecutor(self.service, max_workers=max_workers)
+        self.default_limit = default_limit
+        self.quiet = quiet
+        self.started_at = time()
+
+    # ------------------------------------------------------------------
+    # route handlers (return (status, payload) pairs)
+    # ------------------------------------------------------------------
+    def healthz(self) -> Tuple[int, Dict]:
+        return (
+            200,
+            {
+                "status": "ok",
+                "graphs": self.catalog.names(),
+                "persistent": self.catalog.persistent,
+                "uptime_seconds": time() - self.started_at,
+                "workers": self.executor.max_workers,
+            },
+        )
+
+    def list_graphs(self) -> Tuple[int, Dict]:
+        graphs = []
+        for name in self.catalog.names():
+            try:
+                entry = self.catalog.entry(name)
+            except UnknownGraphError:
+                continue  # dropped between the listing and the lookup
+            with entry.rwlock.read_locked():
+                if entry.closed:
+                    continue
+                graphs.append(
+                    {
+                        "name": name,
+                        "version": entry.version,
+                        "store": entry.store.statistics().as_dict(),
+                    }
+                )
+        return 200, {"graphs": graphs}
+
+    def register_graph(self, body: Dict) -> Tuple[int, Dict]:
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise _HTTPError(400, "register needs a non-empty string 'name'")
+        if "/" in name:
+            raise _HTTPError(
+                400, "graph names must not contain '/' (they form the URL path)"
+            )
+        triples_text = body.get("triples", "")
+        if not isinstance(triples_text, str):
+            raise _HTTPError(400, "'triples' must be an N-Triples string")
+
+        def build():
+            graph = (
+                parse_ntriples(triples_text, name=name) if triples_text else RDFGraph(name=name)
+            )
+            return self.catalog.register(name, graph=graph), len(graph)
+
+        # the pool bounds registration work like every other heavy path: N
+        # concurrent uploads never become N simultaneous graph-sized builds
+        entry, triple_count = self.executor.run(build)
+        return 201, {"name": name, "version": entry.version, "triples": triple_count}
+
+    def drop_graph(self, name: str) -> Tuple[int, Dict]:
+        self.catalog.drop(name)
+        return 200, {"dropped": name}
+
+    def graph_statistics(self, name: str) -> Tuple[int, Dict]:
+        entry = self.catalog.entry(name)
+
+        def build():
+            with entry.rwlock.read_locked():
+                if entry.closed:
+                    raise UnknownGraphError(f"graph {name!r} was dropped")
+                return {
+                    "name": name,
+                    "version": entry.version,
+                    "store": entry.store.statistics().as_dict(),
+                    "cardinality": entry.statistics_index().as_dict(),
+                    "build_counters": dict(entry.build_counters),
+                    "service": self.service.statistics.as_dict(),
+                }
+
+        # statistics_index() can cost a full scan on first use: pool-bounded
+        return 200, self.executor.run(build)
+
+    def graph_summary(self, name: str, kind: str, query_string: Dict) -> Tuple[int, Dict]:
+        entry = self.catalog.entry(name)
+
+        def build():
+            with entry.rwlock.read_locked():
+                if entry.closed:
+                    raise UnknownGraphError(f"graph {name!r} was dropped")
+                summary = entry.summary(kind)
+                rendering = (query_string.get("format") or [""])[0]
+                if rendering == "ntriples":
+                    return serialize_ntriples(summary.graph)
+                return {
+                    "name": name,
+                    "kind": summary.kind,
+                    "version": entry.version,
+                    "statistics": summary.statistics().as_dict(),
+                }
+
+        # summary() can run a graph-sized build for non-weak kinds: pool-bounded
+        return 200, self.executor.run(build)
+
+    def query_graph(self, name: str, body: Dict) -> Tuple[int, Dict]:
+        text = body.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise _HTTPError(400, "query needs a non-empty string 'query'")
+        query = parse_query(text, name=body.get("name", "http"))
+        limit = body.get("limit", self.default_limit)
+        # bool is an int subclass: "limit": true must be a 400, not limit=1
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int) or limit <= 0
+        ):
+            raise _HTTPError(400, "'limit' must be a positive integer or null")
+        saturated = bool(body.get("saturated", False))
+        explain = bool(body.get("explain", False))
+        if query.is_boolean() and limit is None:
+            limit = 1
+        answer = self.executor.answer(
+            name, query, limit=limit, saturated=saturated, explain=explain
+        )
+        return 200, self._render_answer(answer)
+
+    def ingest_triples(self, name: str, body: Dict) -> Tuple[int, Dict]:
+        text = body.get("triples")
+        if not isinstance(text, str):
+            raise _HTTPError(400, "ingest needs an N-Triples string 'triples'")
+
+        def work():
+            # the parse runs pool-bounded too: N concurrent uploads must
+            # not become N simultaneous graph-sized parses on handler threads
+            graph = parse_ntriples(text, name=name)
+            return self.catalog.add_triples(name, graph)
+
+        inserted = self.executor.run(work)
+        entry = self.catalog.entry(name)
+        return 200, {"name": name, "inserted": inserted, "version": entry.version}
+
+    # ------------------------------------------------------------------
+    def _render_answer(self, answer: QueryAnswer) -> Dict:
+        rows = sorted(
+            answer.answers, key=lambda row: tuple(term_sort_key(term) for term in row)
+        )
+        payload = {
+            "graph": answer.graph_name,
+            "query": answer.query.name or None,
+            "head": [variable.name for variable in answer.query.head],
+            "answers": [[term.n3() for term in row] for row in rows],
+            "answer_count": len(answer.answers),
+            "boolean": answer.query.is_boolean(),
+            "pruned": answer.pruned,
+            "prunable": answer.prunable,
+            "pruned_by": answer.pruned_by,
+            "guard_order": list(answer.guard_order),
+            "kind": answer.kind,
+            "strategy": answer.strategy,
+            "guard_seconds": answer.guard_seconds,
+            "evaluation_seconds": answer.evaluation_seconds,
+        }
+        if answer.trace is not None:
+            payload["trace"] = answer.trace.as_dict()
+        return payload
+
+    # ------------------------------------------------------------------
+    def dispatch(self, method: str, path: str, body: Optional[Dict]) -> Tuple[int, object]:
+        """Route one request; returns ``(status, payload)``.
+
+        *payload* is a JSON-serializable object, or a plain string for
+        text responses (the N-Triples summary rendering).
+        """
+        parsed = urlparse(path)
+        route = parsed.path.rstrip("/") or "/"
+        query_string = parse_qs(parsed.query)
+
+        if route == "/healthz" and method == "GET":
+            return self.healthz()
+        if route == "/graphs" and method == "GET":
+            return self.list_graphs()
+        if route == "/graphs" and method == "POST":
+            return self.register_graph(body or {})
+
+        match = _GRAPH_ROUTE.match(route)
+        if match is None:
+            raise _HTTPError(404, f"no such route: {method} {route}")
+        # graph names travel percent-encoded in the path (clients encode
+        # spaces etc.); names containing '/' are rejected at registration
+        name = unquote(match.group("name"))
+        rest = match.group("rest") or ""
+
+        if rest == "" and method == "DELETE":
+            return self.drop_graph(name)
+        if rest == "/statistics" and method == "GET":
+            return self.graph_statistics(name)
+        if rest.startswith("/summary/") and method == "GET":
+            return self.graph_summary(name, unquote(rest[len("/summary/") :]), query_string)
+        if rest == "/query" and method == "POST":
+            return self.query_graph(name, body or {})
+        if rest == "/triples" and method == "POST":
+            return self.ingest_triples(name, body or {})
+        raise _HTTPError(404, f"no such route: {method} {route}")
+
+    def close(self) -> None:
+        """Shut down the pool (the catalog is owned by the caller)."""
+        self.executor.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`ServerApp` (see make_server)."""
+
+    app: ServerApp  # injected by make_server
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.app.quiet:
+            super().log_message(format, *args)
+
+    def _body_length(self) -> int:
+        if self.headers.get("Transfer-Encoding"):
+            # we only frame bodies by Content-Length; leaving chunked bytes
+            # unread would desynchronize the connection (request smuggling
+            # behind a proxy), so refuse and close
+            self.close_connection = True
+            raise _HTTPError(501, "chunked request bodies are not supported")
+        try:
+            return int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # we cannot know how many body bytes follow — the connection
+            # is unusable for further requests
+            self.close_connection = True
+            raise _HTTPError(400, "malformed Content-Length header")
+
+    def _drain_body(self) -> None:
+        """Read and discard a request body (methods that should not have one)."""
+        length = self._body_length()
+        while length > 0:
+            chunk = self.rfile.read(min(length, 65536))
+            if not chunk:
+                break
+            length -= len(chunk)
+
+    def _read_body(self) -> Optional[Dict]:
+        length = self._body_length()
+        if length <= 0:
+            return None
+        if length > _MAX_BODY_BYTES:
+            # refusing to read the body leaves it on the wire: close the
+            # connection instead of parsing those bytes as the next request
+            self.close_connection = True
+            raise _HTTPError(413, f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        if not raw:
+            return None
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HTTPError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return body
+
+    def _respond(self, status: int, payload: object) -> None:
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        else:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _handle(self, method: str) -> None:
+        try:
+            if method in ("POST", "PUT"):
+                body = self._read_body()
+            else:
+                # drain any body a GET/DELETE smuggled in: unread bytes
+                # would desynchronize the keep-alive connection (the next
+                # request line would be parsed out of this body)
+                self._drain_body()
+                body = None
+            status, payload = self.app.dispatch(method, self.path, body)
+        except _HTTPError as error:
+            self._respond(error.status, {"error": str(error)})
+        except UnknownGraphError as error:
+            self._respond(404, {"error": str(error)})
+        except DuplicateGraphError as error:
+            self._respond(409, {"error": str(error)})
+        except (QueryError, UnknownSummaryKindError) as error:
+            self._respond(400, {"error": str(error)})
+        except PersistenceError as error:
+            # a durability failure is the server's fault, never the client's
+            self._respond(500, {"error": f"persistence failure: {error}"})
+        except ReproError as error:
+            # parse errors on ingest bodies, malformed terms, store issues
+            self._respond(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            self._respond(500, {"error": f"internal error: {error}"})
+        else:
+            self._respond(status, payload)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._handle("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._handle("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._handle("DELETE")
+
+
+def make_server(app: ServerApp, host: str = "127.0.0.1", port: int = 0) -> ThreadingHTTPServer:
+    """A :class:`ThreadingHTTPServer` serving *app* (``port=0`` → ephemeral).
+
+    The caller owns the server: run ``serve_forever()`` (typically on a
+    thread), and ``shutdown()`` + ``server_close()`` when done.
+    """
+
+    handler = type("BoundHandler", (_Handler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    app: ServerApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    ready_callback=None,
+) -> None:
+    """Serve *app* until interrupted (the blocking CLI entry point)."""
+    server = make_server(app, host, port)
+    if ready_callback is not None:
+        ready_callback(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        app.close()
+
+
+def start_background(app: ServerApp, host: str = "127.0.0.1", port: int = 0):
+    """Start a server on a daemon thread; returns ``(server, thread)``.
+
+    Convenience for tests and benchmarks: the actual bound port is
+    ``server.server_address[1]``.
+    """
+    server = make_server(app, host, port)
+    # a tight poll interval keeps shutdown() snappy (tests/benchmarks start
+    # and stop many servers; the default 0.5s poll dominates otherwise)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    return server, thread

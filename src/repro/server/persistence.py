@@ -1,0 +1,489 @@
+"""The persistent catalog file behind :meth:`GraphCatalog.open`.
+
+The paper's premise is a summary built once and exploited by a long-lived
+service; this module makes the service's state *survive the process*.  A
+:class:`PersistentCatalog` is one SQLite file holding, per registered
+graph:
+
+* its **metadata** (name, entry version) in ``graphs``;
+* its **dictionary** in ``dictionary_terms`` — terms stored structurally
+  (kind + lexical fields), one row per dense id, and re-minted through the
+  term constructors on load.  Term objects are never pickled: their
+  memoized hashes are salted per process, and a hash smuggled across
+  processes would corrupt every dict they key;
+* its **encoded triples** in ``graph_triples`` (table kind + the three
+  integer columns, insertion order preserved);
+* its **artifacts** in ``artifacts`` — version-tagged binary payloads for
+  the weak-summary maintainer maps, the cardinality statistics and every
+  summary cached at checkpoint time.  Maintainer and statistics payloads
+  are pickles of pure-integer structures; summary payloads are pickles of
+  *packed* plain tuples (kind tags + strings), unpacked back through the
+  term constructors.
+
+Durability discipline
+---------------------
+``save_graph`` rewrites one graph completely; ``append_update`` is the
+write-through hook of :meth:`CatalogEntry.add_triples` and appends only
+the freshly inserted rows and dictionary ids, then refreshes the
+artifacts.  Either way the whole graph update is **one SQLite
+transaction**: a reader (or a crash) sees the previous checkpoint or the
+new one, never a torn mix.  The schema carries a version
+(``schema_version`` in ``catalog_meta``); opening a file written by a
+different schema raises :class:`~repro.errors.PersistenceError` instead of
+misreading it.
+
+The artifact payloads use :mod:`pickle` (stdlib, compact, fast) over
+structures that contain no code and no Term objects.  Treat the catalog
+file like a database file: open catalogs you wrote — unpickling an
+untrusted file can execute arbitrary code.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import threading
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.core.summary import Summary
+from repro.errors import PersistenceError
+from repro.model.dictionary import Dictionary, EncodedTriple
+from repro.model.graph import GraphStatistics, RDFGraph
+from repro.model.terms import BlankNode, Literal, Term, URI
+from repro.model.triple import Triple, TripleKind
+from repro.service.statistics import CardinalityStatistics
+from repro.store.base import TripleStore
+
+__all__ = ["GraphSnapshot", "PersistentCatalog", "SCHEMA_VERSION"]
+
+#: Bump on any incompatible change to the tables or artifact payloads.
+SCHEMA_VERSION = 1
+
+_PICKLE_PROTOCOL = 4
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS catalog_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS graphs (
+    name    TEXT PRIMARY KEY,
+    version INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS dictionary_terms (
+    graph    TEXT NOT NULL,
+    id       INTEGER NOT NULL,
+    kind     TEXT NOT NULL,             -- 'u' (URI) | 'b' (blank) | 'l' (literal)
+    value    TEXT NOT NULL,             -- uri / label / lexical form
+    datatype TEXT,                      -- literals only
+    language TEXT,                      -- literals only
+    PRIMARY KEY (graph, id)
+);
+CREATE TABLE IF NOT EXISTS graph_triples (
+    graph TEXT NOT NULL,
+    kind  TEXT NOT NULL,                -- TripleKind.value: data | type | schema
+    s INTEGER NOT NULL,
+    p INTEGER NOT NULL,
+    o INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_graph_triples_graph ON graph_triples(graph);
+CREATE TABLE IF NOT EXISTS artifacts (
+    graph   TEXT NOT NULL,
+    name    TEXT NOT NULL,              -- maintainer | statistics | summary:<kind>
+    version INTEGER NOT NULL,
+    payload BLOB NOT NULL,
+    PRIMARY KEY (graph, name)
+);
+"""
+
+_KIND_BY_VALUE = {kind.value: kind for kind in TripleKind}
+
+
+# ----------------------------------------------------------------------
+# term / summary codecs (structural — no Term object ever serialized)
+# ----------------------------------------------------------------------
+def _term_columns(term: Term) -> Tuple[str, str, Optional[str], Optional[str]]:
+    """``(kind, value, datatype, language)`` columns for one term."""
+    if isinstance(term, URI):
+        return ("u", term.value, None, None)
+    if isinstance(term, BlankNode):
+        return ("b", term.label, None, None)
+    if isinstance(term, Literal):
+        datatype = term.datatype.value if term.datatype is not None else None
+        return ("l", term.lexical, datatype, term.language)
+    raise PersistenceError(f"not a persistable RDF term: {term!r}")
+
+
+def _term_from_columns(
+    kind: str, value: str, datatype: Optional[str], language: Optional[str]
+) -> Term:
+    if kind == "u":
+        return URI(value)
+    if kind == "b":
+        return BlankNode(value)
+    if kind == "l":
+        return Literal(value, datatype=URI(datatype) if datatype else None, language=language)
+    raise PersistenceError(f"unknown persisted term kind {kind!r}")
+
+
+def _pack_term(term: Term) -> Tuple:
+    return _term_columns(term)
+
+
+def _unpack_term(packed: Tuple) -> Term:
+    return _term_from_columns(*packed)
+
+
+def _pack_summary(summary: Summary) -> Dict[str, object]:
+    """A summary as plain tuples/strings (reconstructible in any process)."""
+    return {
+        "kind": summary.kind,
+        "source_name": summary.source_name,
+        "graph_name": summary.graph.name,
+        "triples": [
+            (_pack_term(t.subject), _pack_term(t.predicate), _pack_term(t.object))
+            for t in summary.graph
+        ],
+        "representative_of": [
+            (_pack_term(node), _pack_term(representative))
+            for node, representative in summary.representative_of.items()
+        ],
+        "source_statistics": (
+            summary.source_statistics.as_dict()
+            if summary.source_statistics is not None
+            else None
+        ),
+    }
+
+
+def _unpack_summary(payload: Dict[str, object]) -> Summary:
+    graph = RDFGraph(name=payload.get("graph_name", ""))
+    for subject, predicate, obj in payload["triples"]:
+        graph.add(Triple(_unpack_term(subject), _unpack_term(predicate), _unpack_term(obj)))
+    representative_of = {
+        _unpack_term(node): _unpack_term(representative)
+        for node, representative in payload["representative_of"]
+    }
+    source_statistics = payload.get("source_statistics")
+    return Summary(
+        kind=payload["kind"],
+        graph=graph,
+        representative_of=representative_of,
+        source_statistics=(
+            GraphStatistics(**source_statistics) if source_statistics is not None else None
+        ),
+        source_name=payload.get("source_name", ""),
+    )
+
+
+class GraphSnapshot(NamedTuple):
+    """Everything needed to warm-start one catalog entry."""
+
+    name: str
+    version: int
+    store: TripleStore
+    maintainer_state: Dict[str, object]
+    statistics: Optional[CardinalityStatistics]
+    summaries: Dict[str, Summary]
+
+
+class PersistentCatalog:
+    """One SQLite file durably backing a :class:`GraphCatalog`.
+
+    All methods are thread-safe (a single connection serialized by an
+    internal lock — persistence writes are not the serving hot path), and
+    every graph-level mutation is one transaction.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.RLock()
+        try:
+            self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
+                self.path, check_same_thread=False
+            )
+        except sqlite3.Error as error:
+            raise PersistenceError(f"cannot open catalog file {self.path!r}: {error}")
+        connection = self._connection
+        try:
+            connection.execute("PRAGMA busy_timeout = 10000")
+            # refuse to adopt a foreign SQLite database: silently creating
+            # catalog tables inside e.g. a per-graph store file would both
+            # mutate that file and mask the misconfiguration as an empty
+            # catalog
+            existing_tables = {
+                row[0]
+                for row in connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            if existing_tables and "catalog_meta" not in existing_tables:
+                raise PersistenceError(
+                    f"{self.path!r} is an SQLite database but not a catalog file "
+                    f"(no catalog_meta table; found: {', '.join(sorted(existing_tables))})"
+                )
+            # check the version BEFORE applying any DDL: a file written by
+            # a different schema must be refused untouched, not first
+            # mutated with this build's tables and then rejected
+            stored = None
+            if "catalog_meta" in existing_tables:
+                stored = connection.execute(
+                    "SELECT value FROM catalog_meta WHERE key = 'schema_version'"
+                ).fetchone()
+                if stored is not None and int(stored[0]) != SCHEMA_VERSION:
+                    raise PersistenceError(
+                        f"catalog file {self.path!r} has schema version {stored[0]}, "
+                        f"this build reads version {SCHEMA_VERSION}"
+                    )
+            connection.executescript(_SCHEMA_SQL)
+            if stored is None:
+                connection.execute(
+                    "INSERT INTO catalog_meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            connection.commit()
+        except PersistenceError:
+            connection.close()
+            self._connection = None
+            raise
+        except sqlite3.Error as error:
+            connection.close()
+            self._connection = None
+            raise PersistenceError(f"{self.path!r} is not a catalog file: {error}")
+
+    # ------------------------------------------------------------------
+    def _conn(self) -> sqlite3.Connection:
+        if self._connection is None:
+            raise PersistenceError("the persistent catalog has been closed")
+        return self._connection
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    def __enter__(self) -> "PersistentCatalog":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def graph_names(self) -> List[str]:
+        with self._lock:
+            rows = self._conn().execute("SELECT name FROM graphs ORDER BY name").fetchall()
+        return [row[0] for row in rows]
+
+    def _artifact_rows(self, entry) -> Iterator[Tuple[str, int, bytes]]:
+        """The artifact payloads of *entry* at its current version."""
+        yield (
+            "maintainer",
+            entry.version,
+            pickle.dumps(entry.maintainer_state(), protocol=_PICKLE_PROTOCOL),
+        )
+        statistics = entry.cached_statistics()
+        if statistics is not None:
+            yield (
+                "statistics",
+                entry.version,
+                pickle.dumps(statistics, protocol=_PICKLE_PROTOCOL),
+            )
+        for kind, summary in entry.cached_summaries().items():
+            yield (
+                f"summary:{kind}",
+                entry.version,
+                pickle.dumps(_pack_summary(summary), protocol=_PICKLE_PROTOCOL),
+            )
+
+    def _write_dictionary_rows(
+        self, connection: sqlite3.Connection, name: str, dictionary: Dictionary, start_id: int
+    ) -> None:
+        rows = []
+        for term, identifier in dictionary.items():
+            if identifier < start_id:
+                continue
+            kind, value, datatype, language = _term_columns(term)
+            rows.append((name, identifier, kind, value, datatype, language))
+        if rows:
+            connection.executemany(
+                "INSERT INTO dictionary_terms (graph, id, kind, value, datatype, language) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+
+    def _replace_artifacts(self, connection: sqlite3.Connection, entry) -> None:
+        connection.execute("DELETE FROM artifacts WHERE graph = ?", (entry.name,))
+        connection.executemany(
+            "INSERT INTO artifacts (graph, name, version, payload) VALUES (?, ?, ?, ?)",
+            [(entry.name, name, version, payload) for name, version, payload in self._artifact_rows(entry)],
+        )
+
+    def save_graph(self, entry) -> None:
+        """Durably (re)write *entry* completely, in one transaction.
+
+        Callers must hold the entry's lock (either side for a quiescent
+        entry, the read side is enough — nothing here mutates the entry).
+        """
+        with self._lock:
+            connection = self._conn()
+            try:
+                with connection:  # one transaction, rolled back on error
+                    connection.execute("DELETE FROM graphs WHERE name = ?", (entry.name,))
+                    for table in ("dictionary_terms", "graph_triples", "artifacts"):
+                        connection.execute(f"DELETE FROM {table} WHERE graph = ?", (entry.name,))
+                    connection.execute(
+                        "INSERT INTO graphs (name, version) VALUES (?, ?)",
+                        (entry.name, entry.version),
+                    )
+                    self._write_dictionary_rows(connection, entry.name, entry.store.dictionary, 0)
+                    for kind in TripleKind:
+                        for batch in entry.store.scan_batches(kind):
+                            connection.executemany(
+                                "INSERT INTO graph_triples (graph, kind, s, p, o) "
+                                "VALUES (?, ?, ?, ?, ?)",
+                                [(entry.name, kind.value, row[0], row[1], row[2]) for row in batch],
+                            )
+                    self._replace_artifacts(connection, entry)
+            except sqlite3.Error as error:
+                raise PersistenceError(f"checkpoint of graph {entry.name!r} failed: {error}")
+
+    def append_update(self, entry, rows: List[Tuple[TripleKind, EncodedTriple]]) -> None:
+        """Atomically append one ``add_triples`` batch and refresh artifacts.
+
+        Runs inside the entry's exclusive write lock (it is the
+        write-through hook of :meth:`CatalogEntry.add_triples`), so the
+        entry state it serializes cannot move underneath it.  Only the new
+        dictionary ids and the inserted rows are appended; the artifacts
+        (maintainer maps, statistics, the freshly snapshotted weak summary)
+        are replaced wholesale — they are the price of a warm start that
+        rebuilds nothing.
+        """
+        # snapshot the weak summary first so it rides along in the same
+        # checkpoint: the incremental maintainer makes this summary-sized
+        # work, and a warm-started process then guards its first query
+        # without even a snapshot pass (lazy-init mutation is legal here —
+        # the entry's init lock serializes it, and we are the only writer)
+        entry.summary("weak")
+        with self._lock:
+            connection = self._conn()
+            try:
+                with connection:
+                    persisted = connection.execute(
+                        "SELECT COUNT(*) FROM dictionary_terms WHERE graph = ?",
+                        (entry.name,),
+                    ).fetchone()[0]
+                    self._write_dictionary_rows(
+                        connection, entry.name, entry.store.dictionary, persisted
+                    )
+                    connection.executemany(
+                        "INSERT INTO graph_triples (graph, kind, s, p, o) VALUES (?, ?, ?, ?, ?)",
+                        [(entry.name, kind.value, row[0], row[1], row[2]) for kind, row in rows],
+                    )
+                    updated = connection.execute(
+                        "UPDATE graphs SET version = ? WHERE name = ?",
+                        (entry.version, entry.name),
+                    )
+                    if updated.rowcount == 0:
+                        connection.execute(
+                            "INSERT INTO graphs (name, version) VALUES (?, ?)",
+                            (entry.name, entry.version),
+                        )
+                    self._replace_artifacts(connection, entry)
+            except sqlite3.Error as error:
+                raise PersistenceError(f"incremental checkpoint of {entry.name!r} failed: {error}")
+
+    def delete_graph(self, name: str) -> None:
+        """Forget *name* durably (no-op when it was never persisted)."""
+        with self._lock:
+            connection = self._conn()
+            try:
+                with connection:
+                    connection.execute("DELETE FROM graphs WHERE name = ?", (name,))
+                    for table in ("dictionary_terms", "graph_triples", "artifacts"):
+                        connection.execute(f"DELETE FROM {table} WHERE graph = ?", (name,))
+            except sqlite3.Error as error:
+                raise PersistenceError(f"dropping graph {name!r} failed: {error}")
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_graph(
+        self, name: str, store_factory: Callable[[], TripleStore]
+    ) -> GraphSnapshot:
+        """Rebuild one graph's warm-start snapshot from the file."""
+        with self._lock:
+            connection = self._conn()
+            graph_row = connection.execute(
+                "SELECT version FROM graphs WHERE name = ?", (name,)
+            ).fetchone()
+            if graph_row is None:
+                raise PersistenceError(f"graph {name!r} is not in catalog file {self.path!r}")
+            version = int(graph_row[0])
+            term_rows = connection.execute(
+                "SELECT id, kind, value, datatype, language FROM dictionary_terms "
+                "WHERE graph = ? ORDER BY id",
+                (name,),
+            ).fetchall()
+            triple_rows = connection.execute(
+                "SELECT kind, s, p, o FROM graph_triples WHERE graph = ? ORDER BY rowid",
+                (name,),
+            ).fetchall()
+            artifact_rows = connection.execute(
+                "SELECT name, version, payload FROM artifacts WHERE graph = ?",
+                (name,),
+            ).fetchall()
+
+        dictionary = Dictionary()
+        for position, (identifier, kind, value, datatype, language) in enumerate(term_rows):
+            if identifier != position:
+                raise PersistenceError(
+                    f"dictionary of graph {name!r} is not dense at id {identifier} "
+                    f"(expected {position}) — the catalog file is corrupt"
+                )
+            dictionary.encode(_term_from_columns(kind, value, datatype, language))
+
+        store = store_factory()
+        store.dictionary = dictionary
+        rows = [
+            (_KIND_BY_VALUE[kind], EncodedTriple(s, p, o)) for kind, s, p, o in triple_rows
+        ]
+        store._insert_rows(rows)
+        ensure_indexes = getattr(store, "ensure_summarization_indexes", None)
+        if callable(ensure_indexes):
+            ensure_indexes()
+
+        maintainer_state: Optional[Dict[str, object]] = None
+        statistics: Optional[CardinalityStatistics] = None
+        summaries: Dict[str, Summary] = {}
+        for artifact_name, artifact_version, payload in artifact_rows:
+            if artifact_version != version:
+                continue  # stale artifact from an interrupted lineage
+            try:
+                value = pickle.loads(payload)
+            except Exception as error:  # noqa: BLE001 - surface as PersistenceError
+                raise PersistenceError(
+                    f"artifact {artifact_name!r} of graph {name!r} is unreadable: {error}"
+                )
+            if artifact_name == "maintainer":
+                maintainer_state = value
+            elif artifact_name == "statistics":
+                statistics = value
+            elif artifact_name.startswith("summary:"):
+                summaries[artifact_name.split(":", 1)[1]] = _unpack_summary(value)
+        if maintainer_state is None:
+            raise PersistenceError(
+                f"graph {name!r} has no weak-summary maintainer state at version {version} "
+                f"— the catalog file is corrupt"
+            )
+        return GraphSnapshot(
+            name=name,
+            version=version,
+            store=store,
+            maintainer_state=maintainer_state,
+            statistics=statistics,
+            summaries=summaries,
+        )

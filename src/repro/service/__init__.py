@@ -1,4 +1,9 @@
-"""Summary-guarded query service: catalog, planned encoded evaluation, pruning."""
+"""Summary-guarded query service: catalog, planned encoded evaluation, pruning.
+
+The durable layer on top of this package — persistent catalogs, the
+concurrent executor and the HTTP front end — lives in :mod:`repro.server`;
+:meth:`GraphCatalog.open` is the bridge between the two.
+"""
 
 from repro.service.catalog import CatalogEntry, GraphCatalog
 from repro.service.evaluator import (

@@ -17,10 +17,34 @@ and maintains, per graph:
 Freshness is tracked by a per-entry version counter bumped on every
 :meth:`CatalogEntry.add_triples` batch: a cached artifact tagged with an
 older version is silently rebuilt on next access.
+
+Concurrency
+-----------
+Entries are safe to share across threads.  Each entry carries two locks:
+
+* ``rwlock`` — a :class:`~repro.utils.concurrency.ReadWriteLock` taken on
+  the *read* side by :meth:`repro.service.service.QueryService.answer` for
+  the whole guard-plus-evaluation span and on the *write* side by
+  :meth:`CatalogEntry.add_triples`, so queries never observe a half-applied
+  ingest and ingest never races a running join;
+* an internal re-entrant init lock serializing the lazy, double-checked
+  construction of summaries, statistics, planners and evaluators — several
+  concurrent readers may race to build the same artifact, exactly one wins.
+
+Durability
+----------
+A catalog opened through :meth:`GraphCatalog.open` is backed by a
+:class:`repro.server.persistence.PersistentCatalog`: registrations and
+every ``add_triples`` batch are written through atomically, and a restarted
+process warm-starts each entry — store rows, dictionary, weak-summary maps,
+cardinality statistics and cached summaries — with **zero** re-scan or
+re-summarization (the ``build_counters`` of a warm entry stay at zero until
+something genuinely new is requested).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.builders import normalize_kind
@@ -37,6 +61,7 @@ from repro.service.planner import QueryPlanner
 from repro.service.statistics import CardinalityStatistics
 from repro.store.base import TripleStore
 from repro.store.memory import MemoryStore
+from repro.utils.concurrency import ReadWriteLock
 
 __all__ = ["CatalogEntry", "GraphCatalog"]
 
@@ -49,10 +74,37 @@ class CatalogEntry:
         name: str,
         store: TripleStore,
         loaded_rows: Optional[List[Tuple[TripleKind, EncodedTriple]]] = None,
+        prime: bool = True,
     ):
         self.name = name
         self.store = store
         self.version = 0
+        #: Set by :meth:`close` (drop / catalog shutdown); queries that
+        #: acquire the read lock afterwards must treat the graph as gone.
+        self.closed = False
+        #: Per-entry reader/writer lock; see the module docstring for the
+        #: acquisition discipline.
+        self.rwlock = ReadWriteLock()
+        self._init_lock = threading.RLock()
+        #: Counters of the expensive (graph-proportional) builds this entry
+        #: has performed.  A warm-started entry restored from a persistent
+        #: catalog keeps all of them at zero through its first queries —
+        #: the durability tests assert exactly that.
+        self.build_counters: Dict[str, int] = {
+            "prime_scans": 0,
+            "statistics_scans": 0,
+            "summary_builds": 0,
+            "weak_snapshots": 0,
+        }
+        #: Write-through hook ``(entry, inserted_rows) -> None`` installed by
+        #: a persistence-backed catalog; invoked at the end of every
+        #: successful :meth:`add_triples` batch, inside the write lock.
+        self._on_update: Optional[Callable[["CatalogEntry", List], None]] = None
+        #: ``True`` after a write-through failure: the in-memory entry holds
+        #: rows the catalog file does not.  The next durable write must be a
+        #: full rewrite — an incremental append would persist maintainer/
+        #: statistics state that references the lost rows.
+        self._persist_dirty = False
         self._maintainer = IncrementalWeakSummarizer(store)
         self._summaries: Dict[str, Tuple[int, Summary]] = {}
         self._saturated: Optional[Tuple[int, TripleStore, Dict[str, EncodedEvaluator]]] = None
@@ -64,11 +116,38 @@ class CatalogEntry:
             # the registering caller just inserted these rows and already
             # holds them encoded — skip the store re-scan
             self._maintainer.ingest_rows(loaded_rows)
-        else:
+        elif prime:
             self._prime_from_store()
+
+    @classmethod
+    def restore(
+        cls,
+        name: str,
+        store: TripleStore,
+        version: int,
+        maintainer_state: Dict[str, object],
+        statistics: Optional[CardinalityStatistics] = None,
+        summaries: Optional[Dict[str, Summary]] = None,
+    ) -> "CatalogEntry":
+        """Warm-start an entry from persisted state (no priming scan).
+
+        The store arrives already loaded; the weak-summary maps, the
+        cardinality profile and any cached summaries are installed as-is at
+        *version*, so the first query costs exactly what a long-running
+        process would have paid — no re-scan, no re-summarization.
+        """
+        entry = cls(name, store, prime=False)
+        entry.version = version
+        entry._maintainer.load_state(maintainer_state)
+        if statistics is not None:
+            entry._statistics = (version, statistics)
+        for kind, summary in (summaries or {}).items():
+            entry._summaries[normalize_kind(kind)] = (version, summary)
+        return entry
 
     def _prime_from_store(self) -> None:
         """Feed the weak-summary maintainer every row already in the store."""
+        self.build_counters["prime_scans"] += 1
         for batch in self.store.scan_batches(TripleKind.DATA):
             for subject, prop, obj in batch:
                 self._maintainer.ingest_data(subject, prop, obj)
@@ -93,17 +172,29 @@ class CatalogEntry:
         graphs, plan caches) is invalidated by the version bump and rebuilt
         only when next requested.  Returns the number of rows actually
         inserted.
+
+        The whole batch runs under the entry's exclusive write lock —
+        concurrent queries wait, then observe either none or all of it —
+        and, on a persistence-backed catalog, is checkpointed atomically
+        before the lock is released.
         """
-        rows = self.store.insert_triples(triples, skip_existing=True)
-        if not rows:
-            return 0
-        self._maintainer.ingest_rows(rows)
-        self.version += 1
-        if self._statistics is not None:
-            statistics = self._statistics[1]
-            statistics.ingest_rows(rows)
-            self._statistics = (self.version, statistics)
-        return len(rows)
+        with self.rwlock.write_locked():
+            if self.closed:
+                # we raced a drop(): same report as the query-side race
+                raise UnknownGraphError(f"graph {self.name!r} was dropped")
+            rows = self.store.insert_triples(triples, skip_existing=True)
+            if not rows:
+                return 0
+            with self._init_lock:
+                self._maintainer.ingest_rows(rows)
+                self.version += 1
+                if self._statistics is not None:
+                    statistics = self._statistics[1]
+                    statistics.ingest_rows(rows)
+                    self._statistics = (self.version, statistics)
+            if self._on_update is not None:
+                self._on_update(self, rows)
+            return len(rows)
 
     # ------------------------------------------------------------------
     # statistics, planning and evaluators
@@ -117,9 +208,14 @@ class CatalogEntry:
         cached = self._statistics
         if cached is not None and cached[0] == self.version:
             return cached[1]
-        statistics = CardinalityStatistics.from_store(self.store)
-        self._statistics = (self.version, statistics)
-        return statistics
+        with self._init_lock:
+            cached = self._statistics
+            if cached is not None and cached[0] == self.version:
+                return cached[1]
+            self.build_counters["statistics_scans"] += 1
+            statistics = CardinalityStatistics.from_store(self.store)
+            self._statistics = (self.version, statistics)
+            return statistics
 
     def planner(self) -> QueryPlanner:
         """The entry's query planner, rebuilt (with an empty plan cache)
@@ -128,9 +224,13 @@ class CatalogEntry:
         cached = self._planner
         if cached is not None and cached[0] == self.version:
             return cached[1]
-        planner = QueryPlanner(self.statistics_index())
-        self._planner = (self.version, planner)
-        return planner
+        with self._init_lock:
+            cached = self._planner
+            if cached is not None and cached[0] == self.version:
+                return cached[1]
+            planner = QueryPlanner(self.statistics_index())
+            self._planner = (self.version, planner)
+            return planner
 
     def evaluator_for(self, strategy: str) -> EncodedEvaluator:
         """The entry's evaluator for *strategy* (one cached per strategy).
@@ -141,15 +241,19 @@ class CatalogEntry:
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r} (choose from {STRATEGIES})")
         evaluator = self._evaluators.get(strategy)
-        if evaluator is None:
-            evaluator = EncodedEvaluator(
-                self.store,
-                strategy=strategy,
-                statistics=self.statistics_index,
-                planner=self.planner,
-            )
-            self._evaluators[strategy] = evaluator
-        return evaluator
+        if evaluator is not None:
+            return evaluator
+        with self._init_lock:
+            evaluator = self._evaluators.get(strategy)
+            if evaluator is None:
+                evaluator = EncodedEvaluator(
+                    self.store,
+                    strategy=strategy,
+                    statistics=self.statistics_index,
+                    planner=self.planner,
+                )
+                self._evaluators[strategy] = evaluator
+            return evaluator
 
     # ------------------------------------------------------------------
     # summaries and pruning graphs
@@ -165,13 +269,43 @@ class CatalogEntry:
         cached = self._summaries.get(kind)
         if cached is not None and cached[0] == self.version:
             return cached[1]
-        if kind == "weak":
-            summary = self._maintainer.snapshot()
-            summary.source_name = self.name
-        else:
-            summary = encoded_summarize(self.store, kind, source_name=self.name)
-        self._summaries[kind] = (self.version, summary)
-        return summary
+        with self._init_lock:
+            cached = self._summaries.get(kind)
+            if cached is not None and cached[0] == self.version:
+                return cached[1]
+            if kind == "weak":
+                self.build_counters["weak_snapshots"] += 1
+                summary = self._maintainer.snapshot()
+                summary.source_name = self.name
+            else:
+                self.build_counters["summary_builds"] += 1
+                summary = encoded_summarize(self.store, kind, source_name=self.name)
+            self._summaries[kind] = (self.version, summary)
+            return summary
+
+    def maintainer_state(self) -> Dict[str, object]:
+        """The weak-summary maintainer's maps (see
+        :meth:`IncrementalWeakSummarizer.state_dict`): pure-integer
+        structures referencing live state — serialize before the entry is
+        mutated again (the persistence layer runs under the entry's lock)."""
+        return self._maintainer.state_dict()
+
+    def cached_statistics(self) -> Optional[CardinalityStatistics]:
+        """The cardinality profile **iff** fresh at the current version
+        (``None`` otherwise — never triggers the one-pass build)."""
+        cached = self._statistics
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        return None
+
+    def cached_summaries(self) -> Dict[str, Summary]:
+        """The summaries cached *at the current version* (no builds)."""
+        with self._init_lock:
+            return {
+                kind: cached[1]
+                for kind, cached in self._summaries.items()
+                if cached[0] == self.version
+            }
 
     def cached_pruning_size(self, kind: str) -> Optional[int]:
         """Edge count of the *kind* summary graph **iff** it is cached at
@@ -215,22 +349,23 @@ class CatalogEntry:
         """
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r} (choose from {STRATEGIES})")
-        cached = self._saturated
-        if cached is None or cached[0] != self.version:
-            # the stale store is dropped, not closed: evaluators handed out
-            # before the update still wrap it and must keep working; the
-            # memory is reclaimed when the last of them goes away
-            saturated_graph = saturate(self.to_graph())
-            store = MemoryStore()
-            store.load_graph(saturated_graph)
-            cached = (self.version, store, {})
-            self._saturated = cached
-        evaluators = cached[2]
-        evaluator = evaluators.get(strategy)
-        if evaluator is None:
-            evaluator = EncodedEvaluator(cached[1], strategy=strategy)
-            evaluators[strategy] = evaluator
-        return evaluator
+        with self._init_lock:
+            cached = self._saturated
+            if cached is None or cached[0] != self.version:
+                # the stale store is dropped, not closed: evaluators handed out
+                # before the update still wrap it and must keep working; the
+                # memory is reclaimed when the last of them goes away
+                saturated_graph = saturate(self.to_graph())
+                store = MemoryStore()
+                store.load_graph(saturated_graph)
+                cached = (self.version, store, {})
+                self._saturated = cached
+            evaluators = cached[2]
+            evaluator = evaluators.get(strategy)
+            if evaluator is None:
+                evaluator = EncodedEvaluator(cached[1], strategy=strategy)
+                evaluators[strategy] = evaluator
+            return evaluator
 
     # ------------------------------------------------------------------
     def to_graph(self) -> RDFGraph:
@@ -238,7 +373,13 @@ class CatalogEntry:
         return self.store.to_graph(name=self.name)
 
     def close(self) -> None:
-        """Release the entry's stores."""
+        """Release the entry's stores and mark the entry dead.
+
+        Readers queued on the lock while a :meth:`GraphCatalog.drop` closes
+        the entry check :attr:`closed` once they get in, so a racing query
+        reports an unknown graph instead of a closed-store error.
+        """
+        self.closed = True
         if self._saturated is not None:
             self._saturated[1].close()
             self._saturated = None
@@ -261,11 +402,117 @@ class GraphCatalog:
         Backend constructor used when :meth:`register` is handed a graph
         rather than a pre-loaded store (``MemoryStore`` by default; pass
         ``SQLiteStore`` for the relational backend).
+
+    Registration, lookup and drop are thread-safe; per-entry query/update
+    concurrency is governed by each entry's ``rwlock`` (see
+    :class:`CatalogEntry`).  A catalog created through :meth:`open` writes
+    every registration and ingest batch through to a persistent SQLite
+    file and warm-starts from it on the next :meth:`open`.
     """
 
     def __init__(self, store_factory: Callable[[], TripleStore] = MemoryStore):
         self._store_factory = store_factory
         self._entries: Dict[str, CatalogEntry] = {}
+        self._lock = threading.RLock()
+        #: Names whose registration is in flight (reserved, heavy build
+        #: running outside the lock).
+        self._registering: set = set()
+        self._persistence = None  # repro.server.persistence.PersistentCatalog
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        store_factory: Callable[[], TripleStore] = MemoryStore,
+    ) -> "GraphCatalog":
+        """Open (creating if absent) a persistent catalog at *path*.
+
+        Every graph persisted in the file is warm-started: its store rows
+        and dictionary are bulk-restored into a fresh *store_factory*
+        backend, and the weak-summary maps, cardinality statistics and
+        cached summaries are installed directly — zero re-scans, zero
+        re-summarization (``entry.build_counters`` stay at zero).
+        Registrations and ``add_triples`` batches on the returned catalog
+        are checkpointed atomically as they happen; :meth:`checkpoint`
+        forces a full rewrite (picking up summaries cached since).
+        """
+        from repro.server.persistence import PersistentCatalog
+
+        catalog = cls(store_factory=store_factory)
+        persistence = PersistentCatalog(path)
+        catalog._persistence = persistence
+        with catalog._lock:
+            for name in persistence.graph_names():
+                snapshot = persistence.load_graph(name, store_factory)
+                entry = CatalogEntry.restore(
+                    name=snapshot.name,
+                    store=snapshot.store,
+                    version=snapshot.version,
+                    maintainer_state=snapshot.maintainer_state,
+                    statistics=snapshot.statistics,
+                    summaries=snapshot.summaries,
+                )
+                entry._on_update = catalog._persist_update
+                catalog._entries[name] = entry
+        return catalog
+
+    @property
+    def persistent(self) -> bool:
+        """``True`` when the catalog writes through to a file."""
+        return self._persistence is not None
+
+    def checkpoint(self) -> None:
+        """Force a full durable rewrite of every entry (no-op in memory).
+
+        Write-through already keeps rows, dictionary, weak-summary maps and
+        statistics durable on every update; a full checkpoint additionally
+        captures summaries built (and cached) since the last write, so the
+        next warm start serves them too.
+        """
+        persistence = self._persistence  # one read: close() may detach it
+        if persistence is None:
+            return
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            with entry.rwlock.read_locked():
+                if entry.closed:
+                    continue  # raced a drop(); must not resurrect it durably
+                # make sure the weak summary (cheap: decoded from the live
+                # incremental maps) and the cardinality profile ride along,
+                # so the warm-started process rebuilds neither
+                entry.summary("weak")
+                entry.statistics_index()
+                persistence.save_graph(entry)
+                entry._persist_dirty = False  # full rewrite heals any divergence
+
+    def _persist_update(self, entry: CatalogEntry, rows: List) -> None:
+        """Write-through hook run by :meth:`CatalogEntry.add_triples`.
+
+        A failed write-through (disk full, transient SQLite error) leaves
+        the in-memory entry ahead of the file; the error propagates to the
+        ingesting caller, and the entry is marked dirty so the next durable
+        write is a **full rewrite** from the store — an incremental append
+        after a lost batch would checkpoint maintainer/statistics state
+        referencing rows the file never received, silently corrupting every
+        later warm start.
+        """
+        persistence = self._persistence  # one read: close() may detach it
+        if persistence is None:
+            return
+        try:
+            if entry._persist_dirty:
+                entry.summary("weak")
+                persistence.save_graph(entry)
+            else:
+                persistence.append_update(entry, rows)
+        except Exception:
+            entry._persist_dirty = True
+            raise
+        entry._persist_dirty = False
 
     # ------------------------------------------------------------------
     def register(
@@ -278,41 +525,94 @@ class GraphCatalog:
 
         Exactly one of *graph* (loaded into a fresh backend) or *store* (an
         already-loaded :class:`TripleStore`, adopted as-is) must be given.
+        Registering a name already in use raises
+        :class:`~repro.errors.DuplicateGraphError` (a
+        :class:`~repro.errors.CatalogError`) and leaves the existing entry
+        untouched — nothing is loaded, closed or replaced.
         """
-        if name in self._entries:
-            raise DuplicateGraphError(f"graph {name!r} is already registered")
         if (graph is None) == (store is None):
             raise ValueError("register() needs exactly one of graph= or store=")
-        loaded_rows = None
-        if store is None:
-            store = self._store_factory()
-            loaded_rows = store.insert_triples(graph)
-        entry = CatalogEntry(name, store, loaded_rows=loaded_rows)
-        self._entries[name] = entry
-        return entry
+        # reserve the name under the lock, but run the heavy part — loading,
+        # summarizing, profiling, the durable write — outside it: a
+        # multi-minute registration must not stall queries (entry lookups)
+        # on every other graph
+        with self._lock:
+            if name in self._entries or name in self._registering:
+                raise DuplicateGraphError(
+                    f"graph {name!r} is already registered; drop() it first "
+                    f"to replace it (the existing entry is untouched)"
+                )
+            self._registering.add(name)
+        created_store = store is None
+        entry: Optional[CatalogEntry] = None
+        try:
+            loaded_rows = None
+            if store is None:
+                store = self._store_factory()
+                loaded_rows = store.insert_triples(graph)
+            entry = CatalogEntry(name, store, loaded_rows=loaded_rows)
+            if self._persistence is not None:
+                entry._on_update = self._persist_update
+                # build what a warm start must not: the weak snapshot and
+                # the statistics profile are checkpointed alongside the rows
+                entry.summary("weak")
+                entry.statistics_index()
+                self._persistence.save_graph(entry)
+            with self._lock:
+                self._entries[name] = entry
+            return entry
+        except BaseException:
+            # a failed registration must not leak the backend we created
+            # (an adopted store= stays open — the caller owns it)
+            if created_store and store is not None:
+                if entry is not None:
+                    entry.close()
+                else:
+                    store.close()
+            raise
+        finally:
+            with self._lock:
+                self._registering.discard(name)
 
     def entry(self, name: str) -> CatalogEntry:
         """The entry registered under *name*."""
-        entry = self._entries.get(name)
-        if entry is None:
-            known = ", ".join(sorted(self._entries)) or "none"
-            raise UnknownGraphError(f"unknown graph {name!r} (registered: {known})")
-        return entry
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                known = ", ".join(sorted(self._entries)) or "none"
+                raise UnknownGraphError(f"unknown graph {name!r} (registered: {known})")
+            return entry
 
     def drop(self, name: str) -> None:
-        """Unregister *name* and close its stores."""
-        self.entry(name).close()
-        del self._entries[name]
+        """Unregister *name*, close its stores and forget it durably.
+
+        The entry is closed under its exclusive lock **before** the durable
+        delete: an in-flight ingest finishes (and checkpoints) first, a
+        queued one sees ``closed`` and reports the graph gone — so a
+        write-through can never resurrect the graph in the catalog file
+        after it was deleted.
+        """
+        entry = self.entry(name)
+        with entry.rwlock.write_locked():
+            entry.close()
+        with self._lock:
+            if self._entries.get(name) is entry:
+                del self._entries[name]
+            if self._persistence is not None:
+                self._persistence.delete_graph(name)
 
     def names(self) -> List[str]:
         """Registered graph names, sorted."""
-        return sorted(self._entries)
+        with self._lock:
+            return sorted(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._entries
+        with self._lock:
+            return name in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------
     # conveniences forwarding to the entry
@@ -326,10 +626,26 @@ class GraphCatalog:
         return self.entry(name).summary(kind)
 
     def close(self) -> None:
-        """Close every registered entry."""
-        for entry in self._entries.values():
-            entry.close()
-        self._entries.clear()
+        """Close every registered entry (and the persistence file).
+
+        Each entry closes under its exclusive lock — the same discipline as
+        :meth:`drop` — so in-flight queries finish cleanly and queued ones
+        see ``closed`` instead of a half-closed store.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        # quiesce the entries *before* detaching persistence: an in-flight
+        # ingest holds its entry's write lock and must still find the
+        # persistence attached when its write-through hook runs — detaching
+        # first would make that hook a silent no-op and lose the batch
+        for entry in entries:
+            with entry.rwlock.write_locked():
+                entry.close()
+        with self._lock:
+            persistence, self._persistence = self._persistence, None
+        if persistence is not None:
+            persistence.close()
 
     def __enter__(self) -> "GraphCatalog":
         return self

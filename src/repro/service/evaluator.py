@@ -2,7 +2,7 @@
 
 The paper's prototype answers queries where the data lives: dictionary-
 encoded integer triples in relational tables (Section 6).  This module
-brings BGP evaluation to that substrate with two interchangeable join
+brings BGP evaluation to that substrate with three interchangeable join
 strategies over the same compiled form:
 
 * ``strategy="hash"`` (default) — a *vectorized hash join*: the
@@ -16,6 +16,12 @@ strategies over the same compiled form:
   most-bound-first ordering, one :meth:`TripleStore.select` per binding),
   kept verbatim for A/B benchmarking; both strategies produce identical
   answer sets.
+* ``strategy="sql"`` — whole-join pushdown: the compiled BGP becomes one
+  ``SELECT DISTINCT`` over aliased table occurrences and the backend's C
+  engine runs the entire join (SQLite releases the GIL for its duration —
+  the strategy the concurrent server scales on).  Stores without a SQL
+  engine, and variable-property patterns, silently fall back to ``hash``;
+  answer sets are identical either way.
 
 Compilation (:func:`compile_query`) lowers a :class:`BGPQuery` to term ids
 through the store dictionary once, up front.  A constant that fails to
@@ -67,8 +73,14 @@ __all__ = [
 
 _ALL_TABLES = (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA)
 
-#: The two join strategies the evaluator can run.
-STRATEGIES = ("hash", "nested")
+#: The join strategies the evaluator can run.  ``hash`` and ``nested`` are
+#: the Python-side executors; ``sql`` compiles the whole BGP into one
+#: relational join statement and lets the backend's C engine run it (only
+#: stores advertising ``supports_sql_join`` — the SQLite backend — can;
+#: everything else silently falls back to ``hash``).  The ``sql`` strategy
+#: is what makes a multi-threaded server scale: the join holds no Python
+#: bytecode, so the GIL is released for its whole duration.
+STRATEGIES = ("hash", "nested", "sql")
 
 
 class CompiledPattern:
@@ -294,6 +306,8 @@ class EncodedEvaluator:
         if self.strategy == "nested":
             yield from self._iter_nested(compiled, trace)
         else:
+            # the sql strategy projects head tuples only; full embeddings
+            # always come from the hash executor
             yield from self._iter_hash(compiled, trace)
 
     # ------------------------------------------------------------------
@@ -524,6 +538,91 @@ class EncodedEvaluator:
         return rows, probes
 
     # ------------------------------------------------------------------
+    # sql strategy (whole-join pushdown into the backend's C engine)
+    # ------------------------------------------------------------------
+    def _compile_sql_join(
+        self, compiled: CompiledQuery, limit: Optional[int]
+    ) -> Optional[Tuple[str, List[int]]]:
+        """The query as one relational join statement, or ``None``.
+
+        ``None`` when the store has no SQL engine or a pattern routes to
+        more than one table (variable-property patterns) — those run the
+        hash executor instead.  Each pattern becomes an aliased occurrence
+        of its table; constants pin columns via parameters, a variable's
+        first column occurrence defines its expression and every later
+        occurrence adds an equality — the textbook BGP-to-conjunctive-SQL
+        translation of the paper's prototype.  Head projection is
+        ``SELECT DISTINCT``, so the statement computes exactly the
+        evaluator's answer-set semantics; ``LIMIT`` (applied after
+        ``DISTINCT``) matches the ``limit=`` contract.
+        """
+        store = self.store
+        if not getattr(store, "supports_sql_join", False):
+            return None
+        if any(len(pattern.tables) != 1 for pattern in compiled.patterns):
+            return None
+        table_names = store.SQL_TABLE_FOR_KIND
+        slot_exprs: Dict[int, str] = {}
+        from_clauses: List[str] = []
+        where: List[str] = []
+        parameters: List[int] = []
+        for index, pattern in enumerate(compiled.patterns):
+            alias = f"t{index}"
+            from_clauses.append(f"{table_names[pattern.tables[0]]} AS {alias}")
+            for column, spec in (
+                ("s", pattern.subject),
+                ("p", pattern.predicate),
+                ("o", pattern.object),
+            ):
+                expression = f"{alias}.{column}"
+                if spec >= 0:
+                    where.append(f"{expression} = ?")
+                    parameters.append(spec)
+                    continue
+                slot = -spec - 1
+                bound = slot_exprs.get(slot)
+                if bound is None:
+                    slot_exprs[slot] = expression
+                else:
+                    where.append(f"{expression} = {bound}")
+        if compiled.head_slots:
+            select = "SELECT DISTINCT " + ", ".join(
+                slot_exprs[slot] for slot in compiled.head_slots
+            )
+        else:
+            select = "SELECT 1"
+        sql = f"{select} FROM {', '.join(from_clauses)}"
+        if where:
+            sql += f" WHERE {' AND '.join(where)}"
+        if not compiled.head_slots:
+            sql += " LIMIT 1"
+        elif limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return sql, parameters
+
+    def _evaluate_sql(
+        self,
+        compiled: CompiledQuery,
+        limit: Optional[int],
+        trace: Optional[ExecutionTrace],
+    ) -> Optional[Set[Tuple[Term, ...]]]:
+        """Answer via one pushed-down join, or ``None`` to use the hash path."""
+        statement = self._compile_sql_join(compiled, limit)
+        if statement is None:
+            return None
+        sql, parameters = statement
+        rows = self.store.execute_join(sql, parameters)
+        if trace is not None:
+            trace.strategy = self.strategy
+            trace.add_stage(sql, produced=len(rows), probes=1)
+        if not compiled.head_slots:
+            return {()} if rows else set()
+        decode = self.store.dictionary.decode
+        if len(compiled.head_slots) == 1:
+            return {(decode(row[0]),) for row in rows}
+        return {tuple(decode(value) for value in row) for row in rows}
+
+    # ------------------------------------------------------------------
     def explain(self, query, limit: Optional[int] = None) -> ExecutionTrace:
         """Evaluate *query* and return the captured execution trace."""
         trace = ExecutionTrace()
@@ -545,7 +644,12 @@ class EncodedEvaluator:
         decode = self.store.dictionary.decode
         head = compiled.head_slots
         answers: Set[Tuple[Term, ...]] = set()
-        if self.strategy == "hash" and not compiled.trivially_empty:
+        if self.strategy == "sql" and not compiled.trivially_empty:
+            pushed_down = self._evaluate_sql(compiled, limit, trace)
+            if pushed_down is not None:
+                return pushed_down
+            # no SQL engine (or a multi-table pattern): hash path below
+        if self.strategy in ("hash", "sql") and not compiled.trivially_empty:
             # project straight off the binding table: deduplicate on integer
             # head tuples first (C-level set comprehensions for the common
             # head widths), then decode each distinct tuple exactly once

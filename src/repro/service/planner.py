@@ -30,12 +30,26 @@ that a matching row, if any, costs at least one probe.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.model.triple import TripleKind
 from repro.service.statistics import CardinalityStatistics
 
-__all__ = ["PatternEstimate", "QueryPlan", "QueryPlanner", "ExecutionTrace", "StageTrace"]
+__all__ = [
+    "DEFAULT_PLAN_CACHE_CAP",
+    "PatternEstimate",
+    "QueryPlan",
+    "QueryPlanner",
+    "ExecutionTrace",
+    "StageTrace",
+]
+
+#: Default bound of the per-planner plan cache.  Plans are tiny, but a
+#: long-lived server facing adversarially diverse query shapes must not
+#: grow an unbounded dict; 512 covers every realistic repeated workload.
+DEFAULT_PLAN_CACHE_CAP = 512
 
 
 class PatternEstimate:
@@ -90,15 +104,38 @@ def plan_shape(compiled) -> Tuple:
 
 
 class QueryPlanner:
-    """Cost-based pattern ordering with a shape-keyed plan cache."""
+    """Cost-based pattern ordering with a bounded, shape-keyed plan cache.
 
-    def __init__(self, statistics: CardinalityStatistics):
+    The cache is an LRU bounded by *plan_cache_cap*: a long-lived server
+    answering adversarially diverse query shapes re-plans cold shapes
+    instead of leaking one cached plan per shape ever seen.  A re-planned
+    evicted shape counts as an ordinary miss (and the eviction itself is
+    tallied in ``cache_evictions``), so the hit/miss counters stay exact
+    arrival statistics whatever the cap.  The cache is guarded by a lock —
+    one planner is shared by every executor thread of a catalog entry.
+    """
+
+    def __init__(
+        self,
+        statistics: CardinalityStatistics,
+        plan_cache_cap: int = DEFAULT_PLAN_CACHE_CAP,
+    ):
+        if plan_cache_cap <= 0:
+            raise ValueError("plan_cache_cap must be positive")
         self.statistics = statistics
-        self._plans: Dict[Tuple, QueryPlan] = {}
+        self.plan_cache_cap = plan_cache_cap
+        self._plans: "OrderedDict[Tuple, QueryPlan]" = OrderedDict()
+        self._cache_lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         #: Whether the most recent :meth:`plan` call was served from cache.
         self.last_was_hit = False
+
+    @property
+    def cached_plan_count(self) -> int:
+        """Number of plans currently held (never exceeds the cap)."""
+        return len(self._plans)
 
     # ------------------------------------------------------------------
     # estimation
@@ -151,17 +188,24 @@ class QueryPlanner:
     # planning
     # ------------------------------------------------------------------
     def plan(self, compiled) -> QueryPlan:
-        """The execution plan for *compiled*, cached per query shape."""
+        """The execution plan for *compiled*, cached per query shape (LRU)."""
         shape = plan_shape(compiled)
-        cached = self._plans.get(shape)
-        if cached is not None:
-            self.cache_hits += 1
-            self.last_was_hit = True
-            return cached
-        self.cache_misses += 1
-        self.last_was_hit = False
+        with self._cache_lock:
+            cached = self._plans.get(shape)
+            if cached is not None:
+                self._plans.move_to_end(shape)
+                self.cache_hits += 1
+                self.last_was_hit = True
+                return cached
+            self.cache_misses += 1
+            self.last_was_hit = False
         plan = self._build_plan(compiled, shape)
-        self._plans[shape] = plan
+        with self._cache_lock:
+            self._plans[shape] = plan
+            self._plans.move_to_end(shape)
+            while len(self._plans) > self.plan_cache_cap:
+                self._plans.popitem(last=False)
+                self.cache_evictions += 1
         return plan
 
     def _build_plan(self, compiled, shape: Tuple) -> QueryPlan:
@@ -188,8 +232,9 @@ class QueryPlanner:
 
     def __repr__(self):
         return (
-            f"QueryPlanner(plans={len(self._plans)}, hits={self.cache_hits}, "
-            f"misses={self.cache_misses})"
+            f"QueryPlanner(plans={len(self._plans)}/{self.plan_cache_cap}, "
+            f"hits={self.cache_hits}, misses={self.cache_misses}, "
+            f"evictions={self.cache_evictions})"
         )
 
 

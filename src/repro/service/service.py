@@ -25,10 +25,12 @@ straight to step 3 and is answered exactly, just without the shortcut.
 
 from __future__ import annotations
 
+import threading
 from time import perf_counter
 from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.builders import normalize_kind
+from repro.errors import UnknownGraphError
 from repro.model.namespaces import is_schema_property
 from repro.model.terms import Term
 from repro.queries.bgp import BGPQuery
@@ -110,7 +112,12 @@ class QueryAnswer:
 
 
 class ServiceStatistics:
-    """Running counters of a :class:`QueryService` (per-query pruning/timing)."""
+    """Running counters of a :class:`QueryService` (per-query pruning/timing).
+
+    Updates are lock-protected: the concurrent executor records answers
+    from many threads, and unsynchronized ``+=`` on attributes loses
+    increments even under the GIL.
+    """
 
     __slots__ = (
         "queries",
@@ -120,6 +127,7 @@ class ServiceStatistics:
         "guard_seconds",
         "evaluation_seconds",
         "pruned_by_kind",
+        "_lock",
     )
 
     def __init__(self):
@@ -131,21 +139,23 @@ class ServiceStatistics:
         self.evaluation_seconds = 0.0
         #: Pruning attribution: guard kind → queries it rejected.
         self.pruned_by_kind: Dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def record(self, answer: QueryAnswer) -> None:
-        self.queries += 1
-        if answer.pruned:
-            self.pruned += 1
-            if answer.pruned_by is not None:
-                self.pruned_by_kind[answer.pruned_by] = (
-                    self.pruned_by_kind.get(answer.pruned_by, 0) + 1
-                )
-        else:
-            self.evaluated += 1
-        if not answer.prunable:
-            self.unprunable += 1
-        self.guard_seconds += answer.guard_seconds
-        self.evaluation_seconds += answer.evaluation_seconds
+        with self._lock:
+            self.queries += 1
+            if answer.pruned:
+                self.pruned += 1
+                if answer.pruned_by is not None:
+                    self.pruned_by_kind[answer.pruned_by] = (
+                        self.pruned_by_kind.get(answer.pruned_by, 0) + 1
+                    )
+            else:
+                self.evaluated += 1
+            if not answer.prunable:
+                self.unprunable += 1
+            self.guard_seconds += answer.guard_seconds
+            self.evaluation_seconds += answer.evaluation_seconds
 
     @property
     def pruning_rate(self) -> float:
@@ -292,33 +302,44 @@ class QueryService:
         probes) alongside the guard decisions.
         """
         entry = self.catalog.entry(graph_name)
-        prunable = self.prune and _guard_applies(query)
+        # the whole guard-plus-evaluation span holds the entry's shared
+        # (read) lock: concurrent queries overlap freely, while an ingest
+        # (the exclusive side) can never interleave with a running join or
+        # leave the guard checking a summary newer than the store it
+        # protects.  The lock is non-reentrant — nothing below may call
+        # back into answer() or add_triples().
+        with entry.rwlock.read_locked():
+            if entry.closed:
+                # we raced a drop(): the write lock closed the entry while
+                # we were queued — the graph is gone, report it as such
+                raise UnknownGraphError(f"graph {graph_name!r} was dropped")
+            prunable = self.prune and _guard_applies(query)
 
-        guard_start = perf_counter()
-        pruned = False
-        pruned_by: Optional[str] = None
-        guard_order: Tuple[str, ...] = ()
-        if prunable:
-            guard_order = self._guard_cascade(entry)
-            for guard_kind in guard_order:
-                pruning_graph = entry.pruning_graph(guard_kind, saturated=saturated)
-                if not has_answers(pruning_graph, query):
-                    pruned = True
-                    pruned_by = guard_kind
-                    break
-        guard_seconds = perf_counter() - guard_start
+            guard_start = perf_counter()
+            pruned = False
+            pruned_by: Optional[str] = None
+            guard_order: Tuple[str, ...] = ()
+            if prunable:
+                guard_order = self._guard_cascade(entry)
+                for guard_kind in guard_order:
+                    pruning_graph = entry.pruning_graph(guard_kind, saturated=saturated)
+                    if not has_answers(pruning_graph, query):
+                        pruned = True
+                        pruned_by = guard_kind
+                        break
+            guard_seconds = perf_counter() - guard_start
 
-        answers: Set[Tuple[Term, ...]] = set()
-        evaluation_seconds = 0.0
-        trace: Optional[ExecutionTrace] = ExecutionTrace() if explain else None
-        if not pruned:
-            if saturated:
-                evaluator = entry.saturated_evaluator(self.strategy)
-            else:
-                evaluator = entry.evaluator_for(self.strategy)
-            evaluation_start = perf_counter()
-            answers = evaluator.evaluate(query, limit=limit, trace=trace)
-            evaluation_seconds = perf_counter() - evaluation_start
+            answers: Set[Tuple[Term, ...]] = set()
+            evaluation_seconds = 0.0
+            trace: Optional[ExecutionTrace] = ExecutionTrace() if explain else None
+            if not pruned:
+                if saturated:
+                    evaluator = entry.saturated_evaluator(self.strategy)
+                else:
+                    evaluator = entry.evaluator_for(self.strategy)
+                evaluation_start = perf_counter()
+                answers = evaluator.evaluate(query, limit=limit, trace=trace)
+                evaluation_seconds = perf_counter() - evaluation_start
 
         result = QueryAnswer(
             query=query,

@@ -1,0 +1,104 @@
+"""Concurrency primitives for the serving layer.
+
+The serving layer (``repro.server``) runs many reader threads against
+catalog entries that a writer occasionally updates in place.  The standard
+library has no reader/writer lock, so this module provides the one the
+per-entry locking discipline is built on:
+
+* any number of threads may hold the **read** side simultaneously;
+* the **write** side is exclusive against both readers and other writers;
+* writers are *preferred*: once a writer is waiting, new readers queue
+  behind it, so a steady query stream cannot starve ingest.
+
+The lock is deliberately **non-reentrant** (a thread must not re-acquire
+either side while holding one — the holder is not tracked, so a nested
+acquire can deadlock behind a waiting writer).  The serving layer acquires
+it exactly once per operation, at the outermost entry point
+(:meth:`repro.service.service.QueryService.answer` takes the read side,
+:meth:`repro.service.catalog.CatalogEntry.add_triples` the write side), and
+never calls one of those entry points from inside another.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    Use the :meth:`read_locked` / :meth:`write_locked` context managers;
+    the raw ``acquire_*`` / ``release_*`` pairs exist for callers that need
+    to span a lock across non-lexical scopes.
+    """
+
+    __slots__ = ("_condition", "_readers", "_writer_active", "_writers_waiting")
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers < 0:
+                self._readers = 0
+                raise RuntimeError("release_read() without a matching acquire_read()")
+            if not self._readers:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            if not self._writer_active:
+                raise RuntimeError("release_write() without a matching acquire_write()")
+            self._writer_active = False
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        """Hold the shared (read) side for the duration of the block."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """Hold the exclusive (write) side for the duration of the block."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def __repr__(self):
+        with self._condition:
+            return (
+                f"<ReadWriteLock readers={self._readers} "
+                f"writer={'active' if self._writer_active else 'idle'} "
+                f"waiting_writers={self._writers_waiting}>"
+            )

@@ -1,0 +1,411 @@
+"""Durability tests: the persistent catalog must warm-start with zero rebuilds."""
+
+import pytest
+
+from repro.core.builders import summarize
+from repro.core.isomorphism import graphs_isomorphic
+from repro.errors import CatalogError, DuplicateGraphError, PersistenceError
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.terms import BlankNode, Literal, URI
+from repro.model.triple import Triple
+from repro.queries.parser import parse_query
+from repro.server.persistence import PersistentCatalog
+from repro.service.catalog import GraphCatalog
+from repro.service.service import QueryService
+from repro.service.statistics import CardinalityStatistics
+from repro.store.sqlite import SQLiteStore
+
+
+def _catalog_path(tmp_path):
+    return str(tmp_path / "catalog.db")
+
+
+@pytest.fixture
+def fig2_query():
+    """Satisfiable on fig2: the editor property really occurs there."""
+    return parse_query("SELECT ?x WHERE { ?x <http://example.org/fig2/editor> ?y . }")
+
+
+@pytest.fixture
+def bsbm_query():
+    """Satisfiable on the small BSBM graph (a real guarded evaluation)."""
+    return parse_query("SELECT ?x WHERE { ?x <http://bsbm.example.org/reviewFor> ?y . }")
+
+
+@pytest.fixture
+def ingest_query():
+    """Matches only the triples the ingest tests add."""
+    return parse_query("SELECT ?x WHERE { ?x <http://example.org/p1> ?y . }")
+
+
+def _zero_counters(entry):
+    return {name: hits for name, hits in entry.build_counters.items() if hits}
+
+
+class TestRoundTrip:
+    def test_register_reopen_preserves_graph(self, fig2, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+            original = catalog.entry("fig2").to_graph()
+        with GraphCatalog.open(path) as reopened:
+            assert reopened.names() == ["fig2"]
+            restored = reopened.entry("fig2").to_graph()
+            assert set(restored) == set(original)
+            assert reopened.entry("fig2").version == 0
+
+    def test_every_term_shape_round_trips(self, tmp_path):
+        path = _catalog_path(tmp_path)
+        graph = RDFGraph(
+            [
+                Triple(EX.s, EX.p, Literal("plain")),
+                Triple(EX.s, EX.p, Literal("typed", datatype=URI("http://www.w3.org/2001/XMLSchema#string"))),
+                Triple(EX.s, EX.p, Literal("tagged", language="en")),
+                Triple(BlankNode("b0"), EX.p, EX.o),
+                Triple(EX.s, RDF_TYPE, EX.C),
+            ]
+        )
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=graph)
+        with GraphCatalog.open(path) as reopened:
+            assert set(reopened.entry("g").to_graph()) == set(graph)
+
+    def test_restored_dictionary_ids_match(self, fig2, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            entry = catalog.register("fig2", graph=fig2)
+            original = {term.n3(): i for term, i in entry.store.dictionary.items()}
+        with GraphCatalog.open(path) as reopened:
+            restored = {
+                term.n3(): i for term, i in reopened.entry("fig2").store.dictionary.items()
+            }
+            assert restored == original
+
+    def test_reopen_into_sqlite_backend(self, fig2, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+        factory = lambda: SQLiteStore(str(tmp_path / "store.db"))
+        with GraphCatalog.open(path, store_factory=factory) as reopened:
+            entry = reopened.entry("fig2")
+            assert isinstance(entry.store, SQLiteStore)
+            assert set(entry.to_graph()) == set(fig2)
+
+
+class TestWarmStart:
+    def test_first_guarded_query_rebuilds_nothing(self, bsbm_small, tmp_path, bsbm_query):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=bsbm_small)
+            service = QueryService(catalog, kind="weak")
+            cold = service.answer("g", bsbm_query)
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("g")
+            warm = QueryService(reopened, kind="weak").answer("g", bsbm_query)
+            assert warm.answers == cold.answers
+            assert _zero_counters(entry) == {}
+
+    def test_checkpointed_summaries_are_not_rebuilt(self, fig2, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+            catalog.entry("fig2").summary("strong")
+            catalog.checkpoint()
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("fig2")
+            restored = entry.summary("strong")
+            assert entry.build_counters["summary_builds"] == 0
+            assert graphs_isomorphic(restored.graph, summarize(fig2, "strong").graph)
+
+    def test_restored_statistics_match_a_fresh_scan(self, bsbm_small, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=bsbm_small)
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("g")
+            restored = entry.statistics_index()
+            assert entry.build_counters["statistics_scans"] == 0
+            assert restored == CardinalityStatistics.from_store(entry.store)
+
+    def test_restored_weak_summary_matches_from_scratch(self, bsbm_small, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=bsbm_small)
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("g")
+            warm = entry.summary("weak")
+            assert entry.build_counters["weak_snapshots"] == 0
+            assert graphs_isomorphic(warm.graph, summarize(bsbm_small, "weak").graph)
+
+
+class TestKillAndReopen:
+    """add_triples writes through — no checkpoint() call, no loss."""
+
+    def test_ingest_survives_without_checkpoint(self, fig2, tmp_path, ingest_query):
+        path = _catalog_path(tmp_path)
+        fresh = Triple(EX.term("new-node"), EX.term("p1"), EX.term("new-target"))
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+            catalog.add_triples("fig2", [fresh])
+            live = QueryService(catalog).answer("fig2", ingest_query).answers
+            # no checkpoint() — closing simulates the process dying after
+            # the (atomic, write-through) ingest transaction
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("fig2")
+            assert entry.version == 1
+            assert fresh in set(entry.to_graph())
+            warm = QueryService(reopened).answer("fig2", ingest_query).answers
+            assert warm == live
+            assert _zero_counters(entry) == {}
+
+    def test_incremental_maintainer_state_continues(self, fig2, tmp_path):
+        """Post-restart ingest keeps the weak summary identical to a from-
+        scratch summarization of the accumulated graph."""
+        path = _catalog_path(tmp_path)
+        first = Triple(EX.term("a"), EX.term("p1"), EX.term("b"))
+        second = Triple(EX.term("c"), EX.term("p1"), EX.term("d"))
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+            catalog.add_triples("fig2", [first])
+        with GraphCatalog.open(path) as reopened:
+            reopened.add_triples("fig2", [second])
+            accumulated = reopened.entry("fig2").to_graph()
+            warm = reopened.summary("fig2", "weak")
+            assert graphs_isomorphic(warm.graph, summarize(accumulated, "weak").graph)
+
+    def test_restored_statistics_stay_exact_under_ingest(self, fig2, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+        with GraphCatalog.open(path) as reopened:
+            reopened.add_triples(
+                "fig2", [Triple(EX.term("x"), EX.term("p9"), EX.term("y"))]
+            )
+            entry = reopened.entry("fig2")
+            assert entry.statistics_index() == CardinalityStatistics.from_store(entry.store)
+            assert entry.build_counters["statistics_scans"] == 0
+
+
+class TestWriteThroughFailure:
+    def test_failed_write_through_propagates_and_heals(self, fig2, tmp_path, monkeypatch):
+        """A lost checkpoint must surface to the caller, and the next
+        successful update must rewrite the file completely — an incremental
+        append after a lost batch would persist maintainer state referencing
+        rows the file never received."""
+        from repro.server.persistence import PersistentCatalog
+
+        path = _catalog_path(tmp_path)
+        first = Triple(EX.term("wt/a"), EX.term("p1"), EX.term("wt/b"))
+        second = Triple(EX.term("wt/c"), EX.term("p1"), EX.term("wt/d"))
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+
+            real_append = PersistentCatalog.append_update
+
+            def failing_append(self, entry, rows):
+                raise PersistenceError("disk full (simulated)")
+
+            monkeypatch.setattr(PersistentCatalog, "append_update", failing_append)
+            with pytest.raises(PersistenceError):
+                catalog.add_triples("fig2", [first])
+            # memory is ahead of the file and the entry knows it
+            assert catalog.entry("fig2")._persist_dirty
+            monkeypatch.setattr(PersistentCatalog, "append_update", real_append)
+
+            # the next successful update heals via a full rewrite
+            catalog.add_triples("fig2", [second])
+            assert not catalog.entry("fig2")._persist_dirty
+        with GraphCatalog.open(path) as reopened:
+            restored = set(reopened.entry("fig2").to_graph())
+            assert first in restored and second in restored
+
+
+class TestDropRaces:
+    def test_drop_racing_an_in_flight_ingest_does_not_resurrect(self, fig2, tmp_path):
+        """drop() must wait for the in-flight ingest (write lock) before
+        the durable delete, or the ingest's write-through re-inserts a
+        corrupt skeleton of the dropped graph."""
+        import threading
+
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=fig2)
+            entry = catalog.entry("g")
+            in_update, release = threading.Event(), threading.Event()
+            real_update = entry._on_update
+
+            def slow_update(updated_entry, rows):
+                in_update.set()
+                assert release.wait(timeout=10)
+                real_update(updated_entry, rows)
+
+            entry._on_update = slow_update
+            ingest = threading.Thread(
+                target=lambda: catalog.add_triples(
+                    "g", [Triple(EX.term("r/a"), EX.term("r/p"), EX.term("r/b"))]
+                )
+            )
+            ingest.start()
+            assert in_update.wait(timeout=10)  # ingest holds the write lock
+            dropper = threading.Thread(target=lambda: catalog.drop("g"))
+            dropper.start()
+            release.set()  # let the ingest's checkpoint finish, then drop
+            ingest.join(timeout=30)
+            dropper.join(timeout=30)
+            assert "g" not in catalog
+        with GraphCatalog.open(path) as reopened:
+            assert reopened.names() == []
+
+    def test_ingest_queued_behind_a_drop_reports_unknown_graph(self, fig2, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=fig2)
+            stale = catalog.entry("g")
+            catalog.drop("g")
+            from repro.errors import UnknownGraphError
+
+            with pytest.raises(UnknownGraphError):
+                stale.add_triples([Triple(EX.term("q/a"), EX.term("q/p"), EX.term("q/b"))])
+        with GraphCatalog.open(path) as reopened:
+            assert reopened.names() == []
+
+    def test_failed_persistent_register_closes_the_created_store(
+        self, fig2, tmp_path, monkeypatch
+    ):
+        from repro.server.persistence import PersistentCatalog
+
+        path = _catalog_path(tmp_path)
+        created = []
+        base_factory = lambda: SQLiteStore(str(tmp_path / f"reg-{len(created)}.db"))
+
+        def tracking_factory():
+            store = base_factory()
+            created.append(store)
+            return store
+
+        with GraphCatalog.open(path, store_factory=tracking_factory) as catalog:
+            monkeypatch.setattr(
+                PersistentCatalog,
+                "save_graph",
+                lambda self, entry: (_ for _ in ()).throw(PersistenceError("disk full")),
+            )
+            with pytest.raises(PersistenceError):
+                catalog.register("g", graph=fig2)
+            assert "g" not in catalog
+            assert len(created) == 1
+            assert created[0]._connection is None  # the store was closed
+
+
+class TestCatalogMaintenance:
+    def test_drop_forgets_durably(self, fig2, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+            catalog.drop("fig2")
+        with GraphCatalog.open(path) as reopened:
+            assert reopened.names() == []
+
+    def test_duplicate_register_leaves_persisted_entry_intact(self, fig2, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("fig2", graph=fig2)
+            with pytest.raises(DuplicateGraphError):
+                catalog.register("fig2", graph=RDFGraph())
+        with GraphCatalog.open(path) as reopened:
+            assert set(reopened.entry("fig2").to_graph()) == set(fig2)
+
+    def test_schema_version_mismatch_is_rejected(self, tmp_path):
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path):
+            pass
+        import sqlite3
+
+        connection = sqlite3.connect(path)
+        connection.execute("UPDATE catalog_meta SET value = '999' WHERE key = 'schema_version'")
+        connection.commit()
+        connection.close()
+        with pytest.raises(PersistenceError):
+            GraphCatalog.open(path)
+
+    def test_version_mismatch_refuses_before_touching_the_file(self, tmp_path):
+        """A future-schema catalog must be rejected *untouched* — not first
+        mutated with this build's tables and then declared unreadable."""
+        import sqlite3
+
+        path = str(tmp_path / "future.db")
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE catalog_meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        connection.execute("INSERT INTO catalog_meta VALUES ('schema_version', '999')")
+        connection.commit()
+        connection.close()
+        with pytest.raises(PersistenceError, match="schema version 999"):
+            PersistentCatalog(path)
+        connection = sqlite3.connect(path)
+        tables = {
+            row[0]
+            for row in connection.execute("SELECT name FROM sqlite_master WHERE type='table'")
+        }
+        connection.close()
+        assert tables == {"catalog_meta"}  # no v1 tables were created
+
+    def test_persistence_error_is_a_catalog_error(self):
+        assert issubclass(PersistenceError, CatalogError)
+
+    def test_non_catalog_file_is_rejected(self, tmp_path):
+        path = tmp_path / "not-a-db.bin"
+        path.write_bytes(b"definitely not sqlite")
+        with pytest.raises(PersistenceError):
+            PersistentCatalog(str(path))
+
+    def test_foreign_sqlite_database_is_rejected_unmodified(self, tmp_path):
+        """Opening e.g. a per-graph store file must fail loudly, not adopt
+        and mutate it into an empty catalog."""
+        import sqlite3
+
+        path = str(tmp_path / "store.db")
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE data_triples (s INTEGER, p INTEGER, o INTEGER)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(PersistenceError, match="not a catalog file"):
+            PersistentCatalog(path)
+        connection = sqlite3.connect(path)
+        tables = {
+            row[0]
+            for row in connection.execute("SELECT name FROM sqlite_master WHERE type='table'")
+        }
+        connection.close()
+        assert tables == {"data_triples"}  # the file was left untouched
+
+    def test_concurrent_register_of_the_same_name_conflicts(self, fig2, tmp_path):
+        """The name is reserved before the heavy build runs outside the
+        catalog lock — a racing duplicate must still be rejected."""
+        import threading
+
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            outcomes = []
+            barrier = threading.Barrier(2, timeout=10)
+
+            def register():
+                try:
+                    barrier.wait()
+                    catalog.register("g", graph=fig2)
+                    outcomes.append("ok")
+                except DuplicateGraphError:
+                    outcomes.append("duplicate")
+
+            threads = [threading.Thread(target=register) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert sorted(outcomes) == ["duplicate", "ok"]
+            assert catalog.names() == ["g"]
+
+    def test_in_memory_catalog_checkpoint_is_a_noop(self, fig2):
+        with GraphCatalog() as catalog:
+            catalog.register("fig2", graph=fig2)
+            assert not catalog.persistent
+            catalog.checkpoint()  # must not raise

@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.builders import summarize
 from repro.core.isomorphism import graphs_isomorphic
-from repro.errors import DuplicateGraphError, UnknownGraphError, UnknownSummaryKindError
+from repro.errors import (
+    CatalogError,
+    DuplicateGraphError,
+    UnknownGraphError,
+    UnknownSummaryKindError,
+)
 from repro.model.graph import RDFGraph
 from repro.service.catalog import GraphCatalog
 from repro.store.memory import MemoryStore
@@ -34,6 +39,37 @@ class TestRegistration:
             catalog.register("g", graph=fig2)
             with pytest.raises(DuplicateGraphError):
                 catalog.register("g", graph=fig2)
+
+    def test_duplicate_register_is_a_catalog_error_with_a_clear_message(self, fig2):
+        with GraphCatalog() as catalog:
+            catalog.register("g", graph=fig2)
+            with pytest.raises(CatalogError, match="'g' is already registered"):
+                catalog.register("g", graph=RDFGraph())
+
+    def test_duplicate_register_leaves_existing_entry_untouched(self, fig2):
+        with GraphCatalog() as catalog:
+            original = catalog.register("g", graph=fig2)
+            with pytest.raises(DuplicateGraphError):
+                catalog.register("g", graph=RDFGraph())
+            # the existing entry is the same live object with its data and
+            # caches intact — nothing was replaced, closed or invalidated
+            assert catalog.entry("g") is original
+            assert len(original.to_graph()) == len(fig2)
+            assert len(original.summary("weak").graph) > 0
+
+    def test_drop_then_reregister_round_trip(self, fig2, bibliography_small):
+        with GraphCatalog() as catalog:
+            catalog.register("g", graph=fig2)
+            catalog.drop("g")
+            assert "g" not in catalog
+            entry = catalog.register("g", graph=bibliography_small)
+            assert catalog.entry("g") is entry
+            assert len(entry.to_graph()) == len(bibliography_small)
+            assert entry.version == 0
+
+    def test_catalog_error_hierarchy(self):
+        assert issubclass(DuplicateGraphError, CatalogError)
+        assert issubclass(UnknownGraphError, CatalogError)
 
     def test_unknown_name_rejected(self):
         with GraphCatalog() as catalog:

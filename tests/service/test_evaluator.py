@@ -111,6 +111,77 @@ class TestEquivalenceWithTermEvaluator:
         assert evaluator.evaluate(query) == evaluate(graph, query) == {(EX.a,)}
 
 
+class TestSQLPushdownStrategy:
+    """strategy='sql': the whole join runs inside SQLite; answers must be
+    identical to the Python executors (with a hash fallback elsewhere)."""
+
+    def _sql_evaluator(self, graph):
+        store = SQLiteStore()
+        store.load_graph(graph)
+        return EncodedEvaluator(store, strategy="sql")
+
+    def test_generated_workloads_match_term_evaluation(self, fig2, bibliography_small):
+        for graph, seed in ((fig2, 3), (bibliography_small, 5)):
+            evaluator = self._sql_evaluator(graph)
+            for query in generate_rbgp_workload(graph, count=10, size=2, seed=seed):
+                assert evaluator.evaluate(query) == evaluate(graph, query), query
+
+    def test_boolean_semantics(self, fig2):
+        evaluator = self._sql_evaluator(fig2)
+        yes = parse_query("ASK { ?x <http://example.org/fig2/editor> ?y }")
+        no = parse_query(
+            "ASK { ?y <http://example.org/fig2/comment> ?x . "
+            "?x <http://example.org/fig2/editor> ?z }"
+        )
+        assert evaluator.evaluate(yes) == {()}
+        assert evaluator.evaluate(no) == set()
+
+    def test_repeated_variable_in_one_pattern(self):
+        from repro.model.graph import RDFGraph
+        from repro.model.triple import Triple
+
+        graph = RDFGraph(
+            [Triple(EX.a, EX.p, EX.a), Triple(EX.a, EX.p, EX.b), Triple(EX.b, EX.p, EX.b)]
+        )
+        evaluator = self._sql_evaluator(graph)
+        x = Variable("x")
+        query = BGPQuery([TriplePattern(x, EX.p, x)], head=(x,))
+        assert evaluator.evaluate(query) == {(EX.a,), (EX.b,)}
+
+    def test_limit_is_a_subset_of_the_full_answers(self, bibliography_small):
+        evaluator = self._sql_evaluator(bibliography_small)
+        query = generate_rbgp_workload(bibliography_small, count=1, size=1, seed=1)[0]
+        full = evaluator.evaluate(query)
+        if len(full) > 1:
+            clipped = evaluator.evaluate(query, limit=1)
+            assert len(clipped) == 1 and clipped <= full
+
+    def test_variable_predicate_falls_back_to_hash(self, book_graph):
+        evaluator = self._sql_evaluator(book_graph)
+        x, p, y = Variable("x"), Variable("p"), Variable("y")
+        query = BGPQuery([TriplePattern(x, p, y)], head=(x, p, y))
+        assert evaluator.evaluate(query) == evaluate(book_graph, query)
+
+    def test_memory_store_falls_back_to_hash(self, fig2):
+        store = MemoryStore()
+        store.load_graph(fig2)
+        evaluator = EncodedEvaluator(store, strategy="sql")
+        query = parse_query("SELECT ?x WHERE { ?x <http://example.org/fig2/editor> ?y . }")
+        assert evaluator.evaluate(query) == evaluate(fig2, query)
+
+    def test_trace_records_the_statement(self, fig2):
+        evaluator = self._sql_evaluator(fig2)
+        query = parse_query("SELECT ?x WHERE { ?x <http://example.org/fig2/editor> ?y . }")
+        trace = evaluator.explain(query)
+        assert trace.strategy == "sql"
+        assert trace.stages and "SELECT DISTINCT" in trace.stages[0].description
+
+    def test_dictionary_miss_is_instantly_empty(self, fig2):
+        evaluator = self._sql_evaluator(fig2)
+        query = parse_query("SELECT ?x WHERE { ?x <http://nowhere.example/p> ?y . }")
+        assert evaluator.evaluate(query) == set()
+
+
 class TestLimitsAndBooleans:
     def test_boolean_semantics(self, fig2, backend):
         evaluator = _evaluator_for(fig2, backend)

@@ -149,3 +149,75 @@ class TestPlanCache:
         one = compile_query(BGPQuery([TriplePattern(a, EX.p, b)], head=(a,)), store.dictionary)
         two = compile_query(BGPQuery([TriplePattern(x, EX.p, y)], head=(x,)), store.dictionary)
         assert plan_shape(one) == plan_shape(two)
+
+
+class TestPlanCacheBound:
+    """The plan cache is a bounded LRU — a long-lived server facing
+    adversarially diverse query shapes must not leak one plan per shape."""
+
+    def _shape(self, store, index):
+        """A compiled query whose shape is distinct per *index* (constants
+        are part of the shape key)."""
+        x = Variable("x")
+        constant = EX.term(f"shape-const-{index}")
+        store.dictionary.encode(constant)
+        return compile_query(
+            BGPQuery([TriplePattern(x, EX.p, constant)], head=(x,)), store.dictionary
+        )
+
+    def test_cap_is_enforced(self, planner_and_store):
+        _planner, store = planner_and_store
+        planner = QueryPlanner(
+            CardinalityStatistics.from_store(store), plan_cache_cap=4
+        )
+        for index in range(10):
+            planner.plan(self._shape(store, index))
+        assert planner.cached_plan_count == 4
+        assert planner.cache_evictions == 6
+        assert planner.cache_misses == 10
+
+    def test_evicted_shape_replans_as_a_miss(self, planner_and_store):
+        _planner, store = planner_and_store
+        planner = QueryPlanner(CardinalityStatistics.from_store(store), plan_cache_cap=2)
+        first = self._shape(store, 0)
+        planner.plan(first)
+        planner.plan(self._shape(store, 1))
+        planner.plan(self._shape(store, 2))  # evicts shape 0
+        assert planner.cache_evictions == 1
+        planner.plan(first)
+        assert planner.cache_misses == 4
+        assert planner.cache_hits == 0
+        assert not planner.last_was_hit
+
+    def test_recent_use_protects_against_eviction(self, planner_and_store):
+        _planner, store = planner_and_store
+        planner = QueryPlanner(CardinalityStatistics.from_store(store), plan_cache_cap=2)
+        first = self._shape(store, 0)
+        planner.plan(first)
+        planner.plan(self._shape(store, 1))
+        planner.plan(first)  # touch: shape 1 is now the oldest
+        planner.plan(self._shape(store, 2))  # evicts shape 1, not shape 0
+        planner.plan(first)
+        assert planner.cache_hits == 2  # both re-uses of shape 0 hit
+        assert planner.cache_evictions == 1
+
+    def test_hits_plus_misses_count_every_arrival(self, planner_and_store):
+        _planner, store = planner_and_store
+        planner = QueryPlanner(CardinalityStatistics.from_store(store), plan_cache_cap=3)
+        arrivals = 0
+        for round_index in range(3):
+            for index in range(5):
+                planner.plan(self._shape(store, index))
+                arrivals += 1
+        assert planner.cache_hits + planner.cache_misses == arrivals
+
+    def test_invalid_cap_rejected(self, planner_and_store):
+        _planner, store = planner_and_store
+        with pytest.raises(ValueError):
+            QueryPlanner(CardinalityStatistics.from_store(store), plan_cache_cap=0)
+
+    def test_default_cap_is_exposed(self, planner_and_store):
+        from repro.service.planner import DEFAULT_PLAN_CACHE_CAP
+
+        planner, _store = planner_and_store
+        assert planner.plan_cache_cap == DEFAULT_PLAN_CACHE_CAP > 0

@@ -1,0 +1,228 @@
+"""Thread-safety regression tests for the SQLite store.
+
+The single shared connection of the original store was not safe to use
+from more than one thread (shared lazy cursors interleave; sqlite3
+connections themselves reject cross-thread use).  These tests hammer the
+read paths from many threads at once — on a file-backed store (per-thread
+read connections) and on an in-memory store (serialized under the
+internal lock) — and race readers against a committing writer.
+"""
+
+import threading
+
+import pytest
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.triple import Triple, TripleKind
+from repro.store.sqlite import SQLiteStore
+
+
+def _graph(rows: int = 200) -> RDFGraph:
+    triples = []
+    for index in range(rows):
+        triples.append(
+            Triple(EX.term(f"s{index % 20}"), EX.term(f"p{index % 5}"), EX.term(f"o{index}"))
+        )
+        triples.append(Triple(EX.term(f"s{index % 20}"), RDF_TYPE, EX.term("C")))
+    return RDFGraph(triples)
+
+
+@pytest.fixture(params=["file", "memory"])
+def store(request, tmp_path):
+    path = str(tmp_path / "store.db") if request.param == "file" else ":memory:"
+    store = SQLiteStore(path)
+    store.load_graph(_graph())
+    yield store
+    store.close()
+
+
+class TestConcurrentReads:
+    def test_select_hammer(self, store):
+        predicate = store.dictionary.encode_existing(EX.term("p0"))
+        expected = sorted(store.select(TripleKind.DATA, predicate=predicate))
+        assert expected
+        errors, mismatches = [], []
+        barrier = threading.Barrier(8, timeout=10)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    rows = sorted(store.select(TripleKind.DATA, predicate=predicate))
+                    if rows != expected:
+                        mismatches.append(rows)
+            except Exception as error:  # noqa: BLE001 - collected for assertion
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert not mismatches
+
+    def test_select_many_hammer(self, store):
+        predicate = store.dictionary.encode_existing(EX.term("p1"))
+        subjects = [
+            store.dictionary.encode_existing(EX.term(f"s{index}")) for index in range(20)
+        ]
+        expected = sorted(
+            store.select_many(TripleKind.DATA, subjects=subjects, predicate=predicate)
+        )
+        assert expected
+        errors, mismatches = [], []
+        barrier = threading.Barrier(8, timeout=10)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(30):
+                    rows = sorted(
+                        store.select_many(
+                            TripleKind.DATA, subjects=subjects, predicate=predicate
+                        )
+                    )
+                    if rows != expected:
+                        mismatches.append(rows)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert not mismatches
+
+    def test_scans_and_counts_from_threads(self, store):
+        expected_count = store.count(TripleKind.DATA)
+        errors = []
+        barrier = threading.Barrier(4, timeout=10)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(10):
+                    assert store.count(TripleKind.DATA) == expected_count
+                    total = sum(len(batch) for batch in store.scan_batches(TripleKind.DATA, 64))
+                    assert total == expected_count
+                    assert store.distinct_properties(TripleKind.DATA)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+
+
+class TestReadersDuringWrites:
+    def test_readers_survive_a_committing_writer(self, store):
+        """Readers only ever see committed row counts, never a crash."""
+        predicate = store.dictionary.encode_existing(EX.term("p0"))
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    rows = list(store.select(TripleKind.DATA, predicate=predicate))
+                    assert len(rows) >= 40  # the initial p0 rows
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for index in range(20):
+                store.insert_triples(
+                    [Triple(EX.term(f"w{index}"), EX.term("p0"), EX.term(f"wo{index}"))],
+                    skip_existing=True,
+                )
+        finally:
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        final = list(store.select(TripleKind.DATA, predicate=predicate))
+        assert len(final) == 40 + 20
+
+    def test_sql_join_pushdown_from_threads(self, store):
+        """execute_join (the sql strategy's engine) is read-path safe too."""
+        predicate = store.dictionary.encode_existing(EX.term("p0"))
+        sql = "SELECT DISTINCT t0.s FROM data_triples AS t0 WHERE t0.p = ?"
+        expected = sorted(store.execute_join(sql, (predicate,)))
+        errors = []
+        barrier = threading.Barrier(6, timeout=10)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(40):
+                    assert sorted(store.execute_join(sql, (predicate,))) == expected
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+
+
+class TestReaderConnectionLifecycle:
+    def test_dead_threads_release_their_connections(self, tmp_path):
+        """One HTTP handler thread per request must not leak one sqlite
+        connection per thread that ever existed (fd exhaustion)."""
+        import gc
+
+        store = SQLiteStore(str(tmp_path / "store.db"))
+        store.load_graph(_graph(20))
+
+        def touch():
+            list(store.select(TripleKind.DATA))
+
+        for _ in range(15):
+            thread = threading.Thread(target=touch)
+            thread.start()
+            thread.join(timeout=10)
+        del thread
+        gc.collect()
+        with store._readers_lock:
+            alive = len(store._readers)
+        assert alive <= 2  # the dead threads' finalizers reaped theirs
+        store.close()
+
+
+class TestLifecycle:
+    def test_close_rejects_further_reads(self, tmp_path):
+        store = SQLiteStore(str(tmp_path / "store.db"))
+        store.load_graph(_graph(10))
+        store.close()
+        from repro.errors import StoreClosedError
+
+        with pytest.raises(StoreClosedError):
+            list(store.select(TripleKind.DATA))
+
+    def test_close_is_idempotent_with_reader_connections(self, tmp_path):
+        store = SQLiteStore(str(tmp_path / "store.db"))
+        store.load_graph(_graph(10))
+        done = threading.Event()
+
+        def touch():
+            list(store.select(TripleKind.DATA))
+            done.set()
+
+        thread = threading.Thread(target=touch)
+        thread.start()
+        thread.join(timeout=10)
+        assert done.is_set()
+        store.close()
+        store.close()

@@ -1,0 +1,103 @@
+"""Tests for the reader/writer lock behind the serving layer."""
+
+import threading
+from time import sleep
+
+import pytest
+
+from repro.utils.concurrency import ReadWriteLock
+
+
+class TestReadWriteLock:
+    def test_readers_overlap(self):
+        lock = ReadWriteLock()
+        barrier = threading.Barrier(4, timeout=10)
+        overlapped = []
+
+        def reader():
+            with lock.read_locked():
+                # every reader parks here until all four are inside the
+                # critical section together — impossible unless the read
+                # side is genuinely shared
+                barrier.wait()
+                overlapped.append(True)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert overlapped == [True] * 4
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReadWriteLock()
+        active = []
+        errors = []
+
+        def worker(side):
+            try:
+                manager = lock.write_locked() if side == "w" else lock.read_locked()
+                with manager:
+                    active.append(side)
+                    if side == "w":
+                        assert active == ["w"], f"writer overlapped: {active}"
+                    sleep(0.002)
+                    active.remove(side)
+            except AssertionError as error:
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=("w" if i % 3 == 0 else "r",))
+            for i in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        first_reader_in = threading.Event()
+        writer_waiting = threading.Event()
+
+        def long_reader():
+            with lock.read_locked():
+                first_reader_in.set()
+                writer_waiting.wait(timeout=10)
+                sleep(0.01)  # give the queued writer time to be first in line
+                order.append("reader1")
+
+        def writer():
+            first_reader_in.wait(timeout=10)
+            writer_waiting.set()
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            writer_waiting.wait(timeout=10)
+            sleep(0.005)  # arrive after the writer queued
+            with lock.read_locked():
+                order.append("reader2")
+
+        threads = [
+            threading.Thread(target=long_reader),
+            threading.Thread(target=writer),
+            threading.Thread(target=late_reader),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        # writer preference: the late reader must not sneak past the writer
+        assert order.index("writer") < order.index("reader2")
+
+    def test_unbalanced_releases_raise(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+        lock.acquire_read()
+        lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_read()

@@ -370,6 +370,22 @@ def _print_explain(answer, entry) -> None:
             print("  guard verdict : not prunable by the cascade, evaluated on the base store")
     else:
         print("  guard cascade : skipped (query not eligible or pruning disabled)")
+    saturation = answer.saturation
+    if saturation is not None and saturation.get("live"):
+        builds = saturation["builds"]
+        # builds == 0 means the store was rehydrated from a warm-start
+        # snapshot (row inserts only) — build_seconds times that instead
+        origin = (
+            f"built {builds}x" if builds else "rehydrated (0 rules applied)"
+        )
+        print(
+            f"  saturation    : G∞ store {saturation['store_rows']} rows "
+            f"({saturation['derived_rows']} derived), {origin} "
+            f"in {saturation['build_seconds']*1000:.1f} ms, "
+            f"{saturation['deltas']} delta(s), last delta "
+            f"{saturation['last_delta_seconds']*1000:.2f} ms "
+            f"for {saturation['last_delta_rows']} row(s)"
+        )
     trace = answer.trace
     if trace is None or not trace.stages:
         return

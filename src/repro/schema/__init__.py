@@ -1,6 +1,7 @@
 """RDF Schema handling: constraint extraction and saturation (``G∞``)."""
 
+from repro.schema.encoded_saturation import IncrementalSaturator
 from repro.schema.rdfs import RDFSchema
 from repro.schema.saturation import entails, is_saturated, saturate
 
-__all__ = ["RDFSchema", "entails", "is_saturated", "saturate"]
+__all__ = ["IncrementalSaturator", "RDFSchema", "entails", "is_saturated", "saturate"]

@@ -1,0 +1,521 @@
+"""Incremental, store-driven RDFS saturation over encoded integer rows.
+
+:func:`repro.schema.saturation.saturate` computes ``G∞`` in one pass over a
+decoded :class:`~repro.model.graph.RDFGraph`.  That is the right tool for a
+one-shot batch job, but the serving layer maintains a *live* saturated
+store: rebuilding ``G∞`` from scratch after every ``add_triples`` batch
+costs ``O(|G∞|)`` decode + saturate + re-encode work per update, however
+small the delta.  :class:`IncrementalSaturator` applies the same four
+instance-level rules —
+
+* rdfs7 — ``x p y`` and ``p ≺sp q``    entail ``x q y``;
+* rdfs2 — ``x p y`` and ``p ←d c``     entail ``x τ c``;
+* rdfs3 — ``x p y`` and ``p →r c``     entail ``y τ c``;
+* rdfs9 — ``x τ c`` and ``c ≺sc d``    entail ``x τ d``;
+
+— directly over the *encoded* rows of a :class:`~repro.store.base.TripleStore`,
+mirroring the ingest API of
+:class:`~repro.core.incremental.IncrementalWeakSummarizer`
+(:meth:`ingest_rows` / :meth:`snapshot` / :meth:`state_dict` /
+:meth:`load_state`) so :class:`~repro.service.catalog.CatalogEntry` can
+maintain it exactly like the weak-summary maps.
+
+Delta algebra
+-------------
+The schema relations are kept *closed* (the integer mirror of
+:class:`~repro.schema.rdfs.RDFSchema`), so every instance row derives in
+one step from the closed maps and derived rows never need re-processing:
+a superproperty copy ``x q y`` of ``x p y`` can only entail rows the
+closed maps of ``p`` already produced (closure is transitive and
+domain/range are inherited downward).  Semi-naive maintenance therefore
+reduces to three cases per freshly inserted row:
+
+* **data row** ``(s, p, o)`` — insert it, then its superproperty copies
+  and the (closed) domain / range typings of ``p``;
+* **type row** ``(s, τ, c)`` — insert it, then the (closed) superclass
+  typings of ``c``;
+* **schema row** — re-close the (small) schema, insert the new closure
+  rows, and re-derive *only* the base rows of properties / classes whose
+  closed entries actually changed — a targeted, retroactive re-derivation
+  that makes late-arriving schema triples entail from old data.
+
+Every insertion into the saturated target store is deduplicated
+(``skip_existing`` semantics), so each derived row is materialized exactly
+once and the cost of a delta is proportional to its *derivations*, never
+to ``|G∞|``.  The target shares the base store's dictionary: no term is
+ever decoded or re-encoded on this path (``rdf:type`` is the single term
+the saturator may have to mint, for graphs whose explicit triples never
+used it).
+
+Durable state
+-------------
+:meth:`state_dict` exposes pure-integer structures only (the same contract
+as the weak summarizer): the direct and closed schema maps, the derived-row
+log and two term ids.  The persistent catalog checkpoints them and a warm
+start calls :meth:`load_state` + :meth:`rehydrate` — rebuilding the target
+from the base rows plus the derived log with **zero** rule application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.model.dictionary import EncodedTriple
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from repro.model.triple import TripleKind
+from repro.schema.rdfs import _transitive_closure
+from repro.store.base import TripleStore
+from repro.store.memory import MemoryStore
+
+__all__ = ["IncrementalSaturator"]
+
+#: The four constraint relations, keyed by the names used in the state dict.
+_SUBCLASS = "subclass"
+_SUBPROPERTY = "subproperty"
+_DOMAIN = "domain"
+_RANGE = "range"
+
+_RELATION_OF_TERM = {
+    RDFS_SUBCLASSOF: _SUBCLASS,
+    RDFS_SUBPROPERTYOF: _SUBPROPERTY,
+    RDFS_DOMAIN: _DOMAIN,
+    RDFS_RANGE: _RANGE,
+}
+
+
+class IncrementalSaturator:
+    """Maintains the saturation ``G∞`` of a :class:`TripleStore` in a second store.
+
+    Parameters
+    ----------
+    store:
+        The base store holding the explicit triples.  Rows handed to
+        :meth:`ingest_rows` must already be inserted there (the output of
+        :meth:`TripleStore.insert_triples` with ``skip_existing=True`` —
+        the same contract as the incremental weak summarizer), because a
+        schema delta re-derives from the base store's tables.
+    target:
+        The store receiving ``G∞`` (a fresh :class:`MemoryStore` by
+        default).  It *shares* the base store's dictionary, so its rows
+        stay id-compatible with the base rows and evaluators over it
+        compile queries identically.
+    """
+
+    def __init__(self, store: TripleStore, target: Optional[TripleStore] = None):
+        self.store = store
+        if target is None:
+            target = MemoryStore()
+            target.dictionary = store.dictionary
+        self.target = target
+        #: Direct (declared) constraint pairs, one ``id -> {id}`` map per
+        #: relation, straight from the schema rows seen so far.
+        self._direct: Dict[str, Dict[int, Set[int]]] = {
+            _SUBCLASS: {},
+            _SUBPROPERTY: {},
+            _DOMAIN: {},
+            _RANGE: {},
+        }
+        #: Closed relations (the integer mirror of
+        #: :meth:`RDFSchema._ensure_closure`): transitive ≺sc / ≺sp,
+        #: domain / range inherited from superproperties and propagated up
+        #: the subclass hierarchy.
+        self._super_classes: Dict[int, Set[int]] = {}
+        self._super_properties: Dict[int, Set[int]] = {}
+        self._domains: Dict[int, Set[int]] = {}
+        self._ranges: Dict[int, Set[int]] = {}
+        #: Constraint-property term ids, adopted from the schema rows
+        #: (``relation name -> id``); a relation only ever produces closure
+        #: rows after a direct row supplied its property id.
+        self._schema_ids: Dict[str, int] = {}
+        #: Derived cache of ``_schema_ids``' values for the per-derived-row
+        #: table-routing probe (rebuilt on registration, not persisted).
+        self._schema_id_set: frozenset = frozenset()
+        #: ``rdf:type``'s id, adopted from type rows or minted on the first
+        #: domain/range/subclass derivation of a graph without type triples.
+        self._type_id: Optional[int] = None
+        #: Log of every row this saturator added to the target that is not
+        #: a base row: closure rows and rule derivations, as
+        #: ``(kind_value, s, p, o)`` plain tuples (insertion order).  This
+        #: plus the base store reconstructs the target without re-applying
+        #: a single rule — the warm-restart path of the catalog.
+        self._derived: List[Tuple[str, int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # schema bookkeeping
+    # ------------------------------------------------------------------
+    def _register_schema_row(self, row: EncodedTriple) -> bool:
+        """Fold one schema row into the direct maps; ``True`` when new."""
+        term = self.store.dictionary.decode(row.predicate)
+        relation = _RELATION_OF_TERM.get(term)
+        if relation is None:  # not one of the four constraints: inert
+            return False
+        self._schema_ids[relation] = row.predicate
+        if relation == _SUBPROPERTY:
+            # a special property (rdf:type, or one of the four constraint
+            # properties) can itself appear as a superproperty — adopt its
+            # id now so rdfs7 copies route to the right target table
+            object_term = self.store.dictionary.decode(row.object)
+            if object_term == RDF_TYPE:
+                self._type_id = row.object
+            else:
+                object_relation = _RELATION_OF_TERM.get(object_term)
+                if object_relation is not None:
+                    self._schema_ids[object_relation] = row.object
+        self._schema_id_set = frozenset(self._schema_ids.values())
+        targets = self._direct[relation].setdefault(row.subject, set())
+        if row.object in targets:
+            return False
+        targets.add(row.object)
+        return True
+
+    def _kind_for_property(self, property_id: int) -> TripleKind:
+        """The target table a row with this property id belongs to.
+
+        Mirrors :func:`~repro.model.triple.classify_triple` at the id
+        level, so a derived row whose (super)property is ``rdf:type`` or a
+        constraint property lands where the evaluator's table routing will
+        look for it.
+        """
+        if property_id == self._type_id:
+            return TripleKind.TYPE
+        if property_id in self._schema_id_set:
+            return TripleKind.SCHEMA
+        return TripleKind.DATA
+
+    def _reclose(self) -> None:
+        """Recompute the closed relations from the direct maps.
+
+        The integer mirror of :meth:`RDFSchema._ensure_closure`; schemas
+        are small (tens to hundreds of constraints), so a full re-close per
+        schema delta is negligible next to one instance-rule application.
+        """
+        self._super_classes = _transitive_closure(self._direct[_SUBCLASS])
+        self._super_properties = _transitive_closure(self._direct[_SUBPROPERTY])
+        direct_domain = self._direct[_DOMAIN]
+        direct_range = self._direct[_RANGE]
+        properties = (
+            set(direct_domain)
+            | set(direct_range)
+            | set(self._direct[_SUBPROPERTY])
+            | set(self._super_properties)
+        )
+        domains: Dict[int, Set[int]] = {}
+        ranges: Dict[int, Set[int]] = {}
+        for prop in properties:
+            related = {prop} | self._super_properties.get(prop, set())
+            domain_classes: Set[int] = set()
+            range_classes: Set[int] = set()
+            for candidate in related:
+                domain_classes |= direct_domain.get(candidate, set())
+                range_classes |= direct_range.get(candidate, set())
+            for cls in list(domain_classes):
+                domain_classes |= self._super_classes.get(cls, set())
+            for cls in list(range_classes):
+                range_classes |= self._super_classes.get(cls, set())
+            if domain_classes:
+                domains[prop] = domain_classes
+            if range_classes:
+                ranges[prop] = range_classes
+        self._domains = domains
+        self._ranges = ranges
+
+    def _insert_closure_rows(self, out: List[Tuple[TripleKind, EncodedTriple]]) -> None:
+        """Insert every closed-schema row missing from the target."""
+        rows: List[Tuple[TripleKind, EncodedTriple]] = []
+        for relation, closed in (
+            (_SUBCLASS, self._super_classes),
+            (_SUBPROPERTY, self._super_properties),
+            (_DOMAIN, self._domains),
+            (_RANGE, self._ranges),
+        ):
+            property_id = self._schema_ids.get(relation)
+            if property_id is None:
+                continue
+            for subject, objects in closed.items():
+                for obj in objects:
+                    rows.append((TripleKind.SCHEMA, EncodedTriple(subject, property_id, obj)))
+        self._record(self.target.insert_encoded_rows(rows), out)
+
+    def _record(
+        self,
+        fresh: List[Tuple[TripleKind, EncodedTriple]],
+        out: List[Tuple[TripleKind, EncodedTriple]],
+    ) -> None:
+        """Log freshly derived target rows (durable state + caller's delta)."""
+        for kind, row in fresh:
+            self._derived.append((kind.value, row[0], row[1], row[2]))
+        out.extend(fresh)
+
+    # ------------------------------------------------------------------
+    # the instance-level rules (one-step, over the closed maps)
+    # ------------------------------------------------------------------
+    def _type_identifier(self) -> int:
+        if self._type_id is None:
+            self._type_id = self.store.dictionary.encode(RDF_TYPE)
+        return self._type_id
+
+    def _derive_data(
+        self, subject: int, prop: int, obj: int, out: List[Tuple[TripleKind, EncodedTriple]]
+    ) -> None:
+        """rdfs7 superproperty copies plus rdfs2/3 domain and range typings."""
+        rows: List[Tuple[TripleKind, EncodedTriple]] = []
+        for super_property in self._super_properties.get(prop, ()):
+            rows.append(
+                (self._kind_for_property(super_property), EncodedTriple(subject, super_property, obj))
+            )
+        domains = self._domains.get(prop)
+        ranges = self._ranges.get(prop)
+        if domains or ranges:
+            type_id = self._type_identifier()
+            for cls in domains or ():
+                rows.append((TripleKind.TYPE, EncodedTriple(subject, type_id, cls)))
+            for cls in ranges or ():
+                rows.append((TripleKind.TYPE, EncodedTriple(obj, type_id, cls)))
+        if rows:
+            self._record(self.target.insert_encoded_rows(rows), out)
+
+    def _derive_type(
+        self, subject: int, cls: int, out: List[Tuple[TripleKind, EncodedTriple]]
+    ) -> None:
+        """rdfs9 superclass typings (the closed domains/ranges already
+        include superclasses, so data-row typings never re-enter here)."""
+        super_classes = self._super_classes.get(cls)
+        if not super_classes:
+            return
+        type_id = self._type_identifier()
+        rows = [
+            (TripleKind.TYPE, EncodedTriple(subject, type_id, super_class))
+            for super_class in super_classes
+        ]
+        self._record(self.target.insert_encoded_rows(rows), out)
+
+    # ------------------------------------------------------------------
+    # schema deltas: re-close + targeted re-derivation
+    # ------------------------------------------------------------------
+    def _apply_schema_delta(
+        self,
+        schema_rows: List[EncodedTriple],
+        out: List[Tuple[TripleKind, EncodedTriple]],
+    ) -> None:
+        """Fold new schema rows in and re-derive exactly what they affect.
+
+        Only base rows are re-derived: every derived data row is a
+        superproperty copy of a base row, and closure monotonicity makes
+        the *base* predicate's closed entry change whenever any of its
+        generalizations' does — so scanning the base tables for the
+        affected properties / classes reaches every row a new constraint
+        can retroactively entail from.
+        """
+        # explicit schema rows are base rows (recoverable from the base
+        # store on rehydrate), so they reach *out* but not the derived log
+        out.extend(
+            self.target.insert_encoded_rows([(TripleKind.SCHEMA, row) for row in schema_rows])
+        )
+        # only genuinely new constraint pairs force a re-close
+        changed = False
+        for row in schema_rows:
+            if self._register_schema_row(row):
+                changed = True
+        if not changed:
+            return
+        old_super_classes = self._super_classes
+        old_super_properties = self._super_properties
+        old_domains = self._domains
+        old_ranges = self._ranges
+        self._reclose()
+        self._insert_closure_rows(out)
+
+        def changed_keys(old: Dict[int, Set[int]], new: Dict[int, Set[int]]) -> Set[int]:
+            return {
+                key
+                for key in old.keys() | new.keys()
+                if old.get(key, set()) != new.get(key, set())
+            }
+
+        affected_properties = (
+            changed_keys(old_super_properties, self._super_properties)
+            | changed_keys(old_domains, self._domains)
+            | changed_keys(old_ranges, self._ranges)
+        )
+        affected_classes = changed_keys(old_super_classes, self._super_classes)
+        for prop in sorted(affected_properties):
+            for row in self.store.select(TripleKind.DATA, None, prop, None):
+                self._derive_data(row[0], row[1], row[2], out)
+        for cls in sorted(affected_classes):
+            for row in self.store.select(TripleKind.TYPE, None, None, cls):
+                self._derive_type(row[0], cls, out)
+
+    # ------------------------------------------------------------------
+    # ingest API (mirrors IncrementalWeakSummarizer)
+    # ------------------------------------------------------------------
+    def ingest_row(self, kind: TripleKind, row: EncodedTriple) -> List[Tuple[TripleKind, EncodedTriple]]:
+        """Apply one freshly inserted base row; see :meth:`ingest_rows`."""
+        return self.ingest_rows([(kind, row)])
+
+    def ingest_rows(
+        self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]
+    ) -> List[Tuple[TripleKind, EncodedTriple]]:
+        """Apply one ``add_triples`` batch of ``(kind, row)`` pairs.
+
+        Returns every row the batch added to the *target* — the base rows
+        themselves plus their derivations — in insertion order, so callers
+        maintaining derived state over ``G∞`` (the catalog's saturated
+        statistics profile) can fold the delta in without a re-scan.
+
+        Schema rows are applied first whatever the batch order (several
+        re-close once), so data/type rows of the same batch derive under
+        the already-extended closure; the re-derivation pass covers the
+        rest, and deduplication makes the overlap free.
+        """
+        fresh: List[Tuple[TripleKind, EncodedTriple]] = []
+        instance_rows: List[Tuple[TripleKind, EncodedTriple]] = []
+        schema_rows: List[EncodedTriple] = []
+        for kind, row in rows:
+            if not isinstance(row, EncodedTriple):
+                row = EncodedTriple(row[0], row[1], row[2])
+            if kind is TripleKind.SCHEMA:
+                schema_rows.append(row)
+            else:
+                instance_rows.append((kind, row))
+        if schema_rows:
+            self._apply_schema_delta(schema_rows, fresh)
+        # one batched insert for the whole delta.  A *data* row already
+        # present is skipped with its derivations: it can only have been
+        # materialized as an rdfs7 copy, whose one-step closure is a subset
+        # of what produced it (see the module docstring).  A *type* row is
+        # derived unconditionally — an rdfs7 copy over a type-valued
+        # superproperty lands in the type table *without* an rdfs9 pass
+        # (matching the batch semantics), so an explicit type row arriving
+        # afterwards still owes its superclass typings.
+        inserted = self.target.insert_encoded_rows(instance_rows)
+        fresh.extend(inserted)
+        fresh_data = {row for kind, row in inserted if kind is TripleKind.DATA}
+        for kind, row in instance_rows:
+            if kind is TripleKind.DATA:
+                if row in fresh_data:
+                    self._derive_data(row.subject, row.predicate, row.object, fresh)
+            else:
+                self._type_id = row.predicate
+                self._derive_type(row.subject, row.object, fresh)
+        return fresh
+
+    # ------------------------------------------------------------------
+    def build(self) -> int:
+        """Seed the target with the full saturation of the base store.
+
+        One batched pass per table — the ``O(|G∞|)`` cost paid exactly
+        once per graph lifetime (the catalog counts these as
+        ``saturation_builds``); afterwards every update goes through
+        :meth:`ingest_rows`.  Returns the number of target rows.
+        """
+        sink: List[Tuple[TripleKind, EncodedTriple]] = []
+        schema_rows = [
+            row if isinstance(row, EncodedTriple) else EncodedTriple(row[0], row[1], row[2])
+            for row in self.store.scan_schema()
+        ]
+        if schema_rows:
+            # close the schema up front (no targeted re-derivation pass —
+            # the instance tables are ingested in full right below)
+            for row in schema_rows:
+                self._register_schema_row(row)
+            self.target.insert_encoded_rows(
+                [(TripleKind.SCHEMA, row) for row in schema_rows]
+            )
+            self._reclose()
+            self._insert_closure_rows(sink)
+        for kind in (TripleKind.DATA, TripleKind.TYPE):
+            for batch in self.store.scan_batches(kind):
+                self.ingest_rows((kind, row) for row in batch)
+        return self.target.statistics().total_rows
+
+    def snapshot(self, name: str = "") -> RDFGraph:
+        """Decode the maintained ``G∞`` into a fresh :class:`RDFGraph`."""
+        return self.target.to_graph(name=name or "saturated")
+
+    # ------------------------------------------------------------------
+    # durable state (the persistent-catalog warm-start path)
+    # ------------------------------------------------------------------
+    #: Everything beyond the two stores that determines the saturator.
+    #: Pure-integer structures only (dicts / sets / plain tuples), the
+    #: same serialization contract as the weak summarizer's maps.
+    _STATE_KEYS = (
+        "_direct",
+        "_super_classes",
+        "_super_properties",
+        "_domains",
+        "_ranges",
+        "_schema_ids",
+        "_type_id",
+        "_derived",
+    )
+
+    def state_dict(self) -> Dict[str, object]:
+        """The saturator's maps and derived-row log as one plain dict.
+
+        The returned dict *references* the live structures (no copy):
+        serialize before the saturator ingests anything further — the
+        persistence layer runs under the owning entry's lock.
+        """
+        return {key: getattr(self, key) for key in self._STATE_KEYS}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Adopt a :meth:`state_dict` (ownership transfers to the saturator).
+
+        The target is *not* rebuilt here — call :meth:`rehydrate` to fill
+        it from the base store and the derived log.
+        """
+        missing = [key for key in self._STATE_KEYS if key not in state]
+        if missing:
+            raise ValueError(f"incomplete saturator state: missing {missing}")
+        for key in self._STATE_KEYS:
+            setattr(self, key, state[key])
+        self._schema_id_set = frozenset(self._schema_ids.values())
+
+    def rehydrate(self) -> int:
+        """Rebuild the target from the base rows plus the derived log.
+
+        Pure row insertion — not a single rule is applied, which is what
+        keeps a warm-started catalog's ``saturation_builds`` counter at
+        zero.  Returns the number of target rows.
+        """
+        insert = self.target.insert_encoded_rows
+        for kind in (TripleKind.SCHEMA, TripleKind.DATA, TripleKind.TYPE):
+            for batch in self.store.scan_batches(kind):
+                insert(
+                    [
+                        (
+                            kind,
+                            row
+                            if isinstance(row, EncodedTriple)
+                            else EncodedTriple(row[0], row[1], row[2]),
+                        )
+                        for row in batch
+                    ]
+                )
+        insert(
+            [
+                (TripleKind(kind_value), EncodedTriple(subject, predicate, obj))
+                for kind_value, subject, predicate, obj in self._derived
+            ]
+        )
+        return self.target.statistics().total_rows
+
+    def derived_count(self) -> int:
+        """Rows of the target beyond the base rows (the derived log's length)."""
+        return len(self._derived)
+
+    def derived_since(self, mark: int) -> List[Tuple[str, int, int, int]]:
+        """Derived-log rows appended after *mark* (a prior :meth:`derived_count`).
+
+        This is the delta the persistent catalog appends to its durable
+        derived-row table after each ingest batch — keeping incremental
+        checkpoints proportional to the delta, not to ``|G∞|``.
+        """
+        return self._derived[mark:]

@@ -22,6 +22,7 @@ following the paper's formal treatment — see :class:`repro.model.triple.Triple
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Dict, Optional, Tuple
 
@@ -88,7 +89,17 @@ def saturate(graph: RDFGraph, schema: Optional[RDFSchema] = None, name: str = ""
 #: ``id(graph) -> (graph_version, saturated_graph)``.  Entries are evicted by
 #: a ``weakref.finalize`` hook when the source graph is collected, so the
 #: cache never resurrects a stale id; the version check catches mutation.
+#: Guarded by ``_SATURATION_CACHE_LOCK``: the query service reaches this
+#: cache from every :class:`~repro.server.executor.QueryExecutor` worker
+#: thread (via ``pruning_graph(saturated=True)``), and an unguarded
+#: dict-mutation + finalize registration pair can drop entries or register
+#: duplicate finalizers under that concurrency.
+#: Re-entrant: the eviction hook runs from ``weakref.finalize`` callbacks,
+#: which fire at arbitrary allocation points — including inside a locked
+#: block of :func:`saturate_cached` on the same thread; a plain lock would
+#: self-deadlock there.
 _SATURATION_CACHE: Dict[int, Tuple[int, RDFGraph]] = {}
+_SATURATION_CACHE_LOCK = threading.RLock()
 
 
 def saturate_cached(graph: RDFGraph, schema: Optional[RDFSchema] = None) -> RDFGraph:
@@ -102,6 +113,11 @@ def saturate_cached(graph: RDFGraph, schema: Optional[RDFSchema] = None) -> RDFG
     the graph has been mutated since.  The cached graph is shared — callers
     must treat it as read-only.
 
+    Thread-safe: lookups and installs hold the cache lock (the saturation
+    itself runs outside it, so concurrent misses on *different* graphs
+    still saturate in parallel; concurrent misses on the same graph race
+    benignly — one result wins the install, both are correct).
+
     A caller-supplied *schema* bypasses the cache (the cache key would need
     to include the schema's identity and mutable schemas are cheap to misuse;
     explicit-schema saturation stays uncached and exact).
@@ -110,21 +126,49 @@ def saturate_cached(graph: RDFGraph, schema: Optional[RDFSchema] = None) -> RDFG
         return saturate(graph, schema=schema)
     key = id(graph)
     version = graph.version
-    entry = _SATURATION_CACHE.get(key)
-    if entry is not None and entry[0] == version:
-        return entry[1]
+    with _SATURATION_CACHE_LOCK:
+        entry = _SATURATION_CACHE.get(key)
+        if entry is not None and entry[0] == version:
+            return entry[1]
     result = saturate(graph)
-    if entry is None:
-        weakref.finalize(graph, _SATURATION_CACHE.pop, key, None)
-    _SATURATION_CACHE[key] = (version, result)
+    with _SATURATION_CACHE_LOCK:
+        entry = _SATURATION_CACHE.get(key)
+        if entry is None:
+            # register the eviction hook exactly once per graph identity
+            weakref.finalize(graph, _evict_saturation, key)
+            _SATURATION_CACHE[key] = (version, result)
+        elif entry[0] == version:
+            return entry[1]  # a concurrent saturation of the same graph won
+        elif entry[0] < version:
+            # never let a saturation of an older version overwrite a newer
+            # one installed while we were saturating
+            _SATURATION_CACHE[key] = (version, result)
     return result
 
 
+def _evict_saturation(key: int) -> None:
+    with _SATURATION_CACHE_LOCK:
+        _SATURATION_CACHE.pop(key, None)
+
+
 def is_saturated(graph: RDFGraph, schema: Optional[RDFSchema] = None) -> bool:
-    """``True`` when *graph* already equals its own saturation."""
-    return set(saturate(graph, schema=schema)) == set(graph)
+    """``True`` when *graph* already equals its own saturation.
+
+    Routed through :func:`saturate_cached` when no explicit *schema* is
+    given: workload loops call this per query, and each call used to pay a
+    full ``O(|G∞|)`` saturation pass even on an unchanged graph.  The
+    explicit-schema path stays uncached and exact.  Note the cache keeps
+    the saturation alive as long as *graph* is — callers probing a huge
+    graph exactly once and wanting the memory back can pass its schema
+    explicitly to stay off the cache.
+    """
+    return set(saturate_cached(graph, schema=schema)) == set(graph)
 
 
 def entails(graph: RDFGraph, triple: Triple, schema: Optional[RDFSchema] = None) -> bool:
-    """``True`` when ``G ⊨_RDF s p o``, i.e. *triple* belongs to ``G∞``."""
-    return triple in saturate(graph, schema=schema)
+    """``True`` when ``G ⊨_RDF s p o``, i.e. *triple* belongs to ``G∞``.
+
+    Cached like :func:`is_saturated`: repeated entailment probes against an
+    unchanged graph saturate it once, not once per probe.
+    """
+    return triple in saturate_cached(graph, schema=schema)

@@ -170,6 +170,9 @@ class ServerApp:
                     "store": entry.store.statistics().as_dict(),
                     "cardinality": entry.statistics_index().as_dict(),
                     "build_counters": dict(entry.build_counters),
+                    # G∞ maintenance costs (null until a saturated query or
+                    # a warm start brought the saturated store into being)
+                    "saturation": entry.saturation_metrics(),
                     "service": self.service.statistics.as_dict(),
                 }
 
@@ -255,6 +258,8 @@ class ServerApp:
         }
         if answer.trace is not None:
             payload["trace"] = answer.trace.as_dict()
+        if answer.saturation is not None:
+            payload["saturation"] = answer.saturation
         return payload
 
     # ------------------------------------------------------------------

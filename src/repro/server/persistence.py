@@ -43,7 +43,7 @@ from __future__ import annotations
 import pickle
 import sqlite3
 import threading
-from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.core.summary import Summary
 from repro.errors import PersistenceError
@@ -90,11 +90,23 @@ CREATE INDEX IF NOT EXISTS idx_graph_triples_graph ON graph_triples(graph);
 CREATE TABLE IF NOT EXISTS artifacts (
     graph   TEXT NOT NULL,
     name    TEXT NOT NULL,              -- maintainer | statistics | summary:<kind>
+                                        --   | saturation | saturation_statistics
     version INTEGER NOT NULL,
     payload BLOB NOT NULL,
     PRIMARY KEY (graph, name)
 );
+CREATE TABLE IF NOT EXISTS saturation_rows (
+    graph TEXT NOT NULL,                -- the G∞ derived-row log, in derivation order
+    kind  TEXT NOT NULL,
+    s INTEGER NOT NULL,
+    p INTEGER NOT NULL,
+    o INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_saturation_rows_graph ON saturation_rows(graph);
 """
+
+#: Per-graph tables cleared wholesale on rewrite / delete.
+_GRAPH_TABLES = ("dictionary_terms", "graph_triples", "artifacts", "saturation_rows")
 
 _KIND_BY_VALUE = {kind.value: kind for kind in TripleKind}
 
@@ -185,6 +197,11 @@ class GraphSnapshot(NamedTuple):
     maintainer_state: Dict[str, object]
     statistics: Optional[CardinalityStatistics]
     summaries: Dict[str, Summary]
+    #: The incremental saturator's state (schema maps + derived-row log),
+    #: when the graph's ``G∞`` cache was checkpointed — lets the restarted
+    #: entry rehydrate the saturated store without applying a single rule.
+    saturation_state: Optional[Dict[str, object]] = None
+    saturation_statistics: Optional[CardinalityStatistics] = None
 
 
 class PersistentCatalog:
@@ -198,6 +215,12 @@ class PersistentCatalog:
     def __init__(self, path: str):
         self.path = str(path)
         self._lock = threading.RLock()
+        #: ``graph -> rows currently persisted in saturation_rows``, so the
+        #: per-ingest append path never re-counts the (potentially
+        #: ``O(|G∞|)``-sized) durable derived log.  Maintained under the
+        #: lock, populated lazily with one COUNT per graph, and dropped on
+        #: any failed write (the next append re-counts).
+        self._saturation_counts: Dict[str, int] = {}
         try:
             self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
                 self.path, check_same_thread=False
@@ -278,8 +301,26 @@ class PersistentCatalog:
             rows = self._conn().execute("SELECT name FROM graphs ORDER BY name").fetchall()
         return [row[0] for row in rows]
 
-    def _artifact_rows(self, entry) -> Iterator[Tuple[str, int, bytes]]:
-        """The artifact payloads of *entry* at its current version."""
+    def _artifact_rows(
+        self,
+        entry,
+        saturation_state: Optional[Dict[str, object]],
+        include_saturation_statistics: bool = True,
+    ) -> Iterator[Tuple[str, int, bytes]]:
+        """The artifact payloads of *entry* at its current version.
+
+        *saturation_state* is the caller's one-per-transaction snapshot of
+        ``entry.saturation_state()`` — re-reading it here could observe a
+        ``G∞`` build that completed mid-transaction and persist an
+        artifact whose ``derived_count`` disagrees with the
+        ``saturation_rows`` the caller wrote.
+
+        The saturated store's cardinality profile (distinct-id sets sized
+        like ``G∞``) only rides along when *include_saturation_statistics*
+        — full checkpoints; the per-ingest append path skips it to stay
+        delta-sized, at the cost of one profile scan on the first
+        saturated evaluation after a write-through-only restart.
+        """
         yield (
             "maintainer",
             entry.version,
@@ -292,6 +333,26 @@ class PersistentCatalog:
                 entry.version,
                 pickle.dumps(statistics, protocol=_PICKLE_PROTOCOL),
             )
+        if saturation_state is not None:
+            # the derived-row log lives in its own appendable table; the
+            # artifact carries the (small) schema maps plus the log length,
+            # which load_graph uses as a torn-state check
+            payload = {key: value for key, value in saturation_state.items() if key != "_derived"}
+            payload["derived_count"] = len(saturation_state["_derived"])
+            yield (
+                "saturation",
+                entry.version,
+                pickle.dumps(payload, protocol=_PICKLE_PROTOCOL),
+            )
+            saturation_statistics = (
+                entry.saturation_cached_statistics() if include_saturation_statistics else None
+            )
+            if saturation_statistics is not None:
+                yield (
+                    "saturation_statistics",
+                    entry.version,
+                    pickle.dumps(saturation_statistics, protocol=_PICKLE_PROTOCOL),
+                )
         for kind, summary in entry.cached_summaries().items():
             yield (
                 f"summary:{kind}",
@@ -315,11 +376,22 @@ class PersistentCatalog:
                 rows,
             )
 
-    def _replace_artifacts(self, connection: sqlite3.Connection, entry) -> None:
+    def _replace_artifacts(
+        self,
+        connection: sqlite3.Connection,
+        entry,
+        saturation_state: Optional[Dict[str, object]],
+        include_saturation_statistics: bool = True,
+    ) -> None:
         connection.execute("DELETE FROM artifacts WHERE graph = ?", (entry.name,))
         connection.executemany(
             "INSERT INTO artifacts (graph, name, version, payload) VALUES (?, ?, ?, ?)",
-            [(entry.name, name, version, payload) for name, version, payload in self._artifact_rows(entry)],
+            [
+                (entry.name, name, version, payload)
+                for name, version, payload in self._artifact_rows(
+                    entry, saturation_state, include_saturation_statistics
+                )
+            ],
         )
 
     def save_graph(self, entry) -> None:
@@ -330,10 +402,14 @@ class PersistentCatalog:
         """
         with self._lock:
             connection = self._conn()
+            # one snapshot per transaction: a concurrent (read-locked)
+            # saturated query may publish the G∞ state mid-checkpoint, and
+            # the rows table and the artifact must agree on one view
+            saturation_state = entry.saturation_state()
             try:
                 with connection:  # one transaction, rolled back on error
                     connection.execute("DELETE FROM graphs WHERE name = ?", (entry.name,))
-                    for table in ("dictionary_terms", "graph_triples", "artifacts"):
+                    for table in _GRAPH_TABLES:
                         connection.execute(f"DELETE FROM {table} WHERE graph = ?", (entry.name,))
                     connection.execute(
                         "INSERT INTO graphs (name, version) VALUES (?, ?)",
@@ -347,9 +423,25 @@ class PersistentCatalog:
                                 "VALUES (?, ?, ?, ?, ?)",
                                 [(entry.name, kind.value, row[0], row[1], row[2]) for row in batch],
                             )
-                    self._replace_artifacts(connection, entry)
+                    if saturation_state is not None:
+                        self._insert_saturation_rows(
+                            connection, entry.name, saturation_state["_derived"]
+                        )
+                    self._replace_artifacts(connection, entry, saturation_state)
             except sqlite3.Error as error:
+                self._saturation_counts.pop(entry.name, None)
                 raise PersistenceError(f"checkpoint of graph {entry.name!r} failed: {error}")
+            self._saturation_counts[entry.name] = (
+                len(saturation_state["_derived"]) if saturation_state is not None else 0
+            )
+
+    def _insert_saturation_rows(
+        self, connection: sqlite3.Connection, name: str, derived: Iterable[Tuple[str, int, int, int]]
+    ) -> None:
+        connection.executemany(
+            "INSERT INTO saturation_rows (graph, kind, s, p, o) VALUES (?, ?, ?, ?, ?)",
+            [(name, kind_value, s, p, o) for kind_value, s, p, o in derived],
+        )
 
     def append_update(self, entry, rows: List[Tuple[TripleKind, EncodedTriple]]) -> None:
         """Atomically append one ``add_triples`` batch and refresh artifacts.
@@ -357,10 +449,12 @@ class PersistentCatalog:
         Runs inside the entry's exclusive write lock (it is the
         write-through hook of :meth:`CatalogEntry.add_triples`), so the
         entry state it serializes cannot move underneath it.  Only the new
-        dictionary ids and the inserted rows are appended; the artifacts
-        (maintainer maps, statistics, the freshly snapshotted weak summary)
-        are replaced wholesale — they are the price of a warm start that
-        rebuilds nothing.
+        dictionary ids, the inserted rows and the ``G∞`` derived rows the
+        batch entailed are appended — the incremental checkpoint stays
+        proportional to the delta; the artifacts (maintainer maps,
+        statistics, the freshly snapshotted weak summary, the saturator's
+        schema maps) are replaced wholesale — they are the price of a warm
+        start that rebuilds nothing.
         """
         # snapshot the weak summary first so it rides along in the same
         # checkpoint: the incremental maintainer makes this summary-sized
@@ -370,6 +464,7 @@ class PersistentCatalog:
         entry.summary("weak")
         with self._lock:
             connection = self._conn()
+            saturation_state = entry.saturation_state()
             try:
                 with connection:
                     persisted = connection.execute(
@@ -383,6 +478,32 @@ class PersistentCatalog:
                         "INSERT INTO graph_triples (graph, kind, s, p, o) VALUES (?, ?, ?, ?, ?)",
                         [(entry.name, kind.value, row[0], row[1], row[2]) for kind, row in rows],
                     )
+                    if saturation_state is not None:
+                        derived = saturation_state["_derived"]
+                        appended = entry.saturation_appended_rows()
+                        persisted_derived = self._saturation_counts.get(entry.name)
+                        if persisted_derived is None:
+                            # one COUNT per graph per process lifetime; every
+                            # later append stays delta-sized
+                            persisted_derived = connection.execute(
+                                "SELECT COUNT(*) FROM saturation_rows WHERE graph = ?",
+                                (entry.name,),
+                            ).fetchone()[0]
+                        if persisted_derived + len(appended) == len(derived):
+                            self._insert_saturation_rows(connection, entry.name, appended)
+                        else:
+                            # the durable log lags the live one (the G∞ cache
+                            # was seeded between checkpoints): rewrite it whole
+                            connection.execute(
+                                "DELETE FROM saturation_rows WHERE graph = ?", (entry.name,)
+                            )
+                            self._insert_saturation_rows(connection, entry.name, derived)
+                    elif self._saturation_counts.get(entry.name) != 0:
+                        # a stale log may linger (e.g. the artifact failed to
+                        # load); skip the DELETE once the log is known empty
+                        connection.execute(
+                            "DELETE FROM saturation_rows WHERE graph = ?", (entry.name,)
+                        )
                     updated = connection.execute(
                         "UPDATE graphs SET version = ? WHERE name = ?",
                         (entry.version, entry.name),
@@ -392,18 +513,25 @@ class PersistentCatalog:
                             "INSERT INTO graphs (name, version) VALUES (?, ?)",
                             (entry.name, entry.version),
                         )
-                    self._replace_artifacts(connection, entry)
+                    self._replace_artifacts(
+                        connection, entry, saturation_state, include_saturation_statistics=False
+                    )
             except sqlite3.Error as error:
+                self._saturation_counts.pop(entry.name, None)
                 raise PersistenceError(f"incremental checkpoint of {entry.name!r} failed: {error}")
+            self._saturation_counts[entry.name] = (
+                len(saturation_state["_derived"]) if saturation_state is not None else 0
+            )
 
     def delete_graph(self, name: str) -> None:
         """Forget *name* durably (no-op when it was never persisted)."""
         with self._lock:
+            self._saturation_counts.pop(name, None)
             connection = self._conn()
             try:
                 with connection:
                     connection.execute("DELETE FROM graphs WHERE name = ?", (name,))
-                    for table in ("dictionary_terms", "graph_triples", "artifacts"):
+                    for table in _GRAPH_TABLES:
                         connection.execute(f"DELETE FROM {table} WHERE graph = ?", (name,))
             except sqlite3.Error as error:
                 raise PersistenceError(f"dropping graph {name!r} failed: {error}")
@@ -436,6 +564,10 @@ class PersistentCatalog:
                 "SELECT name, version, payload FROM artifacts WHERE graph = ?",
                 (name,),
             ).fetchall()
+            saturation_row_data = connection.execute(
+                "SELECT kind, s, p, o FROM saturation_rows WHERE graph = ? ORDER BY rowid",
+                (name,),
+            ).fetchall()
 
         dictionary = Dictionary()
         for position, (identifier, kind, value, datatype, language) in enumerate(term_rows):
@@ -459,6 +591,8 @@ class PersistentCatalog:
         maintainer_state: Optional[Dict[str, object]] = None
         statistics: Optional[CardinalityStatistics] = None
         summaries: Dict[str, Summary] = {}
+        saturation_payload: Optional[Dict[str, object]] = None
+        saturation_statistics: Optional[CardinalityStatistics] = None
         for artifact_name, artifact_version, payload in artifact_rows:
             if artifact_version != version:
                 continue  # stale artifact from an interrupted lineage
@@ -472,6 +606,10 @@ class PersistentCatalog:
                 maintainer_state = value
             elif artifact_name == "statistics":
                 statistics = value
+            elif artifact_name == "saturation":
+                saturation_payload = value
+            elif artifact_name == "saturation_statistics":
+                saturation_statistics = value
             elif artifact_name.startswith("summary:"):
                 summaries[artifact_name.split(":", 1)[1]] = _unpack_summary(value)
         if maintainer_state is None:
@@ -479,6 +617,19 @@ class PersistentCatalog:
                 f"graph {name!r} has no weak-summary maintainer state at version {version} "
                 f"— the catalog file is corrupt"
             )
+        saturation_state: Optional[Dict[str, object]] = None
+        if saturation_payload is not None:
+            derived = [
+                (kind_value, s, p, o) for kind_value, s, p, o in saturation_row_data
+            ]
+            if len(derived) == saturation_payload.pop("derived_count", -1):
+                saturation_state = dict(saturation_payload)
+                saturation_state["_derived"] = derived
+            else:
+                # the derived log and the schema maps disagree (an older
+                # lineage's rows survived a partial rewrite): the G∞ cache
+                # is expendable — drop it and let the entry rebuild lazily
+                saturation_statistics = None
         return GraphSnapshot(
             name=name,
             version=version,
@@ -486,4 +637,6 @@ class PersistentCatalog:
             maintainer_state=maintainer_state,
             statistics=statistics,
             summaries=summaries,
+            saturation_state=saturation_state,
+            saturation_statistics=saturation_statistics,
         )

@@ -45,6 +45,7 @@ something genuinely new is requested).
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.builders import normalize_kind
@@ -55,7 +56,8 @@ from repro.errors import DuplicateGraphError, UnknownGraphError
 from repro.model.graph import RDFGraph
 from repro.model.triple import Triple, TripleKind
 from repro.model.dictionary import EncodedTriple
-from repro.schema.saturation import saturate, saturate_cached
+from repro.schema.encoded_saturation import IncrementalSaturator
+from repro.schema.saturation import saturate_cached
 from repro.service.evaluator import STRATEGIES, EncodedEvaluator
 from repro.service.planner import QueryPlanner
 from repro.service.statistics import CardinalityStatistics
@@ -64,6 +66,42 @@ from repro.store.memory import MemoryStore
 from repro.utils.concurrency import ReadWriteLock
 
 __all__ = ["CatalogEntry", "GraphCatalog"]
+
+
+class _SaturatedState:
+    """The maintained ``G∞`` serving cache of one catalog entry.
+
+    Owns the :class:`IncrementalSaturator` (whose target is the saturated
+    :class:`MemoryStore`), the saturated side's cardinality profile and
+    planner — both updated *in place* by :meth:`CatalogEntry.add_triples`
+    deltas, never version-invalidated — and one evaluator per join
+    strategy.  ``metrics`` accumulates the maintenance costs the service
+    and HTTP statistics endpoint expose.
+    """
+
+    __slots__ = ("saturator", "statistics", "planner", "evaluators", "metrics", "appended")
+
+    def __init__(self, saturator: IncrementalSaturator):
+        self.saturator = saturator
+        self.statistics: Optional[CardinalityStatistics] = None
+        self.planner: Optional[QueryPlanner] = None
+        self.evaluators: Dict[str, EncodedEvaluator] = {}
+        self.metrics: Dict[str, object] = {
+            "build_seconds": 0.0,
+            "deltas": 0,
+            "last_delta_rows": 0,
+            "last_delta_target_rows": 0,
+            "last_delta_seconds": 0.0,
+            "total_delta_seconds": 0.0,
+        }
+        #: Derived-log rows appended by the most recent ``add_triples``
+        #: batch (``(kind_value, s, p, o)`` tuples) — what the persistent
+        #: catalog's incremental checkpoint appends durably.
+        self.appended: List[Tuple[str, int, int, int]] = []
+
+    @property
+    def store(self) -> TripleStore:
+        return self.saturator.target
 
 
 class CatalogEntry:
@@ -95,6 +133,8 @@ class CatalogEntry:
             "statistics_scans": 0,
             "summary_builds": 0,
             "weak_snapshots": 0,
+            "saturation_builds": 0,
+            "saturated_statistics_scans": 0,
         }
         #: Write-through hook ``(entry, inserted_rows) -> None`` installed by
         #: a persistence-backed catalog; invoked at the end of every
@@ -107,7 +147,16 @@ class CatalogEntry:
         self._persist_dirty = False
         self._maintainer = IncrementalWeakSummarizer(store)
         self._summaries: Dict[str, Tuple[int, Summary]] = {}
-        self._saturated: Optional[Tuple[int, TripleStore, Dict[str, EncodedEvaluator]]] = None
+        #: The maintained ``G∞`` serving cache — built on first saturated
+        #: access (or materialized from a warm-start snapshot) and then
+        #: kept fresh *in place* by :meth:`add_triples`; never
+        #: version-invalidated.
+        self._saturated: Optional[_SaturatedState] = None
+        #: Warm-start saturation state (a saturator ``state_dict``) not yet
+        #: materialized into a live target store; consumed by the first
+        #: saturated access *or* the first ingest, whichever comes first.
+        self._saturation_pending: Optional[Dict[str, object]] = None
+        self._saturation_statistics_pending: Optional[CardinalityStatistics] = None
         self._statistics: Optional[Tuple[int, CardinalityStatistics]] = None
         self._planner: Optional[Tuple[int, QueryPlanner]] = None
         self._evaluators: Dict[str, EncodedEvaluator] = {}
@@ -128,13 +177,19 @@ class CatalogEntry:
         maintainer_state: Dict[str, object],
         statistics: Optional[CardinalityStatistics] = None,
         summaries: Optional[Dict[str, Summary]] = None,
+        saturation_state: Optional[Dict[str, object]] = None,
+        saturation_statistics: Optional[CardinalityStatistics] = None,
     ) -> "CatalogEntry":
         """Warm-start an entry from persisted state (no priming scan).
 
         The store arrives already loaded; the weak-summary maps, the
         cardinality profile and any cached summaries are installed as-is at
         *version*, so the first query costs exactly what a long-running
-        process would have paid — no re-scan, no re-summarization.
+        process would have paid — no re-scan, no re-summarization.  A
+        persisted saturation state is kept *pending*: the first saturated
+        access (or the first ingest) rehydrates the ``G∞`` store from the
+        base rows plus the derived log, applying zero rules —
+        ``build_counters["saturation_builds"]`` stays at zero.
         """
         entry = cls(name, store, prime=False)
         entry.version = version
@@ -143,6 +198,8 @@ class CatalogEntry:
             entry._statistics = (version, statistics)
         for kind, summary in (summaries or {}).items():
             entry._summaries[normalize_kind(kind)] = (version, summary)
+        entry._saturation_pending = saturation_state
+        entry._saturation_statistics_pending = saturation_statistics
         return entry
 
     def _prime_from_store(self) -> None:
@@ -167,11 +224,13 @@ class CatalogEntry:
         refreshed in the same breath as the summary caches: the freshly
         inserted rows are folded into the live profile (exact — the profile
         keeps distinct-id sets) and re-tagged with the new version, so the
-        planner's estimates never lag an incremental ingest.  Every other
-        cached artifact (non-weak summaries, saturated stores, pruning
-        graphs, plan caches) is invalidated by the version bump and rebuilt
-        only when next requested.  Returns the number of rows actually
-        inserted.
+        planner's estimates never lag an incremental ingest.  A live
+        saturated store is likewise maintained **in place** — the batch is
+        pushed through the delta rules (see :meth:`_maintain_saturated`),
+        never rebuilt.  Every other cached artifact (non-weak summaries,
+        pruning graphs, base-side plan caches) is invalidated by the
+        version bump and rebuilt only when next requested.  Returns the
+        number of rows actually inserted.
 
         The whole batch runs under the entry's exclusive write lock —
         concurrent queries wait, then observe either none or all of it —
@@ -182,6 +241,14 @@ class CatalogEntry:
             if self.closed:
                 # we raced a drop(): same report as the query-side race
                 raise UnknownGraphError(f"graph {self.name!r} was dropped")
+            if self._saturation_pending is not None:
+                # a warm-started G∞ snapshot must be rehydrated BEFORE the
+                # base tables grow: rehydration sweeps the base store, and
+                # rows inserted first would enter the saturated store as
+                # plain rows, silently skipping their delta derivations
+                with self._init_lock:
+                    if self._saturation_pending is not None:
+                        self._materialize_saturated()
             rows = self.store.insert_triples(triples, skip_existing=True)
             if not rows:
                 return 0
@@ -192,9 +259,39 @@ class CatalogEntry:
                     statistics = self._statistics[1]
                     statistics.ingest_rows(rows)
                     self._statistics = (self.version, statistics)
+                self._maintain_saturated(rows)
             if self._on_update is not None:
                 self._on_update(self, rows)
             return len(rows)
+
+    def _maintain_saturated(self, rows: List[Tuple[TripleKind, EncodedTriple]]) -> None:
+        """Fold an ingest batch into the maintained ``G∞`` (delta rules only).
+
+        Runs under the write lock + init lock of :meth:`add_triples`
+        (which materialized any pending warm-start state *before* the base
+        insert, so the saturated side never lags the base store).  The
+        delta is applied semi-naively and the saturated statistics profile
+        — feeding the saturated planner's join-size estimates — is
+        extended in place, so saturated evaluators, profiles and plan
+        caches all survive the update.  No-op while ``G∞`` has never been
+        requested.
+        """
+        if self._saturated is None:
+            return
+        state = self._saturated
+        delta_start = perf_counter()
+        log_mark = state.saturator.derived_count()
+        delta = state.saturator.ingest_rows(rows)
+        if state.statistics is not None:
+            state.statistics.ingest_rows(delta)
+        seconds = perf_counter() - delta_start
+        state.appended = state.saturator.derived_since(log_mark)
+        metrics = state.metrics
+        metrics["deltas"] += 1
+        metrics["last_delta_rows"] = len(rows)
+        metrics["last_delta_target_rows"] = len(delta)
+        metrics["last_delta_seconds"] = seconds
+        metrics["total_delta_seconds"] += seconds
 
     # ------------------------------------------------------------------
     # statistics, planning and evaluators
@@ -336,36 +433,164 @@ class CatalogEntry:
     # saturated evaluation support
     # ------------------------------------------------------------------
     def saturated_evaluator(self, strategy: str = "hash") -> EncodedEvaluator:
-        """An evaluator over ``G∞``, loaded into its own store and cached.
+        """An evaluator over the *maintained* ``G∞`` store.
 
-        Built on first use after a change: the store's triples are decoded,
-        saturated, and re-encoded into a fresh in-memory store (the
-        saturated side is a serving cache, always memory-backed).  One
-        evaluator per join *strategy* is cached alongside, so statistics
-        profiles and plan caches survive across queries between updates —
-        and a ``strategy="nested"`` service really runs nested on the
-        saturated path too.  This keeps complete (certain-answer)
-        evaluation available without touching the primary store's tables.
+        The saturated side is a serving cache kept alive for the entry's
+        lifetime: seeded once by :class:`IncrementalSaturator.build` (rule
+        application over the whole encoded store — counted in
+        ``build_counters["saturation_builds"]``, or rehydrated rule-free
+        from a warm-start snapshot) and then maintained **in place** by
+        every :meth:`add_triples` delta.  Evaluators, the saturated
+        statistics profile and the planner's plan cache therefore survive
+        updates instead of being version-invalidated — a
+        ``strategy="nested"`` service really runs nested on the saturated
+        path too.  Everything runs off the primary store's dictionary; the
+        primary tables are never touched.
         """
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r} (choose from {STRATEGIES})")
         with self._init_lock:
-            cached = self._saturated
-            if cached is None or cached[0] != self.version:
-                # the stale store is dropped, not closed: evaluators handed out
-                # before the update still wrap it and must keep working; the
-                # memory is reclaimed when the last of them goes away
-                saturated_graph = saturate(self.to_graph())
-                store = MemoryStore()
-                store.load_graph(saturated_graph)
-                cached = (self.version, store, {})
-                self._saturated = cached
-            evaluators = cached[2]
-            evaluator = evaluators.get(strategy)
+            state = self._ensure_saturated()
+            evaluator = state.evaluators.get(strategy)
             if evaluator is None:
-                evaluator = EncodedEvaluator(cached[1], strategy=strategy)
-                evaluators[strategy] = evaluator
+                evaluator = EncodedEvaluator(
+                    state.store,
+                    strategy=strategy,
+                    statistics=self._saturated_statistics,
+                    planner=self._saturated_planner,
+                )
+                state.evaluators[strategy] = evaluator
             return evaluator
+
+    def _ensure_saturated(self) -> _SaturatedState:
+        """The live saturated state (build or rehydrate; init lock held)."""
+        state = self._saturated
+        if state is not None:
+            return state
+        if self._saturation_pending is not None:
+            return self._materialize_saturated()
+        self.build_counters["saturation_builds"] += 1
+        build_start = perf_counter()
+        saturator = IncrementalSaturator(self.store)
+        saturator.build()
+        state = _SaturatedState(saturator)
+        state.metrics["build_seconds"] = perf_counter() - build_start
+        self._saturated = state
+        return state
+
+    def _materialize_saturated(self) -> _SaturatedState:
+        """Rehydrate the warm-start saturation snapshot (zero rules applied)."""
+        saturator = IncrementalSaturator(self.store)
+        saturator.load_state(self._saturation_pending)
+        build_start = perf_counter()
+        saturator.rehydrate()
+        state = _SaturatedState(saturator)
+        state.metrics["build_seconds"] = perf_counter() - build_start
+        state.statistics = self._saturation_statistics_pending
+        self._saturation_pending = None
+        self._saturation_statistics_pending = None
+        self._saturated = state
+        return state
+
+    def _saturated_statistics(self) -> CardinalityStatistics:
+        """The saturated store's cardinality profile (lazy; then in-place).
+
+        Built by one scan of the (memory-backed) saturated store on first
+        planned saturated evaluation — unless a warm start restored it —
+        and from then on extended row-by-row with each delta's derivations.
+        """
+        state = self._saturated
+        if state is not None and state.statistics is not None:
+            return state.statistics
+        with self._init_lock:
+            state = self._ensure_saturated()
+            if state.statistics is None:
+                self.build_counters["saturated_statistics_scans"] += 1
+                state.statistics = CardinalityStatistics.from_store(state.store)
+            return state.statistics
+
+    def _saturated_planner(self) -> QueryPlanner:
+        """The saturated side's planner — one for the entry's lifetime.
+
+        Its plan cache is deliberately *not* flushed on ingest: the
+        statistics object underneath is updated in place, so new plans see
+        fresh estimates, while cached pattern orders stay valid (order
+        affects cost, never answers).
+        """
+        state = self._saturated
+        if state is not None and state.planner is not None:
+            return state.planner
+        with self._init_lock:
+            state = self._ensure_saturated()
+            if state.planner is None:
+                state.planner = QueryPlanner(self._saturated_statistics())
+            return state.planner
+
+    # ------------------------------------------------------------------
+    # saturation state exposure (persistence + metrics)
+    # ------------------------------------------------------------------
+    def saturation_state(self) -> Optional[Dict[str, object]]:
+        """The saturator's durable state at the current version, or ``None``.
+
+        Live state references the saturator's maps (serialize under the
+        entry's lock, before the next ingest); a not-yet-materialized
+        warm-start snapshot is returned as-is — it is only retained while
+        no ingest has happened, so it is always current.  Reads the
+        live/pending pair under the init lock: a concurrent reader may be
+        mid-materialization (which clears the pending state while
+        publishing the live one), and an unguarded read in that window
+        would see *neither* — a checkpoint would then silently drop the
+        durable ``G∞`` state.
+        """
+        with self._init_lock:
+            if self._saturated is not None:
+                return self._saturated.saturator.state_dict()
+            return self._saturation_pending
+
+    def saturation_cached_statistics(self) -> Optional[CardinalityStatistics]:
+        """The saturated store's profile, when one exists (never builds)."""
+        with self._init_lock:
+            if self._saturated is not None:
+                return self._saturated.statistics
+            return self._saturation_statistics_pending
+
+    def saturation_appended_rows(self) -> List[Tuple[str, int, int, int]]:
+        """Derived-log rows appended by the most recent ingest batch."""
+        state = self._saturated
+        return state.appended if state is not None else []
+
+    def saturation_metrics(self) -> Optional[Dict[str, object]]:
+        """Maintenance metrics of the ``G∞`` cache (``None`` when unused).
+
+        Exposed by the query service's explain output and by the HTTP
+        statistics endpoint: what the saturated side cost to build, how
+        many deltas it absorbed and what the last one took.  The
+        live/pending pair is read under the init lock (see
+        :meth:`saturation_state` for the materialization race).
+        """
+        with self._init_lock:
+            state = self._saturated
+            pending = self._saturation_pending
+        if state is None:
+            if pending is None:
+                return None
+            return {
+                "live": False,
+                "pending": True,
+                "builds": self.build_counters["saturation_builds"],
+                "derived_rows": len(pending["_derived"]),
+            }
+        metrics = dict(state.metrics)
+        metrics.update(
+            {
+                "live": True,
+                "pending": False,
+                "builds": self.build_counters["saturation_builds"],
+                "store_rows": state.store.statistics().total_rows,
+                "derived_rows": state.saturator.derived_count(),
+            }
+        )
+        return metrics
 
     # ------------------------------------------------------------------
     def to_graph(self) -> RDFGraph:
@@ -381,7 +606,7 @@ class CatalogEntry:
         """
         self.closed = True
         if self._saturated is not None:
-            self._saturated[1].close()
+            self._saturated.store.close()
             self._saturated = None
         self.store.close()
 
@@ -454,6 +679,8 @@ class GraphCatalog:
                     maintainer_state=snapshot.maintainer_state,
                     statistics=snapshot.statistics,
                     summaries=snapshot.summaries,
+                    saturation_state=snapshot.saturation_state,
+                    saturation_statistics=snapshot.saturation_statistics,
                 )
                 entry._on_update = catalog._persist_update
                 catalog._entries[name] = entry

@@ -58,6 +58,7 @@ class QueryAnswer:
         "guard_order",
         "pruned_by",
         "trace",
+        "saturation",
     )
 
     def __init__(
@@ -74,6 +75,7 @@ class QueryAnswer:
         guard_order: Tuple[str, ...] = (),
         pruned_by: Optional[str] = None,
         trace: Optional[ExecutionTrace] = None,
+        saturation: Optional[Dict[str, object]] = None,
     ):
         self.query = query
         self.graph_name = graph_name
@@ -96,6 +98,11 @@ class QueryAnswer:
         self.pruned_by = pruned_by
         #: Execution trace of the base evaluation (``explain=True`` only).
         self.trace = trace
+        #: Maintenance metrics of the graph's ``G∞`` serving cache — build
+        #: and per-ingest delta latencies (``explain=True`` on a
+        #: ``saturated=True`` answer only; see
+        #: :meth:`CatalogEntry.saturation_metrics`).
+        self.saturation = saturation
 
     @property
     def empty(self) -> bool:
@@ -340,6 +347,9 @@ class QueryService:
                 evaluation_start = perf_counter()
                 answers = evaluator.evaluate(query, limit=limit, trace=trace)
                 evaluation_seconds = perf_counter() - evaluation_start
+            # the G∞ maintenance costs behind this answer (still under the
+            # read lock: an ingest cannot change the metrics mid-gather)
+            saturation = entry.saturation_metrics() if saturated and explain else None
 
         result = QueryAnswer(
             query=query,
@@ -354,6 +364,7 @@ class QueryService:
             guard_order=guard_order,
             pruned_by=pruned_by,
             trace=trace,
+            saturation=saturation,
         )
         self.statistics.record(result)
         return result

@@ -95,6 +95,24 @@ class TripleStore(abc.ABC):
         rows: List[Tuple[TripleKind, EncodedTriple]] = [
             (triple.kind, row) for triple, row in zip(triple_list, encoded)
         ]
+        return self.insert_encoded_rows(rows, skip_existing=skip_existing)
+
+    def insert_encoded_rows(
+        self,
+        rows: Iterable[Tuple[TripleKind, EncodedTriple]],
+        skip_existing: bool = True,
+    ) -> List[Tuple[TripleKind, EncodedTriple]]:
+        """Insert already-encoded ``(kind, row)`` pairs; return the fresh ones.
+
+        The encoded twin of :meth:`insert_triples` for callers that mint
+        rows directly at the integer level — the incremental saturator
+        derives ``G∞`` rows this way and needs the freshly-inserted subset
+        back to know which derivations actually extended the store.  With
+        ``skip_existing=True`` (the default here — derived rows routinely
+        repeat) rows already present, and in-batch duplicates, are
+        filtered; the ids must come from this store's dictionary.
+        """
+        rows = rows if isinstance(rows, list) else list(rows)
         if skip_existing:
             by_kind: Dict[TripleKind, List[EncodedTriple]] = {}
             for kind, row in rows:

@@ -179,6 +179,37 @@ class MemoryStore(TripleStore):
             self._seen.add(key)
             self._tables[kind].insert(row)
 
+    def insert_encoded_rows(
+        self,
+        rows: Iterable[Tuple[TripleKind, EncodedTriple]],
+        skip_existing: bool = True,
+    ) -> List[Tuple[TripleKind, EncodedTriple]]:
+        """Deduplicated encoded insert via the ``_seen`` set (no select probes).
+
+        This is the hot path of incremental saturation — one call per
+        derivation group — so it skips the generic per-kind
+        ``_existing_rows`` machinery: membership here is a single hash
+        probe per row (the store deduplicates unconditionally anyway).
+        """
+        self._check_open()
+        if not skip_existing:
+            # bulk-load contract: insert (dedup is this store's invariant
+            # either way) and echo the batch back unfiltered
+            rows = rows if isinstance(rows, list) else list(rows)
+            self._insert_rows(rows)
+            return rows
+        seen = self._seen
+        tables = self._tables
+        fresh: List[Tuple[TripleKind, EncodedTriple]] = []
+        for kind, row in rows:
+            key = (kind, row)
+            if key in seen:
+                continue
+            seen.add(key)
+            tables[kind].insert(row)
+            fresh.append((kind, row))
+        return fresh
+
     def scan_data(self) -> Iterator[EncodedTriple]:
         self._check_open()
         return iter(list(self._tables[TripleKind.DATA].rows))

@@ -198,3 +198,124 @@ class TestSaturationCache:
         assert graph.version == before + 1
         assert graph.discard(triple)
         assert graph.version == before + 2
+
+
+class TestSaturationCacheConcurrency:
+    """The cache is shared by every executor worker thread — hammer it."""
+
+    def test_concurrent_hits_and_churn(self, book_graph, fig2):
+        import threading
+
+        from repro.schema.saturation import _SATURATION_CACHE, saturate_cached
+
+        shared = [book_graph.copy(), fig2.copy()]
+        expected = [set(saturate(graph)) for graph in shared]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_index):
+            try:
+                barrier.wait()
+                for round_index in range(60):
+                    graph_index = (worker_index + round_index) % len(shared)
+                    result = saturate_cached(shared[graph_index])
+                    if set(result) != expected[graph_index]:
+                        errors.append(f"wrong saturation for graph {graph_index}")
+                    # churn: private graphs enter and leave the cache (their
+                    # finalizers run concurrently with the lookups above)
+                    private = shared[graph_index].copy()
+                    saturate_cached(private)
+                    del private
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(repr(error))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # the shared graphs are still served from cache afterwards
+        for graph, answer in zip(shared, expected):
+            cached = saturate_cached(graph)
+            assert set(cached) == answer
+            assert _SATURATION_CACHE[id(graph)][1] is cached
+
+    def test_concurrent_mutating_owners_never_cross_pollinate(self, book_graph):
+        # each thread owns one graph it mutates and re-saturates; the
+        # cache's shared dict must keep every owner's entry at its own
+        # version (an unguarded install could clobber a concurrent one)
+        import threading
+
+        from repro.schema.saturation import saturate_cached
+
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def owner(index):
+            try:
+                graph = book_graph.copy()
+                barrier.wait()
+                for round_index in range(20):
+                    marker = Triple(
+                        EX.term(f"owner{index}-{round_index}"), EX.writtenBy, EX.someone
+                    )
+                    graph.add(marker)
+                    result = saturate_cached(graph)
+                    if marker not in result:
+                        errors.append(f"owner {index} got a stale saturation")
+                    if saturate_cached(graph) is not result:
+                        errors.append(f"owner {index} lost its cache entry")
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(repr(error))
+
+        threads = [threading.Thread(target=owner, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestEntailmentUsesCache:
+    def test_entails_saturates_once_per_version(self, book_graph, monkeypatch):
+        import repro.schema.saturation as saturation_module
+
+        graph = book_graph.copy()
+        calls = []
+        real_saturate = saturation_module.saturate
+        monkeypatch.setattr(
+            saturation_module,
+            "saturate",
+            lambda *args, **kwargs: calls.append(1) or real_saturate(*args, **kwargs),
+        )
+        assert entails(graph, Triple(EX.doi1, RDF_TYPE, EX.Publication))
+        assert entails(graph, Triple(EX.doi1, EX.hasAuthor, BlankNode("b1")))
+        assert not is_saturated(graph)
+        assert len(calls) == 1
+        # a mutation invalidates: exactly one more saturation pass
+        graph.add(Triple(EX.doi9, EX.writtenBy, EX.someone))
+        assert entails(graph, Triple(EX.doi9, RDF_TYPE, EX.Book))
+        assert entails(graph, Triple(EX.doi9, EX.hasAuthor, EX.someone))
+        assert len(calls) == 2
+
+    def test_explicit_schema_path_stays_exact_and_uncached(self, book_graph, monkeypatch):
+        import repro.schema.saturation as saturation_module
+
+        schema = RDFSchema.from_graph(book_graph)
+        data_only = RDFGraph([t for t in book_graph if not t.is_schema()])
+        calls = []
+        real_saturate = saturation_module.saturate
+        monkeypatch.setattr(
+            saturation_module,
+            "saturate",
+            lambda *args, **kwargs: calls.append(1) or real_saturate(*args, **kwargs),
+        )
+        assert entails(data_only, Triple(EX.doi1, RDF_TYPE, EX.Publication), schema=schema)
+        assert entails(data_only, Triple(EX.doi1, RDF_TYPE, EX.Publication), schema=schema)
+        assert len(calls) == 2  # explicit-schema saturation is never cached
+
+    def test_is_saturated_on_already_saturated_graph(self, book_graph):
+        saturated = saturate(book_graph)
+        assert is_saturated(saturated)
+        assert not is_saturated(book_graph)

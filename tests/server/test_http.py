@@ -374,3 +374,50 @@ class TestPersistentRestart:
 
         assert after["answers"] == before["answers"]
         assert not any(entry.build_counters.values())
+
+
+class TestSaturationExposure:
+    def test_statistics_report_saturation_maintenance(self, served):
+        base, catalog = served
+        status, payload = _call(base, "GET", "/graphs/fig2/statistics")
+        assert status == 200
+        assert payload["saturation"] is None  # G∞ never requested yet
+
+        query = "SELECT ?s ?o WHERE { ?s <http://example.org/fig2/editor> ?o . }"
+        status, answer = _call(
+            base,
+            "POST",
+            "/graphs/fig2/query",
+            {"query": query, "saturated": True, "explain": True},
+        )
+        assert status == 200
+        assert answer["saturation"]["live"] is True
+        assert answer["saturation"]["builds"] == 1
+
+        status, payload = _call(base, "GET", "/graphs/fig2/statistics")
+        assert status == 200
+        saturation = payload["saturation"]
+        assert saturation["live"] is True
+        assert saturation["store_rows"] >= payload["store"]["total_rows"]
+
+        # an ingest updates G∞ in place and the delta shows up
+        status, _ = _call(
+            base,
+            "POST",
+            "/graphs/fig2/triples",
+            {"triples": "<http://x.example/a> <http://x.example/p> <http://x.example/b> .\n"},
+        )
+        assert status == 200
+        status, payload = _call(base, "GET", "/graphs/fig2/statistics")
+        assert payload["saturation"]["deltas"] == 1
+        assert payload["saturation"]["last_delta_rows"] == 1
+        assert payload["build_counters"]["saturation_builds"] == 1
+
+    def test_unsaturated_answers_carry_no_saturation_block(self, served):
+        base, _catalog = served
+        query = "SELECT ?s ?o WHERE { ?s <http://example.org/fig2/editor> ?o . }"
+        status, answer = _call(
+            base, "POST", "/graphs/fig2/query", {"query": query, "explain": True}
+        )
+        assert status == 200
+        assert "saturation" not in answer

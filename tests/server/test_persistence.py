@@ -409,3 +409,121 @@ class TestCatalogMaintenance:
             catalog.register("fig2", graph=fig2)
             assert not catalog.persistent
             catalog.checkpoint()  # must not raise
+
+
+class TestSaturationWarmStart:
+    """Warm restarts must keep G∞ — zero rule application on reopen."""
+
+    def _saturated_query(self):
+        return parse_query(
+            "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+            "<http://example.org/Publication> . }"
+        )
+
+    def test_checkpointed_saturation_is_not_rebuilt(self, book_graph, tmp_path):
+        from repro.schema.saturation import saturate
+
+        path = _catalog_path(tmp_path)
+        query = self._saturated_query()
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=book_graph)
+            service = QueryService(catalog)
+            cold = service.answer("g", query, saturated=True)
+            assert catalog.entry("g").build_counters["saturation_builds"] == 1
+            catalog.checkpoint()
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("g")
+            warm = QueryService(reopened).answer("g", query, saturated=True)
+            assert warm.answers == cold.answers
+            assert entry.build_counters["saturation_builds"] == 0
+            assert entry.build_counters["saturated_statistics_scans"] == 0
+            maintained = set(entry.saturated_evaluator().store.to_graph())
+            assert maintained == set(saturate(entry.to_graph()))
+
+    def test_write_through_persists_saturation_without_checkpoint(
+        self, book_graph, tmp_path
+    ):
+        # the saturated state is seeded *between* checkpoints, then an
+        # ingest write-through must persist the full derived log (the
+        # durable log lags the live one and is rewritten wholesale)
+        from repro.model.namespaces import EX
+        from repro.model.triple import Triple
+        from repro.schema.saturation import saturate
+
+        path = _catalog_path(tmp_path)
+        query = self._saturated_query()
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=book_graph)
+            QueryService(catalog).answer("g", query, saturated=True)
+            catalog.add_triples(
+                "g", [Triple(EX.doiX, EX.writtenBy, EX.someoneelse)]
+            )  # write-through appends rows + replaces artifacts
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("g")
+            QueryService(reopened).answer("g", query, saturated=True)
+            assert entry.build_counters["saturation_builds"] == 0
+            maintained = set(entry.saturated_evaluator().store.to_graph())
+            assert maintained == set(saturate(entry.to_graph()))
+
+    def test_ingest_after_warm_start_keeps_maintaining(self, book_graph, tmp_path):
+        from repro.model.namespaces import EX, RDF_TYPE
+        from repro.model.triple import Triple
+        from repro.schema.saturation import saturate
+
+        path = _catalog_path(tmp_path)
+        query = self._saturated_query()
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=book_graph)
+            QueryService(catalog).answer("g", query, saturated=True)
+            catalog.checkpoint()
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("g")
+            # ingest BEFORE any saturated access: the pending snapshot is
+            # materialized rule-free, then the delta applies semi-naively
+            new = Triple(EX.doiY, EX.writtenBy, EX.other)
+            reopened.add_triples("g", [new])
+            assert entry.build_counters["saturation_builds"] == 0
+            answer = QueryService(reopened).answer("g", query, saturated=True)
+            assert (EX.doiY,) in answer.answers or Triple(
+                EX.doiY, RDF_TYPE, EX.Publication
+            ) in saturate(entry.to_graph())
+            maintained = set(entry.saturated_evaluator().store.to_graph())
+            assert maintained == set(saturate(entry.to_graph()))
+        # and it survived durably: one more cycle, still zero rebuilds
+        with GraphCatalog.open(path) as again:
+            entry = again.entry("g")
+            maintained = set(entry.saturated_evaluator().store.to_graph())
+            assert entry.build_counters["saturation_builds"] == 0
+            assert maintained == set(saturate(entry.to_graph()))
+
+    def test_unsaturated_graph_carries_no_saturation_artifacts(self, fig2, tmp_path):
+        import sqlite3
+
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=fig2)
+            catalog.checkpoint()
+        connection = sqlite3.connect(path)
+        artifact_names = {
+            row[0] for row in connection.execute("SELECT name FROM artifacts")
+        }
+        saturation_rows = connection.execute(
+            "SELECT COUNT(*) FROM saturation_rows"
+        ).fetchone()[0]
+        connection.close()
+        assert "saturation" not in artifact_names
+        assert saturation_rows == 0
+
+    def test_drop_forgets_saturation_rows(self, book_graph, tmp_path):
+        import sqlite3
+
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=book_graph)
+            catalog.entry("g").saturated_evaluator()
+            catalog.checkpoint()
+            catalog.drop("g")
+        connection = sqlite3.connect(path)
+        remaining = connection.execute("SELECT COUNT(*) FROM saturation_rows").fetchone()[0]
+        connection.close()
+        assert remaining == 0

@@ -171,6 +171,7 @@ class TestIncrementalUpdates:
 
     def test_held_saturated_evaluator_survives_update(self, book_graph):
         from repro.queries.generator import generate_rbgp_workload
+        from repro.schema.saturation import saturate
 
         triples = sorted(book_graph)
         with GraphCatalog() as catalog:
@@ -180,9 +181,62 @@ class TestIncrementalUpdates:
             before = held.evaluate(query)
             entry.add_triples(triples[-1:])
             fresh = entry.saturated_evaluator()
-            # the evaluator handed out before the update must keep working
-            assert held.evaluate(query) == before
-            assert fresh.has_answers(query) or not before
+            # the saturated store is maintained *in place* now: the held
+            # evaluator keeps working, is the same object a new request
+            # gets, and serves the post-update G∞
+            assert fresh is held
+            from repro.queries.evaluation import evaluate
+
+            after = held.evaluate(query)
+            assert after == evaluate(saturate(entry.to_graph()), query)
+            assert before <= after  # saturation only ever adds triples
+
+    def test_saturated_store_maintained_without_rebuild(self, book_graph):
+        from repro.schema.saturation import saturate
+
+        triples = sorted(book_graph)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(triples[:-6], name="g"))
+            entry.saturated_evaluator()
+            assert entry.build_counters["saturation_builds"] == 1
+            for index in range(6, 0, -2):
+                stop = None if index == 2 else -(index - 2)
+                entry.add_triples(triples[-index:stop])
+            # every delta applied in place: still exactly one full build,
+            # and the maintained store equals a from-scratch saturation
+            assert entry.build_counters["saturation_builds"] == 1
+            maintained = set(entry.saturated_evaluator().store.to_graph())
+            assert maintained == set(saturate(entry.to_graph()))
+
+    def test_saturated_statistics_updated_in_place(self, book_graph):
+        from repro.service.statistics import CardinalityStatistics
+
+        triples = sorted(book_graph)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(triples[:-3], name="g"))
+            evaluator = entry.saturated_evaluator("hash")
+            evaluator.statistics()  # force the saturated profile into being
+            scans_before = entry.build_counters["saturated_statistics_scans"]
+            entry.add_triples(triples[-3:])
+            profile = entry.saturated_evaluator("hash").statistics()
+            assert entry.build_counters["saturated_statistics_scans"] == scans_before
+            assert profile == CardinalityStatistics.from_store(evaluator.store)
+
+    def test_saturation_metrics_track_deltas(self, book_graph):
+        triples = sorted(book_graph)
+        with GraphCatalog() as catalog:
+            entry = catalog.register("g", graph=RDFGraph(triples[:-2], name="g"))
+            assert entry.saturation_metrics() is None  # G∞ never requested
+            entry.add_triples(triples[-2:-1])  # still no saturated state: no cost
+            assert entry.saturation_metrics() is None
+            entry.saturated_evaluator()
+            metrics = entry.saturation_metrics()
+            assert metrics["live"] and metrics["builds"] == 1 and metrics["deltas"] == 0
+            entry.add_triples(triples[-1:])
+            metrics = entry.saturation_metrics()
+            assert metrics["deltas"] == 1
+            assert metrics["last_delta_rows"] == 1
+            assert metrics["store_rows"] >= metrics["derived_rows"]
 
     def test_shuffled_insertion_orders_converge(self, fig2):
         import random

@@ -18,23 +18,39 @@ Reported per kind:
 Every measured pair is also checked for graph isomorphism, so the benchmark
 doubles as an end-to-end equivalence test.
 
+With ``--store-microbench`` the benchmark instead times the storage layer
+itself: the pre-columnar dict-of-tuples :class:`DictReferenceStore` (kept
+as a test oracle in :mod:`repro.store.reference`) against the columnar
+:class:`MemoryStore`, on the three access patterns the refactor targets —
+bulk load (append + index build), summarization-style full scans (per-row
+attribute loops vs. ``scan_columns`` slices consumed by ``set.update``),
+and batched ``select_many`` lookups under a constant predicate.
+
 Usage
 -----
 ::
 
     PYTHONPATH=src python benchmarks/bench_encoded_pipeline.py            # full run (>= 100k triples)
     PYTHONPATH=src python benchmarks/bench_encoded_pipeline.py --quick    # CI smoke run
+    PYTHONPATH=src python benchmarks/bench_encoded_pipeline.py --store-microbench
+    PYTHONPATH=src python benchmarks/bench_encoded_pipeline.py --store-microbench --quick
 
 The full run exits non-zero when the encoded path is not at least
 ``--min-speedup`` (default 2.0) times faster than the legacy path on the
-large BSBM input, or when any summary pair is not isomorphic.
+large BSBM input, or when any summary pair is not isomorphic.  The full
+store microbench exits non-zero when the columnar summarization scan is
+not at least ``--min-scan-speedup`` (default 2.0) times faster than the
+dict layout's per-row scan.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import random
 import sys
 import time
+from collections import Counter
 from typing import Dict, List, Tuple
 
 from repro.core.builders import summarize
@@ -43,7 +59,9 @@ from repro.core.isomorphism import graphs_isomorphic
 from repro.datasets.bsbm import generate_bsbm
 from repro.datasets.lubm import generate_lubm
 from repro.model.graph import RDFGraph
+from repro.model.triple import TripleKind
 from repro.store.memory import MemoryStore
+from repro.store.reference import DictReferenceStore
 
 KINDS = ("weak", "strong", "type", "typed_weak", "typed_strong")
 
@@ -105,6 +123,139 @@ def _bench_dataset(
     }
 
 
+def _encoded_rows(graph: RDFGraph) -> Tuple[Dict[TripleKind, List], int, List[int]]:
+    """Dictionary-encode *graph* once; return rows per kind, the most common
+    DATA predicate and the distinct DATA subject ids (in first-seen order)."""
+    source = MemoryStore()
+    source.load_graph(graph)
+    rows: Dict[TripleKind, List] = {}
+    predicate_counts: Counter = Counter()
+    subjects: Dict[int, None] = {}
+    for kind in (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA):
+        kind_rows: List = []
+        for s_arr, p_arr, o_arr in source.scan_columns(kind):
+            kind_rows.extend(zip(s_arr, p_arr, o_arr))
+            if kind is TripleKind.DATA:
+                predicate_counts.update(p_arr)
+                for subject in s_arr:
+                    subjects[subject] = None
+        rows[kind] = kind_rows
+    source.close()
+    top_predicate = predicate_counts.most_common(1)[0][0] if predicate_counts else -1
+    return rows, top_predicate, list(subjects)
+
+
+def _best_of(repeat: int, operation) -> float:
+    best = float("inf")
+    for _round in range(repeat):
+        start = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _microbench_store(
+    store, rows: Dict[TripleKind, List], predicate: int, sample: List[int], repeat: int
+) -> Dict[str, float]:
+    """Time bulk load, summarization scan and select_many on *store*."""
+    tagged = [(kind, row) for kind, kind_rows in rows.items() for row in kind_rows]
+
+    start = time.perf_counter()
+    store.insert_encoded_rows(tagged)
+    # a first indexed lookup forces the columnar store's deferred index
+    # build, so both layouts pay their full load+index cost here
+    store.select_many(TripleKind.DATA, subjects=sample[:1], predicate=predicate)
+    bulk_load = time.perf_counter() - start
+
+    columnar = getattr(store, "supports_column_snapshot", False)
+
+    def scan_pass() -> int:
+        nodes = set()
+        typed = set()
+        if columnar:
+            for s_arr, _p_arr, o_arr in store.scan_columns(TripleKind.DATA):
+                nodes.update(s_arr)
+                nodes.update(o_arr)
+            for s_arr, _p_arr, _o_arr in store.scan_columns(TripleKind.TYPE):
+                typed.update(s_arr)
+        else:
+            for row in store.scan_data():
+                nodes.add(row.subject)
+                nodes.add(row.object)
+            for row in store.scan_types():
+                typed.add(row.subject)
+        return len(nodes) + len(typed)
+
+    scan = _best_of(repeat, scan_pass)
+    select = _best_of(
+        repeat, lambda: store.select_many(TripleKind.DATA, subjects=sample, predicate=predicate)
+    )
+    return {"bulk_load_seconds": bulk_load, "scan_seconds": scan, "select_many_seconds": select}
+
+
+def run_store_microbench(args) -> int:
+    scale = 100 if args.quick else args.scale
+    repeat = 2 if args.quick else 3
+    graph = generate_bsbm(scale=scale, seed=args.seed)
+    rows, predicate, subjects = _encoded_rows(graph)
+    data_rows = len(rows[TripleKind.DATA])
+    rng = random.Random(args.seed)
+    sample_size = min(len(subjects), 500 if args.quick else 5_000)
+    sample = rng.sample(subjects, sample_size)
+    sample += sample[: sample_size // 4]  # repeated keys exercise key dedup
+    print(
+        f"bsbm scale {scale}: {len(graph)} triples ({data_rows} data rows), "
+        f"select_many over {len(sample)} subject keys, best of {repeat}"
+    )
+
+    dict_store = DictReferenceStore()
+    dict_times = _microbench_store(dict_store, rows, predicate, sample, repeat)
+    dict_store.close()
+    columnar_store = MemoryStore()
+    columnar_times = _microbench_store(columnar_store, rows, predicate, sample, repeat)
+    columnar_store.close()
+
+    report: Dict[str, object] = {
+        "triples": len(graph),
+        "data_rows": data_rows,
+        "sample_keys": len(sample),
+        "dict": dict_times,
+        "columnar": columnar_times,
+        "ratios": {},
+    }
+    print(f"  {'operation':<14}{'dict (s)':>12}{'columnar (s)':>14}{'speedup':>10}")
+    for label, key in (
+        ("bulk load", "bulk_load_seconds"),
+        ("scan", "scan_seconds"),
+        ("select_many", "select_many_seconds"),
+    ):
+        ratio = dict_times[key] / columnar_times[key] if columnar_times[key] > 0 else float("inf")
+        report["ratios"][key] = ratio
+        print(f"  {label:<14}{dict_times[key]:>12.4f}{columnar_times[key]:>14.4f}{ratio:>9.2f}x")
+
+    if args.json_output:
+        with open(args.json_output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json_output}")
+
+    scan_speedup = report["ratios"]["scan_seconds"]
+    if not args.quick and scan_speedup < args.min_scan_speedup:
+        print(
+            f"FAIL: columnar summarization scan {scan_speedup:.2f}x "
+            f"below the {args.min_scan_speedup:.1f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    if args.quick:
+        print("\nPASS: store microbench completed (quick mode; no throughput gate)")
+    else:
+        print(
+            f"\nPASS: columnar scan {scan_speedup:.2f}x faster than the dict layout "
+            f"on {data_rows} data rows (gate: {args.min_scan_speedup:.1f}x)"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -122,7 +273,25 @@ def main(argv=None) -> int:
         default=2.0,
         help="required legacy/encoded speedup on the large BSBM input (full run only)",
     )
+    parser.add_argument(
+        "--store-microbench",
+        action="store_true",
+        help="time the dict-of-tuples reference store against the columnar "
+        "MemoryStore (bulk load, summarization scan, select_many) instead "
+        "of the pipeline comparison",
+    )
+    parser.add_argument(
+        "--min-scan-speedup",
+        type=float,
+        default=2.0,
+        help="required columnar/dict summarization-scan speedup "
+        "(full --store-microbench run only)",
+    )
+    parser.add_argument("--json", dest="json_output", help="write the microbench report as JSON")
     args = parser.parse_args(argv)
+
+    if args.store_microbench:
+        return run_store_microbench(args)
 
     if args.quick:
         datasets = [

@@ -14,13 +14,14 @@ results are compared, and every verdict is checked against the workload's
 generation-time ground truth — the run fails on any pruning error, i.e. a
 satisfiable query declared empty, the unsoundness Proposition 1 rules out.
 
-With ``--compare-strategies`` the benchmark instead A/B-tests the two join
+With ``--compare-strategies`` the benchmark instead A/B-tests the join
 strategies of the encoded evaluator — the legacy per-binding
-index-nested-loop (``strategy="nested"``) against the statistics-planned
-vectorized hash join (``strategy="hash"``) — on a family-labelled join
-workload (satisfiable chains/forks/long chains plus the structurally
-unsatisfiable shapes), reporting per-family wall time and verifying the
-answer sets are identical query by query.
+index-nested-loop (``strategy="nested"``), the statistics-planned
+vectorized hash join (``strategy="hash"``), and the sorted-posting-run
+merge join (``strategy="merge"``) — on a family-labelled join workload
+(satisfiable chains/forks/long chains plus the structurally unsatisfiable
+shapes), reporting per-family wall time and verifying the answer sets are
+identical query by query across all three strategies.
 
 Usage
 -----
@@ -37,7 +38,9 @@ least ``--min-speedup`` (default 5.0) times faster end-to-end, or when any
 verdict disagrees with full evaluation on the base graph.  The full
 strategy comparison exits non-zero when the hash join is not at least
 ``--min-join-speedup`` (default 3.0) times faster than the nested loop on
-the satisfiable join families, or on any answer-set difference.
+the satisfiable join families, when the merge join is slower than the hash
+join on those same families (``--min-merge-ratio``, default 1.0), or on
+any answer-set difference.
 """
 
 from __future__ import annotations
@@ -58,21 +61,24 @@ def format_strategy_report(report: Dict[str, object]) -> str:
         f"graph {report['graph']}: {report['triples']} triples, "
         f"{report['queries']} queries on the {report['backend']} backend "
         f"(statistics built in {report['statistics_seconds']:.3f}s)",
-        f"  {'family':<18}{'queries':>8}{'nested':>10}{'hash':>10}{'speedup':>9}{'diffs':>7}",
+        f"  {'family':<18}{'queries':>8}{'nested':>10}{'hash':>10}{'merge':>10}"
+        f"{'speedup':>9}{'mrg/hash':>9}{'diffs':>7}",
     ]
     families: Dict[str, Dict[str, object]] = report["families"]  # type: ignore[assignment]
     for family in sorted(families):
         row = families[family]
         lines.append(
             f"  {family:<18}{row['queries']:>8}{row['nested_seconds']:>10.4f}"
-            f"{row['hash_seconds']:>10.4f}{row['speedup']:>8.2f}x"
+            f"{row['hash_seconds']:>10.4f}{row['merge_seconds']:>10.4f}"
+            f"{row['speedup']:>8.2f}x{row['merge_vs_hash']:>8.2f}x"
             f"{row['answer_differences']:>7}"
         )
     for label, key in (("satisfiable joins", "satisfiable_join"), ("overall", "overall")):
         aggregate = report[key]
         lines.append(
             f"  {label:<18}{aggregate['queries']:>8}{aggregate['nested_seconds']:>10.4f}"
-            f"{aggregate['hash_seconds']:>10.4f}{aggregate['speedup']:>8.2f}x"
+            f"{aggregate['hash_seconds']:>10.4f}{aggregate['merge_seconds']:>10.4f}"
+            f"{aggregate['speedup']:>8.2f}x{aggregate['merge_vs_hash']:>8.2f}x"
         )
     lines.append(
         f"  soundness        : {report['answer_differences']} answer-set differences "
@@ -112,22 +118,30 @@ def run_compare_strategies(args) -> int:
             "the comparison (and its gate) would be vacuous"
         )
     join_speedup = report["satisfiable_join"]["speedup"]
+    merge_ratio = report["satisfiable_join"]["merge_vs_hash"]
     if not args.quick and join_speedup < args.min_join_speedup:
         failures.append(
             f"hash-join speedup {join_speedup:.2f}x on the satisfiable join families "
             f"is below the {args.min_join_speedup:.1f}x gate"
+        )
+    if not args.quick and args.backend == "memory" and merge_ratio < args.min_merge_ratio:
+        failures.append(
+            f"merge-join is {merge_ratio:.2f}x the hash join on the satisfiable join "
+            f"families — below the {args.min_merge_ratio:.2f}x gate (merge must not "
+            f"lose to hash on sorted posting runs)"
         )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     if args.quick:
-        print("\nPASS: hash-join and nested-loop answers identical on every query")
+        print("\nPASS: nested-loop, hash-join and merge-join answers identical on every query")
     else:
         print(
-            f"\nPASS: hash join {join_speedup:.2f}x faster than the nested loop on the "
-            f"satisfiable join families at {report['triples']} triples with zero "
-            f"answer-set differences (gate: {args.min_join_speedup:.1f}x)"
+            f"\nPASS: hash join {join_speedup:.2f}x faster than the nested loop and "
+            f"merge join {merge_ratio:.2f}x the hash join on the satisfiable join "
+            f"families at {report['triples']} triples with zero answer-set "
+            f"differences (gates: {args.min_join_speedup:.1f}x, {args.min_merge_ratio:.2f}x)"
         )
     return 0
 
@@ -169,6 +183,14 @@ def main(argv=None) -> int:
         default=3.0,
         help="required hash/nested speedup on the satisfiable join families "
         "(full --compare-strategies run only)",
+    )
+    parser.add_argument(
+        "--min-merge-ratio",
+        type=float,
+        default=1.0,
+        help="required hash/merge wall-time ratio on the satisfiable join "
+        "families — merge must be at least this fraction as fast as hash "
+        "(full --compare-strategies run on the memory backend only)",
     )
     parser.add_argument(
         "--scale", type=int, default=3200, help="BSBM scale for the full run (3200 ≈ 110k triples)"

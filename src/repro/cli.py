@@ -131,10 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--strategy",
         default="hash",
-        choices=["hash", "nested", "sql"],
+        choices=["hash", "nested", "sql", "merge"],
         help="join strategy of base evaluation: the statistics-planned "
-        "vectorized hash join (default), the legacy index-nested-loop, or "
-        "whole-join SQL pushdown (SQLite-backed stores; falls back to hash)",
+        "vectorized hash join (default), the legacy index-nested-loop, "
+        "whole-join SQL pushdown (SQLite-backed stores; falls back to hash), "
+        "or sorted-run merge joins (columnar memory store; per-stage "
+        "fallback to hash)",
     )
     query_parser.add_argument(
         "--explain",
@@ -194,10 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--strategy",
         default=None,
-        choices=["hash", "nested", "sql"],
+        choices=["hash", "nested", "sql", "merge"],
         help="join strategy of base evaluation (default: sql for the sqlite "
         "backend — whole-join pushdown, the strategy that scales across "
-        "threads — and hash for the memory backend)",
+        "threads — and hash for the memory backend; merge runs sorted-run "
+        "merge joins on the columnar memory store)",
     )
     serve_parser.add_argument(
         "--backend",
@@ -402,9 +405,10 @@ def _print_explain(answer, entry) -> None:
         )
         produced = "-" if stage.produced is None else f"{stage.produced:,}"
         fetched = "-" if stage.fetched is None else f"{stage.fetched:,}"
+        algorithm = "" if stage.algorithm is None else f", join {stage.algorithm}"
         print(
             f"    {index}. {stage.description}"
-            f"  [est {estimated} rows, fetched {fetched}, actual {produced}]"
+            f"  [est {estimated} rows, fetched {fetched}, actual {produced}{algorithm}]"
         )
 
 

@@ -135,11 +135,18 @@ class EncodedSummaryEngine:
     # ------------------------------------------------------------------
     # scan passes
     # ------------------------------------------------------------------
-    def _data_batches(self) -> Iterable[List[Tuple[int, int, int]]]:
-        return self.store.scan_batches(TripleKind.DATA, self.batch_size)
+    def _data_columns(self):
+        return self.store.scan_columns(TripleKind.DATA, self.batch_size)
 
-    def _type_batches(self) -> Iterable[List[Tuple[int, int, int]]]:
-        return self.store.scan_batches(TripleKind.TYPE, self.batch_size)
+    def _type_columns(self):
+        return self.store.scan_columns(TripleKind.TYPE, self.batch_size)
+
+    def _typed_subject_ids(self) -> Set[int]:
+        """Every type-triple subject id — one bulk set update per batch."""
+        typed: Set[int] = set()
+        for subjects, _predicates, _objects in self._type_columns():
+            typed.update(subjects)
+        return typed
 
     def _compute_cliques(
         self, exclude: Optional[Set[int]] = None
@@ -159,9 +166,11 @@ class EncodedSummaryEngine:
         first_in: Dict[int, int] = {}
         properties: Set[int] = set()
 
-        for batch in self._data_batches():
-            for subject, prop, obj in batch:
-                properties.add(prop)
+        for subjects, predicates, objects in self._data_columns():
+            # the distinct-property set is a bulk C-level update per column
+            # slice; only the union-find maintenance still walks rows
+            properties.update(predicates)
+            for subject, prop, obj in zip(subjects, predicates, objects):
                 if exclude is None or subject not in exclude:
                     known = first_out.get(subject)
                     if known is None:
@@ -188,9 +197,9 @@ class EncodedSummaryEngine:
         uri_types_of: Dict[int, Set[int]] = {}
         class_is_uri: Dict[int, bool] = {}
         decode = self.store.dictionary.decode
-        for batch in self._type_batches():
-            for subject, _prop, class_id in batch:
-                typed_subjects.add(subject)
+        for subjects, _predicates, objects in self._type_columns():
+            typed_subjects.update(subjects)
+            for subject, class_id in zip(subjects, objects):
                 is_uri = class_is_uri.get(class_id)
                 if is_uri is None:
                     is_uri = isinstance(decode(class_id), URI)
@@ -408,12 +417,11 @@ class EncodedSummaryEngine:
     def _data_node_ids(self, typed_subjects: Optional[Set[int]] = None) -> Set[int]:
         """Every data-node id: data-triple endpoints plus type-triple subjects."""
         nodes: Set[int] = set()
-        for batch in self._data_batches():
-            for subject, _prop, obj in batch:
-                nodes.add(subject)
-                nodes.add(obj)
+        for subjects, _predicates, objects in self._data_columns():
+            nodes.update(subjects)
+            nodes.update(objects)
         if typed_subjects is None:
-            typed_subjects = {row.subject for row in self.store.scan_types()}
+            typed_subjects = self._typed_subject_ids()
         nodes |= typed_subjects
         return nodes
 
@@ -429,10 +437,10 @@ class EncodedSummaryEngine:
         """Build the *kind* summary of the store's graph, decoding at the end."""
         namer = SummaryNamer()
         if kind == "weak":
-            typed_subjects = {row.subject for row in self.store.scan_types()}
+            typed_subjects = self._typed_subject_ids()
             block_of, block_uris = self._weak_blocks(namer, extra_nodes=typed_subjects)
         elif kind == "strong":
-            typed_subjects = {row.subject for row in self.store.scan_types()}
+            typed_subjects = self._typed_subject_ids()
             block_of, block_uris = self._strong_blocks(namer, extra_nodes=typed_subjects)
         elif kind == "type":
             block_of, block_uris = self._type_blocks(namer)
@@ -457,12 +465,12 @@ class EncodedSummaryEngine:
     ) -> Summary:
         """Quotient the encoded rows through *block_of* and decode the result."""
         data_edges: Set[Tuple[int, int, int]] = set()
-        for batch in self._data_batches():
-            for subject, prop, obj in batch:
+        for subjects, predicates, objects in self._data_columns():
+            for subject, prop, obj in zip(subjects, predicates, objects):
                 data_edges.add((block_of[subject], prop, block_of[obj]))
         type_edges: Set[Tuple[int, int]] = set()
-        for batch in self._type_batches():
-            for subject, _prop, class_id in batch:
+        for subjects, _predicates, objects in self._type_columns():
+            for subject, class_id in zip(subjects, objects):
                 type_edges.add((block_of[subject], class_id))
 
         decode = self.store.dictionary.decode

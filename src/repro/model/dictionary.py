@@ -72,6 +72,19 @@ class Dictionary:
             raise UnknownTermError(f"unknown term id: {identifier}")
         return self._id_to_term[identifier]
 
+    @property
+    def decode_table(self) -> List[Term]:
+        """The id-indexed term list, for bulk decoding of known-valid ids.
+
+        Treat as read-only: indexing it directly skips the per-call bounds
+        check and method dispatch of :meth:`decode`, which matters when a
+        query projection decodes hundreds of thousands of ids.  Ids not
+        produced by this dictionary raise a plain :class:`IndexError`
+        instead of :class:`UnknownTermError` (negative ids would silently
+        alias — callers hold store-produced ids, which are non-negative).
+        """
+        return self._id_to_term
+
     def try_decode(self, identifier: int) -> Optional[Term]:
         """Return the term with id *identifier*, or ``None`` when unknown."""
         if 0 <= identifier < len(self._id_to_term):

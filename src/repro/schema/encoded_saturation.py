@@ -150,29 +150,30 @@ class IncrementalSaturator:
     # ------------------------------------------------------------------
     # schema bookkeeping
     # ------------------------------------------------------------------
-    def _register_schema_row(self, row: EncodedTriple) -> bool:
+    def _register_schema_row(self, row: Tuple[int, int, int]) -> bool:
         """Fold one schema row into the direct maps; ``True`` when new."""
-        term = self.store.dictionary.decode(row.predicate)
+        subject, predicate, obj = row[0], row[1], row[2]
+        term = self.store.dictionary.decode(predicate)
         relation = _RELATION_OF_TERM.get(term)
         if relation is None:  # not one of the four constraints: inert
             return False
-        self._schema_ids[relation] = row.predicate
+        self._schema_ids[relation] = predicate
         if relation == _SUBPROPERTY:
             # a special property (rdf:type, or one of the four constraint
             # properties) can itself appear as a superproperty — adopt its
             # id now so rdfs7 copies route to the right target table
-            object_term = self.store.dictionary.decode(row.object)
+            object_term = self.store.dictionary.decode(obj)
             if object_term == RDF_TYPE:
-                self._type_id = row.object
+                self._type_id = obj
             else:
                 object_relation = _RELATION_OF_TERM.get(object_term)
                 if object_relation is not None:
-                    self._schema_ids[object_relation] = row.object
+                    self._schema_ids[object_relation] = obj
         self._schema_id_set = frozenset(self._schema_ids.values())
-        targets = self._direct[relation].setdefault(row.subject, set())
-        if row.object in targets:
+        targets = self._direct[relation].setdefault(subject, set())
+        if obj in targets:
             return False
-        targets.add(row.object)
+        targets.add(obj)
         return True
 
     def _kind_for_property(self, property_id: int) -> TripleKind:
@@ -226,9 +227,9 @@ class IncrementalSaturator:
         self._domains = domains
         self._ranges = ranges
 
-    def _insert_closure_rows(self, out: List[Tuple[TripleKind, EncodedTriple]]) -> None:
+    def _insert_closure_rows(self, out: List[Tuple[TripleKind, Tuple[int, int, int]]]) -> None:
         """Insert every closed-schema row missing from the target."""
-        rows: List[Tuple[TripleKind, EncodedTriple]] = []
+        rows: List[Tuple[TripleKind, Tuple[int, int, int]]] = []
         for relation, closed in (
             (_SUBCLASS, self._super_classes),
             (_SUBPROPERTY, self._super_properties),
@@ -240,7 +241,7 @@ class IncrementalSaturator:
                 continue
             for subject, objects in closed.items():
                 for obj in objects:
-                    rows.append((TripleKind.SCHEMA, EncodedTriple(subject, property_id, obj)))
+                    rows.append((TripleKind.SCHEMA, (subject, property_id, obj)))
         self._record(self.target.insert_encoded_rows(rows), out)
 
     def _record(
@@ -262,27 +263,27 @@ class IncrementalSaturator:
         return self._type_id
 
     def _derive_data(
-        self, subject: int, prop: int, obj: int, out: List[Tuple[TripleKind, EncodedTriple]]
+        self, subject: int, prop: int, obj: int, out: List[Tuple[TripleKind, Tuple[int, int, int]]]
     ) -> None:
         """rdfs7 superproperty copies plus rdfs2/3 domain and range typings."""
-        rows: List[Tuple[TripleKind, EncodedTriple]] = []
+        rows: List[Tuple[TripleKind, Tuple[int, int, int]]] = []
         for super_property in self._super_properties.get(prop, ()):
             rows.append(
-                (self._kind_for_property(super_property), EncodedTriple(subject, super_property, obj))
+                (self._kind_for_property(super_property), (subject, super_property, obj))
             )
         domains = self._domains.get(prop)
         ranges = self._ranges.get(prop)
         if domains or ranges:
             type_id = self._type_identifier()
             for cls in domains or ():
-                rows.append((TripleKind.TYPE, EncodedTriple(subject, type_id, cls)))
+                rows.append((TripleKind.TYPE, (subject, type_id, cls)))
             for cls in ranges or ():
-                rows.append((TripleKind.TYPE, EncodedTriple(obj, type_id, cls)))
+                rows.append((TripleKind.TYPE, (obj, type_id, cls)))
         if rows:
             self._record(self.target.insert_encoded_rows(rows), out)
 
     def _derive_type(
-        self, subject: int, cls: int, out: List[Tuple[TripleKind, EncodedTriple]]
+        self, subject: int, cls: int, out: List[Tuple[TripleKind, Tuple[int, int, int]]]
     ) -> None:
         """rdfs9 superclass typings (the closed domains/ranges already
         include superclasses, so data-row typings never re-enter here)."""
@@ -291,7 +292,7 @@ class IncrementalSaturator:
             return
         type_id = self._type_identifier()
         rows = [
-            (TripleKind.TYPE, EncodedTriple(subject, type_id, super_class))
+            (TripleKind.TYPE, (subject, type_id, super_class))
             for super_class in super_classes
         ]
         self._record(self.target.insert_encoded_rows(rows), out)
@@ -374,12 +375,12 @@ class IncrementalSaturator:
         the already-extended closure; the re-derivation pass covers the
         rest, and deduplication makes the overlap free.
         """
-        fresh: List[Tuple[TripleKind, EncodedTriple]] = []
-        instance_rows: List[Tuple[TripleKind, EncodedTriple]] = []
-        schema_rows: List[EncodedTriple] = []
+        fresh: List[Tuple[TripleKind, Tuple[int, int, int]]] = []
+        instance_rows: List[Tuple[TripleKind, Tuple[int, int, int]]] = []
+        schema_rows: List[Tuple[int, int, int]] = []
         for kind, row in rows:
-            if not isinstance(row, EncodedTriple):
-                row = EncodedTriple(row[0], row[1], row[2])
+            if not isinstance(row, tuple):
+                row = (row[0], row[1], row[2])
             if kind is TripleKind.SCHEMA:
                 schema_rows.append(row)
             else:
@@ -400,10 +401,10 @@ class IncrementalSaturator:
         for kind, row in instance_rows:
             if kind is TripleKind.DATA:
                 if row in fresh_data:
-                    self._derive_data(row.subject, row.predicate, row.object, fresh)
+                    self._derive_data(row[0], row[1], row[2], fresh)
             else:
-                self._type_id = row.predicate
-                self._derive_type(row.subject, row.object, fresh)
+                self._type_id = row[1]
+                self._derive_type(row[0], row[2], fresh)
         return fresh
 
     # ------------------------------------------------------------------
@@ -415,10 +416,9 @@ class IncrementalSaturator:
         ``saturation_builds``); afterwards every update goes through
         :meth:`ingest_rows`.  Returns the number of target rows.
         """
-        sink: List[Tuple[TripleKind, EncodedTriple]] = []
+        sink: List[Tuple[TripleKind, Tuple[int, int, int]]] = []
         schema_rows = [
-            row if isinstance(row, EncodedTriple) else EncodedTriple(row[0], row[1], row[2])
-            for row in self.store.scan_schema()
+            (row[0], row[1], row[2]) for row in self.store.scan_schema()
         ]
         if schema_rows:
             # close the schema up front (no targeted re-derivation pass —
@@ -431,8 +431,10 @@ class IncrementalSaturator:
             self._reclose()
             self._insert_closure_rows(sink)
         for kind in (TripleKind.DATA, TripleKind.TYPE):
-            for batch in self.store.scan_batches(kind):
-                self.ingest_rows((kind, row) for row in batch)
+            for subjects, predicates, objects in self.store.scan_columns(kind):
+                self.ingest_rows(
+                    [(kind, row) for row in zip(subjects, predicates, objects)]
+                )
         return self.target.statistics().total_rows
 
     def snapshot(self, name: str = "") -> RDFGraph:
@@ -487,21 +489,11 @@ class IncrementalSaturator:
         """
         insert = self.target.insert_encoded_rows
         for kind in (TripleKind.SCHEMA, TripleKind.DATA, TripleKind.TYPE):
-            for batch in self.store.scan_batches(kind):
-                insert(
-                    [
-                        (
-                            kind,
-                            row
-                            if isinstance(row, EncodedTriple)
-                            else EncodedTriple(row[0], row[1], row[2]),
-                        )
-                        for row in batch
-                    ]
-                )
+            for subjects, predicates, objects in self.store.scan_columns(kind):
+                insert([(kind, row) for row in zip(subjects, predicates, objects)])
         insert(
             [
-                (TripleKind(kind_value), EncodedTriple(subject, predicate, obj))
+                (TripleKind(kind_value), (subject, predicate, obj))
                 for kind_value, subject, predicate, obj in self._derived
             ]
         )

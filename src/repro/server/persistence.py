@@ -11,8 +11,12 @@ graph:
   term constructors on load.  Term objects are never pickled: their
   memoized hashes are salted per process, and a hash smuggled across
   processes would corrupt every dict they key;
-* its **encoded triples** in ``graph_triples`` (table kind + the three
-  integer columns, insertion order preserved);
+* its **encoded triples** — columnar stores checkpoint as ``graph_columns``
+  (one packed ``array('q')`` blob per column per table, written and read
+  back with zero per-row SQL; ``graph_triples`` then holds only the rows
+  appended after the snapshot), while row stores keep using
+  ``graph_triples`` (table kind + the three integer columns, insertion
+  order preserved);
 * its **artifacts** in ``artifacts`` — version-tagged binary payloads for
   the weak-summary maintainer maps, the cardinality statistics and every
   summary cached at checkpoint time.  Maintainer and statistics payloads
@@ -42,7 +46,9 @@ from __future__ import annotations
 
 import pickle
 import sqlite3
+import sys
 import threading
+from array import array
 from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.core.summary import Summary
@@ -57,7 +63,13 @@ from repro.store.base import TripleStore
 __all__ = ["GraphSnapshot", "PersistentCatalog", "SCHEMA_VERSION"]
 
 #: Bump on any incompatible change to the tables or artifact payloads.
-SCHEMA_VERSION = 1
+#: Version 2 added the ``graph_columns`` packed-blob table; version-1 files
+#: (pure row checkpoints) are still readable, so opening upgrades them in
+#: place instead of refusing them.
+SCHEMA_VERSION = 2
+
+#: The oldest schema this build still reads (older files are refused).
+MIN_SUPPORTED_SCHEMA_VERSION = 1
 
 _PICKLE_PROTOCOL = 4
 
@@ -87,6 +99,16 @@ CREATE TABLE IF NOT EXISTS graph_triples (
     o INTEGER NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_graph_triples_graph ON graph_triples(graph);
+CREATE TABLE IF NOT EXISTS graph_columns (
+    graph     TEXT NOT NULL,            -- packed column snapshot (one blob per
+    kind      TEXT NOT NULL,            --   column); graph_triples then holds
+    rows      INTEGER NOT NULL,         --   only the post-snapshot tail rows
+    byteorder TEXT NOT NULL,            -- 'little' | 'big' (the writer's native)
+    s BLOB NOT NULL,
+    p BLOB NOT NULL,
+    o BLOB NOT NULL,
+    PRIMARY KEY (graph, kind)
+);
 CREATE TABLE IF NOT EXISTS artifacts (
     graph   TEXT NOT NULL,
     name    TEXT NOT NULL,              -- maintainer | statistics | summary:<kind>
@@ -106,9 +128,24 @@ CREATE INDEX IF NOT EXISTS idx_saturation_rows_graph ON saturation_rows(graph);
 """
 
 #: Per-graph tables cleared wholesale on rewrite / delete.
-_GRAPH_TABLES = ("dictionary_terms", "graph_triples", "artifacts", "saturation_rows")
+_GRAPH_TABLES = (
+    "dictionary_terms",
+    "graph_triples",
+    "graph_columns",
+    "artifacts",
+    "saturation_rows",
+)
 
 _KIND_BY_VALUE = {kind.value: kind for kind in TripleKind}
+
+
+def _unpack_column(blob: bytes, byteorder: str) -> "array":
+    """One persisted column blob back as a native-order ``array('q')``."""
+    column = array("q")
+    column.frombytes(blob)
+    if byteorder != sys.byteorder:
+        column.byteswap()
+    return column
 
 
 # ----------------------------------------------------------------------
@@ -253,15 +290,25 @@ class PersistentCatalog:
                 stored = connection.execute(
                     "SELECT value FROM catalog_meta WHERE key = 'schema_version'"
                 ).fetchone()
-                if stored is not None and int(stored[0]) != SCHEMA_VERSION:
+                if stored is not None and not (
+                    MIN_SUPPORTED_SCHEMA_VERSION <= int(stored[0]) <= SCHEMA_VERSION
+                ):
                     raise PersistenceError(
                         f"catalog file {self.path!r} has schema version {stored[0]}, "
-                        f"this build reads version {SCHEMA_VERSION}"
+                        f"this build reads versions "
+                        f"{MIN_SUPPORTED_SCHEMA_VERSION}..{SCHEMA_VERSION}"
                     )
             connection.executescript(_SCHEMA_SQL)
             if stored is None:
                 connection.execute(
                     "INSERT INTO catalog_meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            elif int(stored[0]) != SCHEMA_VERSION:
+                # the DDL above is purely additive, so an old readable file
+                # is upgraded in place (its row checkpoints stay valid)
+                connection.execute(
+                    "UPDATE catalog_meta SET value = ? WHERE key = 'schema_version'",
                     (str(SCHEMA_VERSION),),
                 )
             connection.commit()
@@ -416,13 +463,36 @@ class PersistentCatalog:
                         (entry.name, entry.version),
                     )
                     self._write_dictionary_rows(connection, entry.name, entry.store.dictionary, 0)
-                    for kind in TripleKind:
-                        for batch in entry.store.scan_batches(kind):
-                            connection.executemany(
-                                "INSERT INTO graph_triples (graph, kind, s, p, o) "
-                                "VALUES (?, ?, ?, ?, ?)",
-                                [(entry.name, kind.value, row[0], row[1], row[2]) for row in batch],
+                    if getattr(entry.store, "supports_column_snapshot", False):
+                        # columnar store: one packed blob per column, no
+                        # per-row SQL at all — the warm-start fast path
+                        for kind in TripleKind:
+                            count, s_bytes, p_bytes, o_bytes = entry.store.column_bytes(kind)
+                            connection.execute(
+                                "INSERT INTO graph_columns "
+                                "(graph, kind, rows, byteorder, s, p, o) "
+                                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                                (
+                                    entry.name,
+                                    kind.value,
+                                    count,
+                                    sys.byteorder,
+                                    s_bytes,
+                                    p_bytes,
+                                    o_bytes,
+                                ),
                             )
+                    else:
+                        for kind in TripleKind:
+                            for batch in entry.store.scan_batches(kind):
+                                connection.executemany(
+                                    "INSERT INTO graph_triples (graph, kind, s, p, o) "
+                                    "VALUES (?, ?, ?, ?, ?)",
+                                    [
+                                        (entry.name, kind.value, row[0], row[1], row[2])
+                                        for row in batch
+                                    ],
+                                )
                     if saturation_state is not None:
                         self._insert_saturation_rows(
                             connection, entry.name, saturation_state["_derived"]
@@ -560,6 +630,10 @@ class PersistentCatalog:
                 "SELECT kind, s, p, o FROM graph_triples WHERE graph = ? ORDER BY rowid",
                 (name,),
             ).fetchall()
+            column_rows = connection.execute(
+                "SELECT kind, rows, byteorder, s, p, o FROM graph_columns WHERE graph = ?",
+                (name,),
+            ).fetchall()
             artifact_rows = connection.execute(
                 "SELECT name, version, payload FROM artifacts WHERE graph = ?",
                 (name,),
@@ -580,10 +654,34 @@ class PersistentCatalog:
 
         store = store_factory()
         store.dictionary = dictionary
-        rows = [
-            (_KIND_BY_VALUE[kind], EncodedTriple(s, p, o)) for kind, s, p, o in triple_rows
-        ]
-        store._insert_rows(rows)
+        if column_rows and getattr(store, "supports_column_snapshot", False):
+            # blob fast path: three frombytes calls per table, no per-row
+            # work and no index / dedup-set build (both stay deferred)
+            for kind_value, count, byteorder, s_bytes, p_bytes, o_bytes in column_rows:
+                loaded = store.load_column_bytes(
+                    _KIND_BY_VALUE[kind_value], s_bytes, p_bytes, o_bytes, byteorder=byteorder
+                )
+                if loaded != count:
+                    raise PersistenceError(
+                        f"column snapshot of graph {name!r} ({kind_value}) holds {loaded} "
+                        f"rows, expected {count} — the catalog file is corrupt"
+                    )
+        elif column_rows:
+            # a column snapshot loaded into a store without blob adoption
+            # (e.g. the sqlite backend): unpack the blobs into plain rows
+            triple_rows = [
+                (kind_value, s, p, o)
+                for kind_value, _count, byteorder, s_bytes, p_bytes, o_bytes in column_rows
+                for s, p, o in zip(
+                    _unpack_column(s_bytes, byteorder),
+                    _unpack_column(p_bytes, byteorder),
+                    _unpack_column(o_bytes, byteorder),
+                )
+            ] + triple_rows
+        if triple_rows:
+            store._insert_rows(
+                [(_KIND_BY_VALUE[kind], EncodedTriple(s, p, o)) for kind, s, p, o in triple_rows]
+            )
         ensure_indexes = getattr(store, "ensure_summarization_indexes", None)
         if callable(ensure_indexes):
             ensure_indexes()

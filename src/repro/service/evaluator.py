@@ -39,7 +39,9 @@ general BGP, excluded from RBGP) chain all three tables.
 
 from __future__ import annotations
 
-from itertools import islice
+from bisect import bisect_left, bisect_right
+from itertools import groupby, islice
+from operator import itemgetter
 from typing import (
     Callable,
     Dict,
@@ -79,8 +81,14 @@ _ALL_TABLES = (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA)
 #: stores advertising ``supports_sql_join`` — the SQLite backend — can;
 #: everything else silently falls back to ``hash``).  The ``sql`` strategy
 #: is what makes a multi-threaded server scale: the join holds no Python
-#: bytecode, so the GIL is released for its whole duration.
-STRATEGIES = ("hash", "nested", "sql")
+#: bytecode, so the GIL is released for its whole duration.  ``merge``
+#: runs the same planned pipeline as ``hash`` but answers eligible stages
+#: by galloping binary search over the store's sorted ``(p, s)`` /
+#: ``(p, o)`` posting runs (columnar memory store only) instead of
+#: fetching + hashing the relation; statistics pick merge or hash per
+#: stage, and ineligible stages fall back to the hash fetch, so answer
+#: sets are identical across all four strategies.
+STRATEGIES = ("hash", "nested", "sql", "merge")
 
 
 class CompiledPattern:
@@ -236,8 +244,10 @@ class EncodedEvaluator:
     store:
         The encoded triple store to evaluate against.
     strategy:
-        ``"hash"`` (planned, vectorized — the default) or ``"nested"``
-        (the legacy per-binding index-nested-loop).  Answer sets are
+        ``"hash"`` (planned, vectorized — the default), ``"nested"``
+        (the legacy per-binding index-nested-loop), ``"sql"`` (whole-join
+        pushdown where the backend supports it) or ``"merge"`` (sorted-run
+        merge joins where the store exposes them).  Answer sets are
         identical; only the access pattern differs.
     statistics:
         Cardinality profile driving the planner: a
@@ -413,7 +423,6 @@ class EncodedEvaluator:
 
         for stage_index, stage in enumerate(plan.stages):
             pattern = patterns[stage.pattern_index]
-            fetched, probes = self._fetch_pattern(pattern, binding_rows, slot_positions)
 
             join_on: List[Tuple[int, int]] = []  # (row column, binding position)
             fresh: List[Tuple[int, int]] = []  # (row column, slot) — first occurrence
@@ -433,30 +442,45 @@ class EncodedEvaluator:
                     fresh_seen[slot] = column
                     fresh.append((column, slot))
 
-            if same_row_checks:
-                fetched = [
-                    row
-                    for row in fetched
-                    if all(row[left] == row[right] for left, right in same_row_checks)
-                ]
-
-            fresh_columns = [column for column, _slot in fresh]
-            if stream_final and stage_index == last_stage_index:
-                lazy = _join_stage_iter(binding_rows, fetched, join_on, fresh_columns)
-                for _column, slot in fresh:
-                    slot_positions[slot] = next_position
-                    next_position += 1
-                return lazy, slot_positions
-            binding_rows = _join_stage(binding_rows, fetched, join_on, fresh_columns)
+            merged = None
+            if (
+                self.strategy == "merge"
+                and not same_row_checks
+                and len(join_on) == 1
+                and not (stream_final and stage_index == last_stage_index)
+            ):
+                merged = self._merge_stage(pattern, binding_rows, join_on[0])
+            if merged is not None:
+                algorithm = "merge"
+                binding_rows, fetched_count, probes = merged
+            else:
+                algorithm = "hash"
+                fetched, probes = self._fetch_pattern(pattern, binding_rows, slot_positions)
+                if same_row_checks:
+                    fetched = [
+                        row
+                        for row in fetched
+                        if all(row[left] == row[right] for left, right in same_row_checks)
+                    ]
+                fetched_count = len(fetched)
+                fresh_columns = [column for column, _slot in fresh]
+                if stream_final and stage_index == last_stage_index:
+                    lazy = _join_stage_iter(binding_rows, fetched, join_on, fresh_columns)
+                    for _column, slot in fresh:
+                        slot_positions[slot] = next_position
+                        next_position += 1
+                    return lazy, slot_positions
+                binding_rows = _join_stage(binding_rows, fetched, join_on, fresh_columns)
 
             if trace is not None:
                 trace.add_stage(
                     _describe_pattern(pattern, compiled, self.store.dictionary),
                     estimate=stage.estimate,
                     cumulative_estimate=stage.cumulative,
-                    fetched=len(fetched),
+                    fetched=fetched_count,
                     produced=len(binding_rows),
                     probes=probes,
+                    algorithm=algorithm if self.strategy in ("hash", "merge") else None,
                 )
             if not binding_rows:
                 return [], slot_positions
@@ -465,6 +489,96 @@ class EncodedEvaluator:
                 next_position += 1
 
         return binding_rows, slot_positions
+
+    def _merge_stage(
+        self,
+        pattern: CompiledPattern,
+        binding_rows: List[Tuple[int, ...]],
+        join: Tuple[int, int],
+    ) -> Optional[Tuple[List[Tuple[int, ...]], int, int]]:
+        """One merge-join stage over a sorted posting run, or ``None``.
+
+        Eligible when the pattern routes to exactly one table, carries a
+        constant predicate, and joins on exactly one bound subject *or*
+        object column for which the store exposes a sorted ``(p, s)`` /
+        ``(p, o)`` run.  The relation is never fetched or hashed per
+        query: matching rows are read straight out of the run slice and
+        its run-order companion column.  On stores that cache run-derived
+        structures the probe is one dict lookup into the run's key group
+        directory (:meth:`SortedRun.group_bounds`, built once per run and
+        amortized across queries); otherwise the bound keys are visited in
+        sorted order and each located by binary search bounded below by
+        the previous key's upper bound — a galloping merge of the two
+        sorted sequences.  Returns ``(joined rows, rows read, probes)``;
+        ``None`` means the stage is ineligible (or statistics prefer
+        hash) and the caller runs the hash fetch instead.
+        """
+        join_column, join_position = join
+        if join_column == 1 or pattern.predicate < 0 or len(pattern.tables) != 1:
+            return None
+        kind = pattern.tables[0]
+        by_object = join_column == 2
+        run = self.store.sorted_run(kind, pattern.predicate, by_object=by_object)
+        if run is None:
+            return None
+        # a relation dwarfed by the binding table is cheaper to fetch once
+        # and hash than to binary-search per binding key
+        if len(run) * 4 < len(binding_rows):
+            return None
+
+        other_column = 0 if by_object else 2
+        other_spec = (pattern.subject, pattern.predicate, pattern.object)[other_column]
+        run_values = run.column_values(other_column)
+        keys = run.keys
+        run_length = len(keys)
+        constant = other_spec if other_spec >= 0 else None
+
+        out: List[Tuple[int, ...]] = []
+        extend = out.extend
+        fetched = 0
+
+        if run.value_cache is not None:
+            # amortized probe: the run's key group directory is built once
+            # and shared by every query, so each binding costs one dict get
+            bounds_of = run.group_bounds().get
+            for binding in binding_rows:
+                bounds = bounds_of(binding[join_position])
+                if bounds is None:
+                    continue
+                lo, hi = bounds
+                fetched += hi - lo
+                if constant is not None:
+                    # semi-join shape: the other column is pinned by a constant
+                    multiplicity = run_values[lo:hi].count(constant)
+                    if multiplicity:
+                        extend((binding,) * multiplicity)
+                else:
+                    extend([binding + (value,) for value in run_values[lo:hi]])
+            return out, fetched, 1
+
+        # no store cache: gallop — visit the bound keys in sorted order,
+        # binary-searching each from the previous key's upper bound
+        key_of = itemgetter(join_position)
+        ordered = sorted(binding_rows, key=key_of)
+        cursor = 0
+        for key, group in groupby(ordered, key=key_of):
+            lo = bisect_left(keys, key, cursor)
+            cursor = lo
+            if lo == run_length or keys[lo] != key:
+                continue
+            hi = bisect_right(keys, key, lo)
+            cursor = hi
+            fetched += hi - lo
+            if constant is not None:
+                multiplicity = run_values[lo:hi].count(constant)
+                if multiplicity:
+                    for binding in group:
+                        extend((binding,) * multiplicity)
+            else:
+                values = run_values[lo:hi]
+                for binding in group:
+                    extend([binding + (value,) for value in values])
+        return out, fetched, 1
 
     def _fetch_pattern(
         self,
@@ -649,7 +763,7 @@ class EncodedEvaluator:
             if pushed_down is not None:
                 return pushed_down
             # no SQL engine (or a multi-table pattern): hash path below
-        if self.strategy in ("hash", "sql") and not compiled.trivially_empty:
+        if self.strategy in ("hash", "sql", "merge") and not compiled.trivially_empty:
             # project straight off the binding table: deduplicate on integer
             # head tuples first (C-level set comprehensions for the common
             # head widths), then decode each distinct tuple exactly once
@@ -687,20 +801,23 @@ class EncodedEvaluator:
             head_positions = [slot_positions[slot] for slot in head]
             if not head_positions:
                 return {()}
+            # binding ids came out of the store, so index the decode table
+            # directly: no per-id bounds check or method dispatch
+            terms = self.store.dictionary.decode_table
             if len(head_positions) == 1:
                 (first,) = head_positions
                 distinct: Set = {binding[first] for binding in binding_rows}
-                answers = {(decode(value),) for value in distinct}
+                answers = {(terms[value],) for value in distinct}
             elif len(head_positions) == 2:
                 first, second = head_positions
                 distinct = {(binding[first], binding[second]) for binding in binding_rows}
-                answers = {(decode(left), decode(right)) for left, right in distinct}
+                answers = {(terms[left], terms[right]) for left, right in distinct}
             else:
                 distinct = {
                     tuple(binding[position] for position in head_positions)
                     for binding in binding_rows
                 }
-                answers = {tuple(decode(value) for value in row) for row in distinct}
+                answers = {tuple(terms[value] for value in row) for row in distinct}
             if limit is not None and len(answers) > limit:
                 answers = set(islice(answers, limit))
             return answers

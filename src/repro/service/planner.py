@@ -241,7 +241,15 @@ class QueryPlanner:
 class StageTrace:
     """Observed execution of one plan stage (``--explain`` output)."""
 
-    __slots__ = ("description", "estimate", "cumulative_estimate", "fetched", "produced", "probes")
+    __slots__ = (
+        "description",
+        "estimate",
+        "cumulative_estimate",
+        "fetched",
+        "produced",
+        "probes",
+        "algorithm",
+    )
 
     def __init__(
         self,
@@ -251,6 +259,7 @@ class StageTrace:
         fetched: Optional[int],
         produced: Optional[int],
         probes: int,
+        algorithm: Optional[str] = None,
     ):
         self.description = description
         self.estimate = estimate
@@ -261,6 +270,9 @@ class StageTrace:
         #: Binding-table rows after this stage joined.
         self.produced = produced
         self.probes = probes
+        #: The join algorithm this stage actually ran ("hash" or "merge";
+        #: None for strategies without per-stage algorithm choice).
+        self.algorithm = algorithm
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -270,6 +282,7 @@ class StageTrace:
             "fetched_rows": self.fetched,
             "produced_rows": self.produced,
             "probes": self.probes,
+            "algorithm": self.algorithm,
         }
 
 
@@ -299,9 +312,12 @@ class ExecutionTrace:
         fetched: Optional[int] = None,
         produced: Optional[int] = None,
         probes: int = 0,
+        algorithm: Optional[str] = None,
     ) -> None:
         self.stages.append(
-            StageTrace(description, estimate, cumulative_estimate, fetched, produced, probes)
+            StageTrace(
+                description, estimate, cumulative_estimate, fetched, produced, probes, algorithm
+            )
         )
 
     def as_dict(self) -> Dict[str, object]:

@@ -13,7 +13,7 @@ maintains exactly that, one integer-keyed profile per store:
 * table-level distinct subject / object / property counts.
 
 A profile is *computable in one pass* over an existing store
-(:meth:`CardinalityStatistics.from_store` — one ``scan_batches`` sweep per
+(:meth:`CardinalityStatistics.from_store` — one ``scan_columns`` sweep per
 table, no SQL round-trips per property) and *maintainable incrementally*
 (:meth:`CardinalityStatistics.ingest_rows` — the same ``(kind, row)`` batches
 :meth:`TripleStore.insert_triples` returns), so the serving layer never
@@ -94,11 +94,11 @@ class CardinalityStatistics:
     # ------------------------------------------------------------------
     @classmethod
     def from_store(cls, store: TripleStore) -> "CardinalityStatistics":
-        """Profile *store* in one batched scan per table."""
+        """Profile *store* in one batched column scan per table."""
         statistics = cls()
         for kind in _ALL_KINDS:
-            for batch in store.scan_batches(kind):
-                statistics._ingest_kind_batch(kind, batch)
+            for subjects, predicates, objects in store.scan_columns(kind):
+                statistics._ingest_kind_columns(kind, subjects, predicates, objects)
         return statistics
 
     def ingest_rows(self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]) -> None:
@@ -131,6 +131,28 @@ class CardinalityStatistics:
             if is_type:
                 class_rows[obj] = class_rows.get(obj, 0) + 1
         self._rows[kind] += count
+
+    def _ingest_kind_columns(self, kind, subjects, predicates, objects) -> None:
+        """Fold three parallel column slices into the profile.
+
+        The table-level distinct sets take whole column slices in one C-level
+        ``set.update`` each; only the per-property profiles walk rows.
+        """
+        by_predicate = self._predicates[kind]
+        self._kind_subjects[kind].update(subjects)
+        self._kind_objects[kind].update(objects)
+        class_rows = self._class_rows
+        is_type = kind is TripleKind.TYPE
+        for subject, predicate, obj in zip(subjects, predicates, objects):
+            entry = by_predicate.get(predicate)
+            if entry is None:
+                entry = by_predicate[predicate] = PredicateStatistics()
+            entry.rows += 1
+            entry.subjects.add(subject)
+            entry.objects.add(obj)
+            if is_type:
+                class_rows[obj] = class_rows.get(obj, 0) + 1
+        self._rows[kind] += len(subjects)
 
     def _ingest_one(self, kind: TripleKind, subject: int, predicate: int, obj: int) -> None:
         self._ingest_kind_batch(kind, ((subject, predicate, obj),))

@@ -471,13 +471,14 @@ def run_strategy_comparison(
     answer_limit: Optional[int] = None,
     repeat: int = 3,
 ) -> Dict[str, object]:
-    """Time the nested-loop strategy against the hash-join strategy.
+    """Time the nested-loop, hash-join and merge-join strategies against each other.
 
     One store (``backend`` is ``"memory"`` or ``"sqlite"``) is loaded with
     *graph*; every query of :func:`generate_join_workload` is evaluated by
-    both an ``strategy="nested"`` and a ``strategy="hash"``
-    :class:`EncodedEvaluator` over that same store, and the two answer sets
-    are compared exactly.  Each query is timed ``repeat`` times per
+    an ``strategy="nested"``, an ``strategy="hash"`` and an
+    ``strategy="merge"`` :class:`EncodedEvaluator` over that same store
+    (on backends without sorted posting runs the merge side degrades to
+    the hash fetch per stage), and the answer sets are compared exactly.  Each query is timed ``repeat`` times per
     strategy and the best round counts, with the cyclic garbage collector
     paused across the measured region — both join strategies allocate large
     transient binding structures, and attributing a collection pause to
@@ -506,8 +507,11 @@ def run_strategy_comparison(
     nested = EncodedEvaluator(store, strategy="nested")
     hashed = EncodedEvaluator(store, strategy="hash")
     statistics_start = perf_counter()
-    hashed.statistics()
+    statistics = hashed.statistics()
     statistics_seconds = perf_counter() - statistics_start
+    # the merge side shares the hash side's profile and plan cache — the
+    # comparison is about the per-stage join algorithm, nothing else
+    merged = EncodedEvaluator(store, strategy="merge", statistics=statistics, planner=hashed.planner())
 
     families: Dict[str, Dict[str, object]] = {}
     differences = 0
@@ -516,10 +520,16 @@ def run_strategy_comparison(
             for item in workload:
                 bucket = families.setdefault(
                     item.family,
-                    {"queries": 0, "nested_seconds": 0.0, "hash_seconds": 0.0, "answer_differences": 0},
+                    {
+                        "queries": 0,
+                        "nested_seconds": 0.0,
+                        "hash_seconds": 0.0,
+                        "merge_seconds": 0.0,
+                        "answer_differences": 0,
+                    },
                 )
-                nested_seconds = hash_seconds = float("inf")
-                nested_answers = hash_answers = None
+                nested_seconds = hash_seconds = merge_seconds = float("inf")
+                nested_answers = hash_answers = merge_answers = None
                 for _round in range(repeat):
                     start = perf_counter()
                     nested_answers = nested.evaluate(item.query, limit=answer_limit)
@@ -527,16 +537,22 @@ def run_strategy_comparison(
                     start = perf_counter()
                     hash_answers = hashed.evaluate(item.query, limit=answer_limit)
                     hash_seconds = min(hash_seconds, perf_counter() - start)
+                    start = perf_counter()
+                    merge_answers = merged.evaluate(item.query, limit=answer_limit)
+                    merge_seconds = min(merge_seconds, perf_counter() - start)
                 bucket["queries"] += 1
                 bucket["nested_seconds"] += nested_seconds
                 bucket["hash_seconds"] += hash_seconds
-                if answer_limit is None and nested_answers != hash_answers:
+                bucket["merge_seconds"] += merge_seconds
+                if answer_limit is None and not (
+                    nested_answers == hash_answers == merge_answers
+                ):
                     bucket["answer_differences"] += 1
                     differences += 1
                 elif answer_limit is not None:
-                    # under a limit both sides may legally truncate
+                    # under a limit all sides may legally truncate
                     # differently; emptiness must still agree exactly
-                    if bool(nested_answers) != bool(hash_answers):
+                    if not (bool(nested_answers) == bool(hash_answers) == bool(merge_answers)):
                         bucket["answer_differences"] += 1
                         differences += 1
     finally:
@@ -546,17 +562,25 @@ def run_strategy_comparison(
         rows = [families[name] for name in names if name in families]
         nested_seconds = sum(row["nested_seconds"] for row in rows)
         hash_seconds = sum(row["hash_seconds"] for row in rows)
+        merge_seconds = sum(row["merge_seconds"] for row in rows)
         return {
             "queries": sum(row["queries"] for row in rows),
             "nested_seconds": nested_seconds,
             "hash_seconds": hash_seconds,
+            "merge_seconds": merge_seconds,
             "speedup": (nested_seconds / hash_seconds) if hash_seconds > 0 else float("inf"),
+            "merge_vs_hash": (hash_seconds / merge_seconds) if merge_seconds > 0 else float("inf"),
         }
 
     for bucket in families.values():
         bucket["speedup"] = (
             bucket["nested_seconds"] / bucket["hash_seconds"]
             if bucket["hash_seconds"] > 0
+            else float("inf")
+        )
+        bucket["merge_vs_hash"] = (
+            bucket["hash_seconds"] / bucket["merge_seconds"]
+            if bucket["merge_seconds"] > 0
             else float("inf")
         )
     satisfiable_families = sorted(name for name in families if name.startswith("sat"))

@@ -14,14 +14,114 @@ summarization algorithms can run against any backend:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.dictionary import Dictionary, EncodedTriple
 from repro.model.graph import RDFGraph
 from repro.model.terms import Term
 from repro.model.triple import Triple, TripleKind
 
-__all__ = ["TripleStore", "StoreStatistics"]
+__all__ = ["TripleStore", "StoreStatistics", "SortedRun"]
+
+
+class SortedRun:
+    """A read-only view of one fully merged posting run.
+
+    ``keys`` and ``positions`` are parallel integer sequences sorted by
+    ``(key, position)``: ``keys`` holds the indexed column's values (the
+    subject for a ``(p, s)`` run, the object for a ``(p, o)`` run) and
+    ``positions`` the corresponding row positions.  ``columns`` is the
+    owning table's ``(s, p, o)`` column triple, so a consumer can resolve
+    a matched position to the row's other endpoints without materializing
+    row tuples.  :meth:`range` binary-searches the contiguous slice of one
+    key — the probe primitive of the merge-join executor.
+
+    ``value_cache``, when the owning store provides one, holds derived
+    run-order structures — column values permuted into run order (keyed by
+    column index) and the key group directory of :meth:`group_bounds` — so
+    they are paid for once per run, not once per query.  The cache dict
+    belongs to the store, which invalidates it (by replacement, keeping
+    old :class:`SortedRun` snapshots self-consistent) whenever the run
+    changes.
+    """
+
+    __slots__ = ("keys", "positions", "columns", "value_cache")
+
+    #: value_cache key of the :meth:`group_bounds` directory (column values
+    #: use their non-negative column index).
+    _BOUNDS_KEY = -1
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        positions: Sequence[int],
+        columns: Tuple[Sequence[int], Sequence[int], Sequence[int]],
+        value_cache: Optional[Dict[int, object]] = None,
+    ):
+        self.keys = keys
+        self.positions = positions
+        self.columns = columns
+        self.value_cache = value_cache
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def column_values(self, column: int) -> Sequence[int]:
+        """The *column* values aligned with ``keys`` (run order).
+
+        Materialized through ``positions`` on first use and cached in the
+        store-owned ``value_cache`` when one is attached, so repeated
+        merge joins over the same run slice values without per-row
+        indirection.
+        """
+        cache = self.value_cache
+        if cache is not None:
+            values = cache.get(column)
+            if values is not None:
+                return values
+        source = self.columns[column]
+        values = array("q", (source[position] for position in self.positions))
+        if cache is not None:
+            cache[column] = values
+        return values
+
+    def group_bounds(self) -> Dict[int, Tuple[int, int]]:
+        """Key ``->`` half-open ``(start, stop)`` slice of the run.
+
+        The directory of the run's key groups: one dict probe replaces the
+        two binary searches of :meth:`range`, which is what makes the
+        merge-join executor's probe loop competitive when the binding
+        table carries thousands of distinct keys.  Built in one pass over
+        the sorted keys and cached in the store-owned ``value_cache``, so
+        every later query over the run joins against it for free.
+        """
+        cache = self.value_cache
+        if cache is not None:
+            bounds = cache.get(self._BOUNDS_KEY)
+            if bounds is not None:
+                return bounds
+        bounds = {}
+        previous = None
+        start = 0
+        for index, key in enumerate(self.keys):
+            if key != previous:
+                if previous is not None:
+                    bounds[previous] = (start, index)
+                previous = key
+                start = index
+        if previous is not None:
+            bounds[previous] = (start, len(self.keys))
+        if cache is not None:
+            cache[self._BOUNDS_KEY] = bounds
+        return bounds
+
+    def range(self, key: int, lo: int = 0) -> Tuple[int, int]:
+        """The half-open ``[start, stop)`` slice of *key*, searching from *lo*."""
+        start = bisect_left(self.keys, key, lo)
+        stop = bisect_right(self.keys, key, start)
+        return start, stop
 
 
 class StoreStatistics:
@@ -199,6 +299,54 @@ class TripleStore(abc.ABC):
         if batch:
             yield batch
 
+    def scan_columns(
+        self, kind: TripleKind, batch_size: int = 65_536
+    ) -> Iterator[Tuple[Sequence[int], Sequence[int], Sequence[int]]]:
+        """Scan the *kind* table as ``(s, p, o)`` column batches.
+
+        The columnar twin of :meth:`scan_batches`: each yielded item is a
+        triple of parallel integer sequences (one value per row), which
+        lets consumers bulk-update sets and dicts at C speed
+        (``seen.update(s_column)``) instead of looping per row.  The
+        memory backend yields its array slices directly; this default
+        transposes :meth:`scan_batches` rows once per batch, so every
+        backend supports the columnar consumers unmodified.
+        """
+        for batch in self.scan_batches(kind, batch_size):
+            if not batch:
+                continue
+            columns = tuple(zip(*batch))
+            yield (
+                array("q", columns[0]),
+                array("q", columns[1]),
+                array("q", columns[2]),
+            )
+
+    def sorted_run(
+        self, kind: TripleKind, predicate: int, by_object: bool = False
+    ) -> Optional["SortedRun"]:
+        """The merged ``(p, s)`` (or ``(p, o)``) posting run of *predicate*.
+
+        Returns ``None`` when the backend keeps no sorted runs (the SQLite
+        store) or the *kind* table never saw the predicate — callers such
+        as the merge-join executor fall back to hash joining.  The memory
+        backend returns a :class:`SortedRun` over its posting arrays.
+        """
+        return None
+
+    def __len__(self) -> int:
+        """Total rows across the three tables."""
+        return (
+            self.count(TripleKind.DATA)
+            + self.count(TripleKind.TYPE)
+            + self.count(TripleKind.SCHEMA)
+        )
+
+    def __bool__(self) -> bool:
+        # an empty store is still a store: never let ``__len__`` leak into
+        # truthiness checks on store references
+        return True
+
     @abc.abstractmethod
     def select(
         self,
@@ -239,8 +387,11 @@ class TripleStore(abc.ABC):
         predicate: Optional[int],
         objects: Optional[Iterable[int]],
     ) -> Iterator[EncodedTriple]:
+        # ids are deduplicated up front (``dict.fromkeys`` keeps first-seen
+        # order): a caller passing a multiset key list must not receive the
+        # same stored row once per repetition
         if subjects is not None and objects is not None:
-            subject_list = list(subjects)
+            subject_list = list(dict.fromkeys(subjects))
             object_set = set(objects)
             if len(subject_list) <= len(object_set):
                 for subject in subject_list:
@@ -254,10 +405,10 @@ class TripleStore(abc.ABC):
                         if row[0] in subject_set:
                             yield row
         elif subjects is not None:
-            for subject in subjects:
+            for subject in dict.fromkeys(subjects):
                 yield from self.select(kind, subject, predicate, None)
         else:
-            for obj in objects:  # type: ignore[union-attr]
+            for obj in dict.fromkeys(objects):  # type: ignore[arg-type]
                 yield from self.select(kind, None, predicate, obj)
 
     @abc.abstractmethod

@@ -1,91 +1,303 @@
-"""In-memory encoded triple store.
+"""In-memory encoded triple store over contiguous columnar arrays.
 
-This is the default backend: three lists of encoded rows (data, type,
-schema) with hash indexes playing the role of the PostgreSQL tables plus
-B-tree indexes of the paper's prototype.  Beyond the per-column indexes,
-each table keeps two composite posting lists — ``(p, s) → rows`` and
-``(p, o) → rows`` — which are what both the nested-loop evaluator's probes
-(``select(subject=…, predicate=…)``) and the hash-join executor's batched
-fetches (``select_many(subjects=…, predicate=…)``) actually hit; every
-select shape routes through the most selective applicable index, and no
-shape with at least one bound position ever scans the table.
+This is the default backend, refactored from dicts-of-tuples to a columnar
+core: each table (data, type, schema) holds three ``array('q')`` columns —
+subjects, predicates, objects — plus *sorted posting runs* per ``(p, s)``
+and ``(p, o)`` composite key and per bare subject / object column.  A run
+is a pair of parallel arrays ``(keys, positions)`` sorted by
+``(key, position)`` with an unsorted *pending tail* that absorbs
+incremental inserts; the tail is folded back into the sorted run whenever
+it outgrows :data:`TAIL_MERGE_LIMIT` (one timsort merge of two sorted
+sequences).  Selection shapes become binary-search range scans over the
+runs, ``scan_columns`` yields the column arrays in slices, and bulk loads
+defer all index building to the first indexed read — a warm start from a
+column-blob snapshot is three ``frombytes`` per table and nothing else.
+
+Because row positions grow monotonically and every pending position is
+larger than every merged one, a run sorted by ``(key, position)`` yields
+positions in ascending — i.e. insertion — order for any single key, which
+preserves the deterministic iteration order the evaluator and the
+order-robustness tests rely on.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+import sys
+from array import array
+from bisect import bisect_left, bisect_right
+from itertools import groupby
+from operator import itemgetter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import StoreClosedError
 from repro.model.dictionary import EncodedTriple
 from repro.model.triple import TripleKind
-from repro.store.base import TripleStore
+from repro.store.base import SortedRun, TripleStore
 
-__all__ = ["MemoryStore"]
+__all__ = ["MemoryStore", "TAIL_MERGE_LIMIT", "BULK_REBUILD_THRESHOLD"]
 
-_EMPTY: Tuple[int, ...] = ()
+_EMPTY = array("q")
+
+#: Pending-tail length beyond which a posting run folds the tail back into
+#: its sorted part on the next lookup.  Below it, lookups scan the tail
+#: linearly — bounded work that keeps single-row ingest O(1) amortized.
+TAIL_MERGE_LIMIT = 128
+
+#: An insert batch larger than this (and than half the resident rows)
+#: drops the table's indexes and rebuilds them lazily in one grouped pass
+#: instead of appending row by row — the deferred-index bulk-load path.
+BULK_REBUILD_THRESHOLD = 4096
+
+
+class _Run:
+    """One posting index as a (sorted-run, pending-tail) pair.
+
+    ``keys``/``positions`` are parallel arrays sorted by ``(key, position)``;
+    ``tail_keys``/``tail_positions`` hold unmerged appends in arrival order.
+    All tail positions exceed all merged positions (positions only grow),
+    so a merge is a stable two-run timsort and per-key position order stays
+    ascending.
+    """
+
+    __slots__ = ("keys", "positions", "tail_keys", "tail_positions", "value_cache")
+
+    def __init__(self):
+        self.keys = array("q")
+        self.positions = array("q")
+        self.tail_keys = array("q")
+        self.tail_positions = array("q")
+        #: Run-derived structures memoized by :class:`SortedRun` (run-order
+        #: column values, key group directory); dropped whenever the run's
+        #: (keys, positions) change.
+        self.value_cache: Dict[int, object] = {}
+
+    def append(self, key: int, position: int) -> None:
+        self.tail_keys.append(key)
+        self.tail_positions.append(position)
+        if self.value_cache:
+            self.value_cache = {}
+
+    def merge(self) -> None:
+        """Fold the pending tail into the sorted run."""
+        if not self.tail_keys:
+            return
+        pairs = sorted(zip(self.tail_keys, self.tail_positions))
+        if self.keys:
+            combined = list(zip(self.keys, self.positions))
+            combined.extend(pairs)
+            # two concatenated sorted runs: timsort merges them in ~n comparisons
+            combined.sort()
+        else:
+            combined = pairs
+        self.keys = array("q", map(itemgetter(0), combined))
+        self.positions = array("q", map(itemgetter(1), combined))
+        del self.tail_keys[:]
+        del self.tail_positions[:]
+        # a fresh dict, not .clear(): SortedRun views of the pre-merge
+        # arrays keep their own (still aligned) cached values
+        if self.value_cache:
+            self.value_cache = {}
+
+    def positions_for(self, key: int) -> Sequence[int]:
+        """Row positions holding *key*, in ascending (insertion) order."""
+        if len(self.tail_keys) > TAIL_MERGE_LIMIT:
+            self.merge()
+        keys = self.keys
+        lo = bisect_left(keys, key)
+        hi = bisect_right(keys, key, lo)
+        matched = self.positions[lo:hi]
+        if self.tail_keys:
+            tail_positions = self.tail_positions
+            extra = [
+                tail_positions[index]
+                for index, tail_key in enumerate(self.tail_keys)
+                if tail_key == key
+            ]
+            if extra:
+                matched = array("q", matched) if not isinstance(matched, array) else matched
+                matched.extend(extra)
+        return matched
+
+    def __len__(self) -> int:
+        return len(self.keys) + len(self.tail_keys)
 
 
 class _Table:
-    """One encoded triple table with per-column and composite indexes.
+    """One encoded triple table: three columns plus posting runs.
 
-    All index posting lists hold row positions in insertion order, so every
-    selection shape iterates rows in the deterministic order they were
-    inserted — whichever index serves it.
+    Index structures (built lazily after bulk loads):
+
+    * ``ps_runs[p]`` — run keyed by subject over the rows of property *p*;
+    * ``po_runs[p]`` — the object-keyed dual;
+    * ``s_run`` / ``o_run`` — whole-table runs keyed by subject / object
+      (serve the predicate-unbound shapes without per-node dicts);
+    * ``by_predicate[p]`` — row positions of property *p* in insertion
+      order (the full-property fetch of the hash join).
     """
 
-    __slots__ = ("rows", "by_subject", "by_predicate", "by_object", "by_ps", "by_po")
+    __slots__ = (
+        "s_col",
+        "p_col",
+        "o_col",
+        "ps_runs",
+        "po_runs",
+        "s_run",
+        "o_run",
+        "by_predicate",
+        "_indexed",
+        "index_builds",
+    )
 
     def __init__(self):
-        self.rows: List[EncodedTriple] = []
-        self.by_subject: Dict[int, List[int]] = defaultdict(list)
-        self.by_predicate: Dict[int, List[int]] = defaultdict(list)
-        self.by_object: Dict[int, List[int]] = defaultdict(list)
-        #: ``(predicate, subject) → row positions`` — the probe shape of the
-        #: nested-loop join and the batch shape of the hash join.
-        self.by_ps: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-        #: ``(predicate, object) → row positions`` — the object-anchored dual.
-        self.by_po: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self.s_col = array("q")
+        self.p_col = array("q")
+        self.o_col = array("q")
+        self.ps_runs: Dict[int, _Run] = {}
+        self.po_runs: Dict[int, _Run] = {}
+        self.s_run = _Run()
+        self.o_run = _Run()
+        self.by_predicate: Dict[int, array] = {}
+        self._indexed = True  # an empty table is trivially indexed
+        #: Number of full (deferred) index builds — observability for the
+        #: zero-rebuild warm-start guarantee.
+        self.index_builds = 0
 
-    def insert(self, row: EncodedTriple) -> None:
-        position = len(self.rows)
-        self.rows.append(row)
-        self.by_subject[row.subject].append(position)
-        self.by_predicate[row.predicate].append(position)
-        self.by_object[row.object].append(position)
-        self.by_ps[(row.predicate, row.subject)].append(position)
-        self.by_po[(row.predicate, row.object)].append(position)
+    def __len__(self) -> int:
+        return len(self.s_col)
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def append_batch(self, rows: Sequence[Tuple[int, int, int]]) -> None:
+        start = len(self.s_col)
+        if len(rows) == 1:
+            subject, predicate, obj = rows[0]
+            self.s_col.append(subject)
+            self.p_col.append(predicate)
+            self.o_col.append(obj)
+        else:
+            subjects, predicates, objects = zip(*rows)
+            self.s_col.extend(subjects)
+            self.p_col.extend(predicates)
+            self.o_col.extend(objects)
+        if not self._indexed:
+            return
+        if len(rows) > BULK_REBUILD_THRESHOLD and len(rows) * 2 >= start:
+            # bulk load: cheaper to regroup everything once, lazily
+            self._drop_indexes()
+            return
+        s_col, p_col, o_col = self.s_col, self.p_col, self.o_col
+        ps_runs, po_runs = self.ps_runs, self.po_runs
+        s_run, o_run = self.s_run, self.o_run
+        by_predicate = self.by_predicate
+        for position in range(start, len(s_col)):
+            subject = s_col[position]
+            predicate = p_col[position]
+            obj = o_col[position]
+            run = ps_runs.get(predicate)
+            if run is None:
+                run = ps_runs[predicate] = _Run()
+                po_runs[predicate] = _Run()
+                by_predicate[predicate] = array("q")
+            run.append(subject, position)
+            po_runs[predicate].append(obj, position)
+            by_predicate[predicate].append(position)
+            s_run.append(subject, position)
+            o_run.append(obj, position)
+
+    def _drop_indexes(self) -> None:
+        self.ps_runs = {}
+        self.po_runs = {}
+        self.s_run = _Run()
+        self.o_run = _Run()
+        self.by_predicate = {}
+        self._indexed = False
+
+    def mark_unindexed(self) -> None:
+        """Defer index building (the column-blob warm-load path)."""
+        self._drop_indexes()
+
+    def _ensure_indexed(self) -> None:
+        if self._indexed:
+            return
+        n = len(self.s_col)
+        s_col, p_col, o_col = self.s_col, self.p_col, self.o_col
+        positions = range(n)
+
+        pairs = sorted(zip(s_col, positions))
+        self.s_run = s_run = _Run()
+        s_run.keys = array("q", map(itemgetter(0), pairs))
+        s_run.positions = array("q", map(itemgetter(1), pairs))
+
+        pairs = sorted(zip(o_col, positions))
+        self.o_run = o_run = _Run()
+        o_run.keys = array("q", map(itemgetter(0), pairs))
+        o_run.positions = array("q", map(itemgetter(1), pairs))
+
+        first = itemgetter(0)
+        ps_runs: Dict[int, _Run] = {}
+        by_predicate: Dict[int, array] = {}
+        for predicate, group in groupby(sorted(zip(p_col, s_col, positions)), key=first):
+            members = list(group)
+            run = _Run()
+            run.keys = array("q", map(itemgetter(1), members))
+            run.positions = array("q", map(itemgetter(2), members))
+            ps_runs[predicate] = run
+            by_predicate[predicate] = array("q", sorted(run.positions))
+        po_runs: Dict[int, _Run] = {}
+        for predicate, group in groupby(sorted(zip(p_col, o_col, positions)), key=first):
+            members = list(group)
+            run = _Run()
+            run.keys = array("q", map(itemgetter(1), members))
+            run.positions = array("q", map(itemgetter(2), members))
+            po_runs[predicate] = run
+        self.ps_runs = ps_runs
+        self.po_runs = po_runs
+        self.by_predicate = by_predicate
+        self._indexed = True
+        self.index_builds += 1
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> List[Tuple[int, int, int]]:
+        """The table rows as ``(s, p, o)`` tuples (materialized; test aid)."""
+        return list(zip(self.s_col, self.p_col, self.o_col))
 
     def _candidate_positions(
         self,
         subject: Optional[int],
         predicate: Optional[int],
         obj: Optional[int],
-    ) -> Optional[Iterable[int]]:
-        """The most selective index posting list for the given shape.
+    ) -> Optional[Sequence[int]]:
+        """The most selective posting run's positions for the given shape.
 
         Returns ``None`` only for the fully unbound shape (a genuine table
-        scan).  Composite shapes hit the composite posting lists directly;
-        the ``(s, o)`` shape picks the shorter of the two per-column lists.
+        scan).  Composite shapes hit the per-predicate runs directly; the
+        ``(s, o)`` shape picks the shorter of the two whole-table ranges.
         """
+        self._ensure_indexed()
         if predicate is not None:
             if subject is not None:
-                return self.by_ps.get((predicate, subject), _EMPTY)
+                run = self.ps_runs.get(predicate)
+                return _EMPTY if run is None else run.positions_for(subject)
             if obj is not None:
-                return self.by_po.get((predicate, obj), _EMPTY)
+                run = self.po_runs.get(predicate)
+                return _EMPTY if run is None else run.positions_for(obj)
             return self.by_predicate.get(predicate, _EMPTY)
         if subject is not None:
             if obj is not None:
-                subject_positions = self.by_subject.get(subject, _EMPTY)
-                object_positions = self.by_object.get(obj, _EMPTY)
+                subject_positions = self.s_run.positions_for(subject)
+                object_positions = self.o_run.positions_for(obj)
                 return (
                     subject_positions
                     if len(subject_positions) <= len(object_positions)
                     else object_positions
                 )
-            return self.by_subject.get(subject, _EMPTY)
+            return self.s_run.positions_for(subject)
         if obj is not None:
-            return self.by_object.get(obj, _EMPTY)
+            return self.o_run.positions_for(obj)
         return None
 
     def select(
@@ -95,66 +307,103 @@ class _Table:
         obj: Optional[int],
     ) -> Iterator[EncodedTriple]:
         candidate_positions = self._candidate_positions(subject, predicate, obj)
-        rows = self.rows
+        s_col, p_col, o_col = self.s_col, self.p_col, self.o_col
         if candidate_positions is None:
-            candidates: Iterable[EncodedTriple] = rows
-        else:
-            candidates = (rows[position] for position in candidate_positions)
-        for row in candidates:
-            if subject is not None and row.subject != subject:
+            candidate_positions = range(len(s_col))
+        for position in candidate_positions:
+            row_subject = s_col[position]
+            if subject is not None and row_subject != subject:
                 continue
-            if predicate is not None and row.predicate != predicate:
+            row_predicate = p_col[position]
+            if predicate is not None and row_predicate != predicate:
                 continue
-            if obj is not None and row.object != obj:
+            row_object = o_col[position]
+            if obj is not None and row_object != obj:
                 continue
-            yield row
+            yield EncodedTriple(row_subject, row_predicate, row_object)
 
     def select_many(
         self,
         subjects: Optional[Iterable[int]],
         predicate: Optional[int],
         objects: Optional[Iterable[int]],
-    ) -> List[EncodedTriple]:
-        """Batched selection over the posting lists (see the store method)."""
-        rows = self.rows
-        out: List[EncodedTriple] = []
+    ) -> List[Tuple[int, int, int]]:
+        """Batched selection over the posting runs (see the store method).
+
+        Repeated ids in *subjects* / *objects* are deduplicated (insertion
+        order preserved) so multiset key lists cannot yield duplicate rows.
+        """
+        self._ensure_indexed()
+        s_col, p_col, o_col = self.s_col, self.p_col, self.o_col
+        out: List[Tuple[int, int, int]] = []
         if subjects is not None:
             object_set = None if objects is None else set(objects)
             if predicate is not None:
-                by_ps = self.by_ps
-                for subject in subjects:
-                    for position in by_ps.get((predicate, subject), _EMPTY):
-                        row = rows[position]
-                        if object_set is None or row.object in object_set:
-                            out.append(row)
+                run = self.ps_runs.get(predicate)
+                if run is None:
+                    return out
+                for subject in dict.fromkeys(subjects):
+                    for position in run.positions_for(subject):
+                        obj = o_col[position]
+                        if object_set is None or obj in object_set:
+                            out.append((subject, predicate, obj))
             else:
-                by_subject = self.by_subject
-                for subject in subjects:
-                    for position in by_subject.get(subject, _EMPTY):
-                        row = rows[position]
-                        if object_set is None or row.object in object_set:
-                            out.append(row)
+                s_run = self.s_run
+                for subject in dict.fromkeys(subjects):
+                    for position in s_run.positions_for(subject):
+                        obj = o_col[position]
+                        if object_set is None or obj in object_set:
+                            out.append((subject, p_col[position], obj))
             return out
         if objects is not None:
             if predicate is not None:
-                by_po = self.by_po
-                for obj in objects:
-                    out.extend(rows[position] for position in by_po.get((predicate, obj), _EMPTY))
+                run = self.po_runs.get(predicate)
+                if run is None:
+                    return out
+                for obj in dict.fromkeys(objects):
+                    out.extend(
+                        (s_col[position], predicate, obj)
+                        for position in run.positions_for(obj)
+                    )
             else:
-                by_object = self.by_object
-                for obj in objects:
-                    out.extend(rows[position] for position in by_object.get(obj, _EMPTY))
+                o_run = self.o_run
+                for obj in dict.fromkeys(objects):
+                    out.extend(
+                        (s_col[position], p_col[position], obj)
+                        for position in o_run.positions_for(obj)
+                    )
             return out
         if predicate is not None:
-            return [rows[position] for position in self.by_predicate.get(predicate, _EMPTY)]
-        return list(rows)
+            positions = self.by_predicate.get(predicate)
+            if positions is None:
+                return out
+            return [(s_col[position], predicate, o_col[position]) for position in positions]
+        return list(zip(s_col, p_col, o_col))
+
+    def sorted_run(self, predicate: int, by_object: bool) -> Optional[SortedRun]:
+        """The fully merged posting run of *predicate*, or ``None``."""
+        self._ensure_indexed()
+        runs = self.po_runs if by_object else self.ps_runs
+        run = runs.get(predicate)
+        if run is None:
+            return None
+        run.merge()
+        return SortedRun(
+            run.keys, run.positions, (self.s_col, self.p_col, self.o_col), run.value_cache
+        )
 
     def distinct_properties(self) -> List[int]:
-        return sorted(self.by_predicate.keys())
+        # derived from the raw column: no index build forced by a scan-only
+        # consumer (the statistics pass runs before any select)
+        return sorted(set(self.p_col))
 
 
 class MemoryStore(TripleStore):
-    """Pure in-memory :class:`TripleStore` backend."""
+    """Pure in-memory :class:`TripleStore` backend (columnar)."""
+
+    #: Advertises :meth:`column_bytes` / :meth:`load_column_bytes` to the
+    #: persistence layer's packed-blob snapshot path.
+    supports_column_snapshot = True
 
     def __init__(self):
         super().__init__()
@@ -163,21 +412,50 @@ class MemoryStore(TripleStore):
             TripleKind.TYPE: _Table(),
             TripleKind.SCHEMA: _Table(),
         }
-        self._seen: Set[Tuple[TripleKind, EncodedTriple]] = set()
+        #: Physical dedup set keyed ``(kind, (s, p, o))``; ``None`` after a
+        #: column-blob load — rebuilt lazily on the first insert so pure
+        #: readers never pay for it.
+        self._seen: Optional[Set[Tuple[TripleKind, Tuple[int, int, int]]]] = set()
         self._closed = False
 
     def _check_open(self) -> None:
         if self._closed:
             raise StoreClosedError("the store has been closed")
 
+    def _seen_set(self) -> Set[Tuple[TripleKind, Tuple[int, int, int]]]:
+        seen = self._seen
+        if seen is None:
+            seen = set()
+            for kind, table in self._tables.items():
+                for row in zip(table.s_col, table.p_col, table.o_col):
+                    seen.add((kind, row))
+            self._seen = seen
+        return seen
+
     def _insert_rows(self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]) -> None:
         self._check_open()
+        self._insert_fresh(rows)
+
+    def _insert_fresh(
+        self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]
+    ) -> List[Tuple[TripleKind, EncodedTriple]]:
+        """Insert rows not already present; return the fresh subset."""
+        seen = self._seen_set()
+        buffers: Dict[TripleKind, List[Tuple[int, int, int]]] = {
+            kind: [] for kind in self._tables
+        }
+        fresh: List[Tuple[TripleKind, EncodedTriple]] = []
         for kind, row in rows:
-            key = (kind, row)
-            if key in self._seen:
+            key = (kind, (row[0], row[1], row[2]))
+            if key in seen:
                 continue
-            self._seen.add(key)
-            self._tables[kind].insert(row)
+            seen.add(key)
+            buffers[kind].append(key[1])
+            fresh.append((kind, row))
+        for kind, buffer in buffers.items():
+            if buffer:
+                self._tables[kind].append_batch(buffer)
+        return fresh
 
     def insert_encoded_rows(
         self,
@@ -186,53 +464,70 @@ class MemoryStore(TripleStore):
     ) -> List[Tuple[TripleKind, EncodedTriple]]:
         """Deduplicated encoded insert via the ``_seen`` set (no select probes).
 
-        This is the hot path of incremental saturation — one call per
-        derivation group — so it skips the generic per-kind
-        ``_existing_rows`` machinery: membership here is a single hash
-        probe per row (the store deduplicates unconditionally anyway).
+        Whatever *skip_existing* says, the store deduplicates physically and
+        the return value is the rows **actually inserted** — consistent with
+        the SQLite store, which physically inserts (and therefore returns)
+        every row it was handed under the no-duplicates bulk contract.
+        Membership here is a single hash probe per row, which is what makes
+        this the hot path of incremental saturation.
         """
         self._check_open()
-        if not skip_existing:
-            # bulk-load contract: insert (dedup is this store's invariant
-            # either way) and echo the batch back unfiltered
-            rows = rows if isinstance(rows, list) else list(rows)
-            self._insert_rows(rows)
-            return rows
-        seen = self._seen
-        tables = self._tables
-        fresh: List[Tuple[TripleKind, EncodedTriple]] = []
-        for kind, row in rows:
-            key = (kind, row)
-            if key in seen:
-                continue
-            seen.add(key)
-            tables[kind].insert(row)
-            fresh.append((kind, row))
-        return fresh
+        return self._insert_fresh(rows)
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def _scan(self, kind: TripleKind) -> Iterator[EncodedTriple]:
+        self._check_open()
+        table = self._tables[kind]
+        return iter(list(map(EncodedTriple, table.s_col, table.p_col, table.o_col)))
 
     def scan_data(self) -> Iterator[EncodedTriple]:
-        self._check_open()
-        return iter(list(self._tables[TripleKind.DATA].rows))
+        return self._scan(TripleKind.DATA)
 
     def scan_types(self) -> Iterator[EncodedTriple]:
-        self._check_open()
-        return iter(list(self._tables[TripleKind.TYPE].rows))
+        return self._scan(TripleKind.TYPE)
 
     def scan_schema(self) -> Iterator[EncodedTriple]:
-        self._check_open()
-        return iter(list(self._tables[TripleKind.SCHEMA].rows))
+        return self._scan(TripleKind.SCHEMA)
 
     def scan_batches(
         self, kind: TripleKind, batch_size: int = 50_000
-    ) -> Iterator[List[EncodedTriple]]:
-        """Yield slices of the in-memory row list directly (no per-row work)."""
+    ) -> Iterator[List[Tuple[int, int, int]]]:
+        """Yield row-tuple batches zipped straight off the column slices."""
         self._check_open()
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        rows = self._tables[kind].rows
-        for start in range(0, len(rows), batch_size):
-            yield rows[start : start + batch_size]
+        table = self._tables[kind]
+        s_col, p_col, o_col = table.s_col, table.p_col, table.o_col
+        for start in range(0, len(s_col), batch_size):
+            end = start + batch_size
+            yield list(zip(s_col[start:end], p_col[start:end], o_col[start:end]))
 
+    def scan_columns(
+        self, kind: TripleKind, batch_size: int = 65_536
+    ) -> Iterator[Tuple[array, array, array]]:
+        """Yield ``(s, p, o)`` column slices directly — the zero-copy-ish
+        scan of the summarization and statistics passes (an ``array`` slice
+        is one C-level copy; no per-row tuple is ever built)."""
+        self._check_open()
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        table = self._tables[kind]
+        s_col, p_col, o_col = table.s_col, table.p_col, table.o_col
+        for start in range(0, len(s_col), batch_size):
+            end = start + batch_size
+            yield s_col[start:end], p_col[start:end], o_col[start:end]
+
+    def columns(self, kind: TripleKind) -> Tuple[array, array, array]:
+        """The live ``(s, p, o)`` arrays of the *kind* table (read-only)."""
+        self._check_open()
+        table = self._tables[kind]
+        return table.s_col, table.p_col, table.o_col
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
     def select(
         self,
         kind: TripleKind,
@@ -249,17 +544,74 @@ class MemoryStore(TripleStore):
         subjects: Optional[Iterable[int]] = None,
         predicate: Optional[int] = None,
         objects: Optional[Iterable[int]] = None,
-    ) -> List[EncodedTriple]:
+    ) -> List[Tuple[int, int, int]]:
         self._check_open()
         return self._tables[kind].select_many(subjects, predicate, objects)
 
+    def sorted_run(
+        self, kind: TripleKind, predicate: int, by_object: bool = False
+    ) -> Optional[SortedRun]:
+        self._check_open()
+        return self._tables[kind].sorted_run(predicate, by_object)
+
     def count(self, kind: TripleKind) -> int:
         self._check_open()
-        return len(self._tables[kind].rows)
+        return len(self._tables[kind])
 
     def distinct_properties(self, kind: TripleKind) -> List[int]:
         self._check_open()
         return self._tables[kind].distinct_properties()
+
+    # ------------------------------------------------------------------
+    # column-blob snapshots (the persistence layer's zero-copy path)
+    # ------------------------------------------------------------------
+    def column_bytes(self, kind: TripleKind) -> Tuple[int, bytes, bytes, bytes]:
+        """``(row_count, s_bytes, p_bytes, o_bytes)`` — the packed columns."""
+        self._check_open()
+        table = self._tables[kind]
+        return (
+            len(table.s_col),
+            table.s_col.tobytes(),
+            table.p_col.tobytes(),
+            table.o_col.tobytes(),
+        )
+
+    def load_column_bytes(
+        self,
+        kind: TripleKind,
+        s_bytes: bytes,
+        p_bytes: bytes,
+        o_bytes: bytes,
+        byteorder: str = sys.byteorder,
+    ) -> int:
+        """Adopt packed columns for an (empty) *kind* table; return the rows.
+
+        The warm-start path: three ``frombytes`` calls, **no** index build,
+        no dedup-set build — both are deferred to the first read / insert
+        that needs them.  Returns the number of rows loaded.
+        """
+        self._check_open()
+        table = self._tables[kind]
+        if len(table):
+            raise ValueError(f"{kind.name} table is not empty")
+        for column, blob in (
+            (table.s_col, s_bytes),
+            (table.p_col, p_bytes),
+            (table.o_col, o_bytes),
+        ):
+            column.frombytes(blob)
+            if byteorder != sys.byteorder:
+                column.byteswap()
+        if not (len(table.s_col) == len(table.p_col) == len(table.o_col)):
+            raise ValueError("column blobs disagree on row count")
+        table.mark_unindexed()
+        self._seen = None
+        return len(table)
+
+    def index_build_count(self) -> int:
+        """Total full index builds across the three tables (observability)."""
+        self._check_open()
+        return sum(table.index_builds for table in self._tables.values())
 
     def close(self) -> None:
         self._closed = True

@@ -211,7 +211,7 @@ class SQLiteStore(TripleStore):
 
             pending = 0
             for kind, row in rows:
-                buffers[kind].append((row.subject, row.predicate, row.object))
+                buffers[kind].append((row[0], row[1], row[2]))
                 pending += 1
                 if pending >= self.batch_size:
                     flush()

@@ -411,6 +411,77 @@ class TestCatalogMaintenance:
             catalog.checkpoint()  # must not raise
 
 
+class TestColumnBlobWarmStart:
+    """Columnar stores checkpoint as packed blobs and reopen without any
+    per-row work: no index builds, and byte-identical columns."""
+
+    def test_reopen_is_byte_identical_and_builds_nothing(self, bsbm_small, tmp_path):
+        from repro.model.triple import TripleKind
+
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            entry = catalog.register("g", graph=bsbm_small)
+            original = {kind: entry.store.column_bytes(kind) for kind in TripleKind}
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("g")
+            assert entry.store.index_build_count() == 0
+            restored = {kind: entry.store.column_bytes(kind) for kind in TripleKind}
+            assert restored == original
+            assert entry.store.index_build_count() == 0  # blobs never index
+
+    def test_checkpoint_writes_blobs_not_rows(self, fig2, tmp_path):
+        import sqlite3
+
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=fig2)
+        connection = sqlite3.connect(path)
+        blob_tables = connection.execute(
+            "SELECT COUNT(*) FROM graph_columns WHERE graph = 'g'"
+        ).fetchone()[0]
+        row_count = connection.execute(
+            "SELECT COUNT(*) FROM graph_triples WHERE graph = 'g'"
+        ).fetchone()[0]
+        connection.close()
+        assert blob_tables > 0
+        assert row_count == 0
+
+    def test_appended_tail_rows_fold_in_on_reopen(self, fig2, tmp_path, ingest_query):
+        # add_triples appends plain rows behind the blob snapshot; a warm
+        # start must serve the union, and the next checkpoint re-packs it
+        path = _catalog_path(tmp_path)
+        fresh = Triple(EX.term("blob/a"), EX.term("p1"), EX.term("blob/b"))
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=fig2)
+            catalog.add_triples("g", [fresh])
+        with GraphCatalog.open(path) as reopened:
+            entry = reopened.entry("g")
+            assert fresh in set(entry.to_graph())
+            answers = QueryService(reopened).answer("g", ingest_query).answers
+            assert (EX.term("blob/a"),) in answers
+            reopened.checkpoint()
+        import sqlite3
+
+        connection = sqlite3.connect(path)
+        remaining = connection.execute(
+            "SELECT COUNT(*) FROM graph_triples WHERE graph = 'g'"
+        ).fetchone()[0]
+        connection.close()
+        assert remaining == 0  # the tail was folded back into the blobs
+
+    def test_blob_snapshot_reopens_into_sqlite_backend(self, fig2, tmp_path):
+        # a snapshot written by the columnar store must stay readable by a
+        # backend without blob adoption (the rows are unpacked instead)
+        path = _catalog_path(tmp_path)
+        with GraphCatalog.open(path) as catalog:
+            catalog.register("g", graph=fig2)
+        factory = lambda: SQLiteStore(str(tmp_path / "unpacked.db"))
+        with GraphCatalog.open(path, store_factory=factory) as reopened:
+            entry = reopened.entry("g")
+            assert isinstance(entry.store, SQLiteStore)
+            assert set(entry.to_graph()) == set(fig2)
+
+
 class TestSaturationWarmStart:
     """Warm restarts must keep G∞ — zero rule application on reopen."""
 

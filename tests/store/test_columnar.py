@@ -1,0 +1,331 @@
+"""Columnar data-plane tests: column scans, sorted runs, cross-backend contract."""
+
+import pytest
+
+from repro.model.graph import RDFGraph
+from repro.model.namespaces import EX, RDF_TYPE
+from repro.model.triple import Triple, TripleKind
+from repro.store.base import SortedRun
+from repro.store.memory import MemoryStore
+from repro.store.reference import DictReferenceStore
+from repro.store.sqlite import SQLiteStore
+
+
+BACKENDS = [MemoryStore, SQLiteStore]
+
+
+def _sample_graph():
+    return RDFGraph(
+        [
+            Triple(EX.r1, EX.author, EX.a1),
+            Triple(EX.r1, EX.author, EX.a2),
+            Triple(EX.r2, EX.author, EX.a1),
+            Triple(EX.r1, EX.title, EX.t1),
+            Triple(EX.r2, EX.title, EX.t2),
+            Triple(EX.a1, EX.wrote, EX.r1),
+            Triple(EX.r1, RDF_TYPE, EX.Book),
+            Triple(EX.r2, RDF_TYPE, EX.Book),
+        ]
+    )
+
+
+@pytest.fixture(params=BACKENDS, ids=["memory", "sqlite"])
+def store(request):
+    instance = request.param()
+    yield instance
+    instance.close()
+
+
+class TestScanColumns:
+    def test_columns_match_row_scan(self, store):
+        store.load_graph(_sample_graph())
+        for kind in (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA):
+            rows = [tuple(row) for batch in store.scan_batches(kind) for row in batch]
+            columns = [
+                (s, p, o)
+                for s_arr, p_arr, o_arr in store.scan_columns(kind)
+                for s, p, o in zip(s_arr, p_arr, o_arr)
+            ]
+            assert columns == rows
+
+    def test_batch_size_respected(self, store):
+        store.load_graph(_sample_graph())
+        batches = list(store.scan_columns(TripleKind.DATA, batch_size=2))
+        assert all(len(s) <= 2 for s, _p, _o in batches)
+        assert sum(len(s) for s, _p, _o in batches) == store.count(TripleKind.DATA)
+
+    def test_invalid_batch_size_rejected(self, store):
+        store.load_graph(_sample_graph())
+        with pytest.raises(ValueError):
+            list(store.scan_columns(TripleKind.DATA, batch_size=0))
+
+
+class TestSortedRun:
+    def test_memory_run_is_sorted_and_complete(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            run = store.sorted_run(TripleKind.DATA, author)
+            assert run is not None
+            assert list(run.keys) == sorted(run.keys)
+            expected = sorted(
+                (row[0], row[2]) for row in store.select(TripleKind.DATA, predicate=author)
+            )
+            assert sorted(zip(run.keys, run.column_values(2))) == expected
+
+    def test_by_object_run_keys_on_object(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            run = store.sorted_run(TripleKind.DATA, author, by_object=True)
+            objects = sorted(row[2] for row in store.select(TripleKind.DATA, predicate=author))
+            assert list(run.keys) == objects
+
+    def test_unknown_predicate_returns_none(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            assert store.sorted_run(TripleKind.DATA, 10_000) is None
+
+    def test_sqlite_keeps_no_runs(self):
+        with SQLiteStore() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            assert store.sorted_run(TripleKind.DATA, author) is None
+
+    def test_range_brackets_one_key(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            r1 = store.dictionary.encode_existing(EX.r1)
+            run = store.sorted_run(TripleKind.DATA, author)
+            start, stop = run.range(r1)
+            assert stop - start == 2
+            assert all(run.keys[i] == r1 for i in range(start, stop))
+
+    def test_group_bounds_covers_every_key(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            run = store.sorted_run(TripleKind.DATA, author)
+            bounds = run.group_bounds()
+            assert set(bounds) == set(run.keys)
+            for key, (start, stop) in bounds.items():
+                assert run.range(key) == (start, stop)
+
+    def test_caches_survive_repeat_lookups(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            run = store.sorted_run(TripleKind.DATA, author)
+            assert run.column_values(2) is run.column_values(2)
+            assert run.group_bounds() is run.group_bounds()
+
+    def test_update_invalidates_run_caches(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            before = store.sorted_run(TripleKind.DATA, author)
+            before_pairs = set(zip(before.keys, before.column_values(2)))
+            count = store.load_triples([Triple(EX.r3, EX.author, EX.a2)])
+            assert count == 1
+            r3 = store.dictionary.encode_existing(EX.r3)
+            a2 = store.dictionary.encode_existing(EX.a2)
+            after = store.sorted_run(TripleKind.DATA, author)
+            after_pairs = set(zip(after.keys, after.column_values(2)))
+            assert after_pairs == before_pairs | {(r3, a2)}
+            assert r3 in after.group_bounds()
+
+    def test_base_default_run_is_none(self):
+        with SQLiteStore() as store:
+            store.load_graph(_sample_graph())
+            assert store.sorted_run(TripleKind.TYPE, 0, by_object=True) is None
+
+
+class TestIndexBuildObservability:
+    def test_bulk_load_defers_then_builds_once(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            builds_after_load = store.index_build_count()
+            author = store.dictionary.encode_existing(EX.author)
+            list(store.select(TripleKind.DATA, predicate=author))
+            first = store.index_build_count()
+            list(store.select(TripleKind.DATA, predicate=author))
+            r1 = store.dictionary.encode_existing(EX.r1)
+            store.select_many(TripleKind.DATA, subjects=[r1], predicate=author)
+            assert store.index_build_count() == first
+            assert first >= builds_after_load
+
+    def test_scan_never_forces_an_index_build(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            for kind in (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA):
+                for _batch in store.scan_columns(kind):
+                    pass
+            assert store.index_build_count() == 0
+
+
+class TestCrossBackendContract:
+    """MemoryStore, SQLiteStore and the dict oracle must agree observably."""
+
+    def _encoded_rows(self, store):
+        graph = _sample_graph()
+        ids = {}
+        rows = []
+        for triple in graph:
+            encoded = store.dictionary.encode_triple(triple)
+            kind = (
+                TripleKind.SCHEMA
+                if triple.is_schema()
+                else TripleKind.TYPE if triple.is_type() else TripleKind.DATA
+            )
+            rows.append((kind, encoded))
+            ids[triple] = encoded
+        return rows
+
+    @pytest.mark.parametrize("factory", BACKENDS + [DictReferenceStore], ids=["memory", "sqlite", "dict"])
+    def test_insert_encoded_rows_returns_fresh_rows(self, factory):
+        with factory() as store:
+            rows = self._encoded_rows(store)
+            fresh = store.insert_encoded_rows(rows, skip_existing=True)
+            assert [tuple(row) for _kind, row in fresh] == [tuple(row) for _kind, row in rows]
+            again = store.insert_encoded_rows(rows, skip_existing=True)
+            assert again == []
+
+    @pytest.mark.parametrize("factory", BACKENDS + [DictReferenceStore], ids=["memory", "sqlite", "dict"])
+    def test_in_batch_duplicates_inserted_once(self, factory):
+        with factory() as store:
+            rows = self._encoded_rows(store)
+            fresh = store.insert_encoded_rows(rows + rows, skip_existing=True)
+            assert len(fresh) == len(rows)
+            assert store.count(TripleKind.DATA) == 6
+            assert store.count(TripleKind.TYPE) == 2
+
+    def test_len_and_counts_agree_across_backends(self):
+        counts = {}
+        for factory in BACKENDS:
+            with factory() as store:
+                store.load_graph(_sample_graph())
+                counts[factory.__name__] = tuple(
+                    store.count(kind)
+                    for kind in (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA)
+                )
+        assert len(set(counts.values())) == 1
+
+    def test_scan_order_is_insertion_order_everywhere(self):
+        orders = {}
+        for factory in BACKENDS + [DictReferenceStore]:
+            with factory() as store:
+                rows = self._encoded_rows(store)
+                store.insert_encoded_rows(rows, skip_existing=True)
+                orders[factory.__name__] = [tuple(row) for row in store.scan_data()]
+        reference = orders.pop("DictReferenceStore")
+        for name, order in orders.items():
+            assert order == reference, name
+
+
+class TestSelectManyDedup:
+    """Repeated key ids must not multiply result rows (regression)."""
+
+    @pytest.mark.parametrize(
+        "factory", BACKENDS + [DictReferenceStore], ids=["memory", "sqlite", "dict"]
+    )
+    def test_repeated_subjects_yield_each_row_once(self, factory):
+        with factory() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            r1 = store.dictionary.encode_existing(EX.r1)
+            once = store.select_many(TripleKind.DATA, subjects=[r1], predicate=author)
+            repeated = store.select_many(
+                TripleKind.DATA, subjects=[r1, r1, r1], predicate=author
+            )
+            assert sorted(map(tuple, repeated)) == sorted(map(tuple, once))
+            assert len(list(once)) == 2
+
+    @pytest.mark.parametrize(
+        "factory", BACKENDS + [DictReferenceStore], ids=["memory", "sqlite", "dict"]
+    )
+    def test_repeated_objects_yield_each_row_once(self, factory):
+        with factory() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            a1 = store.dictionary.encode_existing(EX.a1)
+            once = store.select_many(TripleKind.DATA, objects=[a1], predicate=author)
+            repeated = store.select_many(TripleKind.DATA, objects=[a1, a1], predicate=author)
+            assert sorted(map(tuple, repeated)) == sorted(map(tuple, once))
+            assert len(list(once)) == 2
+
+    def test_base_fallback_path_deduplicates(self):
+        """The TripleStore._select_many_fallback used by minimal backends."""
+        with SQLiteStore() as store:
+            store.load_graph(_sample_graph())
+            author = store.dictionary.encode_existing(EX.author)
+            r1 = store.dictionary.encode_existing(EX.r1)
+            rows = list(
+                store._select_many_fallback(
+                    TripleKind.DATA, [r1, r1, r1], author, None
+                )
+            )
+            assert len(rows) == 2
+
+
+class TestColumnBlobs:
+    def test_column_bytes_round_trip_byte_identical(self):
+        with MemoryStore() as source:
+            source.load_graph(_sample_graph())
+            blobs = {
+                kind: source.column_bytes(kind)
+                for kind in (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA)
+            }
+            with MemoryStore() as restored:
+                for term, identifier in source.dictionary.items():
+                    assert restored.dictionary.encode(term) == identifier
+                for kind, (count, s, p, o) in blobs.items():
+                    assert restored.load_column_bytes(kind, s, p, o) == count
+                assert restored.index_build_count() == 0
+                for kind in blobs:
+                    assert restored.column_bytes(kind) == blobs[kind]
+                assert [tuple(r) for r in restored.scan_data()] == [
+                    tuple(r) for r in source.scan_data()
+                ]
+
+    def test_loaded_blobs_still_answer_selects(self):
+        with MemoryStore() as source:
+            source.load_graph(_sample_graph())
+            author = source.dictionary.encode_existing(EX.author)
+            r1 = source.dictionary.encode_existing(EX.r1)
+            expected = sorted(map(tuple, source.select(TripleKind.DATA, predicate=author)))
+            count, s, p, o = source.column_bytes(TripleKind.DATA)
+            with MemoryStore() as restored:
+                restored.load_column_bytes(TripleKind.DATA, s, p, o)
+                got = sorted(map(tuple, restored.select(TripleKind.DATA, predicate=author)))
+                assert got == expected
+                assert len(restored.select_many(TripleKind.DATA, subjects=[r1])) == 3
+
+    def test_load_into_nonempty_table_rejected(self):
+        with MemoryStore() as store:
+            store.load_graph(_sample_graph())
+            count, s, p, o = store.column_bytes(TripleKind.DATA)
+            with pytest.raises(Exception):
+                store.load_column_bytes(TripleKind.DATA, s, p, o)
+
+    def test_foreign_byteorder_swaps(self):
+        import sys
+
+        with MemoryStore() as source:
+            source.load_graph(_sample_graph())
+            count, s, p, o = source.column_bytes(TripleKind.DATA)
+            other = "big" if sys.byteorder == "little" else "little"
+            from array import array
+
+            def swapped(blob):
+                values = array("q")
+                values.frombytes(blob)
+                values.byteswap()
+                return values.tobytes()
+
+            with MemoryStore() as restored:
+                loaded = restored.load_column_bytes(
+                    TripleKind.DATA, swapped(s), swapped(p), swapped(o), byteorder=other
+                )
+                assert loaded == count
+                assert restored.column_bytes(TripleKind.DATA) == (count, s, p, o)

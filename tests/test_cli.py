@@ -192,6 +192,49 @@ class TestQueryStrategyAndExplain:
         )
         assert "answer(s)" in capsys.readouterr().out
 
+    def test_merge_strategy_answers(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    str(fig2_file),
+                    "--strategy",
+                    "merge",
+                    "--query",
+                    "PREFIX f: <http://example.org/fig2/> SELECT ?x WHERE { ?x f:author ?a }",
+                ]
+            )
+            == 0
+        )
+        assert "answer(s)" in capsys.readouterr().out
+
+    def test_merge_explain_reports_per_stage_algorithm(self, fig2_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    str(fig2_file),
+                    "--strategy",
+                    "merge",
+                    "--explain",
+                    "--query",
+                    "PREFIX f: <http://example.org/fig2/> "
+                    "SELECT ?x ?a WHERE { ?x f:author ?a . ?x a f:Book }",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "explain (strategy: merge)" in output
+        assert "join merge" in output
+
+    def test_workload_mode_accepts_merge(self, fig2_file, capsys):
+        assert (
+            main(["query", str(fig2_file), "--workload", "6", "--strategy", "merge"])
+            == 0
+        )
+        assert "speedup" in capsys.readouterr().out
+
     def test_explain_prints_plan_and_guard_cascade(self, fig2_file, capsys):
         assert (
             main(

@@ -213,6 +213,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=1000, help="default answer limit per query"
     )
     serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard the catalog across this many worker processes "
+        "(scatter-gather serving via repro.cluster; 0 = in-process)",
+    )
+    serve_parser.add_argument(
+        "--max-body-mb",
+        type=int,
+        default=64,
+        help="largest accepted request body in MiB (oversized requests get 413)",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
 
@@ -472,6 +485,20 @@ def _command_serve(args: argparse.Namespace) -> int:
         graph.name = name
         catalog.register(name, graph=graph)
 
+    cluster = None
+    if args.workers > 0:
+        from repro.cluster import ClusterCoordinator
+
+        # workers serve their shipped shards from columnar memory stores
+        # whatever the coordinator's backend, so the sqlite-only "sql"
+        # strategy falls back to hash inside the worker processes
+        worker_strategy = args.strategy if args.strategy != "sql" else "hash"
+        cluster = ClusterCoordinator(
+            catalog,
+            workers=args.workers,
+            kind=args.kind,
+            strategy=worker_strategy,
+        )
     app = ServerApp(
         catalog,
         kind=args.kind,
@@ -479,14 +506,17 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_workers=args.threads,
         default_limit=args.limit,
         quiet=not args.verbose,
+        max_body_bytes=args.max_body_mb * 1024 * 1024,
+        cluster=cluster,
     )
     server = make_server(app, args.host, args.port)
     host, port = server.server_address[:2]
     names = ", ".join(catalog.names()) or "none"
+    tier = f", cluster: {args.workers} worker process(es)" if cluster else ""
     print(
         f"serving {len(catalog)} graph(s) [{names}] on http://{host}:{port} "
         f"(catalog: {args.catalog or 'in-memory'}, guard: {args.kind}, "
-        f"strategy: {args.strategy}, workers: {args.threads})",
+        f"strategy: {args.strategy}, workers: {args.threads}{tier})",
         flush=True,
     )
     # a SIGTERM (docker stop, kill) should run the same graceful path as
@@ -506,7 +536,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down", flush=True)
     finally:
+        # graceful drain: stop accepting, let in-flight requests answer,
+        # then stop executing (app.close also drains and stops the cluster
+        # workers), and only then checkpoint — the durable state includes
+        # every ingest a client got a 200 for
         server.server_close()
+        app.drain()
         app.close()
         catalog.checkpoint()
         catalog.close()

@@ -1,0 +1,35 @@
+"""The sharded multi-process serving tier.
+
+``repro.cluster`` scales the serving layer across CPU cores: a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` hash-partitions each
+registered graph's encoded rows by subject id into K shards, ships each
+shard to a worker process as raw int64 column blobs (zero Terms pickled),
+and answers BGP queries by scatter-gather — every shard guarded by its own
+weak/strong summaries, so refuted shards never run a join.  Answers stay
+bit-identical to the in-process :class:`~repro.service.service.QueryService`
+(see ``docs/cluster.md`` for the architecture and the failure model).
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.protocol import (
+    OP_DELTA,
+    OP_DROP,
+    OP_LOAD,
+    OP_PING,
+    OP_QUERY,
+    OP_SHUTDOWN,
+)
+from repro.cluster.worker import TARGET_FULL, TARGET_SHARD, worker_main
+
+__all__ = [
+    "ClusterCoordinator",
+    "worker_main",
+    "TARGET_FULL",
+    "TARGET_SHARD",
+    "OP_LOAD",
+    "OP_DELTA",
+    "OP_QUERY",
+    "OP_DROP",
+    "OP_PING",
+    "OP_SHUTDOWN",
+]

@@ -1,0 +1,755 @@
+"""The scatter-gather coordinator of the sharded serving tier.
+
+One :class:`ClusterCoordinator` owns the authoritative
+:class:`~repro.service.catalog.GraphCatalog` (the single writer of the
+tier) and a pool of K spawned worker processes.  Each registered graph is
+hash-partitioned by subject id (:func:`~repro.store.base.shard_of`) and
+shipped to the workers as raw int64 column blobs plus structurally packed
+dictionary terms — see :mod:`repro.cluster.protocol` for the wire format
+and :mod:`repro.cluster.worker` for the receiving side.
+
+Query routing
+-------------
+A query is **shard-safe** when every triple pattern shares one subject
+term (one variable, or one constant) and explicit-triple semantics are
+requested.  Subject-hash partitioning makes every candidate row group of
+such a query live in exactly one shard (schema rows, the only
+non-subject-keyed patterns, are broadcast to all shards), so the
+coordinator *scatters* it to all K workers — each runs its shard-local
+weak/strong guard cascade first, so refuted shards never run the join —
+and unions the disjoint partial bindings.  A constant-subject query
+short-circuits to the single owning shard.
+
+Everything else — chain joins (an object variable re-used in subject
+position crosses shards), multi-subject bodies, and all
+``saturated=True`` queries (rdfs3 derives type rows keyed by a data row's
+*object*, so shard-local saturation is not a partition of ``G∞``) — is
+routed round-robin to one worker's **full replica**.  Either way the
+answer ids decode through the coordinator's dictionary, which keeps every
+cluster answer bit-identical to the in-process
+:meth:`~repro.service.service.QueryService.answer`.
+
+Writes
+------
+Ingest runs on the coordinator's catalog (summaries, statistics,
+persistence — the usual write path) and a per-entry delta listener fans
+the freshly inserted rows plus the dictionary tail out to every worker
+through a **bounded** per-worker queue: a slow worker eventually blocks
+the listener — and therefore the ingesting client — which is the tier's
+backpressure.  Read-your-writes holds because a query carries the entry
+version its caller observed and workers defer under-versioned queries
+until the delta (already in their pipe or queue) lands.
+
+Failure model
+-------------
+Worker death is detected by pipe EOF (receiver thread) and by the
+heartbeat thread's liveness sweep.  A dead worker is respawned and
+re-shipped from the live catalog, and the failed request retried — a
+crash mid-query costs latency, never an error and never a wrong answer
+(deltas dropped while dead are subsumed by the re-shipped snapshot;
+re-delivered deltas deduplicate idempotently).  ``close()`` drains the
+delta queues, asks each worker to finish its message in hand
+(``SIGTERM``-equivalent shutdown message), then joins the processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import monotonic, time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster import protocol
+from repro.cluster.worker import TARGET_FULL, TARGET_SHARD, worker_main
+from repro.errors import (
+    ClusterError,
+    QueryError,
+    UnknownGraphError,
+    UnknownTermError,
+    WorkerCrashedError,
+    WorkerTimeoutError,
+)
+from repro.model.graph import RDFGraph
+from repro.model.terms import Term
+from repro.queries.bgp import BGPQuery, Variable
+from repro.service.catalog import CatalogEntry, GraphCatalog
+from repro.service.service import QueryAnswer, ServiceStatistics
+from repro.store.base import shard_of
+
+__all__ = ["ClusterCoordinator"]
+
+#: Queries and loads get generous timeouts (a load ships whole graphs);
+#: heartbeat pings stay short — a busy single-threaded worker not
+#: answering a ping is *busy*, not dead, and must not be respawned.
+_REQUEST_TIMEOUT = 120.0
+_PING_TIMEOUT = 1.0
+_SHUTDOWN_TIMEOUT = 10.0
+
+
+class _PendingReply:
+    """One outstanding request: the event its waiter parks on."""
+
+    __slots__ = ("event", "status", "payload")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.status: Optional[str] = None
+        self.payload = None
+
+    def resolve(self, status: str, payload) -> None:
+        self.status = status
+        self.payload = payload
+        self.event.set()
+
+    def fail(self, message: str) -> None:
+        self.resolve("crashed", message)
+
+
+class _WorkerHandle:
+    """Coordinator-side state of one worker slot (stable across respawns)."""
+
+    def __init__(self, index: int, delta_queue_depth: int):
+        self.index = index
+        self.generation = 0
+        self.respawns = 0
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.connection = None
+        self.alive = False
+        #: Serializes conn.send() calls (receiver thread handles recv).
+        self.send_lock = threading.Lock()
+        #: Outstanding requests by id, resolved by the receiver thread.
+        self.pending: Dict[int, _PendingReply] = {}
+        self.pending_lock = threading.Lock()
+        #: Excludes delta sends from respawn windows: a delta must never
+        #: slip between a respawn's snapshot read and its load message.
+        self.ship_lock = threading.Lock()
+        self.delta_queue: "queue.Queue" = queue.Queue(maxsize=delta_queue_depth)
+        self.receiver: Optional[threading.Thread] = None
+        self.broadcaster: Optional[threading.Thread] = None
+        self.last_ping: Optional[Dict[str, object]] = None
+        self.last_ping_at: Optional[float] = None
+
+    def fail_pending(self, message: str) -> None:
+        with self.pending_lock:
+            pending, self.pending = self.pending, {}
+        for slot in pending.values():
+            slot.fail(message)
+
+
+class ClusterCoordinator:
+    """K spawned workers behind one writer catalog; scatter-gather reads.
+
+    Parameters
+    ----------
+    catalog:
+        The authoritative catalog (optionally persistent).  The
+        coordinator is its single writer; route all ingest through
+        :meth:`add_triples` / :meth:`register` / :meth:`drop`.
+    workers:
+        Shard count K — one process per shard.
+    kind / strategy:
+        Worker-side guard cascade and join strategy (the same knobs as
+        :class:`~repro.service.service.QueryService`).
+    delta_queue_depth:
+        Bound of each worker's ingest-delta queue; a full queue blocks the
+        ingesting caller (backpressure).
+    heartbeat_seconds:
+        Liveness sweep period; ``0`` disables the sweep (crash detection
+        then rests on pipe EOF at request time).
+    max_retries:
+        Crash-retry budget per request (respawn + retry).
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        workers: int = 2,
+        kind: str = "weak+strong",
+        strategy: str = "hash",
+        delta_queue_depth: int = 64,
+        heartbeat_seconds: float = 2.0,
+        max_retries: int = 2,
+        start: bool = True,
+    ):
+        if workers <= 0:
+            raise ValueError("a cluster needs at least one worker")
+        self.catalog = catalog
+        self.worker_count = workers
+        self.kind = kind
+        self.strategy = strategy
+        self.max_retries = max_retries
+        self.heartbeat_seconds = heartbeat_seconds
+        self.statistics = ServiceStatistics()
+        self.started_at = time()
+        # spawn, not fork: the coordinator is multi-threaded by design
+        # (receiver/broadcaster/heartbeat threads, caller pools) and a
+        # forked child inheriting locked locks or sibling pipe fds would
+        # break both liveness and EOF-based crash detection
+        self._mp = multiprocessing.get_context("spawn")
+        self._workers = [_WorkerHandle(i, delta_queue_depth) for i in range(workers)]
+        self._request_ids = itertools.count(1)
+        self._round_robin = itertools.count()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(8, 2 * workers), thread_name_prefix="repro-scatter"
+        )
+        #: Per graph: how many dictionary ids have been shipped (the next
+        #: delta packs the tail from here).  Guarded by the entry write
+        #: lock — listeners run inside it, serialized per graph.
+        self._dict_marks: Dict[str, int] = {}
+        self._listened: Set[str] = set()
+        self._closed = False
+        self._stop_event = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the workers and ship every registered graph."""
+        for handle in self._workers:
+            self._spawn(handle)
+            self._start_broadcaster(handle)
+        for name in self.catalog.names():
+            entry = self.catalog.entry(name)
+            self._attach_listener(entry)
+            self._ship_graph(entry, self._workers)
+        if self.heartbeat_seconds > 0:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, name="repro-heartbeat", daemon=True
+            )
+            self._heartbeat_thread.start()
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """Start (or restart) the process behind *handle* (ship_lock held
+        by the caller for respawns; at start() nothing races)."""
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        config = {
+            "shard_index": handle.index,
+            "shard_count": self.worker_count,
+            "kind": self.kind,
+            "strategy": self.strategy,
+        }
+        process = self._mp.Process(
+            target=worker_main,
+            args=(child_conn, config),
+            name=f"repro-worker-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.connection = parent_conn
+        handle.alive = True
+        generation = handle.generation
+        receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(handle, parent_conn, generation),
+            name=f"repro-recv-{handle.index}",
+            daemon=True,
+        )
+        handle.receiver = receiver
+        receiver.start()
+
+    def _receive_loop(self, handle: _WorkerHandle, connection, generation: int) -> None:
+        """Route worker replies to their waiting requesters; EOF = crash."""
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                break
+            request_id, status, payload = message
+            with handle.pending_lock:
+                slot = handle.pending.pop(request_id, None)
+            if slot is not None:
+                slot.resolve(status, payload)
+        if handle.generation == generation:
+            handle.alive = False
+        handle.fail_pending(f"worker {handle.index} pipe closed")
+
+    def _start_broadcaster(self, handle: _WorkerHandle) -> None:
+        def run():
+            while True:
+                item = handle.delta_queue.get()
+                if item is None:
+                    return
+                # ship_lock keeps the send out of respawn windows: a delta
+                # sent between a respawn's snapshot and its load message
+                # would be refused (graph unknown) yet *missing* from the
+                # snapshot — the one interleaving that loses rows
+                with handle.ship_lock:
+                    try:
+                        self._request(handle, protocol.OP_DELTA, item, _REQUEST_TIMEOUT)
+                    except (ClusterError, UnknownGraphError):
+                        # dropped or dead worker: the rows are already in
+                        # the catalog store, so the respawn re-ship (or the
+                        # drop that raced us) subsumes this delta
+                        pass
+
+        thread = threading.Thread(
+            target=run, name=f"repro-delta-{handle.index}", daemon=True
+        )
+        handle.broadcaster = thread
+        thread.start()
+
+    def close(self, timeout: float = _SHUTDOWN_TIMEOUT) -> None:
+        """Drain delta queues, drain and stop the workers, join everything.
+
+        Safe to call twice.  The order is the graceful SIGTERM path:
+        pending ingest deltas flush first (workers end consistent), each
+        worker finishes the message in hand and acks the shutdown, then
+        processes are joined (terminated only if they overstay).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_event.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=timeout)
+        for handle in self._workers:
+            handle.delta_queue.put(None)
+        for handle in self._workers:
+            if handle.broadcaster is not None:
+                handle.broadcaster.join(timeout=timeout)
+        for handle in self._workers:
+            if handle.alive:
+                try:
+                    self._request(handle, protocol.OP_SHUTDOWN, (), timeout)
+                except ClusterError:
+                    pass
+            process = handle.process
+            if process is not None:
+                process.join(timeout=timeout)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=timeout)
+            handle.alive = False
+            if handle.connection is not None:
+                try:
+                    handle.connection.close()
+                except OSError:
+                    pass
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, handle: _WorkerHandle, op: str, payload: tuple, timeout: float
+    ):
+        """One id-matched round trip to *handle*'s worker."""
+        if not handle.alive:
+            raise WorkerCrashedError(f"worker {handle.index} is down")
+        request_id = next(self._request_ids)
+        slot = _PendingReply()
+        with handle.pending_lock:
+            handle.pending[request_id] = slot
+        try:
+            try:
+                with handle.send_lock:
+                    handle.connection.send((request_id, op, payload))
+            except (OSError, ValueError, BrokenPipeError) as error:
+                handle.alive = False
+                raise WorkerCrashedError(
+                    f"worker {handle.index} send failed: {error}"
+                ) from error
+            if not slot.event.wait(timeout):
+                raise WorkerTimeoutError(
+                    f"worker {handle.index} did not answer {op!r} within {timeout}s"
+                )
+        finally:
+            with handle.pending_lock:
+                handle.pending.pop(request_id, None)
+        if slot.status == "ok":
+            return slot.payload
+        if slot.status == "crashed":
+            raise WorkerCrashedError(str(slot.payload))
+        error_kind, message = slot.payload
+        if error_kind == "unknown_graph":
+            raise UnknownGraphError(message)
+        if error_kind == "query":
+            raise QueryError(message)
+        raise ClusterError(f"worker {handle.index} {error_kind} error: {message}")
+
+    def _call_with_retry(
+        self, handle: _WorkerHandle, op: str, payload: tuple, timeout: float
+    ) -> Tuple[object, int]:
+        """A round trip that survives worker crashes; returns
+        ``(reply, retries_spent)``.  Crashes trigger respawn + retry up to
+        the budget; timeouts do not (re-running the same wedging request
+        would wedge the fresh worker too)."""
+        retries = 0
+        while True:
+            generation = handle.generation
+            try:
+                return self._request(handle, op, payload, timeout), retries
+            except WorkerCrashedError:
+                if self._closed or retries >= self.max_retries:
+                    raise
+                retries += 1
+                self._ensure_alive(handle, generation)
+            except UnknownGraphError:
+                # a respawned worker accepts requests the moment its pipe is
+                # up, which can be before the respawn's re-ship has landed.
+                # If the coordinator still knows the graph the worker is
+                # merely behind: wait out the in-flight (re-)ship and retry.
+                name = payload[0] if payload else None
+                if (
+                    self._closed
+                    or retries >= self.max_retries
+                    or not isinstance(name, str)
+                    or name not in self.catalog.names()
+                ):
+                    raise
+                retries += 1
+                with handle.ship_lock:
+                    pass
+
+    def _ensure_alive(self, handle: _WorkerHandle, seen_generation: int) -> None:
+        """Respawn *handle*'s worker unless someone already did."""
+        with handle.ship_lock:
+            if handle.generation != seen_generation:
+                return  # a concurrent caller respawned; just retry
+            process = handle.process
+            if handle.alive and process is not None and process.is_alive():
+                return
+            if process is not None:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=5.0)
+            if handle.connection is not None:
+                try:
+                    handle.connection.close()
+                except OSError:
+                    pass
+            handle.fail_pending(f"worker {handle.index} respawning")
+            handle.generation += 1
+            handle.respawns += 1
+            self._spawn(handle)
+            # re-ship every graph from the live catalog: the snapshot
+            # subsumes any delta dropped while the worker was down
+            for name in self.catalog.names():
+                try:
+                    entry = self.catalog.entry(name)
+                except UnknownGraphError:
+                    continue
+                self._ship_graph(entry, [handle], update_marks=False)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop_event.wait(self.heartbeat_seconds):
+            for handle in self._workers:
+                if self._closed:
+                    return
+                process = handle.process
+                if not handle.alive or process is None or not process.is_alive():
+                    try:
+                        self._ensure_alive(handle, handle.generation)
+                    except Exception:  # noqa: BLE001 - keep sweeping
+                        continue
+                try:
+                    handle.last_ping = self._request(
+                        handle, protocol.OP_PING, (), _PING_TIMEOUT
+                    )
+                    handle.last_ping_at = monotonic()
+                except WorkerTimeoutError:
+                    # busy, not dead: a single-threaded worker mid-join
+                    # answers late; only process death triggers respawn
+                    continue
+                except ClusterError:
+                    continue
+
+    # ------------------------------------------------------------------
+    # shipping
+    # ------------------------------------------------------------------
+    def _attach_listener(self, entry: CatalogEntry) -> None:
+        if entry.name in self._listened:
+            return
+        self._listened.add(entry.name)
+        entry._delta_listeners.append(self._on_entry_delta)
+
+    def _on_entry_delta(self, entry: CatalogEntry, rows: List) -> None:
+        """Entry write hook: fan the ingest delta out to every worker.
+
+        Runs inside the entry's write lock (serialized per graph), so the
+        dictionary mark advances consistently with the shipped tail.  The
+        bounded ``put`` is the backpressure point: with a full queue the
+        ingesting caller waits for the slowest worker.
+        """
+        if self._closed:
+            return
+        name = entry.name
+        mark = self._dict_marks.get(name)
+        if mark is None:
+            return  # not shipped yet: the ship will include these rows
+        dictionary = entry.store.dictionary
+        packed_terms = protocol.pack_terms(dictionary, mark)
+        self._dict_marks[name] = mark + len(packed_terms)
+        wire_rows = [
+            (kind.value, row[0], row[1], row[2]) for kind, row in rows
+        ]
+        item = (name, entry.version, (mark, packed_terms), wire_rows)
+        for handle in self._workers:
+            handle.delta_queue.put(item)
+
+    def _ship_graph(
+        self,
+        entry: CatalogEntry,
+        handles: Sequence[_WorkerHandle],
+        update_marks: bool = True,
+    ) -> None:
+        """Snapshot *entry* under its read lock and load it into *handles*."""
+        with entry.rwlock.read_locked():
+            if entry.closed:
+                return
+            version = entry.version
+            packed_terms = protocol.pack_terms(entry.store.dictionary)
+            shard_tables = protocol.pack_all_shard_tables(entry.store, self.worker_count)
+            full_tables = protocol.pack_full_tables(entry.store)
+            if update_marks:
+                self._dict_marks[entry.name] = len(packed_terms)
+        for handle in handles:
+            payload = (
+                entry.name,
+                version,
+                packed_terms,
+                shard_tables[handle.index],
+                full_tables,
+                protocol.BYTEORDER,
+            )
+            self._request(handle, protocol.OP_LOAD, payload, _REQUEST_TIMEOUT)
+
+    # ------------------------------------------------------------------
+    # writes (the coordinator is the tier's single writer)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        graph: Optional[RDFGraph] = None,
+        store=None,
+    ) -> CatalogEntry:
+        """Register a graph and ship its shards to every worker."""
+        entry = self.catalog.register(name, graph=graph, store=store)
+        self._attach_listener(entry)
+        for handle in self._workers:
+            with handle.ship_lock:
+                generation = handle.generation
+                try:
+                    self._ship_graph(entry, [handle])
+                except WorkerCrashedError:
+                    pass  # the respawn re-ship loop will pick the graph up
+        return entry
+
+    def add_triples(self, name: str, triples) -> int:
+        """Ingest through the catalog; the delta listener broadcasts."""
+        return self.catalog.add_triples(name, triples)
+
+    def drop(self, name: str) -> None:
+        """Drop a graph everywhere (coordinator first, then the workers)."""
+        self.catalog.drop(name)
+        self._dict_marks.pop(name, None)
+        self._listened.discard(name)
+        for handle in self._workers:
+            try:
+                self._request(handle, protocol.OP_DROP, (name,), _REQUEST_TIMEOUT)
+            except (ClusterError, UnknownGraphError):
+                pass
+
+    # ------------------------------------------------------------------
+    # reads: scatter-gather
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _common_subject(query: BGPQuery):
+        """The single subject term shared by every pattern, else ``None``."""
+        subjects = {pattern.subject for pattern in query.patterns}
+        if len(subjects) == 1:
+            return next(iter(subjects))
+        return None
+
+    def answer(
+        self,
+        graph_name: str,
+        query: BGPQuery,
+        limit: Optional[int] = None,
+        saturated: bool = False,
+        explain: bool = False,
+    ) -> QueryAnswer:
+        """Answer *query* across the worker pool; same contract (and same
+        answer sets) as :meth:`QueryService.answer`."""
+        if self._closed:
+            raise ClusterError("the cluster coordinator is closed")
+        entry = self.catalog.entry(graph_name)
+        min_version = entry.version
+        subject = None if saturated else self._common_subject(query)
+        if subject is not None:
+            handles, single_shard = self._scatter_targets(entry, subject)
+            target = TARGET_SHARD
+        else:
+            handles = [self._workers[next(self._round_robin) % self.worker_count]]
+            single_shard = None
+            target = TARGET_FULL
+        payload = (
+            graph_name,
+            min_version,
+            query.to_sparql(),
+            target,
+            limit,
+            saturated,
+            explain,
+        )
+        results, retries = self._fan_out(handles, payload)
+        answer = self._gather(
+            query, graph_name, target, handles, results, limit, retries,
+            single_shard, entry, explain,
+        )
+        self.statistics.record(answer)
+        return answer
+
+    def _scatter_targets(
+        self, entry: CatalogEntry, subject
+    ) -> Tuple[List[_WorkerHandle], Optional[int]]:
+        """All workers for a variable subject; the owning shard for a
+        constant one (a dictionary miss keeps one worker in the loop so
+        the instant-empty answer flows through the uniform path)."""
+        if isinstance(subject, Variable):
+            return list(self._workers), None
+        try:
+            subject_id = entry.store.dictionary.encode_existing(subject)
+        except UnknownTermError:
+            return [self._workers[next(self._round_robin) % self.worker_count]], None
+        shard = shard_of(subject_id, self.worker_count)
+        return [self._workers[shard]], shard
+
+    def _fan_out(
+        self, handles: Sequence[_WorkerHandle], payload: tuple
+    ) -> Tuple[List[dict], int]:
+        """Run the query round trip on every handle (in parallel for a
+        scatter); returns the per-handle payloads and total crash retries."""
+        if len(handles) == 1:
+            reply, retries = self._call_with_retry(
+                handles[0], protocol.OP_QUERY, payload, _REQUEST_TIMEOUT
+            )
+            return [reply], retries
+        futures = [
+            self._pool.submit(
+                self._call_with_retry, handle, protocol.OP_QUERY, payload, _REQUEST_TIMEOUT
+            )
+            for handle in handles
+        ]
+        results: List[dict] = []
+        retries = 0
+        for future in futures:
+            reply, spent = future.result()
+            results.append(reply)
+            retries += spent
+        return results, retries
+
+    def _gather(
+        self,
+        query: BGPQuery,
+        graph_name: str,
+        target: str,
+        handles: Sequence[_WorkerHandle],
+        results: List[dict],
+        limit: Optional[int],
+        retries: int,
+        single_shard: Optional[int],
+        entry: CatalogEntry,
+        explain: bool,
+    ) -> QueryAnswer:
+        decode_table = entry.store.dictionary.decode_table
+        id_rows: Set[Tuple[int, ...]] = set()
+        for result in results:
+            id_rows.update(tuple(row) for row in result["answers"])
+        if limit is not None and len(id_rows) > limit:
+            # the serial contract: *some* size-limit subset of the answers
+            id_rows = set(itertools.islice(id_rows, limit))
+        answers: Set[Tuple[Term, ...]] = {
+            tuple(decode_table[identifier] for identifier in row) for row in id_rows
+        }
+        pruned = all(result["pruned"] for result in results)
+        pruned_by = None
+        if pruned:
+            pruned_by = next(
+                (r["pruned_by"] for r in results if r["pruned_by"] is not None), None
+            )
+        shards_pruned = sum(1 for result in results if result["pruned"])
+        cluster_meta: Dict[str, object] = {
+            "mode": "scatter" if target == TARGET_SHARD else "full",
+            "workers": [handle.index for handle in handles],
+            "shards_pruned": shards_pruned,
+            "retries": retries,
+        }
+        if single_shard is not None:
+            cluster_meta["routed_shard"] = single_shard
+        if explain:
+            cluster_meta["per_worker"] = [
+                {
+                    "worker": handle.index,
+                    "pruned": result["pruned"],
+                    "pruned_by": result["pruned_by"],
+                    "answers": len(result["answers"]),
+                    "guard_seconds": result["guard_seconds"],
+                    "evaluation_seconds": result["evaluation_seconds"],
+                    "trace": result["trace"],
+                }
+                for handle, result in zip(handles, results)
+            ]
+        first = results[0]
+        return QueryAnswer(
+            query=query,
+            graph_name=graph_name,
+            kind=first["kind"],
+            answers=answers,
+            pruned=pruned,
+            prunable=first["prunable"],
+            guard_seconds=max(result["guard_seconds"] for result in results),
+            evaluation_seconds=max(result["evaluation_seconds"] for result in results),
+            strategy=first["strategy"],
+            guard_order=tuple(first["guard_order"]),
+            pruned_by=pruned_by,
+            trace=None,
+            saturation=first.get("saturation"),
+            cluster=cluster_meta,
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Worker pool health for the HTTP ``/cluster`` endpoint."""
+        workers = []
+        for handle in self._workers:
+            process = handle.process
+            workers.append(
+                {
+                    "index": handle.index,
+                    "pid": process.pid if process is not None else None,
+                    "alive": bool(
+                        handle.alive and process is not None and process.is_alive()
+                    ),
+                    "generation": handle.generation,
+                    "respawns": handle.respawns,
+                    "queued_deltas": handle.delta_queue.qsize(),
+                    "last_ping": handle.last_ping,
+                }
+            )
+        return {
+            "workers": workers,
+            "worker_count": self.worker_count,
+            "kind": self.kind,
+            "strategy": self.strategy,
+            "graphs": self.catalog.names(),
+            "uptime_seconds": time() - self.started_at,
+            "service": self.statistics.as_dict(),
+        }

@@ -1,0 +1,215 @@
+"""Wire protocol of the sharded serving tier.
+
+Everything that crosses the coordinator/worker pipe is built from
+primitives — ``bytes``, ``str``, ``int``, ``None``, and tuples/lists/dicts
+thereof.  No :class:`~repro.model.terms.Term`, no query objects, no store
+objects are ever pickled across the boundary:
+
+* **rows** travel as the packed int64 column blobs of the columnar data
+  plane (:meth:`MemoryStore.column_bytes` format — ``array('q')`` in
+  native byte order), extracted per shard by
+  :meth:`TripleStore.partition_column_bytes`;
+* **terms** travel as the same structural ``(kind, value, datatype,
+  language)`` columns the persistent catalog stores durably — a worker
+  reconstructs its dictionary id-for-id;
+* **queries** travel as SPARQL text (:meth:`BGPQuery.to_sparql` round-trips
+  through :func:`~repro.queries.parser.parse_query`);
+* **answers** travel as integer-id tuples, decoded against the
+  coordinator's dictionary — which is why cluster answers are bit-identical
+  to in-process ones.
+
+Message framing
+---------------
+Every request is ``(request_id, op, payload)`` and every reply
+``(request_id, status, payload)`` with ``status`` either ``"ok"`` or
+``"error"`` (payload then ``(error_kind, message)``).  Replies are matched
+by id, not by order: a worker may answer a version-fenced query *after* a
+later delta message (see :mod:`repro.cluster.worker`), so the coordinator
+routes replies through a per-worker receiver thread instead of assuming
+FIFO round-trips.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ClusterError
+from repro.model.dictionary import Dictionary
+from repro.model.terms import BlankNode, Literal, Term, URI
+from repro.model.triple import TripleKind
+
+__all__ = [
+    "OP_LOAD",
+    "OP_DELTA",
+    "OP_QUERY",
+    "OP_DROP",
+    "OP_PING",
+    "OP_SHUTDOWN",
+    "pack_terms",
+    "unpack_terms",
+    "pack_full_tables",
+    "pack_shard_tables",
+    "pack_all_shard_tables",
+    "shard_rows",
+    "table_column_bytes",
+]
+
+#: Request opcodes (coordinator → worker).
+OP_LOAD = "load"  # (name, version, packed_terms, shard_tables, full_tables)
+OP_DELTA = "delta"  # (name, version, packed_new_terms, encoded_rows)
+OP_QUERY = "query"  # (name, min_version, sparql, target, limit, saturated, explain)
+OP_DROP = "drop"  # (name,)
+OP_PING = "ping"  # ()
+OP_SHUTDOWN = "shutdown"  # ()
+
+#: The byte order blobs are packed in; shipped alongside so a worker on a
+#: different-endian host (exotic, but cheap to guard) byteswaps on load.
+BYTEORDER = sys.byteorder
+
+
+def pack_terms(
+    dictionary: Dictionary, start: int = 0, stop: Optional[int] = None
+) -> List[Tuple[str, str, Optional[str], Optional[str]]]:
+    """The dictionary's id range ``[start, stop)`` as structural columns.
+
+    One ``(kind, value, datatype, language)`` tuple per term, in id order —
+    the receiving side re-encodes them in sequence and gets identical ids.
+    The format is the one the persistent catalog's term table uses, so the
+    pipe and the WAL'd file agree on what a term is made of.
+    """
+    table = dictionary.decode_table
+    if stop is None:
+        stop = len(table)
+    packed: List[Tuple[str, str, Optional[str], Optional[str]]] = []
+    for term in table[start:stop]:
+        if isinstance(term, URI):
+            packed.append(("u", term.value, None, None))
+        elif isinstance(term, BlankNode):
+            packed.append(("b", term.label, None, None))
+        elif isinstance(term, Literal):
+            datatype = term.datatype.value if term.datatype is not None else None
+            packed.append(("l", term.lexical, datatype, term.language))
+        else:
+            raise ClusterError(f"not a shippable RDF term: {term!r}")
+    return packed
+
+
+def unpack_terms(
+    packed: Iterable[Tuple[str, str, Optional[str], Optional[str]]],
+    dictionary: Dictionary,
+) -> int:
+    """Append *packed* terms to *dictionary* in order; return the new size.
+
+    Ids are assigned densely in append order, so feeding a worker the
+    coordinator's packed term list (or its tail, for a delta) reproduces
+    the coordinator's id assignment exactly.  A term that would land on an
+    unexpected id (the streams diverged) raises :class:`ClusterError`
+    rather than silently mis-keying every later row.
+    """
+    for kind, value, datatype, language in packed:
+        if kind == "u":
+            term: Term = URI(value)
+        elif kind == "b":
+            term = BlankNode(value)
+        elif kind == "l":
+            term = Literal(
+                value, datatype=URI(datatype) if datatype else None, language=language
+            )
+        else:
+            raise ClusterError(f"unknown packed term kind {kind!r}")
+        expected = len(dictionary)
+        if dictionary.encode(term) != expected:
+            raise ClusterError(
+                f"dictionary divergence: term {term!r} already had an id "
+                f"below {expected}"
+            )
+    return len(dictionary)
+
+
+def table_column_bytes(store, kind: TripleKind) -> Tuple[int, bytes, bytes, bytes]:
+    """``(row_count, s_bytes, p_bytes, o_bytes)`` of one table, any backend.
+
+    Columnar stores hand over their arrays directly (``column_bytes``);
+    for everything else the columns are accumulated from
+    :meth:`~repro.store.base.TripleStore.scan_columns` — one extra copy,
+    same blob format.
+    """
+    column_bytes = getattr(store, "column_bytes", None)
+    if column_bytes is not None:
+        return column_bytes(kind)
+    s_col, p_col, o_col = array("q"), array("q"), array("q")
+    for s_batch, p_batch, o_batch in store.scan_columns(kind):
+        s_col.extend(s_batch)
+        p_col.extend(p_batch)
+        o_col.extend(o_batch)
+    return len(s_col), s_col.tobytes(), p_col.tobytes(), o_col.tobytes()
+
+
+def pack_full_tables(store) -> Dict[str, Tuple[int, bytes, bytes, bytes]]:
+    """All three tables of *store* as packed blobs, keyed by kind value."""
+    return {
+        kind.value: table_column_bytes(store, kind)
+        for kind in (TripleKind.DATA, TripleKind.TYPE, TripleKind.SCHEMA)
+    }
+
+
+def pack_shard_tables(
+    store, shard_index: int, shard_count: int
+) -> Dict[str, Tuple[int, bytes, bytes, bytes]]:
+    """Shard *shard_index*'s slice of *store* as packed blobs.
+
+    The sharding rule of the tier: DATA and TYPE rows are partitioned by
+    :func:`~repro.store.base.shard_of` on the subject id — disjoint across
+    shards — while SCHEMA rows are **broadcast** whole to every shard.
+    Schema triples are the non-subject-keyed patterns of query evaluation
+    (class/property hierarchies joined from any pattern), tiny by the
+    paper's own measurements, and replicating them is what keeps
+    shard-local evaluation of subject-keyed queries exact.
+    """
+    if not 0 <= shard_index < shard_count:
+        raise ClusterError(
+            f"shard index {shard_index} out of range for {shard_count} shards"
+        )
+    return pack_all_shard_tables(store, shard_count)[shard_index]
+
+
+def pack_all_shard_tables(
+    store, shard_count: int
+) -> List[Dict[str, Tuple[int, bytes, bytes, bytes]]]:
+    """Every shard's tables in one extraction pass per kind.
+
+    What the coordinator ships at registration/respawn: calling the
+    single-shard form per worker would re-partition the table K times.
+    """
+    if shard_count <= 0:
+        raise ClusterError("shard_count must be positive")
+    data_parts = store.partition_column_bytes(TripleKind.DATA, shard_count)
+    type_parts = store.partition_column_bytes(TripleKind.TYPE, shard_count)
+    schema = table_column_bytes(store, TripleKind.SCHEMA)
+    return [
+        {
+            TripleKind.DATA.value: data_parts[index],
+            TripleKind.TYPE.value: type_parts[index],
+            TripleKind.SCHEMA.value: schema,
+        }
+        for index in range(shard_count)
+    ]
+
+
+def shard_rows(
+    rows: Sequence[Tuple[str, int, int, int]], shard_index: int, shard_count: int
+) -> List[Tuple[str, int, int, int]]:
+    """The subset of delta *rows* shard *shard_index* must apply.
+
+    Mirrors :func:`pack_shard_tables` at the row level: DATA/TYPE rows by
+    subject hash, SCHEMA rows always.  ``rows`` are
+    ``(kind_value, s, p, o)`` tuples — the delta wire format.
+    """
+    schema_value = TripleKind.SCHEMA.value
+    return [
+        row
+        for row in rows
+        if row[0] == schema_value or row[1] % shard_count == shard_index
+    ]

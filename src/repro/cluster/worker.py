@@ -1,0 +1,323 @@
+"""The cluster worker process: one shard, one full replica, one pipe.
+
+A worker is a single-threaded message loop over a
+:class:`multiprocessing.connection.Connection`.  Per registered graph it
+keeps **two** worker-local stores sharing **one** dictionary (rebuilt
+id-for-id from the coordinator's packed term columns):
+
+* the *shard* store — its :func:`~repro.store.base.shard_of` slice of the
+  DATA/TYPE tables plus the broadcast SCHEMA table.  Queries whose
+  patterns all share one subject term are exact on this partition, and the
+  shard's own weak/strong summaries guard them: a refuted shard never runs
+  the join;
+* the *full* store — a complete replica, answering everything
+  subject-hash partitioning cannot make shard-local (chain joins,
+  saturated semantics — rdfs3 derives type rows keyed by the *object* of a
+  data row, so shard-local saturation is not a partition of ``G∞``).
+
+Both sit behind ordinary :class:`~repro.service.catalog.CatalogEntry`
+objects in two worker-local catalogs fronted by
+:class:`~repro.service.service.QueryService` instances — the per-shard
+summaries, cardinality statistics, planners and guard cascades are exactly
+the serving machinery of the single-process tier, pointed at smaller
+tables.
+
+Ordering and fencing
+--------------------
+Messages are processed strictly in arrival order with one exception: a
+query carrying ``min_version`` newer than the graph's applied version is
+*deferred* (the coordinator observed an ingest whose delta is still in
+this worker's pipe) and replayed after each delta until the version
+catches up.  Replies therefore carry request ids and may leave out of
+order; the coordinator matches by id.
+
+Shutdown
+--------
+``SIGTERM`` sets a drain flag: the loop finishes (and answers) the message
+in hand, then exits without reading further — the coordinator sees EOF and
+respawns or, during its own shutdown, moves on.  ``SIGINT`` is ignored
+(a Ctrl-C in the foreground serve session belongs to the coordinator).
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import protocol
+from repro.errors import QueryError, ReproError, UnknownGraphError
+from repro.model.dictionary import Dictionary, EncodedTriple
+from repro.model.triple import TripleKind
+from repro.queries.parser import parse_query
+from repro.service.catalog import GraphCatalog
+from repro.service.service import QueryAnswer, QueryService
+from repro.store.memory import MemoryStore
+
+__all__ = ["worker_main", "TARGET_SHARD", "TARGET_FULL"]
+
+#: Query routing targets (the ``target`` field of a query message).
+TARGET_SHARD = "shard"
+TARGET_FULL = "full"
+
+
+class _WorkerGraph:
+    """One graph's worker-local state: applied version + the two entries."""
+
+    __slots__ = ("version",)
+
+    def __init__(self, version: int):
+        self.version = version
+
+
+class _Worker:
+    """The state behind one worker process's message loop."""
+
+    def __init__(self, connection, config: Dict[str, object]):
+        self.connection = connection
+        self.shard_index: int = config["shard_index"]
+        self.shard_count: int = config["shard_count"]
+        self.shard_catalog = GraphCatalog()
+        self.full_catalog = GraphCatalog()
+        kind = config.get("kind", "weak+strong")
+        strategy = config.get("strategy", "hash")
+        self.shard_service = QueryService(self.shard_catalog, kind=kind, strategy=strategy)
+        self.full_service = QueryService(self.full_catalog, kind=kind, strategy=strategy)
+        self.graphs: Dict[str, _WorkerGraph] = {}
+        self.draining = False
+        #: Deferred version-fenced queries: ``(request_id, payload)``.
+        self.deferred: List[Tuple[int, tuple]] = []
+
+    # ------------------------------------------------------------------
+    # message handlers
+    # ------------------------------------------------------------------
+    def _load_tables(self, store: MemoryStore, tables: Dict[str, tuple], byteorder: str) -> int:
+        rows = 0
+        for kind_value, (count, s_bytes, p_bytes, o_bytes) in tables.items():
+            loaded = store.load_column_bytes(
+                TripleKind(kind_value), s_bytes, p_bytes, o_bytes, byteorder=byteorder
+            )
+            if loaded != count:
+                raise ReproError(
+                    f"shard blob row count mismatch for {kind_value}: "
+                    f"expected {count}, loaded {loaded}"
+                )
+            rows += loaded
+        return rows
+
+    def handle_load(self, payload: tuple) -> dict:
+        name, version, packed_terms, shard_tables, full_tables, byteorder = payload
+        if name in self.graphs:
+            # a respawn re-ship or a replace: drop the stale copy first
+            self.handle_drop((name,))
+        dictionary = Dictionary()
+        protocol.unpack_terms(packed_terms, dictionary)
+        shard_store = MemoryStore()
+        shard_store.dictionary = dictionary
+        shard_rows = self._load_tables(shard_store, shard_tables, byteorder)
+        full_store = MemoryStore()
+        full_store.dictionary = dictionary
+        full_rows = self._load_tables(full_store, full_tables, byteorder)
+        # register() primes each entry's weak-summary maintainer from its
+        # store — the per-shard summary build the scatter guard runs on
+        self.shard_catalog.register(name, store=shard_store)
+        self.full_catalog.register(name, store=full_store)
+        self.graphs[name] = _WorkerGraph(version)
+        return {
+            "name": name,
+            "version": version,
+            "shard_rows": shard_rows,
+            "full_rows": full_rows,
+        }
+
+    def handle_delta(self, payload: tuple) -> dict:
+        name, version, (dict_start, packed_terms), rows = payload
+        graph = self.graphs.get(name)
+        if graph is None:
+            raise UnknownGraphError(f"worker never loaded graph {name!r}")
+        full_entry = self.full_catalog.entry(name)
+        dictionary = full_entry.store.dictionary
+        # the delta packs dictionary ids [dict_start, dict_start+len); after
+        # a respawn the re-shipped snapshot may already cover a prefix (or
+        # all) of it — skip what we have, append only the genuine tail
+        current = len(dictionary)
+        if current < dict_start:
+            raise ReproError(
+                f"delta term gap for {name!r}: worker has {current} ids, "
+                f"delta starts at {dict_start}"
+            )
+        already = current - dict_start
+        if already < len(packed_terms):
+            protocol.unpack_terms(packed_terms[already:], dictionary)
+        encoded = [
+            (TripleKind(kind_value), EncodedTriple(s, p, o))
+            for kind_value, s, p, o in rows
+        ]
+        applied_full = full_entry.add_encoded_rows(encoded)
+        mine = protocol.shard_rows(rows, self.shard_index, self.shard_count)
+        applied_shard = self.shard_catalog.entry(name).add_encoded_rows(
+            [
+                (TripleKind(kind_value), EncodedTriple(s, p, o))
+                for kind_value, s, p, o in mine
+            ]
+        )
+        # versions only move forward: a respawn re-ship may race a delta
+        # that was already folded into the shipped snapshot
+        graph.version = max(graph.version, version)
+        self._flush_deferred()
+        return {"name": name, "version": graph.version, "full": applied_full, "shard": applied_shard}
+
+    def handle_drop(self, payload: tuple) -> dict:
+        (name,) = payload
+        self.graphs.pop(name, None)
+        for catalog in (self.shard_catalog, self.full_catalog):
+            try:
+                catalog.drop(name)
+            except UnknownGraphError:
+                pass
+        self.deferred = [
+            item for item in self.deferred if item[1][0] != name
+        ]
+        return {"name": name}
+
+    def handle_query(self, payload: tuple) -> dict:
+        name, _min_version, text, target, limit, saturated, explain = payload
+        service = self.shard_service if target == TARGET_SHARD else self.full_service
+        query = parse_query(text, name="cluster")
+        answer = service.answer(
+            name, query, limit=limit, saturated=saturated, explain=explain
+        )
+        return self._encode_answer(answer)
+
+    def handle_ping(self, _payload: tuple) -> dict:
+        return {
+            "shard_index": self.shard_index,
+            "graphs": {name: graph.version for name, graph in self.graphs.items()},
+            "deferred": len(self.deferred),
+        }
+
+    def _encode_answer(self, answer: QueryAnswer) -> dict:
+        dictionary = self.full_catalog.entry(answer.graph_name).store.dictionary
+        encode = dictionary.encode_existing
+        return {
+            "answers": [[encode(term) for term in row] for row in answer.answers],
+            "pruned": answer.pruned,
+            "prunable": answer.prunable,
+            "pruned_by": answer.pruned_by,
+            "guard_order": list(answer.guard_order),
+            "kind": answer.kind,
+            "strategy": answer.strategy,
+            "guard_seconds": answer.guard_seconds,
+            "evaluation_seconds": answer.evaluation_seconds,
+            "trace": answer.trace.as_dict() if answer.trace is not None else None,
+            "saturation": answer.saturation,
+        }
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def _query_ready(self, payload: tuple) -> bool:
+        """A fenced query is ready once its graph reached ``min_version``.
+
+        Queries for unknown graphs are "ready" too — they must fail with
+        the unknown-graph error rather than defer forever.
+        """
+        name, min_version = payload[0], payload[1]
+        graph = self.graphs.get(name)
+        if graph is None:
+            return True
+        return graph.version >= min_version
+
+    def _flush_deferred(self) -> None:
+        still_deferred: List[Tuple[int, tuple]] = []
+        for request_id, payload in self.deferred:
+            if self._query_ready(payload):
+                self._reply(request_id, self.handle_query, payload)
+            else:
+                still_deferred.append((request_id, payload))
+        self.deferred = still_deferred
+
+    def _reply(self, request_id: int, handler, payload: tuple) -> None:
+        try:
+            result = handler(payload)
+        except UnknownGraphError as error:
+            self.connection.send((request_id, "error", ("unknown_graph", str(error))))
+        except QueryError as error:
+            self.connection.send((request_id, "error", ("query", str(error))))
+        except ReproError as error:
+            self.connection.send((request_id, "error", ("repro", str(error))))
+        except Exception as error:  # noqa: BLE001 - the pipe must answer
+            self.connection.send((request_id, "error", ("internal", f"{type(error).__name__}: {error}")))
+        else:
+            self.connection.send((request_id, "ok", result))
+
+    def run(self) -> None:
+        handlers = {
+            protocol.OP_LOAD: self.handle_load,
+            protocol.OP_DELTA: self.handle_delta,
+            protocol.OP_DROP: self.handle_drop,
+            protocol.OP_PING: self.handle_ping,
+        }
+        connection = self.connection
+        while True:
+            if self.draining:
+                break
+            # poll instead of a blocking recv: a SIGTERM that arrives
+            # while idle must still drain promptly (PEP 475 would retry a
+            # blocked recv straight through the handler)
+            if not connection.poll(0.2):
+                continue
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                break  # coordinator is gone
+            request_id, op, payload = message
+            if op == protocol.OP_SHUTDOWN:
+                self._reply(request_id, lambda _payload: {"draining": True}, payload)
+                break
+            if op == protocol.OP_QUERY:
+                if self._query_ready(payload):
+                    self._reply(request_id, self.handle_query, payload)
+                else:
+                    self.deferred.append((request_id, payload))
+                continue
+            handler = handlers.get(op)
+            if handler is None:
+                self._reply(
+                    request_id,
+                    lambda _payload: (_ for _ in ()).throw(
+                        ReproError(f"unknown cluster opcode {op!r}")
+                    ),
+                    payload,
+                )
+                continue
+            self._reply(request_id, handler, payload)
+        self.close()
+
+    def close(self) -> None:
+        self.shard_catalog.close()
+        self.full_catalog.close()
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+
+def worker_main(connection, config: Dict[str, object]) -> None:
+    """Entry point of a spawned worker process."""
+    # the coordinator owns interactive signals; SIGTERM means "drain after
+    # the message in hand" (the graceful half of the failure model)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    worker = _Worker(connection, config)
+
+    def _drain(_signum, _frame):
+        worker.draining = True
+
+    signal.signal(signal.SIGTERM, _drain)
+    try:
+        worker.run()
+    except Exception:  # pragma: no cover - last resort: die visibly
+        import traceback
+
+        traceback.print_exc(file=sys.stderr)
+        raise

@@ -103,3 +103,23 @@ class PersistenceError(CatalogError):
     """Raised when a persistent catalog file cannot be opened or written
     (missing file in read-only contexts, schema-version mismatch, corrupt
     artifact payloads)."""
+
+
+class ClusterError(ServiceError):
+    """Raised for failures of the sharded multi-process serving tier
+    (:mod:`repro.cluster`): protocol violations, worker-side faults that
+    survive the coordinator's retry budget, shutdown failures."""
+
+
+class WorkerCrashedError(ClusterError):
+    """Raised when a cluster worker process died (pipe EOF / dead process)
+    while a request was outstanding.  The coordinator catches this
+    internally, respawns the worker and retries; it only escapes to callers
+    once the retry budget is exhausted."""
+
+
+class WorkerTimeoutError(ClusterError):
+    """Raised when a cluster worker failed to reply within the request
+    timeout (the process is alive but unresponsive — e.g. wedged in a
+    pathological join).  Unlike a crash this is *not* auto-retried: the
+    same request would wedge the respawned worker again."""

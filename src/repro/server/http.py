@@ -9,6 +9,7 @@ connection, actual query work bounded by the
 method    path                               action
 ========  =================================  =====================================
 GET       ``/healthz``                       liveness + catalog overview
+GET       ``/cluster``                       worker-pool status (404 in-process)
 GET       ``/graphs``                        registered graphs with row counts
 POST      ``/graphs``                        register a graph (JSON name+triples)
 DELETE    ``/graphs/<name>``                 drop a graph
@@ -39,6 +40,7 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
 
 from repro.errors import (
+    ClusterError,
     DuplicateGraphError,
     PersistenceError,
     QueryError,
@@ -77,7 +79,13 @@ class ServerApp:
     Parameters mirror ``repro serve``: the guard *kind* cascade and join
     *strategy* configure the single shared :class:`QueryService`;
     *max_workers* bounds concurrent query/ingest execution; *default_limit*
-    caps answers per query unless the request asks for fewer.
+    caps answers per query unless the request asks for fewer;
+    *max_body_bytes* is the request-size ceiling behind the 413 response
+    (deployments ingesting big N-Triples batches raise it, public-facing
+    ones lower it).  With a *cluster*
+    (:class:`~repro.cluster.coordinator.ClusterCoordinator`) attached,
+    queries, ingest, registration and drops route through the worker pool
+    instead of the in-process service — same answers, multi-core QPS.
     """
 
     def __init__(
@@ -88,28 +96,79 @@ class ServerApp:
         max_workers: int = 8,
         default_limit: Optional[int] = 1000,
         quiet: bool = True,
+        max_body_bytes: int = _MAX_BODY_BYTES,
+        cluster=None,
     ):
         self.catalog = catalog
         self.service = QueryService(catalog, kind=kind, strategy=strategy)
         self.executor = QueryExecutor(self.service, max_workers=max_workers)
         self.default_limit = default_limit
         self.quiet = quiet
+        if max_body_bytes <= 0:
+            raise ValueError("max_body_bytes must be positive")
+        self.max_body_bytes = max_body_bytes
+        self.cluster = cluster
         self.started_at = time()
+        #: In-flight request accounting behind :meth:`drain`: a graceful
+        #: shutdown lets started requests finish before anything closes.
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # in-flight tracking (graceful drain)
+    # ------------------------------------------------------------------
+    def begin_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def end_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._inflight_cv.notify_all()
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Wait until no request is mid-dispatch; ``False`` on timeout.
+
+        Called between ``server_close()`` (stop accepting) and
+        :meth:`close` (stop executing) — the SIGTERM drain of ``repro
+        serve``: every request already past the socket finishes and
+        responds before the executor, cluster and catalog go away.
+        """
+        deadline = None if timeout is None else time() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = None if deadline is None else deadline - time()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
 
     # ------------------------------------------------------------------
     # route handlers (return (status, payload) pairs)
     # ------------------------------------------------------------------
     def healthz(self) -> Tuple[int, Dict]:
-        return (
-            200,
-            {
-                "status": "ok",
-                "graphs": self.catalog.names(),
-                "persistent": self.catalog.persistent,
-                "uptime_seconds": time() - self.started_at,
-                "workers": self.executor.max_workers,
-            },
-        )
+        payload = {
+            "status": "ok",
+            "graphs": self.catalog.names(),
+            "persistent": self.catalog.persistent,
+            "uptime_seconds": time() - self.started_at,
+            "workers": self.executor.max_workers,
+        }
+        if self.cluster is not None:
+            status = self.cluster.status()
+            payload["cluster"] = {
+                "worker_count": status["worker_count"],
+                "workers_alive": sum(
+                    1 for worker in status["workers"] if worker["alive"]
+                ),
+            }
+        return 200, payload
+
+    def cluster_status(self) -> Tuple[int, Dict]:
+        if self.cluster is None:
+            raise _HTTPError(404, "this server runs in-process (no cluster)")
+        return 200, self.cluster.status()
 
     def list_graphs(self) -> Tuple[int, Dict]:
         graphs = []
@@ -146,6 +205,10 @@ class ServerApp:
             graph = (
                 parse_ntriples(triples_text, name=name) if triples_text else RDFGraph(name=name)
             )
+            if self.cluster is not None:
+                # registers in the shared catalog AND ships shards to every
+                # cluster worker before the 201 goes out
+                return self.cluster.register(name, graph=graph), len(graph)
             return self.catalog.register(name, graph=graph), len(graph)
 
         # the pool bounds registration work like every other heavy path: N
@@ -154,7 +217,10 @@ class ServerApp:
         return 201, {"name": name, "version": entry.version, "triples": triple_count}
 
     def drop_graph(self, name: str) -> Tuple[int, Dict]:
-        self.catalog.drop(name)
+        if self.cluster is not None:
+            self.cluster.drop(name)
+        else:
+            self.catalog.drop(name)
         return 200, {"dropped": name}
 
     def graph_statistics(self, name: str) -> Tuple[int, Dict]:
@@ -173,7 +239,11 @@ class ServerApp:
                     # G∞ maintenance costs (null until a saturated query or
                     # a warm start brought the saturated store into being)
                     "saturation": entry.saturation_metrics(),
-                    "service": self.service.statistics.as_dict(),
+                    "service": (
+                        self.cluster.statistics.as_dict()
+                        if self.cluster is not None
+                        else self.service.statistics.as_dict()
+                    ),
                 }
 
         # statistics_index() can cost a full scan on first use: pool-bounded
@@ -215,9 +285,21 @@ class ServerApp:
         explain = bool(body.get("explain", False))
         if query.is_boolean() and limit is None:
             limit = 1
-        answer = self.executor.answer(
-            name, query, limit=limit, saturated=saturated, explain=explain
-        )
+        if self.cluster is not None:
+            # still pool-bounded: the executor caps how many scatter-gathers
+            # are in flight, whatever the number of open connections
+            answer = self.executor.run(
+                self.cluster.answer,
+                name,
+                query,
+                limit=limit,
+                saturated=saturated,
+                explain=explain,
+            )
+        else:
+            answer = self.executor.answer(
+                name, query, limit=limit, saturated=saturated, explain=explain
+            )
         return 200, self._render_answer(answer)
 
     def ingest_triples(self, name: str, body: Dict) -> Tuple[int, Dict]:
@@ -229,6 +311,8 @@ class ServerApp:
             # the parse runs pool-bounded too: N concurrent uploads must
             # not become N simultaneous graph-sized parses on handler threads
             graph = parse_ntriples(text, name=name)
+            if self.cluster is not None:
+                return self.cluster.add_triples(name, graph)
             return self.catalog.add_triples(name, graph)
 
         inserted = self.executor.run(work)
@@ -260,6 +344,8 @@ class ServerApp:
             payload["trace"] = answer.trace.as_dict()
         if answer.saturation is not None:
             payload["saturation"] = answer.saturation
+        if answer.cluster is not None:
+            payload["cluster"] = answer.cluster
         return payload
 
     # ------------------------------------------------------------------
@@ -275,6 +361,8 @@ class ServerApp:
 
         if route == "/healthz" and method == "GET":
             return self.healthz()
+        if route == "/cluster" and method == "GET":
+            return self.cluster_status()
         if route == "/graphs" and method == "GET":
             return self.list_graphs()
         if route == "/graphs" and method == "POST":
@@ -301,8 +389,11 @@ class ServerApp:
         raise _HTTPError(404, f"no such route: {method} {route}")
 
     def close(self) -> None:
-        """Shut down the pool (the catalog is owned by the caller)."""
+        """Shut down the pool and an attached cluster (the app adopts the
+        cluster it was handed; the catalog stays owned by the caller)."""
         self.executor.shutdown()
+        if self.cluster is not None:
+            self.cluster.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -345,11 +436,13 @@ class _Handler(BaseHTTPRequestHandler):
         length = self._body_length()
         if length <= 0:
             return None
-        if length > _MAX_BODY_BYTES:
+        if length > self.app.max_body_bytes:
             # refusing to read the body leaves it on the wire: close the
             # connection instead of parsing those bytes as the next request
             self.close_connection = True
-            raise _HTTPError(413, f"request body exceeds {_MAX_BODY_BYTES} bytes")
+            raise _HTTPError(
+                413, f"request body exceeds {self.app.max_body_bytes} bytes"
+            )
         raw = self.rfile.read(length)
         if not raw:
             return None
@@ -377,6 +470,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(data)
 
     def _handle(self, method: str) -> None:
+        self.app.begin_request()
+        try:
+            self._handle_inner(method)
+        finally:
+            self.app.end_request()
+
+    def _handle_inner(self, method: str) -> None:
         try:
             if method in ("POST", "PUT"):
                 body = self._read_body()
@@ -398,6 +498,10 @@ class _Handler(BaseHTTPRequestHandler):
         except PersistenceError as error:
             # a durability failure is the server's fault, never the client's
             self._respond(500, {"error": f"persistence failure: {error}"})
+        except ClusterError as error:
+            # the worker pool failed past its retry budget: the server is
+            # degraded, not the request malformed — 503 invites a retry
+            self._respond(503, {"error": f"cluster failure: {error}"})
         except ReproError as error:
             # parse errors on ingest bodies, malformed terms, store issues
             self._respond(400, {"error": str(error)})
@@ -445,6 +549,7 @@ def serve(
         pass
     finally:
         server.server_close()
+        app.drain()
         app.close()
 
 

@@ -140,6 +140,13 @@ class CatalogEntry:
         #: a persistence-backed catalog; invoked at the end of every
         #: successful :meth:`add_triples` batch, inside the write lock.
         self._on_update: Optional[Callable[["CatalogEntry", List], None]] = None
+        #: Secondary update observers ``(entry, inserted_rows) -> None``
+        #: run *after* the durable write-through, still inside the write
+        #: lock — the cluster coordinator's delta broadcaster hangs here.
+        #: A listener raising propagates to the ingesting caller (its
+        #: bounded-queue backpressure is deliberate), so listeners must
+        #: treat the batch as already durable.
+        self._delta_listeners: List[Callable[["CatalogEntry", List], None]] = []
         #: ``True`` after a write-through failure: the in-memory entry holds
         #: rows the catalog file does not.  The next durable write must be a
         #: full rewrite — an incremental append would persist maintainer/
@@ -241,28 +248,64 @@ class CatalogEntry:
             if self.closed:
                 # we raced a drop(): same report as the query-side race
                 raise UnknownGraphError(f"graph {self.name!r} was dropped")
-            if self._saturation_pending is not None:
-                # a warm-started G∞ snapshot must be rehydrated BEFORE the
-                # base tables grow: rehydration sweeps the base store, and
-                # rows inserted first would enter the saturated store as
-                # plain rows, silently skipping their delta derivations
-                with self._init_lock:
-                    if self._saturation_pending is not None:
-                        self._materialize_saturated()
+            self._rehydrate_pending_locked()
             rows = self.store.insert_triples(triples, skip_existing=True)
-            if not rows:
-                return 0
+            return self._absorb_rows_locked(rows)
+
+    def add_encoded_rows(
+        self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]
+    ) -> int:
+        """The encoded twin of :meth:`add_triples` — no Terms, no encoding.
+
+        Inserts already-encoded ``(kind, row)`` pairs (ids must come from
+        this store's dictionary) and runs the identical maintenance train:
+        weak-summary delta, version bump, in-place statistics and ``G∞``
+        maintenance, write-through, delta listeners.  Duplicates are
+        filtered by the store exactly as on the Term path.  This is how a
+        cluster worker applies a broadcast ingest delta: the coordinator
+        already paid for encoding once and ships pure integers.
+        """
+        with self.rwlock.write_locked():
+            if self.closed:
+                raise UnknownGraphError(f"graph {self.name!r} was dropped")
+            self._rehydrate_pending_locked()
+            fresh = self.store.insert_encoded_rows(rows, skip_existing=True)
+            return self._absorb_rows_locked(fresh)
+
+    def _rehydrate_pending_locked(self) -> None:
+        """Materialize a warm-start ``G∞`` snapshot before the store grows.
+
+        Runs under the write lock at the top of every ingest: rehydration
+        sweeps the base store, and rows inserted first would enter the
+        saturated store as plain rows, silently skipping their delta
+        derivations.
+        """
+        if self._saturation_pending is not None:
             with self._init_lock:
-                self._maintainer.ingest_rows(rows)
-                self.version += 1
-                if self._statistics is not None:
-                    statistics = self._statistics[1]
-                    statistics.ingest_rows(rows)
-                    self._statistics = (self.version, statistics)
-                self._maintain_saturated(rows)
-            if self._on_update is not None:
-                self._on_update(self, rows)
-            return len(rows)
+                if self._saturation_pending is not None:
+                    self._materialize_saturated()
+
+    def _absorb_rows_locked(
+        self, rows: List[Tuple[TripleKind, EncodedTriple]]
+    ) -> int:
+        """Post-insert maintenance shared by the Term and encoded ingest
+        paths (write lock held): summary/statistics/saturation deltas,
+        version bump, durable write-through, then the delta listeners."""
+        if not rows:
+            return 0
+        with self._init_lock:
+            self._maintainer.ingest_rows(rows)
+            self.version += 1
+            if self._statistics is not None:
+                statistics = self._statistics[1]
+                statistics.ingest_rows(rows)
+                self._statistics = (self.version, statistics)
+            self._maintain_saturated(rows)
+        if self._on_update is not None:
+            self._on_update(self, rows)
+        for listener in self._delta_listeners:
+            listener(self, rows)
+        return len(rows)
 
     def _maintain_saturated(self, rows: List[Tuple[TripleKind, EncodedTriple]]) -> None:
         """Fold an ingest batch into the maintained ``G∞`` (delta rules only).

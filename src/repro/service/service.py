@@ -59,6 +59,7 @@ class QueryAnswer:
         "pruned_by",
         "trace",
         "saturation",
+        "cluster",
     )
 
     def __init__(
@@ -76,6 +77,7 @@ class QueryAnswer:
         pruned_by: Optional[str] = None,
         trace: Optional[ExecutionTrace] = None,
         saturation: Optional[Dict[str, object]] = None,
+        cluster: Optional[Dict[str, object]] = None,
     ):
         self.query = query
         self.graph_name = graph_name
@@ -103,6 +105,11 @@ class QueryAnswer:
         #: ``saturated=True`` answer only; see
         #: :meth:`CatalogEntry.saturation_metrics`).
         self.saturation = saturation
+        #: Scatter-gather execution metadata attached by the cluster
+        #: coordinator (``None`` for in-process answers): routing mode,
+        #: worker/shard attribution, retry count.  Purely observational —
+        #: the answer set is what it would be in-process.
+        self.cluster = cluster
 
     @property
     def empty(self) -> bool:

@@ -608,6 +608,47 @@ class MemoryStore(TripleStore):
         self._seen = None
         return len(table)
 
+    def partition_column_bytes(
+        self, kind: TripleKind, shard_count: int
+    ) -> List[Tuple[int, bytes, bytes, bytes]]:
+        """Shard extraction off the merged subject run (subject-clustered).
+
+        Instead of re-routing row by row in table order (the base-class
+        fallback), this walks the table's whole-table subject run after a
+        full merge: each group of equal subjects is appended to its shard
+        :func:`~repro.store.base.shard_of` in one sweep, so every shard's
+        columns come out **sorted by subject** with per-subject rows in
+        insertion order.  A worker adopting such a blob therefore starts
+        from subject-clustered columns — its own deferred index build
+        sorts near-sorted input, and merge-join strategies see long
+        subject runs from the first query.
+        """
+        self._check_open()
+        if shard_count <= 0:
+            raise ValueError("shard_count must be positive")
+        table = self._tables[kind]
+        table._ensure_indexed()
+        run = table.s_run
+        run.merge()
+        shards = [(array("q"), array("q"), array("q")) for _ in range(shard_count)]
+        keys, positions = run.keys, run.positions
+        p_col, o_col = table.p_col, table.o_col
+        total = len(keys)
+        index = 0
+        while index < total:
+            subject = keys[index]
+            stop = bisect_right(keys, subject, index)
+            s_out, p_out, o_out = shards[subject % shard_count]
+            for position in positions[index:stop]:
+                s_out.append(subject)
+                p_out.append(p_col[position])
+                o_out.append(o_col[position])
+            index = stop
+        return [
+            (len(s_out), s_out.tobytes(), p_out.tobytes(), o_out.tobytes())
+            for s_out, p_out, o_out in shards
+        ]
+
     def index_build_count(self) -> int:
         """Total full index builds across the three tables (observability)."""
         self._check_open()

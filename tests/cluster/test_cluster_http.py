@@ -1,0 +1,124 @@
+"""The HTTP front end over a cluster: same API, multi-process answers."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.io.ntriples import serialize_ntriples
+from repro.queries.generator import generate_rbgp_workload
+from repro.server.http import ServerApp, start_background
+from repro.service.catalog import GraphCatalog
+from repro.service.service import QueryService
+
+
+def _post(url, payload, timeout=60):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get(url, timeout=60):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture(scope="module")
+def cluster_server(bsbm_small):
+    catalog = GraphCatalog()
+    catalog.register("g", graph=bsbm_small)
+    serial_catalog = GraphCatalog()
+    serial_catalog.register("g", graph=bsbm_small)
+    service = QueryService(serial_catalog)
+    cluster = ClusterCoordinator(catalog, workers=2, heartbeat_seconds=0)
+    app = ServerApp(catalog, cluster=cluster)
+    server, _thread = start_background(app)
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base, service, serial_catalog
+    server.shutdown()
+    server.server_close()
+    app.drain()
+    app.close()
+    catalog.close()
+    serial_catalog.close()
+
+
+def test_healthz_reports_cluster(cluster_server):
+    base, _, _ = cluster_server
+    payload = _get(base + "/healthz")
+    assert payload["cluster"] == {"worker_count": 2, "workers_alive": 2}
+
+
+def test_cluster_endpoint(cluster_server):
+    base, _, _ = cluster_server
+    payload = _get(base + "/cluster")
+    assert payload["worker_count"] == 2
+    assert [worker["alive"] for worker in payload["workers"]] == [True, True]
+    assert "g" in payload["graphs"]
+
+
+def test_cluster_endpoint_404_without_cluster(bsbm_small):
+    catalog = GraphCatalog()
+    app = ServerApp(catalog)
+    server, _thread = start_background(app)
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/cluster")
+        assert excinfo.value.code == 404
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
+        catalog.close()
+
+
+def test_query_parity_over_http(cluster_server, bsbm_small):
+    base, service, _ = cluster_server
+    for query in generate_rbgp_workload(bsbm_small, count=10, seed=41):
+        serial = service.answer("g", query, limit=None)
+        expected = sorted(
+            [term.n3() for term in row] for row in serial.answers
+        )
+        payload = _post(base + "/graphs/g/query", {"query": query.to_sparql(), "limit": None})
+        assert sorted(payload["answers"]) == expected
+        assert "cluster" in payload  # scatter/full attribution rides along
+        assert payload["cluster"]["mode"] in ("scatter", "full")
+
+
+def test_ingest_then_query_over_http(cluster_server):
+    base, _, _ = cluster_server
+    triples = '<http://hc/s> <http://hc/p> <http://hc/o> .\n'
+    ingest = _post(base + "/graphs/g/triples", {"triples": triples})
+    assert ingest["inserted"] == 1
+    payload = _post(
+        base + "/graphs/g/query",
+        {"query": "SELECT ?o WHERE { <http://hc/s> <http://hc/p> ?o }"},
+    )
+    assert payload["answers"] == [["<http://hc/o>"]]
+
+
+def test_register_and_drop_over_http(cluster_server, fig2):
+    base, _, _ = cluster_server
+    created = _post(
+        base + "/graphs", {"name": "fig2http", "triples": serialize_ntriples(fig2)}
+    )
+    assert created["triples"] == len(fig2)
+    payload = _post(
+        base + "/graphs/fig2http/query",
+        {"query": "SELECT ?s ?o WHERE { ?s ?p ?o }", "limit": None},
+    )
+    assert payload["answer_count"] > 0
+    request = urllib.request.Request(base + "/graphs/fig2http", method="DELETE")
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert json.loads(response.read())["dropped"] == "fig2http"
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(base + "/graphs/fig2http/query", {"query": "ASK WHERE { ?s ?p ?o }"})
+    assert excinfo.value.code == 404

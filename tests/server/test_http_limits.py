@@ -1,0 +1,89 @@
+"""Request-size limits and graceful drain of the HTTP front end."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server.http import ServerApp, start_background
+from repro.service.catalog import GraphCatalog
+
+
+def _post_raw(url, data, timeout=30):
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture
+def small_body_server():
+    catalog = GraphCatalog()
+    app = ServerApp(catalog, max_body_bytes=1024)
+    server, _thread = start_background(app)
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base, app
+    server.shutdown()
+    server.server_close()
+    app.close()
+    catalog.close()
+
+
+def test_configurable_body_limit_rejects_oversize(small_body_server):
+    base, _ = small_body_server
+    body = json.dumps({"name": "g", "triples": "x" * 4096}).encode()
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_raw(base + "/graphs", body)
+    assert excinfo.value.code == 413
+    assert "1024" in json.loads(excinfo.value.read())["error"]
+
+
+def test_configurable_body_limit_accepts_undersize(small_body_server):
+    base, _ = small_body_server
+    status, payload = _post_raw(
+        base + "/graphs", json.dumps({"name": "tiny", "triples": ""}).encode()
+    )
+    assert status == 201
+    assert payload["name"] == "tiny"
+
+
+def test_default_limit_is_64mib():
+    catalog = GraphCatalog()
+    app = ServerApp(catalog)
+    assert app.max_body_bytes == 64 * 1024 * 1024
+    app.close()
+    catalog.close()
+
+
+def test_nonpositive_limit_rejected():
+    catalog = GraphCatalog()
+    with pytest.raises(ValueError):
+        ServerApp(catalog, max_body_bytes=0)
+    catalog.close()
+
+
+def test_drain_waits_for_inflight_requests():
+    catalog = GraphCatalog()
+    app = ServerApp(catalog)
+    try:
+        assert app.drain(timeout=0.1)  # idle: returns immediately
+        app.begin_request()
+        assert not app.drain(timeout=0.2)  # a request is mid-dispatch
+
+        finished = threading.Event()
+
+        def finish_later():
+            time.sleep(0.3)
+            app.end_request()
+            finished.set()
+
+        threading.Thread(target=finish_later).start()
+        assert app.drain(timeout=5.0)  # wakes when the request ends
+        assert finished.wait(1.0)
+    finally:
+        app.close()
+        catalog.close()

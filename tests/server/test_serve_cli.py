@@ -103,3 +103,45 @@ def test_serve_round_trip_with_warm_restart(tmp_path, fig2, backend):
     finally:
         _stop(process)
     assert process.returncode == 0
+
+
+def test_serve_cluster_round_trip_with_sigterm_drain(tmp_path, fig2):
+    """``--workers 2``: queries scatter across worker processes, and a
+    SIGTERM drains the whole tier (HTTP, executor, cluster workers) to a
+    clean exit 0."""
+    data_file = tmp_path / "fig2.nt"
+    dump_ntriples(fig2, str(data_file))
+    process = _spawn_server(
+        [
+            "--port",
+            "0",
+            "--threads",
+            "2",
+            "--workers",
+            "2",
+            "--load",
+            f"g={data_file}",
+        ]
+    )
+    try:
+        port = _wait_for_port(process)
+        answer = _post_query(
+            port, "SELECT ?x ?y WHERE { ?x <http://example.org/fig2/editor> ?y . }"
+        )
+        assert answer["answer_count"] > 0
+        assert answer["cluster"]["mode"] in ("scatter", "full")
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/cluster", timeout=30
+        ) as response:
+            status = json.loads(response.read())
+        assert status["worker_count"] == 2
+        assert all(worker["alive"] for worker in status["workers"])
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+            raise
+    assert process.returncode == 0

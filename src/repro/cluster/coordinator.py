@@ -126,6 +126,16 @@ class _WorkerHandle:
         #: Excludes delta sends from respawn windows: a delta must never
         #: slip between a respawn's snapshot read and its load message.
         self.ship_lock = threading.Lock()
+        #: Graphs an in-flight (re-)ship has *not yet snapshotted* for this
+        #: worker.  While a name is in here, ``_on_entry_delta`` drops the
+        #: graph's deltas for this worker instead of blocking on the
+        #: bounded queue — the upcoming snapshot (read-locked after any
+        #: in-flight write) subsumes them.  That drop is what breaks the
+        #: ingest → full queue → broadcaster → ship_lock → entry-lock
+        #: deadlock cycle.  Names are removed *inside* the snapshot's read
+        #: lock, so a delta is never dropped after its rows missed the
+        #: snapshot.
+        self.reship_pending: Set[str] = set()
         self.delta_queue: "queue.Queue" = queue.Queue(maxsize=delta_queue_depth)
         self.receiver: Optional[threading.Thread] = None
         self.broadcaster: Optional[threading.Thread] = None
@@ -269,7 +279,11 @@ class ClusterCoordinator:
                 slot.resolve(status, payload)
         if handle.generation == generation:
             handle.alive = False
-        handle.fail_pending(f"worker {handle.index} pipe closed")
+            handle.fail_pending(f"worker {handle.index} pipe closed")
+        # A stale generation's receiver must leave pending alone: the
+        # respawn already failed the old generation's requests, and every
+        # slot registered since (including the respawn's own re-ship
+        # loads) belongs to the new generation's receiver.
 
     def _start_broadcaster(self, handle: _WorkerHandle) -> None:
         def run():
@@ -284,11 +298,18 @@ class ClusterCoordinator:
                 with handle.ship_lock:
                     try:
                         self._request(handle, protocol.OP_DELTA, item, _REQUEST_TIMEOUT)
-                    except (ClusterError, UnknownGraphError):
-                        # dropped or dead worker: the rows are already in
-                        # the catalog store, so the respawn re-ship (or the
-                        # drop that raced us) subsumes this delta
+                    except (WorkerCrashedError, UnknownGraphError):
+                        # dead worker, or a drop raced us: the rows are
+                        # already in the catalog store, so the respawn
+                        # re-ship (or the drop) subsumes this delta
                         pass
+                    except ClusterError:
+                        # timeout or a worker-side fault: the worker may
+                        # have missed the delta for good.  Mark the slot
+                        # dead so the heartbeat sweep (or the next
+                        # request's retry path) respawns it and re-ships a
+                        # snapshot that includes these rows.
+                        handle.alive = False
 
         thread = threading.Thread(
             target=run, name=f"repro-delta-{handle.index}", daemon=True
@@ -424,6 +445,13 @@ class ClusterCoordinator:
             process = handle.process
             if handle.alive and process is not None and process.is_alive():
                 return
+            # From here until each graph's snapshot is taken, ingest drops
+            # that graph's deltas for this worker instead of blocking on
+            # its full queue (see _WorkerHandle.reship_pending): the
+            # snapshot subsumes them, and the drop keeps this re-ship from
+            # deadlocking against a writer stuck on the bounded queue
+            # whose broadcaster is parked on our ship_lock.
+            handle.reship_pending = set(self.catalog.names())
             if process is not None:
                 if process.is_alive():
                     process.terminate()
@@ -443,6 +471,7 @@ class ClusterCoordinator:
                 try:
                     entry = self.catalog.entry(name)
                 except UnknownGraphError:
+                    handle.reship_pending.discard(name)  # dropped meanwhile
                     continue
                 self._ship_graph(entry, [handle], update_marks=False)
 
@@ -500,7 +529,61 @@ class ClusterCoordinator:
         ]
         item = (name, entry.version, (mark, packed_terms), wire_rows)
         for handle in self._workers:
-            handle.delta_queue.put(item)
+            while not self._closed:
+                if name in handle.reship_pending:
+                    # An in-flight (re-)ship has yet to snapshot this graph
+                    # for this worker; that snapshot — read-locked only
+                    # after our write lock releases — subsumes the delta.
+                    # Dropping instead of blocking breaks the deadlock
+                    # cycle: ingest (entry write lock) → full delta queue →
+                    # broadcaster → ship_lock → re-ship waiting on our
+                    # entry's read lock.
+                    break
+                try:
+                    handle.delta_queue.put(item, timeout=0.2)
+                    break
+                except queue.Full:
+                    continue  # backpressure; re-check close/re-ship state
+
+    def _snapshot_graph(
+        self,
+        entry: CatalogEntry,
+        handles: Sequence[_WorkerHandle],
+        update_marks: bool = True,
+    ) -> Optional[tuple]:
+        """Pack *entry* — terms, every shard's tables, the full tables —
+        under one read lock; ``None`` if the entry was already dropped."""
+        with entry.rwlock.read_locked():
+            # End the delta-drop window while the read lock is held: no
+            # writer can run the delta listener until we release it, so
+            # every delta dropped during the window is made of rows the
+            # pack below will see.  Discarding after release would leave a
+            # gap in which a fresh write could drop rows this snapshot
+            # does not contain.
+            for handle in handles:
+                handle.reship_pending.discard(entry.name)
+            if entry.closed:
+                return None
+            version = entry.version
+            packed_terms = protocol.pack_terms(entry.store.dictionary)
+            shard_tables = protocol.pack_all_shard_tables(entry.store, self.worker_count)
+            full_tables = protocol.pack_full_tables(entry.store)
+            if update_marks:
+                self._dict_marks[entry.name] = len(packed_terms)
+        return version, packed_terms, shard_tables, full_tables
+
+    def _send_snapshot(self, handle: _WorkerHandle, name: str, snapshot: tuple) -> None:
+        """Load *handle*'s slice of a packed snapshot into its worker."""
+        version, packed_terms, shard_tables, full_tables = snapshot
+        payload = (
+            name,
+            version,
+            packed_terms,
+            shard_tables[handle.index],
+            full_tables,
+            protocol.BYTEORDER,
+        )
+        self._request(handle, protocol.OP_LOAD, payload, _REQUEST_TIMEOUT)
 
     def _ship_graph(
         self,
@@ -509,25 +592,11 @@ class ClusterCoordinator:
         update_marks: bool = True,
     ) -> None:
         """Snapshot *entry* under its read lock and load it into *handles*."""
-        with entry.rwlock.read_locked():
-            if entry.closed:
-                return
-            version = entry.version
-            packed_terms = protocol.pack_terms(entry.store.dictionary)
-            shard_tables = protocol.pack_all_shard_tables(entry.store, self.worker_count)
-            full_tables = protocol.pack_full_tables(entry.store)
-            if update_marks:
-                self._dict_marks[entry.name] = len(packed_terms)
+        snapshot = self._snapshot_graph(entry, handles, update_marks)
+        if snapshot is None:
+            return
         for handle in handles:
-            payload = (
-                entry.name,
-                version,
-                packed_terms,
-                shard_tables[handle.index],
-                full_tables,
-                protocol.BYTEORDER,
-            )
-            self._request(handle, protocol.OP_LOAD, payload, _REQUEST_TIMEOUT)
+            self._send_snapshot(handle, entry.name, snapshot)
 
     # ------------------------------------------------------------------
     # writes (the coordinator is the tier's single writer)
@@ -541,13 +610,30 @@ class ClusterCoordinator:
         """Register a graph and ship its shards to every worker."""
         entry = self.catalog.register(name, graph=graph, store=store)
         self._attach_listener(entry)
+        # One snapshot serves every worker (pack_all_shard_tables already
+        # partitions for all K shards — snapshotting per worker would redo
+        # that K times over).  Every ship_lock is held across snapshot +
+        # sends so no queued delta can reach a worker before its load (the
+        # worker would refuse it as unknown and the rows would be lost);
+        # the reship_pending marks let a concurrent ingest of the new
+        # graph drop its queued delta instead of deadlocking against the
+        # snapshot's read lock — the snapshot, taken once that write
+        # completes, subsumes it.
         for handle in self._workers:
-            with handle.ship_lock:
-                generation = handle.generation
-                try:
-                    self._ship_graph(entry, [handle])
-                except WorkerCrashedError:
-                    pass  # the respawn re-ship loop will pick the graph up
+            handle.reship_pending.add(name)
+        for handle in self._workers:
+            handle.ship_lock.acquire()
+        try:
+            snapshot = self._snapshot_graph(entry, self._workers)
+            if snapshot is not None:
+                for handle in self._workers:
+                    try:
+                        self._send_snapshot(handle, name, snapshot)
+                    except WorkerCrashedError:
+                        pass  # the respawn re-ship loop picks the graph up
+        finally:
+            for handle in reversed(self._workers):
+                handle.ship_lock.release()
         return entry
 
     def add_triples(self, name: str, triples) -> int:

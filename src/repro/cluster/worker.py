@@ -108,8 +108,9 @@ class _Worker:
     def handle_load(self, payload: tuple) -> dict:
         name, version, packed_terms, shard_tables, full_tables, byteorder = payload
         if name in self.graphs:
-            # a respawn re-ship or a replace: drop the stale copy first
-            self.handle_drop((name,))
+            # a respawn re-ship or a replace: drop the stale copy first,
+            # keeping deferred queries — the fresh copy answers them below
+            self._drop_local(name)
         dictionary = Dictionary()
         protocol.unpack_terms(packed_terms, dictionary)
         shard_store = MemoryStore()
@@ -123,6 +124,7 @@ class _Worker:
         self.shard_catalog.register(name, store=shard_store)
         self.full_catalog.register(name, store=full_store)
         self.graphs[name] = _WorkerGraph(version)
+        self._flush_deferred()
         return {
             "name": name,
             "version": version,
@@ -167,17 +169,28 @@ class _Worker:
         self._flush_deferred()
         return {"name": name, "version": graph.version, "full": applied_full, "shard": applied_shard}
 
-    def handle_drop(self, payload: tuple) -> dict:
-        (name,) = payload
+    def _drop_local(self, name: str) -> None:
+        """Forget *name*'s stores and version (deferred queries untouched)."""
         self.graphs.pop(name, None)
         for catalog in (self.shard_catalog, self.full_catalog):
             try:
                 catalog.drop(name)
             except UnknownGraphError:
                 pass
-        self.deferred = [
-            item for item in self.deferred if item[1][0] != name
-        ]
+
+    def handle_drop(self, payload: tuple) -> dict:
+        (name,) = payload
+        self._drop_local(name)
+        kept: List[Tuple[int, tuple]] = []
+        for request_id, query_payload in self.deferred:
+            if query_payload[0] == name:
+                # answer, never abandon: the graph is gone, so running the
+                # query now raises the prompt unknown-graph error instead
+                # of leaving the coordinator's waiter to time out
+                self._reply(request_id, self.handle_query, query_payload)
+            else:
+                kept.append((request_id, query_payload))
+        self.deferred = kept
         return {"name": name}
 
     def handle_query(self, payload: tuple) -> dict:

@@ -1,0 +1,223 @@
+"""Regressions for the coordinator/worker failure-path review fixes:
+deferred queries must be answered (never abandoned) across drops and
+re-ships, registration snapshots once, and sustained ingest during a
+respawn re-ship must never wedge the write path."""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, protocol
+from repro.cluster.worker import TARGET_FULL, _Worker
+from repro.model.terms import URI
+from repro.model.triple import Triple
+from repro.queries.parser import parse_query
+from repro.service.catalog import GraphCatalog
+from repro.store.memory import MemoryStore
+
+
+class _PipeStub:
+    """Collects a worker's replies instead of crossing a process pipe."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def close(self):
+        pass
+
+
+def _triples(count, prefix="http://x"):
+    return [
+        Triple(URI(f"{prefix}/s"), URI(f"{prefix}/p"), URI(f"{prefix}/o{i}"))
+        for i in range(count)
+    ]
+
+
+def _load_payload(store, name="g", version=0, shards=1):
+    return (
+        name,
+        version,
+        protocol.pack_terms(store.dictionary),
+        protocol.pack_all_shard_tables(store, shards)[0],
+        protocol.pack_full_tables(store),
+        protocol.BYTEORDER,
+    )
+
+
+def _query_payload(min_version):
+    return (
+        "g",
+        min_version,
+        "SELECT ?o WHERE { <http://x/s> <http://x/p> ?o }",
+        TARGET_FULL,
+        None,
+        False,
+        False,
+    )
+
+
+def test_drop_answers_deferred_queries_with_unknown_graph():
+    """A drop must reply to deferred version-fenced queries instead of
+    discarding them — the coordinator-side waiter would otherwise hang
+    for the full request timeout."""
+    worker = _Worker(_PipeStub(), {"shard_index": 0, "shard_count": 1})
+    store = MemoryStore()
+    store.insert_triples(_triples(3))
+    worker.handle_load(_load_payload(store))
+    fenced = _query_payload(min_version=99)
+    assert not worker._query_ready(fenced)
+    worker.deferred.append((7, fenced))
+    worker.handle_drop(("g",))
+    assert worker.deferred == []
+    replies = {rid: (status, payload) for rid, status, payload in worker.connection.sent}
+    status, payload = replies[7]
+    assert status == "error"
+    assert payload[0] == "unknown_graph"
+    store.close()
+
+
+def test_reship_load_answers_deferred_queries():
+    """A re-ship/replace load keeps deferred queries and answers them from
+    the fresh copy once the version catches up."""
+    worker = _Worker(_PipeStub(), {"shard_index": 0, "shard_count": 1})
+    store = MemoryStore()
+    store.insert_triples(_triples(2))
+    worker.handle_load(_load_payload(store, version=0))
+    fenced = _query_payload(min_version=1)
+    assert not worker._query_ready(fenced)
+    worker.deferred.append((11, fenced))
+    # the snapshot a respawn would ship: one more row, version 1
+    store.insert_triples(_triples(3))
+    worker.handle_load(_load_payload(store, version=1))
+    assert worker.deferred == []
+    replies = {rid: (status, payload) for rid, status, payload in worker.connection.sent}
+    status, payload = replies[11]
+    assert status == "ok"
+    assert len(payload["answers"]) == 3
+    store.close()
+
+
+def test_register_snapshots_once(bsbm_small, monkeypatch):
+    """register() must pack the shard tables once for all K workers, not
+    re-partition the whole store per worker."""
+    calls = []
+    real = protocol.pack_all_shard_tables
+
+    def counting(store, shard_count):
+        calls.append(shard_count)
+        return real(store, shard_count)
+
+    monkeypatch.setattr(protocol, "pack_all_shard_tables", counting)
+    catalog = GraphCatalog()
+    coordinator = ClusterCoordinator(catalog, workers=3, heartbeat_seconds=0)
+    try:
+        coordinator.register("bsbm", graph=bsbm_small)
+        assert calls == [3]
+        query = parse_query("SELECT ?s ?o WHERE { ?s ?p ?o }")
+        assert coordinator.answer("bsbm", query).answers
+    finally:
+        coordinator.close()
+        catalog.close()
+
+
+def test_ingest_during_respawn_reship_does_not_wedge(bsbm_small):
+    """Sustained ingest with a depth-1 delta queue while a worker is being
+    respawned and re-shipped: the write path must keep moving (the re-ship
+    snapshot subsumes dropped deltas) and no row may be lost."""
+    catalog = GraphCatalog()
+    catalog.register("g", graph=bsbm_small)
+    coordinator = ClusterCoordinator(
+        catalog, workers=2, heartbeat_seconds=0.1, delta_queue_depth=1
+    )
+    try:
+        victim = coordinator.status()["workers"][0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        done = threading.Event()
+        failures = []
+
+        def ingest():
+            try:
+                for i in range(30):
+                    coordinator.add_triples(
+                        "g",
+                        [
+                            Triple(
+                                URI(f"http://wedge/s{i % 3}"),
+                                URI("http://wedge/p"),
+                                URI(f"http://wedge/o{i}"),
+                            )
+                        ],
+                    )
+            except Exception as error:  # noqa: BLE001 - the assertion
+                failures.append(error)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=ingest, daemon=True)
+        thread.start()
+        assert done.wait(timeout=60), "ingest wedged during the respawn re-ship"
+        thread.join(timeout=10)
+        assert not failures, failures[:1]
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            if all(w["alive"] for w in coordinator.status()["workers"]):
+                break
+            time.sleep(0.05)
+        query = parse_query("SELECT ?s ?o WHERE { ?s <http://wedge/p> ?o }")
+        answer = coordinator.answer("g", query)
+        assert len(answer.answers) == 30  # dropped deltas were subsumed
+    finally:
+        coordinator.close()
+        catalog.close()
+
+
+@pytest.mark.parametrize("seed", [1])
+def test_concurrent_register_and_ingest_other_graph(bsbm_small, seed):
+    """Registering a new graph while another graph ingests: neither path
+    may deadlock on the ship locks, and both end complete."""
+    catalog = GraphCatalog()
+    catalog.register("base", graph=bsbm_small)
+    coordinator = ClusterCoordinator(
+        catalog, workers=2, heartbeat_seconds=0, delta_queue_depth=1
+    )
+    try:
+        done = threading.Event()
+        failures = []
+
+        def ingest():
+            try:
+                for i in range(20):
+                    coordinator.add_triples(
+                        "base",
+                        [
+                            Triple(
+                                URI(f"http://reg/s{i}"),
+                                URI("http://reg/p"),
+                                URI(f"http://reg/o{i}"),
+                            )
+                        ],
+                    )
+            except Exception as error:  # noqa: BLE001 - the assertion
+                failures.append(error)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=ingest, daemon=True)
+        thread.start()
+        coordinator.register("extra", graph=bsbm_small)
+        assert done.wait(timeout=60), "ingest wedged behind register()"
+        thread.join(timeout=10)
+        assert not failures, failures[:1]
+        query = parse_query("SELECT ?s ?o WHERE { ?s <http://reg/p> ?o }")
+        assert len(coordinator.answer("base", query).answers) == 20
+        probe = parse_query("SELECT ?s ?o WHERE { ?s ?p ?o }")
+        assert coordinator.answer("extra", probe).answers
+    finally:
+        coordinator.close()
+        catalog.close()

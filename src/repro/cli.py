@@ -220,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(scatter-gather serving via repro.cluster; 0 = in-process)",
     )
     serve_parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship cluster shards as inline pipe blobs instead of attaching "
+        "workers to a shared-memory segment (the default when --workers > 0 "
+        "and the platform supports named shared memory)",
+    )
+    serve_parser.add_argument(
         "--max-body-mb",
         type=int,
         default=64,
@@ -498,6 +505,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             kind=args.kind,
             strategy=worker_strategy,
+            use_shm=not args.no_shm,
         )
     app = ServerApp(
         catalog,
@@ -512,7 +520,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     server = make_server(app, args.host, args.port)
     host, port = server.server_address[:2]
     names = ", ".join(catalog.names()) or "none"
-    tier = f", cluster: {args.workers} worker process(es)" if cluster else ""
+    tier = ""
+    if cluster:
+        shipping = "shared-memory" if cluster.use_shm else "pipe-blob"
+        tier = f", cluster: {args.workers} worker process(es), {shipping} shipping"
     print(
         f"serving {len(catalog)} graph(s) [{names}] on http://{host}:{port} "
         f"(catalog: {args.catalog or 'in-memory'}, guard: {args.kind}, "

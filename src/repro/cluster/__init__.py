@@ -2,9 +2,11 @@
 
 ``repro.cluster`` scales the serving layer across CPU cores: a
 :class:`~repro.cluster.coordinator.ClusterCoordinator` hash-partitions each
-registered graph's encoded rows by subject id into K shards, ships each
-shard to a worker process as raw int64 column blobs (zero Terms pickled),
-and answers BGP queries by scatter-gather — every shard guarded by its own
+registered graph's encoded rows by subject id into K shards, packs shards
+and full replicas as raw int64 column blobs into one named shared-memory
+segment per graph (zero Terms pickled) that every worker process attaches
+zero-copy — inline pipe blobs remain as the ``--no-shm`` fallback — and
+answers BGP queries by scatter-gather, every shard guarded by its own
 weak/strong summaries, so refuted shards never run a join.  Answers stay
 bit-identical to the in-process :class:`~repro.service.service.QueryService`
 (see ``docs/cluster.md`` for the architecture and the failure model).
@@ -18,14 +20,21 @@ from repro.cluster.protocol import (
     OP_PING,
     OP_QUERY,
     OP_SHUTDOWN,
+    TABLES_INLINE,
+    TABLES_SHM,
 )
+from repro.cluster.shm import SegmentRegistry, shm_available
 from repro.cluster.worker import TARGET_FULL, TARGET_SHARD, worker_main
 
 __all__ = [
     "ClusterCoordinator",
+    "SegmentRegistry",
+    "shm_available",
     "worker_main",
     "TARGET_FULL",
     "TARGET_SHARD",
+    "TABLES_INLINE",
+    "TABLES_SHM",
     "OP_LOAD",
     "OP_DELTA",
     "OP_QUERY",

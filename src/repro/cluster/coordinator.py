@@ -59,10 +59,10 @@ import multiprocessing
 import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from time import monotonic, time
+from time import monotonic, perf_counter, time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster import protocol
+from repro.cluster import protocol, shm
 from repro.cluster.worker import TARGET_FULL, TARGET_SHARD, worker_main
 from repro.errors import (
     ClusterError,
@@ -87,6 +87,32 @@ __all__ = ["ClusterCoordinator"]
 _REQUEST_TIMEOUT = 120.0
 _PING_TIMEOUT = 1.0
 _SHUTDOWN_TIMEOUT = 10.0
+
+#: Logged delta rows per graph beyond which the coordinator folds the
+#: delta log into a fresh segment generation (shared-memory mode).
+SEGMENT_FOLD_ROWS = 65_536
+
+
+class _SegmentState:
+    """One graph's live segment generation plus its replay log.
+
+    ``deltas`` holds every ingest batch since the segment was packed, in
+    the exact ``OP_DELTA`` shape minus the graph name — a (re-)ship sends
+    the descriptor plus this log instead of repacking, which is what makes
+    respawn recovery O(deltas) instead of O(graph).  Guarded by the
+    coordinator's segment lock; appends additionally run inside the
+    entry's write lock (the delta listener), so the log is always
+    consistent with the shipped dictionary marks.
+    """
+
+    __slots__ = ("segment_name", "directory", "version", "deltas", "delta_rows")
+
+    def __init__(self, segment_name: str, directory: dict, version: int):
+        self.segment_name = segment_name
+        self.directory = directory
+        self.version = version
+        self.deltas: List[tuple] = []
+        self.delta_rows = 0
 
 
 class _PendingReply:
@@ -141,6 +167,9 @@ class _WorkerHandle:
         self.broadcaster: Optional[threading.Thread] = None
         self.last_ping: Optional[Dict[str, object]] = None
         self.last_ping_at: Optional[float] = None
+        #: The worker's reply to its most recent ``OP_LOAD`` (attach mode,
+        #: row counts, attach seconds) — surfaced by ``status()``.
+        self.last_load: Optional[Dict[str, object]] = None
 
     def fail_pending(self, message: str) -> None:
         with self.pending_lock:
@@ -171,6 +200,16 @@ class ClusterCoordinator:
         then rests on pipe EOF at request time).
     max_retries:
         Crash-retry budget per request (respawn + retry).
+    use_shm:
+        ``None`` (default) auto-enables the shared-memory column plane
+        when the platform supports it; ``False`` forces the inline
+        pipe-blob path (the ``serve --no-shm`` escape hatch).  With shm on,
+        each graph generation is packed once into one named segment that
+        every worker attaches zero-copy, and respawn recovery re-sends the
+        descriptor plus the logged deltas instead of repacking.
+    shm_fold_rows:
+        Logged delta rows beyond which a graph's log folds into a fresh
+        segment generation (bounds both the log and re-attach replay work).
     """
 
     def __init__(
@@ -182,6 +221,8 @@ class ClusterCoordinator:
         delta_queue_depth: int = 64,
         heartbeat_seconds: float = 2.0,
         max_retries: int = 2,
+        use_shm: Optional[bool] = None,
+        shm_fold_rows: int = SEGMENT_FOLD_ROWS,
         start: bool = True,
     ):
         if workers <= 0:
@@ -210,6 +251,24 @@ class ClusterCoordinator:
         #: lock — listeners run inside it, serialized per graph.
         self._dict_marks: Dict[str, int] = {}
         self._listened: Set[str] = set()
+        #: Shared-memory plane: one packed segment + delta log per graph.
+        self.use_shm = (
+            shm.shm_available() if use_shm is None else bool(use_shm) and shm.shm_available()
+        )
+        self.shm_fold_rows = shm_fold_rows
+        self._registry = shm.SegmentRegistry() if self.use_shm else None
+        self._segment_states: Dict[str, _SegmentState] = {}
+        self._segment_lock = threading.Lock()
+        #: Ship latency accounting (reads by the bench / status endpoint).
+        self._metrics_lock = threading.Lock()
+        self.ship_metrics: Dict[str, object] = {
+            "ships": 0,
+            "ship_seconds_total": 0.0,
+            "last_ship_seconds": 0.0,
+            "reships": 0,
+            "reship_seconds_total": 0.0,
+            "last_reship_seconds": 0.0,
+        }
         self._closed = False
         self._stop_event = threading.Event()
         self._heartbeat_thread: Optional[threading.Thread] = None
@@ -355,6 +414,12 @@ class ClusterCoordinator:
                 except OSError:
                     pass
         self._pool.shutdown(wait=True)
+        # workers are gone (their mappings closed); now unlink every named
+        # segment — after this, /dev/shm holds nothing of this coordinator
+        if self._registry is not None:
+            with self._segment_lock:
+                self._segment_states.clear()
+                self._registry.close()
 
     def __enter__(self) -> "ClusterCoordinator":
         return self
@@ -409,17 +474,38 @@ class ClusterCoordinator:
         """A round trip that survives worker crashes; returns
         ``(reply, retries_spent)``.  Crashes trigger respawn + retry up to
         the budget; timeouts do not (re-running the same wedging request
-        would wedge the fresh worker too)."""
+        would wedge the fresh worker too).
+
+        Crash retries and behind-the-ship waits are budgeted *separately*:
+        a slow request can legitimately straddle two worker deaths (two
+        crash retries — the whole ``max_retries`` budget) *and* land on a
+        respawned worker before its re-ship does (an ``UnknownGraphError``
+        that just means "wait").  Charging the wait against the crash
+        budget made exactly that interleaving fail spuriously under the
+        crash-injection benchmark on slow hosts; each wait is already
+        bounded by the in-flight ship (we block on the ship lock), so it
+        gets its own equal budget instead.
+        """
         retries = 0
+        ship_waits = 0
         while True:
             generation = handle.generation
             try:
-                return self._request(handle, op, payload, timeout), retries
+                return self._request(handle, op, payload, timeout), retries + ship_waits
             except WorkerCrashedError:
                 if self._closed or retries >= self.max_retries:
                     raise
                 retries += 1
-                self._ensure_alive(handle, generation)
+                try:
+                    self._ensure_alive(handle, generation)
+                except WorkerCrashedError:
+                    # the respawned worker died under its own re-ship
+                    # (another injected kill).  The handle is marked dead;
+                    # loop — the next attempt raises immediately and the
+                    # budget check, not this helper, decides when to give
+                    # up.  (The heartbeat's _ensure_alive calls swallow
+                    # the same way.)
+                    continue
             except UnknownGraphError:
                 # a respawned worker accepts requests the moment its pipe is
                 # up, which can be before the respawn's re-ship has landed.
@@ -428,12 +514,12 @@ class ClusterCoordinator:
                 name = payload[0] if payload else None
                 if (
                     self._closed
-                    or retries >= self.max_retries
+                    or ship_waits >= self.max_retries
                     or not isinstance(name, str)
                     or name not in self.catalog.names()
                 ):
                     raise
-                retries += 1
+                ship_waits += 1
                 with handle.ship_lock:
                     pass
 
@@ -465,8 +551,10 @@ class ClusterCoordinator:
             handle.generation += 1
             handle.respawns += 1
             self._spawn(handle)
-            # re-ship every graph from the live catalog: the snapshot
+            # re-ship every graph from the live catalog: the snapshot (or,
+            # in shm mode, the O(1) segment descriptor plus the delta log)
             # subsumes any delta dropped while the worker was down
+            started = perf_counter()
             for name in self.catalog.names():
                 try:
                     entry = self.catalog.entry(name)
@@ -474,6 +562,7 @@ class ClusterCoordinator:
                     handle.reship_pending.discard(name)  # dropped meanwhile
                     continue
                 self._ship_graph(entry, [handle], update_marks=False)
+            self._record_ship("reship", perf_counter() - started)
 
     def _heartbeat_loop(self) -> None:
         while not self._stop_event.wait(self.heartbeat_seconds):
@@ -528,6 +617,26 @@ class ClusterCoordinator:
             (kind.value, row[0], row[1], row[2]) for kind, row in rows
         ]
         item = (name, entry.version, (mark, packed_terms), wire_rows)
+        if self.use_shm:
+            # append to the graph's replay log so a respawn re-attaches the
+            # unchanged segment and replays this batch instead of repacking;
+            # past the fold threshold the log collapses into a fresh
+            # generation (we hold the entry write lock, so the store is
+            # stable and the repack is consistent)
+            with self._segment_lock:
+                state = self._segment_states.get(name)
+                if state is not None:
+                    state.deltas.append((entry.version, (mark, packed_terms), wire_rows))
+                    state.delta_rows += len(wire_rows)
+                    if state.delta_rows >= self.shm_fold_rows:
+                        segment_name, directory = self._pack_segment(
+                            entry, entry.version
+                        )
+                        state.segment_name = segment_name
+                        state.directory = directory
+                        state.version = entry.version
+                        state.deltas = []
+                        state.delta_rows = 0
         for handle in self._workers:
             while not self._closed:
                 if name in handle.reship_pending:
@@ -551,8 +660,15 @@ class ClusterCoordinator:
         handles: Sequence[_WorkerHandle],
         update_marks: bool = True,
     ) -> Optional[tuple]:
-        """Pack *entry* — terms, every shard's tables, the full tables —
-        under one read lock; ``None`` if the entry was already dropped."""
+        """One shippable snapshot of *entry*, taken under its read lock;
+        ``None`` if the entry was already dropped.
+
+        Inline mode packs terms, every shard's tables and the full tables
+        into the returned tuple.  Shared-memory mode packs them into a
+        named segment **once** — a later snapshot of the same graph (a
+        respawn re-ship) reuses the live segment descriptor plus the
+        accumulated delta log with zero repacking.
+        """
         with entry.rwlock.read_locked():
             # End the delta-drop window while the read lock is held: no
             # writer can run the delta listener until we release it, so
@@ -565,25 +681,80 @@ class ClusterCoordinator:
             if entry.closed:
                 return None
             version = entry.version
-            packed_terms = protocol.pack_terms(entry.store.dictionary)
+            if self.use_shm:
+                with self._segment_lock:
+                    state = self._segment_states.get(entry.name)
+                    if state is None:
+                        segment_name, directory = self._pack_segment(entry, version)
+                        state = _SegmentState(segment_name, directory, version)
+                        self._segment_states[entry.name] = state
+                        if update_marks:
+                            self._dict_marks[entry.name] = len(
+                                entry.store.dictionary
+                            )
+                    return (
+                        protocol.TABLES_SHM,
+                        state.version,
+                        state.segment_name,
+                        state.directory,
+                        list(state.deltas),
+                    )
+            term_chunks = protocol.pack_term_chunks(entry.store.dictionary)
             shard_tables = protocol.pack_all_shard_tables(entry.store, self.worker_count)
             full_tables = protocol.pack_full_tables(entry.store)
             if update_marks:
-                self._dict_marks[entry.name] = len(packed_terms)
-        return version, packed_terms, shard_tables, full_tables
+                self._dict_marks[entry.name] = len(entry.store.dictionary)
+        return (protocol.TABLES_INLINE, version, term_chunks, shard_tables, full_tables)
+
+    def _pack_segment(self, entry: CatalogEntry, version: int) -> Tuple[str, dict]:
+        """Pack *entry* into a fresh segment generation.
+
+        Caller holds the entry lock (read or write) and the segment lock.
+        The full replica's weak-summary maintainer state rides along so
+        workers restore it instead of re-scanning every row on attach.
+        """
+        store = entry.store
+        term_chunks = protocol.pack_term_chunks(store.dictionary)
+        shard_tables = protocol.pack_all_shard_tables(store, self.worker_count)
+        full_tables = protocol.pack_full_tables(store)
+        return self._registry.pack(
+            entry.name,
+            version,
+            term_chunks,
+            shard_tables,
+            full_tables,
+            protocol.BYTEORDER,
+            weak_state=entry.maintainer_state(),
+        )
 
     def _send_snapshot(self, handle: _WorkerHandle, name: str, snapshot: tuple) -> None:
         """Load *handle*'s slice of a packed snapshot into its worker."""
-        version, packed_terms, shard_tables, full_tables = snapshot
-        payload = (
-            name,
-            version,
-            packed_terms,
-            shard_tables[handle.index],
-            full_tables,
-            protocol.BYTEORDER,
+        mode = snapshot[0]
+        if mode == protocol.TABLES_SHM:
+            _mode, version, segment_name, directory, deltas = snapshot
+            payload = (
+                name,
+                version,
+                (protocol.TABLES_SHM, segment_name, directory),
+                deltas,
+            )
+        else:
+            _mode, version, term_chunks, shard_tables, full_tables = snapshot
+            payload = (
+                name,
+                version,
+                (
+                    protocol.TABLES_INLINE,
+                    term_chunks,
+                    shard_tables[handle.index],
+                    full_tables,
+                    protocol.BYTEORDER,
+                ),
+                [],
+            )
+        handle.last_load = self._request(
+            handle, protocol.OP_LOAD, payload, _REQUEST_TIMEOUT
         )
-        self._request(handle, protocol.OP_LOAD, payload, _REQUEST_TIMEOUT)
 
     def _ship_graph(
         self,
@@ -591,12 +762,41 @@ class ClusterCoordinator:
         handles: Sequence[_WorkerHandle],
         update_marks: bool = True,
     ) -> None:
-        """Snapshot *entry* under its read lock and load it into *handles*."""
+        """Snapshot *entry* under its read lock and load it into *handles*.
+
+        In shared-memory mode multi-worker ships run in parallel: the
+        payload is a descriptor, the per-worker cost is the worker-side
+        attach + shard priming, and those are independent processes.
+        """
+        started = perf_counter()
         snapshot = self._snapshot_graph(entry, handles, update_marks)
         if snapshot is None:
             return
-        for handle in handles:
-            self._send_snapshot(handle, entry.name, snapshot)
+        if self.use_shm and len(handles) > 1:
+            futures = [
+                self._pool.submit(self._send_snapshot, handle, entry.name, snapshot)
+                for handle in handles
+            ]
+            for future in futures:
+                future.result()
+        else:
+            for handle in handles:
+                self._send_snapshot(handle, entry.name, snapshot)
+        if update_marks:
+            # an initial ship (start()); respawn re-ships are timed as one
+            # "reship" by _ensure_alive around its whole graph loop
+            self._record_ship("ship", perf_counter() - started)
+
+    def _record_ship(self, kind: str, seconds: float) -> None:
+        with self._metrics_lock:
+            if kind == "reship":
+                self.ship_metrics["reships"] += 1
+                self.ship_metrics["reship_seconds_total"] += seconds
+                self.ship_metrics["last_reship_seconds"] = seconds
+            else:
+                self.ship_metrics["ships"] += 1
+                self.ship_metrics["ship_seconds_total"] += seconds
+                self.ship_metrics["last_ship_seconds"] = seconds
 
     # ------------------------------------------------------------------
     # writes (the coordinator is the tier's single writer)
@@ -624,13 +824,29 @@ class ClusterCoordinator:
         for handle in self._workers:
             handle.ship_lock.acquire()
         try:
+            started = perf_counter()
             snapshot = self._snapshot_graph(entry, self._workers)
             if snapshot is not None:
-                for handle in self._workers:
+
+                def send(handle: _WorkerHandle) -> None:
                     try:
                         self._send_snapshot(handle, name, snapshot)
                     except WorkerCrashedError:
                         pass  # the respawn re-ship loop picks the graph up
+
+                if self.use_shm and len(self._workers) > 1:
+                    # descriptor sends are cheap; the real per-worker work
+                    # (attach + shard prime) runs in the worker processes,
+                    # so loading all K concurrently is a pure win
+                    futures = [
+                        self._pool.submit(send, handle) for handle in self._workers
+                    ]
+                    for future in futures:
+                        future.result()
+                else:
+                    for handle in self._workers:
+                        send(handle)
+                self._record_ship("ship", perf_counter() - started)
         finally:
             for handle in reversed(self._workers):
                 handle.ship_lock.release()
@@ -645,6 +861,12 @@ class ClusterCoordinator:
         self.catalog.drop(name)
         self._dict_marks.pop(name, None)
         self._listened.discard(name)
+        if self._registry is not None:
+            # unlink first: the name disappears immediately; worker
+            # mappings stay valid until their drop closes them
+            with self._segment_lock:
+                self._segment_states.pop(name, None)
+                self._registry.unlink(name)
         for handle in self._workers:
             try:
                 self._request(handle, protocol.OP_DROP, (name,), _REQUEST_TIMEOUT)
@@ -828,8 +1050,19 @@ class ClusterCoordinator:
                     "respawns": handle.respawns,
                     "queued_deltas": handle.delta_queue.qsize(),
                     "last_ping": handle.last_ping,
+                    "last_load": handle.last_load,
                 }
             )
+        with self._segment_lock:
+            shm_info: Dict[str, object] = {"enabled": self.use_shm}
+            if self._registry is not None:
+                shm_info["segments"] = self._registry.info()
+                shm_info["packs"] = self._registry.packs
+                shm_info["logged_delta_rows"] = sum(
+                    state.delta_rows for state in self._segment_states.values()
+                )
+        with self._metrics_lock:
+            ship_metrics = dict(self.ship_metrics)
         return {
             "workers": workers,
             "worker_count": self.worker_count,
@@ -838,4 +1071,21 @@ class ClusterCoordinator:
             "graphs": self.catalog.names(),
             "uptime_seconds": time() - self.started_at,
             "service": self.statistics.as_dict(),
+            "shm": shm_info,
+            "ship_metrics": ship_metrics,
         }
+
+    def worker_metrics(self, timeout: float = 10.0) -> List[Optional[Dict[str, object]]]:
+        """One fresh ping reply per worker slot (``None`` for a dead one).
+
+        Unlike the heartbeat's opportunistic ``last_ping``, this blocks for
+        an answer — benchmarks read per-worker RSS and column-memory
+        accounting from it right after a load or a crash-recovery pass.
+        """
+        replies: List[Optional[Dict[str, object]]] = []
+        for handle in self._workers:
+            try:
+                replies.append(self._request(handle, protocol.OP_PING, (), timeout))
+            except ClusterError:
+                replies.append(None)
+        return replies

@@ -39,6 +39,7 @@ from repro.errors import ClusterError
 from repro.model.dictionary import Dictionary
 from repro.model.terms import BlankNode, Literal, Term, URI
 from repro.model.triple import TripleKind
+from repro.store.base import shard_of
 
 __all__ = [
     "OP_LOAD",
@@ -47,8 +48,13 @@ __all__ = [
     "OP_DROP",
     "OP_PING",
     "OP_SHUTDOWN",
+    "TABLES_INLINE",
+    "TABLES_SHM",
+    "TERM_CHUNK",
     "pack_terms",
+    "pack_term_chunks",
     "unpack_terms",
+    "unpack_term_chunks",
     "pack_full_tables",
     "pack_shard_tables",
     "pack_all_shard_tables",
@@ -57,16 +63,35 @@ __all__ = [
 ]
 
 #: Request opcodes (coordinator → worker).
-OP_LOAD = "load"  # (name, version, packed_terms, shard_tables, full_tables)
-OP_DELTA = "delta"  # (name, version, packed_new_terms, encoded_rows)
+#:
+#: ``OP_LOAD`` carries ``(name, version, tables, deltas)``: *tables* is one
+#: of the two shipping modes below, and *deltas* is the (possibly empty)
+#: replay log of ``(version, (dict_start, packed_terms), rows)`` ingest
+#: batches that post-date the shipped snapshot — applied in order before
+#: the load is acknowledged, so a re-attach after a crash needs no repack.
+OP_LOAD = "load"  # (name, version, tables, deltas)
+OP_DELTA = "delta"  # (name, version, (dict_start, packed_terms), rows)
 OP_QUERY = "query"  # (name, min_version, sparql, target, limit, saturated, explain)
 OP_DROP = "drop"  # (name,)
 OP_PING = "ping"  # ()
 OP_SHUTDOWN = "shutdown"  # ()
 
+#: ``OP_LOAD`` *tables* modes: inline column blobs over the pipe —
+#: ``("inline", term_chunks, shard_tables, full_tables, byteorder)`` — or
+#: a shared-memory segment descriptor — ``("shm", segment_name,
+#: directory)`` (terms and tables live in the segment; see
+#: :mod:`repro.cluster.shm` for the directory layout).
+TABLES_INLINE = "inline"
+TABLES_SHM = "shm"
+
 #: The byte order blobs are packed in; shipped alongside so a worker on a
 #: different-endian host (exotic, but cheap to guard) byteswaps on load.
 BYTEORDER = sys.byteorder
+
+#: Terms per packed chunk on the load path: a multi-million-entry
+#: dictionary ships as a sequence of bounded slices instead of one giant
+#: list materialized in a single pickle.
+TERM_CHUNK = 65_536
 
 
 def pack_terms(
@@ -94,6 +119,29 @@ def pack_terms(
         else:
             raise ClusterError(f"not a shippable RDF term: {term!r}")
     return packed
+
+
+def pack_term_chunks(
+    dictionary: Dictionary,
+    start: int = 0,
+    stop: Optional[int] = None,
+    chunk: int = TERM_CHUNK,
+) -> List[List[Tuple[str, str, Optional[str], Optional[str]]]]:
+    """The id range ``[start, stop)`` as a list of :func:`pack_terms` slices.
+
+    Identical id assignment to one flat :func:`pack_terms` call —
+    unpacking the chunks in order reproduces the dictionary exactly — but
+    no single list ever exceeds *chunk* terms, which bounds peak pickle
+    buffers when a graph with millions of terms registers.
+    """
+    if chunk <= 0:
+        raise ClusterError("term chunk size must be positive")
+    if stop is None:
+        stop = len(dictionary.decode_table)
+    return [
+        pack_terms(dictionary, lo, min(lo + chunk, stop))
+        for lo in range(start, stop, chunk)
+    ]
 
 
 def unpack_terms(
@@ -125,6 +173,16 @@ def unpack_terms(
                 f"dictionary divergence: term {term!r} already had an id "
                 f"below {expected}"
             )
+    return len(dictionary)
+
+
+def unpack_term_chunks(
+    chunks: Iterable[Iterable[Tuple[str, str, Optional[str], Optional[str]]]],
+    dictionary: Dictionary,
+) -> int:
+    """Append every chunk of :func:`pack_term_chunks` output, in order."""
+    for chunk in chunks:
+        unpack_terms(chunk, dictionary)
     return len(dictionary)
 
 
@@ -211,5 +269,5 @@ def shard_rows(
     return [
         row
         for row in rows
-        if row[0] == schema_value or row[1] % shard_count == shard_index
+        if row[0] == schema_value or shard_of(row[1], shard_count) == shard_index
     ]

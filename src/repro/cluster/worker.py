@@ -5,6 +5,19 @@ A worker is a single-threaded message loop over a
 keeps **two** worker-local stores sharing **one** dictionary (rebuilt
 id-for-id from the coordinator's packed term columns):
 
+Loads arrive in one of two shipping modes (see
+:mod:`repro.cluster.protocol`): *inline* column blobs copied off the pipe
+into private arrays (the portable fallback), or a *shared-memory segment
+descriptor* — the worker attaches the named segment and adopts the column
+regions zero-copy (:meth:`MemoryStore.adopt_column_buffers`), unpickles
+the dictionary chunks and the full replica's weak-summary maintainer
+state straight out of the mapping, and replays the load's delta log.
+Either way the resulting stores answer queries identically; the shm path
+just skips K-1 copies of every blob and the full replica's O(rows)
+priming scan.  The worker never unlinks a segment (the coordinator owns
+that); it closes its mapping when the graph is dropped or replaced —
+after closing the stores, which release their adopted views.
+
 * the *shard* store — its :func:`~repro.store.base.shard_of` slice of the
   DATA/TYPE tables plus the broadcast SCHEMA table.  Queries whose
   patterns all share one subject term are exact on this partition, and the
@@ -41,18 +54,25 @@ respawns or, during its own shutdown, moves on.  ``SIGINT`` is ignored
 
 from __future__ import annotations
 
+import pickle
 import signal
 import sys
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
-from repro.cluster import protocol
+from repro.cluster import protocol, shm
 from repro.errors import QueryError, ReproError, UnknownGraphError
 from repro.model.dictionary import Dictionary, EncodedTriple
 from repro.model.triple import TripleKind
 from repro.queries.parser import parse_query
-from repro.service.catalog import GraphCatalog
+from repro.service.catalog import CatalogEntry, GraphCatalog
 from repro.service.service import QueryAnswer, QueryService
 from repro.store.memory import MemoryStore
+
+try:  # POSIX-only; the RSS probe degrades gracefully elsewhere
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
 
 __all__ = ["worker_main", "TARGET_SHARD", "TARGET_FULL"]
 
@@ -84,6 +104,16 @@ class _Worker:
         self.shard_service = QueryService(self.shard_catalog, kind=kind, strategy=strategy)
         self.full_service = QueryService(self.full_catalog, kind=kind, strategy=strategy)
         self.graphs: Dict[str, _WorkerGraph] = {}
+        #: Attached shared-memory segments by graph name (closed — never
+        #: unlinked — when the graph is dropped or replaced).
+        self.segments: Dict[str, object] = {}
+        #: Graphs whose dictionary still awaits hydration from the packed
+        #: term blob: ``name -> (dictionary, pickled term chunks)``.  A
+        #: segment attach acknowledges in O(1) and pays the O(terms)
+        #: unpack here — right after the ack goes out (overlapping the
+        #: coordinator's other sends), or on first delta/query, whichever
+        #: comes first.
+        self._pending_terms: Dict[str, Tuple[Dictionary, bytes]] = {}
         self.draining = False
         #: Deferred version-fenced queries: ``(request_id, payload)``.
         self.deferred: List[Tuple[int, tuple]] = []
@@ -106,13 +136,39 @@ class _Worker:
         return rows
 
     def handle_load(self, payload: tuple) -> dict:
-        name, version, packed_terms, shard_tables, full_tables, byteorder = payload
+        name, version, tables, deltas = payload
+        started = perf_counter()
         if name in self.graphs:
             # a respawn re-ship or a replace: drop the stale copy first,
             # keeping deferred queries — the fresh copy answers them below
             self._drop_local(name)
+        mode = tables[0]
+        if mode == protocol.TABLES_SHM:
+            shard_rows, full_rows = self._load_from_segment(name, version, tables)
+        elif mode == protocol.TABLES_INLINE:
+            shard_rows, full_rows = self._load_inline(name, version, tables)
+        else:
+            raise ReproError(f"unknown table shipping mode {mode!r}")
+        graph = self.graphs[name]
+        # replay the deltas that post-date the shipped snapshot (a re-attach
+        # after a crash: the segment is an older generation plus this log)
+        for delta_version, packed_terms, rows in deltas:
+            self._apply_delta(name, delta_version, packed_terms, rows)
+        self._flush_deferred()
+        return {
+            "name": name,
+            "version": graph.version,
+            "mode": mode,
+            "shard_rows": shard_rows,
+            "full_rows": full_rows,
+            "attach_seconds": perf_counter() - started,
+        }
+
+    def _load_inline(self, name: str, version: int, tables: tuple) -> Tuple[int, int]:
+        """The pipe-blob fallback: private column copies, priming scans."""
+        _mode, term_chunks, shard_tables, full_tables, byteorder = tables
         dictionary = Dictionary()
-        protocol.unpack_terms(packed_terms, dictionary)
+        protocol.unpack_term_chunks(term_chunks, dictionary)
         shard_store = MemoryStore()
         shard_store.dictionary = dictionary
         shard_rows = self._load_tables(shard_store, shard_tables, byteorder)
@@ -124,19 +180,128 @@ class _Worker:
         self.shard_catalog.register(name, store=shard_store)
         self.full_catalog.register(name, store=full_store)
         self.graphs[name] = _WorkerGraph(version)
+        return shard_rows, full_rows
+
+    def _load_from_segment(self, name: str, version: int, tables: tuple) -> Tuple[int, int]:
+        """Attach a packed segment and adopt its column regions zero-copy."""
+        _mode, segment_name, directory = tables
+        segment = shm.attach(segment_name)
+        stores: List[MemoryStore] = []
+        try:
+            buffer = segment.buf
+            byteorder = directory["byteorder"]
+            offset, length = directory["terms"]
+            # a plain memcpy of the pickled blob; the O(terms) dictionary
+            # rebuild is deferred (see _pending_terms) so the load ack
+            # stays O(1) in the graph size
+            dictionary = Dictionary()
+            terms_blob = bytes(buffer[offset : offset + length])
+            shard_store = MemoryStore()
+            stores.append(shard_store)
+            shard_store.dictionary = dictionary
+            shard_rows = self._adopt_tables(
+                shard_store, buffer, directory["targets"][self.shard_index], byteorder
+            )
+            full_store = MemoryStore()
+            stores.append(full_store)
+            full_store.dictionary = dictionary
+            full_rows = self._adopt_tables(
+                full_store, buffer, directory["targets"]["full"], byteorder
+            )
+            # the shard store defers its (1/K-sized) weak-summary priming
+            # scan to its first guarded query; the full replica skips its
+            # O(rows) scan outright — the coordinator packed its
+            # maintainer state into the segment
+            self.shard_catalog.register(name, store=shard_store, lazy_prime=True)
+            weak = directory.get("weak")
+            if weak is not None:
+                offset, length = weak
+                entry = CatalogEntry.restore(
+                    name=name,
+                    store=full_store,
+                    version=version,
+                    maintainer_state=pickle.loads(buffer[offset : offset + length]),
+                )
+                self.full_catalog.adopt_entry(entry)
+            else:
+                self.full_catalog.register(name, store=full_store)
+        except BaseException:
+            # leave no half-loaded graph: close every store we built
+            # (releasing adopted views — close is idempotent, so stores
+            # the catalogs already own close again harmlessly), then drop
+            # catalog state, then the mapping
+            for store in stores:
+                store.close()
+            self._drop_local(name)
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a stray live view
+                pass
+            raise
+        self.segments[name] = segment
+        self._pending_terms[name] = (dictionary, terms_blob)
+        self.graphs[name] = _WorkerGraph(version)
+        return shard_rows, full_rows
+
+    def _hydrate_terms(self, name: str) -> None:
+        """Rebuild *name*'s dictionary from its deferred term blob (no-op
+        once hydrated).  Both stores share the dictionary object, so one
+        unpack serves the shard and the full replica alike."""
+        pending = self._pending_terms.pop(name, None)
+        if pending is None:
+            return
+        dictionary, terms_blob = pending
+        protocol.unpack_term_chunks(pickle.loads(terms_blob), dictionary)
+
+    def _hydrate_pending(self) -> None:
+        """Hydrate every deferred dictionary — called right after a load
+        ack leaves, so the unpack overlaps the coordinator's other work
+        instead of its ship wait."""
+        for name in list(self._pending_terms):
+            self._hydrate_terms(name)
+
+    def _adopt_tables(
+        self, store: MemoryStore, buffer, tables: Dict[str, tuple], byteorder: str
+    ) -> int:
+        rows = 0
+        for kind_value, (count, s_offset, p_offset, o_offset) in tables.items():
+            nbytes = count * 8
+            adopted = store.adopt_column_buffers(
+                TripleKind(kind_value),
+                buffer[s_offset : s_offset + nbytes],
+                buffer[p_offset : p_offset + nbytes],
+                buffer[o_offset : o_offset + nbytes],
+                byteorder=byteorder,
+            )
+            if adopted != count:
+                raise ReproError(
+                    f"segment row count mismatch for {kind_value}: "
+                    f"expected {count}, adopted {adopted}"
+                )
+            rows += adopted
+        return rows
+
+    def handle_delta(self, payload: tuple) -> dict:
+        name, version, packed_terms, rows = payload
+        applied_full, applied_shard = self._apply_delta(name, version, packed_terms, rows)
         self._flush_deferred()
         return {
             "name": name,
-            "version": version,
-            "shard_rows": shard_rows,
-            "full_rows": full_rows,
+            "version": self.graphs[name].version,
+            "full": applied_full,
+            "shard": applied_shard,
         }
 
-    def handle_delta(self, payload: tuple) -> dict:
-        name, version, (dict_start, packed_terms), rows = payload
+    def _apply_delta(
+        self, name: str, version: int, packed_terms: tuple, rows: list
+    ) -> Tuple[int, int]:
+        """Apply one ingest delta (live from the pipe, or replayed by a load)."""
+        dict_start, packed = packed_terms
         graph = self.graphs.get(name)
         if graph is None:
             raise UnknownGraphError(f"worker never loaded graph {name!r}")
+        # the delta's dict-offset contract needs the full base dictionary
+        self._hydrate_terms(name)
         full_entry = self.full_catalog.entry(name)
         dictionary = full_entry.store.dictionary
         # the delta packs dictionary ids [dict_start, dict_start+len); after
@@ -149,8 +314,8 @@ class _Worker:
                 f"delta starts at {dict_start}"
             )
         already = current - dict_start
-        if already < len(packed_terms):
-            protocol.unpack_terms(packed_terms[already:], dictionary)
+        if already < len(packed):
+            protocol.unpack_terms(packed[already:], dictionary)
         encoded = [
             (TripleKind(kind_value), EncodedTriple(s, p, o))
             for kind_value, s, p, o in rows
@@ -166,16 +331,24 @@ class _Worker:
         # versions only move forward: a respawn re-ship may race a delta
         # that was already folded into the shipped snapshot
         graph.version = max(graph.version, version)
-        self._flush_deferred()
-        return {"name": name, "version": graph.version, "full": applied_full, "shard": applied_shard}
+        return applied_full, applied_shard
 
     def _drop_local(self, name: str) -> None:
-        """Forget *name*'s stores and version (deferred queries untouched)."""
+        """Forget *name*'s stores, segment and version (deferred queries
+        untouched).  Stores close first — releasing any adopted column
+        views — so the segment mapping can close without BufferError."""
         self.graphs.pop(name, None)
+        self._pending_terms.pop(name, None)
         for catalog in (self.shard_catalog, self.full_catalog):
             try:
                 catalog.drop(name)
             except UnknownGraphError:
+                pass
+        segment = self.segments.pop(name, None)
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a stray live view
                 pass
 
     def handle_drop(self, payload: tuple) -> dict:
@@ -195,6 +368,7 @@ class _Worker:
 
     def handle_query(self, payload: tuple) -> dict:
         name, _min_version, text, target, limit, saturated, explain = payload
+        self._hydrate_terms(name)  # query terms encode through the dictionary
         service = self.shard_service if target == TARGET_SHARD else self.full_service
         query = parse_query(text, name="cluster")
         answer = service.answer(
@@ -207,7 +381,38 @@ class _Worker:
             "shard_index": self.shard_index,
             "graphs": {name: graph.version for name, graph in self.graphs.items()},
             "deferred": len(self.deferred),
+            "segments": len(self.segments),
+            "rss_kb": self._rss_kb(),
+            "column_memory": self._column_memory(),
         }
+
+    @staticmethod
+    def _rss_kb() -> Optional[int]:
+        """Peak RSS of this worker in KiB (``None`` off POSIX).
+
+        Informational only: shared segment pages count against every
+        worker that touched them, so memory *gates* read the deterministic
+        :meth:`MemoryStore.column_memory` accounting instead.
+        """
+        if resource is None:
+            return None
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    def _column_memory(self) -> Dict[str, int]:
+        """Private vs adopted column bytes across every store of this worker."""
+        totals = {"private_bytes": 0, "adopted_bytes": 0}
+        for catalog in (self.shard_catalog, self.full_catalog):
+            for name in catalog.names():
+                try:
+                    store = catalog.entry(name).store
+                except UnknownGraphError:  # pragma: no cover - race-free loop
+                    continue
+                column_memory = getattr(store, "column_memory", None)
+                if column_memory is None:
+                    continue
+                for key, value in column_memory().items():
+                    totals[key] += value
+        return totals
 
     def _encode_answer(self, answer: QueryAnswer) -> dict:
         dictionary = self.full_catalog.entry(answer.graph_name).store.dictionary
@@ -308,8 +513,16 @@ class _Worker:
         self.close()
 
     def close(self) -> None:
+        # catalogs first (stores release their adopted views), then the
+        # segment mappings, never an unlink — the coordinator owns those
         self.shard_catalog.close()
         self.full_catalog.close()
+        for segment in self.segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a stray live view
+                pass
+        self.segments.clear()
         try:
             self.connection.close()
         except OSError:

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import threading
 from time import perf_counter
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.builders import normalize_kind
 from repro.core.encoded import encoded_summarize
@@ -112,7 +112,7 @@ class CatalogEntry:
         name: str,
         store: TripleStore,
         loaded_rows: Optional[List[Tuple[TripleKind, EncodedTriple]]] = None,
-        prime: bool = True,
+        prime: Union[bool, str] = True,
     ):
         self.name = name
         self.store = store
@@ -168,11 +168,16 @@ class CatalogEntry:
         self._planner: Optional[Tuple[int, QueryPlanner]] = None
         self._evaluators: Dict[str, EncodedEvaluator] = {}
         self.evaluator = self.evaluator_for("hash")
+        #: ``True`` while a lazily-primed entry still owes its priming
+        #: scan — the first summary/ingest access pays it (see
+        #: :meth:`_ensure_primed`).
+        self._prime_pending = prime == "lazy"
         if loaded_rows is not None:
             # the registering caller just inserted these rows and already
             # holds them encoded — skip the store re-scan
+            self._prime_pending = False
             self._maintainer.ingest_rows(loaded_rows)
-        elif prime:
+        elif prime is True:
             self._prime_from_store()
 
     @classmethod
@@ -208,6 +213,19 @@ class CatalogEntry:
         entry._saturation_pending = saturation_state
         entry._saturation_statistics_pending = saturation_statistics
         return entry
+
+    def _ensure_primed(self) -> None:
+        """Pay a deferred priming scan before the maintainer is first used.
+
+        A ``prime="lazy"`` entry (a cluster worker attaching a shared
+        segment) acknowledges its load in O(1) and runs the O(rows) scan
+        here, under the init lock, on the first summary snapshot, state
+        export, or ingest."""
+        if self._prime_pending:
+            with self._init_lock:
+                if self._prime_pending:
+                    self._prime_pending = False
+                    self._prime_from_store()
 
     def _prime_from_store(self) -> None:
         """Feed the weak-summary maintainer every row already in the store."""
@@ -294,6 +312,7 @@ class CatalogEntry:
         if not rows:
             return 0
         with self._init_lock:
+            self._ensure_primed()
             self._maintainer.ingest_rows(rows)
             self.version += 1
             if self._statistics is not None:
@@ -414,6 +433,7 @@ class CatalogEntry:
             if cached is not None and cached[0] == self.version:
                 return cached[1]
             if kind == "weak":
+                self._ensure_primed()
                 self.build_counters["weak_snapshots"] += 1
                 summary = self._maintainer.snapshot()
                 summary.source_name = self.name
@@ -428,6 +448,7 @@ class CatalogEntry:
         :meth:`IncrementalWeakSummarizer.state_dict`): pure-integer
         structures referencing live state — serialize before the entry is
         mutated again (the persistence layer runs under the entry's lock)."""
+        self._ensure_primed()
         return self._maintainer.state_dict()
 
     def cached_statistics(self) -> Optional[CardinalityStatistics]:
@@ -790,6 +811,7 @@ class GraphCatalog:
         name: str,
         graph: Optional[RDFGraph] = None,
         store: Optional[TripleStore] = None,
+        lazy_prime: bool = False,
     ) -> CatalogEntry:
         """Register a graph under *name* and return its entry.
 
@@ -799,6 +821,11 @@ class GraphCatalog:
         :class:`~repro.errors.DuplicateGraphError` (a
         :class:`~repro.errors.CatalogError`) and leaves the existing entry
         untouched — nothing is loaded, closed or replaced.
+
+        ``lazy_prime=True`` (``store=`` registrations on a non-persistent
+        catalog only) defers the entry's O(rows) weak-summary priming scan
+        to its first summary access or ingest — how a cluster worker
+        acknowledges a shared-memory attach in O(1).
         """
         if (graph is None) == (store is None):
             raise ValueError("register() needs exactly one of graph= or store=")
@@ -820,7 +847,10 @@ class GraphCatalog:
             if store is None:
                 store = self._store_factory()
                 loaded_rows = store.insert_triples(graph)
-            entry = CatalogEntry(name, store, loaded_rows=loaded_rows)
+            # a persistent catalog snapshots the summary right below, which
+            # would pay the deferred scan immediately — keep it eager there
+            prime = "lazy" if lazy_prime and self._persistence is None else True
+            entry = CatalogEntry(name, store, loaded_rows=loaded_rows, prime=prime)
             if self._persistence is not None:
                 entry._on_update = self._persist_update
                 # build what a warm start must not: the weak snapshot and
@@ -843,6 +873,28 @@ class GraphCatalog:
         finally:
             with self._lock:
                 self._registering.discard(name)
+
+    def adopt_entry(self, entry: CatalogEntry) -> CatalogEntry:
+        """Install an already-built *entry* under its own name.
+
+        The warm-handoff twin of :meth:`register` for callers that
+        constructed the entry themselves — typically via
+        :meth:`CatalogEntry.restore` with maintainer state shipped from
+        another process, so no priming scan runs here.  The catalog takes
+        ownership exactly as for a registered entry (:meth:`drop` and
+        :meth:`close` will close its store).  Raises
+        :class:`~repro.errors.DuplicateGraphError` if the name is taken.
+        """
+        with self._lock:
+            if entry.name in self._entries or entry.name in self._registering:
+                raise DuplicateGraphError(
+                    f"graph {entry.name!r} is already registered; drop() it "
+                    f"first to replace it (the existing entry is untouched)"
+                )
+            self._entries[entry.name] = entry
+        if self._persistence is not None:
+            entry._on_update = self._persist_update
+        return entry
 
     def entry(self, name: str) -> CatalogEntry:
         """The entry registered under *name*."""

@@ -23,7 +23,7 @@ from repro.model.graph import RDFGraph
 from repro.model.terms import Term
 from repro.model.triple import Triple, TripleKind
 
-__all__ = ["TripleStore", "StoreStatistics", "SortedRun", "shard_of"]
+__all__ = ["TripleStore", "StoreStatistics", "SortedRun", "ColumnView", "shard_of"]
 
 
 def shard_of(subject_id: int, shard_count: int) -> int:
@@ -37,6 +37,96 @@ def shard_of(subject_id: int, shard_count: int) -> int:
     constant-subject query to a single shard.
     """
     return subject_id % shard_count
+
+
+class ColumnView:
+    """One int64 column backed by a borrowed buffer plus a private tail.
+
+    The zero-copy half of the shared-memory data plane: ``base`` is a
+    ``memoryview`` cast to ``'q'`` over an *externally owned* buffer (a
+    :mod:`multiprocessing.shared_memory` segment slice) and is never
+    copied, while ``tail`` is an ordinary ``array('q')`` absorbing every
+    append — exactly the sorted-run/pending-tail split the columnar store
+    already uses, lifted to the storage level.  The view quacks like the
+    ``array('q')`` column it replaces for every read path of
+    :class:`repro.store.memory.MemoryStore` (integer indexing, slicing,
+    iteration, ``tobytes``) and funnels all growth into the tail, so
+    deltas stay process-private while the bulk of the graph stays one
+    mapping shared by every worker on the host.
+
+    The buffer's owner outlives the view; :meth:`release` drops the
+    exported ``memoryview`` so the owner's segment can be closed without
+    :class:`BufferError` (the store calls it from ``close()``).
+    """
+
+    __slots__ = ("base", "base_length", "tail")
+
+    def __init__(self, base: memoryview):
+        if base.itemsize != 8:
+            base = base.cast("q")
+        self.base = base
+        self.base_length = len(base)
+        self.tail = array("q")
+
+    def __len__(self) -> int:
+        return self.base_length + len(self.tail)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step == 1:
+                out = array("q")
+                base_stop = min(stop, self.base_length)
+                if start < base_stop:
+                    out.frombytes(self.base[start:base_stop].tobytes())
+                tail_start = max(start - self.base_length, 0)
+                tail_stop = stop - self.base_length
+                if tail_stop > tail_start:
+                    out.extend(self.tail[tail_start:tail_stop])
+                return out
+            return array("q", (self[i] for i in range(start, stop, step)))
+        if index < 0:
+            index += len(self)
+        if 0 <= index < self.base_length:
+            return self.base[index]
+        tail_index = index - self.base_length
+        if 0 <= tail_index < len(self.tail):
+            return self.tail[tail_index]
+        raise IndexError("column index out of range")
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self.base
+        yield from self.tail
+
+    def append(self, value: int) -> None:
+        self.tail.append(value)
+
+    def extend(self, values: Iterable[int]) -> None:
+        self.tail.extend(values)
+
+    def tobytes(self) -> bytes:
+        return self.base.tobytes() + self.tail.tobytes()
+
+    @property
+    def base_nbytes(self) -> int:
+        """Bytes of the borrowed (shared) buffer region."""
+        return self.base_length * 8
+
+    @property
+    def tail_nbytes(self) -> int:
+        """Bytes of the process-private tail."""
+        return len(self.tail) * 8
+
+    def release(self) -> None:
+        """Drop the borrowed buffer (the view keeps only its tail).
+
+        After release the base region reads as empty — the owner is about
+        to unmap the segment, and a half-closed store must fail shut
+        rather than fault on a dead mapping.
+        """
+        self.base.release()
+        self.base = memoryview(b"").cast("q")
+        self.base_length = 0
 
 
 class SortedRun:
@@ -371,7 +461,7 @@ class TripleStore(abc.ABC):
         shards = [(array("q"), array("q"), array("q")) for _ in range(shard_count)]
         for s_batch, p_batch, o_batch in self.scan_columns(kind):
             for subject, predicate, obj in zip(s_batch, p_batch, o_batch):
-                columns = shards[subject % shard_count]
+                columns = shards[shard_of(subject, shard_count)]
                 columns[0].append(subject)
                 columns[1].append(predicate)
                 columns[2].append(obj)

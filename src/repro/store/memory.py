@@ -32,7 +32,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from repro.errors import StoreClosedError
 from repro.model.dictionary import EncodedTriple
 from repro.model.triple import TripleKind
-from repro.store.base import SortedRun, TripleStore
+from repro.store.base import ColumnView, SortedRun, TripleStore, shard_of
 
 __all__ = ["MemoryStore", "TAIL_MERGE_LIMIT", "BULK_REBUILD_THRESHOLD"]
 
@@ -217,6 +217,28 @@ class _Table:
         """Defer index building (the column-blob warm-load path)."""
         self._drop_indexes()
 
+    def subject_run(self) -> "_Run":
+        """The merged whole-table subject run, built *alone* when the full
+        index is still deferred.
+
+        Shard partitioning only consumes the subject run; paying the whole
+        deferred build (four column sorts plus two predicate groupings)
+        inside a pack would triple the coordinator's ship latency for
+        structures the pack never reads.  The single sort done here is kept
+        on the table, and :meth:`_ensure_indexed` adopts it instead of
+        re-sorting when the remaining structures are eventually needed.
+        """
+        if self._indexed:
+            self.s_run.merge()
+            return self.s_run
+        if len(self.s_run) != len(self.s_col):
+            pairs = sorted(zip(self.s_col, range(len(self.s_col))))
+            run = _Run()
+            run.keys = array("q", map(itemgetter(0), pairs))
+            run.positions = array("q", map(itemgetter(1), pairs))
+            self.s_run = run
+        return self.s_run
+
     def _ensure_indexed(self) -> None:
         if self._indexed:
             return
@@ -224,10 +246,13 @@ class _Table:
         s_col, p_col, o_col = self.s_col, self.p_col, self.o_col
         positions = range(n)
 
-        pairs = sorted(zip(s_col, positions))
-        self.s_run = s_run = _Run()
-        s_run.keys = array("q", map(itemgetter(0), pairs))
-        s_run.positions = array("q", map(itemgetter(1), pairs))
+        if len(self.s_run) == n:
+            s_run = self.s_run  # prebuilt by subject_run()
+        else:
+            pairs = sorted(zip(s_col, positions))
+            self.s_run = s_run = _Run()
+            s_run.keys = array("q", map(itemgetter(0), pairs))
+            s_run.positions = array("q", map(itemgetter(1), pairs))
 
         pairs = sorted(zip(o_col, positions))
         self.o_run = o_run = _Run()
@@ -608,6 +633,86 @@ class MemoryStore(TripleStore):
         self._seen = None
         return len(table)
 
+    def adopt_column_buffers(
+        self,
+        kind: TripleKind,
+        s_buffer,
+        p_buffer,
+        o_buffer,
+        byteorder: str = sys.byteorder,
+    ) -> int:
+        """Adopt externally owned int64 column buffers for an empty table.
+
+        The zero-copy twin of :meth:`load_column_bytes`: instead of copying
+        the blobs into private ``array('q')`` columns, the table's base
+        columns become :class:`~repro.store.base.ColumnView` objects —
+        ``memoryview.cast('q')`` windows over buffers someone else owns
+        (a shared-memory segment), with private tails absorbing every later
+        insert.  Zero bytes copied, zero index built (deferred exactly like
+        the blob path); posting runs, sorted runs and scans behave
+        identically.  A foreign *byteorder* cannot alias the buffer (the
+        rows need a byteswap), so it degrades to the copying
+        :meth:`load_column_bytes` path — correctness first, sharing when
+        the bytes allow it.
+
+        The buffers must outlive the store; :meth:`close` releases the
+        adopted views so the owner can unmap the backing segment.
+        """
+        self._check_open()
+        if byteorder != sys.byteorder:
+            return self.load_column_bytes(
+                kind,
+                bytes(s_buffer),
+                bytes(p_buffer),
+                bytes(o_buffer),
+                byteorder=byteorder,
+            )
+        table = self._tables[kind]
+        if len(table):
+            raise ValueError(f"{kind.name} table is not empty")
+        views = []
+        try:
+            for buffer in (s_buffer, p_buffer, o_buffer):
+                view = memoryview(buffer)
+                if view.nbytes % 8:
+                    raise ValueError("column buffer is not a whole number of int64s")
+                views.append(ColumnView(view))
+        except BaseException:
+            for view in views:
+                view.release()
+            raise
+        if not (len(views[0]) == len(views[1]) == len(views[2])):
+            for view in views:
+                view.release()
+            raise ValueError("column buffers disagree on row count")
+        table.s_col, table.p_col, table.o_col = views
+        table.mark_unindexed()
+        self._seen = None
+        return len(table)
+
+    def column_memory(self) -> Dict[str, int]:
+        """Deterministic column-byte accounting: private vs adopted.
+
+        ``private_bytes`` counts process-owned column storage (plain
+        ``array('q')`` columns plus the tails of adopted views);
+        ``adopted_bytes`` counts borrowed base buffers (shared segments —
+        one physical copy per host however many stores adopt them).  This
+        is what the cluster bench gates sub-linear replica memory on: raw
+        RSS attributes every touched shared page to every process and
+        would hide exactly the sharing being measured.
+        """
+        self._check_open()
+        private = 0
+        adopted = 0
+        for table in self._tables.values():
+            for column in (table.s_col, table.p_col, table.o_col):
+                if isinstance(column, ColumnView):
+                    adopted += column.base_nbytes
+                    private += column.tail_nbytes
+                else:
+                    private += len(column) * column.itemsize
+        return {"private_bytes": private, "adopted_bytes": adopted}
+
     def partition_column_bytes(
         self, kind: TripleKind, shard_count: int
     ) -> List[Tuple[int, bytes, bytes, bytes]]:
@@ -627,27 +732,35 @@ class MemoryStore(TripleStore):
         if shard_count <= 0:
             raise ValueError("shard_count must be positive")
         table = self._tables[kind]
-        table._ensure_indexed()
-        run = table.s_run
-        run.merge()
-        shards = [(array("q"), array("q"), array("q")) for _ in range(shard_count)]
+        # only the subject run is consumed — don't force the full deferred
+        # index build (predicate runs, object run) inside a pack
+        run = table.subject_run()
         keys, positions = run.keys, run.positions
         p_col, o_col = table.p_col, table.o_col
+        # two passes, both dominated by C-level copies: group the merged run
+        # into per-shard subject/position arrays (array.extend of an array
+        # slice is a memcpy — one Python step per *distinct subject*, not
+        # per row), then gather the p/o columns through each shard's
+        # position array in one map() sweep per column
+        shard_subjects = [array("q") for _ in range(shard_count)]
+        shard_positions = [array("q") for _ in range(shard_count)]
         total = len(keys)
         index = 0
         while index < total:
             subject = keys[index]
             stop = bisect_right(keys, subject, index)
-            s_out, p_out, o_out = shards[subject % shard_count]
-            for position in positions[index:stop]:
-                s_out.append(subject)
-                p_out.append(p_col[position])
-                o_out.append(o_col[position])
+            shard = shard_of(subject, shard_count)
+            shard_subjects[shard].extend(keys[index:stop])
+            shard_positions[shard].extend(positions[index:stop])
             index = stop
-        return [
-            (len(s_out), s_out.tobytes(), p_out.tobytes(), o_out.tobytes())
-            for s_out, p_out, o_out in shards
-        ]
+        parts: List[Tuple[int, bytes, bytes, bytes]] = []
+        for subjects, gather in zip(shard_subjects, shard_positions):
+            p_out = array("q", map(p_col.__getitem__, gather))
+            o_out = array("q", map(o_col.__getitem__, gather))
+            parts.append(
+                (len(subjects), subjects.tobytes(), p_out.tobytes(), o_out.tobytes())
+            )
+        return parts
 
     def index_build_count(self) -> int:
         """Total full index builds across the three tables (observability)."""
@@ -655,4 +768,12 @@ class MemoryStore(TripleStore):
         return sum(table.index_builds for table in self._tables.values())
 
     def close(self) -> None:
+        if self._closed:
+            return
         self._closed = True
+        # drop adopted views: the segment owner cannot close its mapping
+        # while exported memoryviews are alive (BufferError)
+        for table in self._tables.values():
+            for column in (table.s_col, table.p_col, table.o_col):
+                if isinstance(column, ColumnView):
+                    column.release()

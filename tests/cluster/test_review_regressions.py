@@ -43,10 +43,14 @@ def _load_payload(store, name="g", version=0, shards=1):
     return (
         name,
         version,
-        protocol.pack_terms(store.dictionary),
-        protocol.pack_all_shard_tables(store, shards)[0],
-        protocol.pack_full_tables(store),
-        protocol.BYTEORDER,
+        (
+            protocol.TABLES_INLINE,
+            protocol.pack_term_chunks(store.dictionary),
+            protocol.pack_all_shard_tables(store, shards)[0],
+            protocol.pack_full_tables(store),
+            protocol.BYTEORDER,
+        ),
+        [],
     )
 
 
@@ -218,6 +222,82 @@ def test_concurrent_register_and_ingest_other_graph(bsbm_small, seed):
         assert len(coordinator.answer("base", query).answers) == 20
         probe = parse_query("SELECT ?s ?o WHERE { ?s ?p ?o }")
         assert coordinator.answer("extra", probe).answers
+    finally:
+        coordinator.close()
+        catalog.close()
+
+
+def test_crash_retry_budget_separate_from_ship_waits(bsbm_small, monkeypatch):
+    """A slow request can straddle two worker deaths (two crash retries —
+    the whole budget) *and* reach a respawned worker before its re-ship
+    lands (an unknown-graph wait).  The wait must not be charged against
+    the crash budget, or exactly that interleaving fails spuriously."""
+    from repro.cluster.coordinator import UnknownGraphError, WorkerCrashedError
+
+    catalog = GraphCatalog()
+    catalog.register("g", graph=bsbm_small)
+    coordinator = ClusterCoordinator(catalog, workers=1, heartbeat_seconds=0)
+    try:
+        assert coordinator.max_retries == 2
+        handle = coordinator._workers[0]
+        script = [
+            WorkerCrashedError("worker 0 pipe closed"),
+            UnknownGraphError("g"),  # respawn raced the re-ship
+            WorkerCrashedError("worker 0 pipe closed"),
+        ]
+        real_request = coordinator._request
+
+        def scripted(h, op, payload, timeout):
+            if script:
+                raise script.pop(0)
+            return real_request(h, op, payload, timeout)
+
+        monkeypatch.setattr(coordinator, "_request", scripted)
+        monkeypatch.setattr(
+            coordinator, "_ensure_alive", lambda handle, generation: None
+        )
+        reply, retries = coordinator._call_with_retry(
+            handle, protocol.OP_PING, ("g",), 30.0
+        )
+        assert retries == 3  # two crashes + one ship wait, all survived
+        assert not script
+    finally:
+        coordinator.close()
+        catalog.close()
+
+
+def test_crash_during_respawn_reship_is_retried(bsbm_small, monkeypatch):
+    """A second kill can land while _ensure_alive is still re-shipping the
+    first victim's replacement: the re-ship's own crash must feed back
+    into the retry loop (budget-checked), not escape to the client."""
+    from repro.cluster.coordinator import WorkerCrashedError
+
+    catalog = GraphCatalog()
+    catalog.register("g", graph=bsbm_small)
+    coordinator = ClusterCoordinator(catalog, workers=1, heartbeat_seconds=0)
+    try:
+        handle = coordinator._workers[0]
+        request_script = [WorkerCrashedError("worker 0 pipe closed")]
+        ensure_script = [WorkerCrashedError("worker 0 send failed: died mid-reship")]
+        real_request = coordinator._request
+        real_ensure = coordinator._ensure_alive
+
+        def scripted_request(h, op, payload, timeout):
+            if request_script:
+                raise request_script.pop(0)
+            return real_request(h, op, payload, timeout)
+
+        def scripted_ensure(h, generation):
+            if ensure_script:
+                raise ensure_script.pop(0)
+            return real_ensure(h, generation)
+
+        monkeypatch.setattr(coordinator, "_request", scripted_request)
+        monkeypatch.setattr(coordinator, "_ensure_alive", scripted_ensure)
+        query = parse_query("SELECT ?s ?o WHERE { ?s ?p ?o }")
+        answer = coordinator.answer("g", query)
+        assert answer.answers
+        assert not request_script and not ensure_script
     finally:
         coordinator.close()
         catalog.close()

@@ -172,3 +172,66 @@ def test_load_column_bytes_round_trip(bsbm_small):
             rebuilt.update(batch)
     assert rebuilt == whole
     store.close()
+
+
+def test_shard_rows_agrees_with_partition_column_bytes(bsbm_small):
+    """The row router and the bulk partitioner must pin rows to the same
+    shard — both go through ``shard_of`` — or a delta would land on a
+    worker whose snapshot never held its subject."""
+    store = MemoryStore()
+    store.insert_triples(bsbm_small)
+    shard_count = 3
+    parts = store.partition_column_bytes(TripleKind.DATA, shard_count)
+    wire_rows = [
+        (TripleKind.DATA.value, s, p, o)
+        for batch in store.scan_batches(TripleKind.DATA)
+        for s, p, o in batch
+    ]
+    for index in range(shard_count):
+        partitioned = set(_rows_of(parts[index]))
+        routed = {
+            (s, p, o)
+            for _kind, s, p, o in protocol.shard_rows(wire_rows, index, shard_count)
+        }
+        assert routed == partitioned
+        for subject, _p, _o in routed:
+            assert shard_of(subject, shard_count) == index
+    store.close()
+
+
+def test_pack_term_chunks_round_trip():
+    """Dictionary shipment is sliced into bounded chunks that reassemble,
+    in order, into the exact same id assignment."""
+    source = Dictionary()
+    for i in range(150):
+        source.encode(URI(f"http://example.org/term/{i}"))
+    chunks = protocol.pack_term_chunks(source, chunk=64)
+    assert [len(chunk) for chunk in chunks] == [64, 64, 22]
+    target = Dictionary()
+    assert protocol.unpack_term_chunks(chunks, target) == len(source)
+    for i in (0, 63, 64, 149):
+        term = URI(f"http://example.org/term/{i}")
+        assert target.encode_existing(term) == source.encode_existing(term)
+
+
+def test_pack_term_chunks_tail_only():
+    """Delta shipment keeps the offset-tagged contract: chunks packed from
+    a dictionary mark splice onto a target already holding the prefix."""
+    source = Dictionary()
+    source.encode(URI("http://example.org/a"))
+    mark = len(source)
+    for i in range(5):
+        source.encode(URI(f"http://example.org/tail/{i}"))
+    chunks = protocol.pack_term_chunks(source, start=mark, chunk=2)
+    assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+    target = Dictionary()
+    target.encode(URI("http://example.org/a"))
+    protocol.unpack_term_chunks(chunks, target)
+    probe = URI("http://example.org/tail/4")
+    assert target.encode_existing(probe) == source.encode_existing(probe)
+
+
+def test_pack_term_chunks_empty_and_bad_size():
+    assert protocol.pack_term_chunks(Dictionary()) == []
+    with pytest.raises(ClusterError):
+        protocol.pack_term_chunks(Dictionary(), chunk=0)

@@ -1,0 +1,344 @@
+"""The shared-memory segment plane: registry pack/attach round trips,
+generation folds, unlink hygiene, crash injection (worker SIGKILL must not
+repack or leak), and the no-leaked-``/dev/shm``-segments guarantee."""
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, protocol, shm
+from repro.model.terms import URI
+from repro.model.triple import Triple, TripleKind
+from repro.queries.parser import parse_query
+from repro.service.catalog import GraphCatalog
+from repro.store.memory import MemoryStore
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="named shared memory unavailable"
+)
+
+
+def _store(count=64):
+    store = MemoryStore()
+    store.insert_triples(
+        Triple(URI(f"http://x/s{i % 9}"), URI(f"http://x/p{i % 3}"), URI(f"http://x/o{i}"))
+        for i in range(count)
+    )
+    return store
+
+
+def _pack(registry, store, name="g", version=0, shards=2):
+    return registry.pack(
+        name,
+        version,
+        protocol.pack_term_chunks(store.dictionary),
+        protocol.pack_all_shard_tables(store, shards),
+        protocol.pack_full_tables(store),
+        protocol.BYTEORDER,
+    )
+
+
+class TestRegistry:
+    def test_pack_attach_round_trip(self):
+        store = _store()
+        registry = shm.SegmentRegistry()
+        try:
+            segment_name, directory = _pack(registry, store)
+            assert directory["byteorder"] == protocol.BYTEORDER
+            segment = shm.attach(segment_name)
+            try:
+                buffer = segment.buf
+                target = MemoryStore()
+                offset, length = directory["terms"]
+                import pickle
+
+                chunks = pickle.loads(bytes(buffer[offset : offset + length]))
+                protocol.unpack_term_chunks(chunks, target.dictionary)
+                assert len(target.dictionary) == len(store.dictionary)
+                tables = directory["targets"]["full"]
+                count, s_off, p_off, o_off = tables[TripleKind.DATA.value]
+                nbytes = count * 8
+                target.adopt_column_buffers(
+                    TripleKind.DATA,
+                    buffer[s_off : s_off + nbytes],
+                    buffer[p_off : p_off + nbytes],
+                    buffer[o_off : o_off + nbytes],
+                )
+                whole = {r for b in store.scan_batches(TripleKind.DATA) for r in b}
+                got = {r for b in target.scan_batches(TripleKind.DATA) for r in b}
+                assert got == whole
+                # shard targets partition the same rows
+                shard_rows = []
+                for index in (0, 1):
+                    entry = directory["targets"][index].get(TripleKind.DATA.value)
+                    if entry:
+                        shard_rows.append(entry[0])
+                assert sum(shard_rows) == len(whole)
+                target.close()
+            finally:
+                segment.close()
+        finally:
+            registry.close()
+            store.close()
+        assert shm.list_segments() == []
+
+    def test_fold_replaces_generation(self):
+        store = _store()
+        registry = shm.SegmentRegistry()
+        try:
+            first_name, first_directory = _pack(registry, store, version=0)
+            assert first_directory["generation"] == 1
+            assert first_name in shm.list_segments()
+            second_name, second_directory = _pack(registry, store, version=5)
+            assert second_directory["generation"] == 2
+            assert second_directory["version"] == 5
+            assert second_name != first_name
+            live = shm.list_segments()
+            # at most one named segment per graph at any instant
+            assert second_name in live and first_name not in live
+            assert registry.packs == 2
+            assert registry.descriptor("g") == (second_name, second_directory)
+        finally:
+            registry.close()
+            store.close()
+
+    def test_unlink_is_idempotent(self):
+        store = _store(8)
+        registry = shm.SegmentRegistry()
+        _pack(registry, store)
+        registry.unlink("g")
+        registry.unlink("g")  # second unlink: no error
+        registry.unlink("never-registered")
+        assert registry.descriptor("g") is None
+        assert shm.list_segments() == []
+        registry.close()
+        store.close()
+
+    def test_unlinked_segment_survives_for_attached_readers(self):
+        """POSIX semantics the fold relies on: unlink removes the name,
+        live mappings keep working."""
+        store = _store(16)
+        registry = shm.SegmentRegistry()
+        segment_name, directory = _pack(registry, store)
+        segment = shm.attach(segment_name)
+        registry.unlink("g")
+        assert shm.list_segments() == []  # name gone...
+        offset, length = directory["terms"]
+        assert len(bytes(segment.buf[offset : offset + length])) == length  # ...data not
+        segment.close()
+        registry.close()
+        store.close()
+
+
+def test_sigkilled_attacher_leaves_segment_intact():
+    """A worker dying mid-attach must never tear the segment down: the
+    resource tracker is shared across the spawn tree, so only coordinator
+    unlink (or whole-tree death) removes the name."""
+    store = _store(32)
+    registry = shm.SegmentRegistry()
+    try:
+        segment_name, _ = _pack(registry, store)
+        context = multiprocessing.get_context("spawn")
+        ready = context.Event()
+        child = context.Process(target=_attach_and_wait, args=(segment_name, ready))
+        child.start()
+        try:
+            assert ready.wait(timeout=30), "attacher never reported ready"
+            os.kill(child.pid, signal.SIGKILL)
+            child.join(timeout=10)
+        finally:
+            if child.is_alive():  # pragma: no cover - cleanup path
+                child.kill()
+                child.join(timeout=5)
+        assert segment_name in shm.list_segments()
+        probe = shm.attach(segment_name)  # still attachable after the crash
+        probe.close()
+    finally:
+        registry.close()
+        store.close()
+    assert shm.list_segments() == []
+
+
+def _attach_and_wait(segment_name, ready):  # pragma: no cover - child process
+    segment = shm.attach(segment_name)
+    ready.set()
+    time.sleep(60)  # parent SIGKILLs us long before this returns
+    segment.close()
+
+
+def test_worker_crash_injection_no_repack_no_leak(bsbm_small):
+    """Respawn recovery is O(1): the re-ship sends the existing descriptor
+    (zero new packs) and shutdown leaves /dev/shm clean."""
+    catalog = GraphCatalog()
+    catalog.register("g", graph=bsbm_small)
+    coordinator = ClusterCoordinator(catalog, workers=2, heartbeat_seconds=0.2)
+    try:
+        assert coordinator.use_shm
+        packs_before = coordinator.status()["shm"]["packs"]
+        assert packs_before == 1
+        victim = coordinator.status()["workers"][0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        query = parse_query("SELECT ?s ?o WHERE { ?s ?p ?o }")
+        answer = coordinator.answer("g", query)  # forces respawn + re-ship
+        assert answer.answers
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            if all(w["alive"] for w in coordinator.status()["workers"]):
+                break
+            time.sleep(0.05)
+        status = coordinator.status()
+        assert all(w["alive"] for w in status["workers"])
+        assert status["shm"]["packs"] == packs_before  # zero repack
+        assert status["ship_metrics"]["reships"] >= 1
+    finally:
+        coordinator.close()
+        catalog.close()
+    assert shm.list_segments() == []
+
+
+def test_drop_unlinks_segment(bsbm_small):
+    catalog = GraphCatalog()
+    catalog.register("g", graph=bsbm_small)
+    coordinator = ClusterCoordinator(catalog, workers=2, heartbeat_seconds=0)
+    try:
+        assert len(shm.list_segments()) == 1
+        coordinator.drop("g")
+        assert shm.list_segments() == []
+    finally:
+        coordinator.close()
+        catalog.close()
+
+
+def test_coordinator_sigkill_tracker_backstop(tmp_path):
+    """If the whole coordinator process dies by SIGKILL, the surviving
+    resource tracker sweeps the named segments once the tree exits — the
+    backstop behind the zero-leak guarantee."""
+    script = tmp_path / "crash.py"
+    script.write_text(
+        textwrap.dedent(
+            """
+            import os, signal, sys
+            from repro.cluster import protocol, shm
+            from repro.store.memory import MemoryStore
+            from repro.model.terms import URI
+            from repro.model.triple import Triple
+
+            store = MemoryStore()
+            store.insert_triples(
+                Triple(URI(f"http://x/s{i}"), URI("http://x/p"), URI(f"http://x/o{i}"))
+                for i in range(64)
+            )
+            registry = shm.SegmentRegistry()
+            name, _ = registry.pack(
+                "g", 0,
+                protocol.pack_term_chunks(store.dictionary),
+                protocol.pack_all_shard_tables(store, 2),
+                protocol.pack_full_tables(store),
+                protocol.BYTEORDER,
+            )
+            print(name, flush=True)
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    segment_name = process.stdout.readline().strip()
+    process.wait(timeout=30)
+    assert segment_name.startswith(shm.SEGMENT_PREFIX)
+    assert process.returncode == -signal.SIGKILL
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        if segment_name not in shm.list_segments():
+            return  # the tracker swept the leak
+        time.sleep(0.1)
+    raise AssertionError(f"{segment_name} leaked past coordinator SIGKILL")
+
+
+class _PipeStub:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def close(self):
+        pass
+
+
+def test_worker_attach_byteswaps_foreign_segments():
+    """A segment packed on a foreign-endian coordinator cannot alias —
+    the worker's adopt falls back to a byteswapping copy and still
+    answers identically."""
+    from array import array
+
+    from repro.cluster.worker import TARGET_FULL, _Worker
+
+    foreign = "big" if sys.byteorder == "little" else "little"
+
+    def swap(tables):
+        swapped = {}
+        for kind_value, (count, s_bytes, p_bytes, o_bytes) in tables.items():
+            out = [count]
+            for blob in (s_bytes, p_bytes, o_bytes):
+                column = array("q")
+                column.frombytes(blob)
+                column.byteswap()
+                out.append(column.tobytes())
+            swapped[kind_value] = tuple(out)
+        return swapped
+
+    store = _store(48)
+    registry = shm.SegmentRegistry()
+    worker = _Worker(_PipeStub(), {"shard_index": 0, "shard_count": 1})
+    try:
+        segment_name, directory = registry.pack(
+            "g",
+            0,
+            protocol.pack_term_chunks(store.dictionary),
+            [swap(tables) for tables in protocol.pack_all_shard_tables(store, 1)],
+            swap(protocol.pack_full_tables(store)),
+            foreign,
+        )
+        reply = worker.handle_load(
+            ("g", 0, (protocol.TABLES_SHM, segment_name, directory), [])
+        )
+        assert reply["mode"] == "shm"
+        assert reply["full_rows"] == store.count(TripleKind.DATA) + store.count(
+            TripleKind.TYPE
+        ) + store.count(TripleKind.SCHEMA)
+        answer = worker.handle_query(
+            ("g", 0, "SELECT ?s ?o WHERE { ?s <http://x/p0> ?o }", TARGET_FULL,
+             None, False, False)
+        )
+        native = MemoryStore()
+        native.insert_triples(
+            Triple(URI(f"http://x/s{i % 9}"), URI(f"http://x/p{i % 3}"),
+                   URI(f"http://x/o{i}"))
+            for i in range(48)
+        )
+        expected = len(native.select_many(TripleKind.DATA, predicate=native.dictionary.encode_existing(URI("http://x/p0"))))
+        assert len(answer["answers"]) == expected > 0
+        # byteswapped columns are private copies, nothing adopted
+        memory = worker.handle_ping(())["column_memory"]
+        assert memory["adopted_bytes"] == 0 and memory["private_bytes"] > 0
+        native.close()
+    finally:
+        worker.close()
+        registry.close()
+        store.close()
+    assert shm.list_segments() == []

@@ -30,6 +30,16 @@ scaling curve is recorded (and written to the ``--json`` artifact).  The
 vs one worker) needs real cores: it is skipped with a notice on hosts with
 fewer CPUs than workers.
 
+``--telemetry`` switches to the **telemetry plane benchmark**: the same
+workload is answered by two freshly built stacks, one with the metrics
+registry enabled and one with telemetry disabled (no-op instruments), with
+laps interleaved; the enabled/disabled QPS ratio gates the instrumentation
+overhead (default ≤ 3%, relaxed to 10% under ``--quick`` where timings are
+noise).  The enabled stack is then served over HTTP: the ``/metrics``
+scrape must parse as Prometheus text and agree with the work done, a
+query with ``"trace": true`` must return a span tree, and an induced slow
+query must land in ``/debug/slow``.
+
 ``--saturated`` switches to the **incremental saturation benchmark**: a
 graph is registered and its maintained ``G∞`` store built once, then a
 series of small ``add_triples`` batches is ingested.  Each batch must
@@ -56,6 +66,7 @@ import argparse
 import json
 import os
 import random
+import re
 import shutil
 import signal
 import sys
@@ -66,6 +77,7 @@ from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter, sleep
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.cli import _sqlite_store_factory
 from repro.cluster import ClusterCoordinator, shm
 from repro.datasets.bsbm import generate_bsbm
@@ -98,6 +110,11 @@ def _http(method: str, url: str, body: Optional[Dict] = None):
     )
     with urllib.request.urlopen(request, timeout=60) as response:
         return response.status, json.loads(response.read())
+
+
+def _http_text(url: str):
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return response.status, response.read().decode("utf-8")
 
 
 def run_benchmark(args) -> Dict[str, object]:
@@ -401,6 +418,234 @@ def run_saturation_benchmark(args) -> Dict[str, object]:
         )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|\+?Inf|NaN))$"
+)
+
+
+def parse_prometheus(text: str) -> Dict[str, object]:
+    """Parse a Prometheus text exposition; raises ValueError on bad lines.
+
+    Returns ``{"samples": {series: value}, "types": {metric: kind}}`` where
+    *series* is the metric name with its label set verbatim.
+    """
+    samples: Dict[str, float] = {}
+    types: Dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"malformed TYPE line: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        series = match.group("name") + (match.group("labels") or "")
+        if series in samples:
+            raise ValueError(f"duplicate series: {series!r}")
+        samples[series] = float(match.group("value").replace("Inf", "inf"))
+    return {"samples": samples, "types": types}
+
+
+def _check_scrape(scrape: Dict[str, object], queries_run: int) -> List[str]:
+    """Internal-consistency checks of one parsed /metrics scrape."""
+    problems: List[str] = []
+    samples = scrape["samples"]
+    types = scrape["types"]
+    count = samples.get("repro_query_count_total")
+    if count is None or count < queries_run:
+        problems.append(
+            f"repro_query_count_total is {count}, expected >= {queries_run}"
+        )
+    for metric, kind in types.items():
+        if kind != "histogram":
+            continue
+        total = samples.get(f"{metric}_count")
+        if total is None:
+            problems.append(f"{metric} has no _count sample")
+            continue
+        buckets = []
+        for series, value in samples.items():
+            if not series.startswith(f"{metric}_bucket{{"):
+                continue
+            le = re.search(r'le="([^"]+)"', series)
+            if le is None:
+                problems.append(f"{series} has no le label")
+                continue
+            buckets.append((float(le.group(1).replace("+Inf", "inf")), value))
+        buckets.sort()
+        if not buckets or buckets[-1][0] != float("inf"):
+            problems.append(f"{metric} buckets do not end at +Inf")
+            continue
+        cumulative = [value for _le, value in buckets]
+        if any(a > b for a, b in zip(cumulative, cumulative[1:])):
+            problems.append(f"{metric} bucket counts are not cumulative")
+        if cumulative[-1] != total:
+            problems.append(
+                f"{metric} +Inf bucket ({cumulative[-1]}) != _count ({total})"
+            )
+    if samples.get("repro_query_total_seconds_count", 0) < queries_run:
+        problems.append("repro_query_total_seconds histogram missed queries")
+    return problems
+
+
+def run_telemetry_benchmark(args) -> Dict[str, object]:
+    """Telemetry plane: overhead gate, scrape parseability, slow-log capture."""
+    scale = 200 if args.quick else args.scale
+    count = 16 if args.quick else args.count
+    reps = 3
+    report: Dict[str, object] = {
+        "mode": "telemetry",
+        "scale": scale,
+        "queries": count,
+        "reps": reps,
+        "quick": args.quick,
+    }
+    graph = generate_bsbm(scale=scale, seed=args.seed)
+    report["triples"] = len(graph)
+    workload = generate_mixed_workload(
+        graph,
+        count=count,
+        unsatisfiable_fraction=args.unsat_fraction,
+        seed=args.seed,
+        answer_limit=args.limit,
+    )
+    queries = [item.query for item in workload]
+    print(
+        f"bsbm scale {scale}: {len(graph)} triples, {count} queries x {reps} "
+        f"interleaved laps per mode (memory store, hash joins)"
+    )
+
+    # two stacks, built under their own enablement (instruments — real or
+    # no-op — are captured at construction time)
+    telemetry.REGISTRY.clear()
+    telemetry.SLOW_LOG.clear()
+    telemetry.set_enabled(False)
+    catalog_off = GraphCatalog()
+    catalog_off.register(GRAPH_NAME, graph=graph)
+    service_off = QueryService(catalog_off, kind=args.kind, strategy="hash")
+    report["disabled_registry_entries"] = len(telemetry.REGISTRY)
+
+    telemetry.set_enabled(True)
+    catalog_on = GraphCatalog()
+    catalog_on.register(GRAPH_NAME, graph=graph)
+    service_on = QueryService(catalog_on, kind=args.kind, strategy="hash")
+
+    def lap(service) -> float:
+        start = perf_counter()
+        for query in queries:
+            service.answer(GRAPH_NAME, query, limit=args.limit)
+        return perf_counter() - start
+
+    try:
+        # one warm lap each primes summaries and plan caches off the clock
+        lap(service_on)
+        lap(service_off)
+        on_laps: List[float] = []
+        off_laps: List[float] = []
+        for _ in range(reps):
+            on_laps.append(lap(service_on))
+            off_laps.append(lap(service_off))
+        enabled_qps = count / min(on_laps)
+        disabled_qps = count / min(off_laps)
+        overhead = min(on_laps) / min(off_laps) - 1.0
+        queries_on = service_on.statistics.queries
+        report.update(
+            {
+                "enabled_qps": enabled_qps,
+                "disabled_qps": disabled_qps,
+                "overhead_fraction": overhead,
+                "enabled_queries_recorded": queries_on,
+            }
+        )
+        print(
+            f"overhead: enabled {enabled_qps:.1f} qps vs disabled "
+            f"{disabled_qps:.1f} qps ({overhead*100:+.2f}%), "
+            f"{report['disabled_registry_entries']} registry entries created "
+            f"by the disabled stack"
+        )
+
+        # ------------------------------------------------------------------
+        # HTTP: scrape, span tree, induced slow query
+        # ------------------------------------------------------------------
+        probe = next(
+            (item.query for item in workload if item.satisfiable), workload[0].query
+        )
+        app = ServerApp(catalog_on, kind=args.kind, strategy="hash", max_workers=4)
+        server, _thread = start_background(app)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        old_threshold = telemetry.SLOW_LOG.threshold_seconds
+        try:
+            status, traced = _http(
+                "POST",
+                f"{base}/graphs/{GRAPH_NAME}/query",
+                {"query": probe.to_sparql(), "limit": args.limit, "trace": True},
+            )
+            assert status == 200, traced
+            tree = traced.get("query_trace")
+            trace_ok = (
+                isinstance(tree, dict)
+                and bool(tree.get("trace_id"))
+                and tree.get("name") == "query"
+                and bool(tree.get("children"))
+            )
+            report["trace_tree_ok"] = trace_ok
+
+            # induce a slow query: with the threshold at ~0, anything lands
+            telemetry.SLOW_LOG.clear()
+            telemetry.SLOW_LOG.threshold_seconds = 1e-9
+            status, _answer = _http(
+                "POST",
+                f"{base}/graphs/{GRAPH_NAME}/query",
+                {"query": probe.to_sparql(), "limit": args.limit},
+            )
+            assert status == 200
+            status, slow = _http("GET", f"{base}/debug/slow")
+            assert status == 200, slow
+            report["slow_log_captured"] = any(
+                entry["graph"] == GRAPH_NAME for entry in slow["entries"]
+            )
+
+            status, scrape_text = _http_text(f"{base}/metrics")
+            assert status == 200
+            if args.scrape_output:
+                with open(args.scrape_output, "w", encoding="utf-8") as handle:
+                    handle.write(scrape_text)
+                print(f"scrape written to {args.scrape_output}")
+            try:
+                scrape = parse_prometheus(scrape_text)
+                report["scrape_errors"] = _check_scrape(scrape, queries_on)
+                report["scrape_series"] = len(scrape["samples"])
+                report["scrape_metrics"] = len(scrape["types"])
+            except ValueError as error:
+                report["scrape_errors"] = [str(error)]
+                report["scrape_series"] = 0
+                report["scrape_metrics"] = 0
+            print(
+                f"http: span tree {'ok' if trace_ok else 'MISSING'}, slow query "
+                f"{'captured' if report['slow_log_captured'] else 'LOST'}, scrape "
+                f"{report['scrape_metrics']} metrics / {report['scrape_series']} series, "
+                f"{len(report['scrape_errors'])} consistency problem(s)"
+            )
+        finally:
+            telemetry.SLOW_LOG.threshold_seconds = old_threshold
+            telemetry.SLOW_LOG.clear()
+            server.shutdown()
+            server.server_close()
+            app.close()
+    finally:
+        catalog_on.close()
+        catalog_off.close()
     return report
 
 
@@ -760,6 +1005,30 @@ def evaluate_saturation_gates(args, report) -> List[str]:
     return failures
 
 
+def evaluate_telemetry_gates(args, report) -> List[str]:
+    failures: List[str] = []
+    if report["disabled_registry_entries"]:
+        failures.append(
+            f"the disabled stack registered {report['disabled_registry_entries']} "
+            f"metric(s) (no-op instruments must leave the registry empty)"
+        )
+    if not report["trace_tree_ok"]:
+        failures.append("the traced HTTP query returned no usable span tree")
+    if not report["slow_log_captured"]:
+        failures.append("the induced slow query did not land in /debug/slow")
+    for problem in report["scrape_errors"]:
+        failures.append(f"/metrics scrape: {problem}")
+    # timing gate: interleaved best-of-laps keeps scheduler noise down, but
+    # smoke-scale runs still jitter — the quick bound is deliberately loose
+    max_overhead = 0.10 if args.quick else args.max_telemetry_overhead
+    if report["overhead_fraction"] > max_overhead:
+        failures.append(
+            f"telemetry overhead is {report['overhead_fraction']*100:.2f}% "
+            f"(gate: {max_overhead*100:.0f}%)"
+        )
+    return failures
+
+
 def evaluate_cluster_gates(args, report) -> List[str]:
     failures: List[str] = []
     if report["answer_differences"]:
@@ -915,6 +1184,24 @@ def main(argv=None) -> int:
         "(full runs only; recorded without gating under --quick)",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run the telemetry plane benchmark instead of the serving "
+        "benchmark (instrumentation overhead, /metrics scrape, slow-query log)",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=0.03,
+        help="largest tolerated enabled/disabled slowdown fraction in "
+        "--telemetry mode (relaxed to 0.10 under --quick)",
+    )
+    parser.add_argument(
+        "--scrape-out",
+        dest="scrape_output",
+        help="write the raw /metrics exposition to this file (--telemetry mode)",
+    )
+    parser.add_argument(
         "--saturated",
         action="store_true",
         help="run the incremental G∞ maintenance benchmark instead of the "
@@ -956,6 +1243,15 @@ def main(argv=None) -> int:
             f"crash injection recovered ({report['crash_respawns']} respawn(s), zero "
             f"failed requests, zero leaked segments), peak scaling "
             f"{report['cluster_scaling']:.2f}x{ship_note}"
+        )
+    elif args.telemetry:
+        report = run_telemetry_benchmark(args)
+        failures = evaluate_telemetry_gates(args, report)
+        pass_line = (
+            f"\nPASS: telemetry overhead {report['overhead_fraction']*100:+.2f}% "
+            f"({report['enabled_qps']:.1f} vs {report['disabled_qps']:.1f} qps), "
+            f"scrape parsed ({report['scrape_metrics']} metrics), span tree ok, "
+            f"slow query captured, disabled mode registered nothing"
         )
     elif args.saturated:
         report = run_saturation_benchmark(args)

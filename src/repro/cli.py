@@ -145,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         "cardinalities, probes) and the guard cascade order",
     )
     query_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the query's span tree (guard / evaluation timings with "
+        "a trace id) after the answers",
+    )
+    query_parser.add_argument(
         "--no-prune", action="store_true", help="disable the summary guard"
     )
     query_parser.add_argument(
@@ -234,6 +240,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+    serve_parser.add_argument(
+        "--slow-query-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="queries slower than this land in the slow-query log "
+        "(GET /debug/slow; default 0.25)",
+    )
+    serve_parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the metrics registry, tracing and the slow-query log "
+        "(instruments become no-ops; /metrics serves an empty exposition)",
     )
 
     return parser
@@ -345,7 +365,12 @@ def _command_query(args: argparse.Namespace) -> int:
             catalog, kind=args.kind, prune=not args.no_prune, strategy=args.strategy
         )
         answer = service.answer(
-            graph.name, query, limit=limit, saturated=args.saturated, explain=args.explain
+            graph.name,
+            query,
+            limit=limit,
+            saturated=args.saturated,
+            explain=args.explain,
+            trace=args.trace,
         )
         if answer.pruned:
             print(
@@ -370,6 +395,9 @@ def _command_query(args: argparse.Namespace) -> int:
                 print(f"  ... and {len(answer.answers) - 20} more")
         if args.explain:
             _print_explain(answer, entry)
+        if args.trace and answer.query_trace is not None:
+            print()
+            print(answer.query_trace.render())
     return 0
 
 
@@ -462,7 +490,18 @@ def _sqlite_store_factory(directory: str):
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro import telemetry
     from repro.server.http import ServerApp, make_server
+
+    # telemetry enablement must precede every construction below: services
+    # capture their instruments (or the no-op singletons) when built
+    if args.no_telemetry:
+        telemetry.set_enabled(False)
+    if args.slow_query_threshold is not None:
+        if args.slow_query_threshold <= 0:
+            print("error: --slow-query-threshold must be positive", file=sys.stderr)
+            return 2
+        telemetry.SLOW_LOG.threshold_seconds = args.slow_query_threshold
 
     if args.backend == "sqlite":
         store_factory = _sqlite_store_factory((args.catalog or "repro-serve") + ".stores")
@@ -556,6 +595,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         app.close()
         catalog.checkpoint()
         catalog.close()
+        # the slow-query log is in-memory only: dump what the ring still
+        # holds alongside the final checkpoint so it survives the process
+        slow = telemetry.SLOW_LOG
+        if slow.entries():
+            print("slow queries (threshold "
+                  f"{slow.threshold_seconds:.3f}s, {len(slow.entries())} entries):")
+            print(json.dumps(slow.as_dict(), indent=2, sort_keys=True), flush=True)
     return 0
 
 

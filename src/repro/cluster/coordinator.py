@@ -59,9 +59,11 @@ import multiprocessing
 import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from time import monotonic, perf_counter, time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import telemetry
 from repro.cluster import protocol, shm
 from repro.cluster.worker import TARGET_FULL, TARGET_SHARD, worker_main
 from repro.errors import (
@@ -78,8 +80,16 @@ from repro.queries.bgp import BGPQuery, Variable
 from repro.service.catalog import CatalogEntry, GraphCatalog
 from repro.service.service import QueryAnswer, ServiceStatistics
 from repro.store.base import shard_of
+from repro.telemetry import BYTE_BUCKETS, Counter, QueryTrace, Span
 
 __all__ = ["ClusterCoordinator"]
+
+
+def _maybe_span(query_trace: Optional[QueryTrace], name: str, **attributes):
+    """A trace span when tracing, an inert context otherwise."""
+    if query_trace is None:
+        return nullcontext()
+    return query_trace.span(name, **attributes)
 
 #: Queries and loads get generous timeouts (a load ships whole graphs);
 #: heartbeat pings stay short — a busy single-threaded worker not
@@ -259,16 +269,29 @@ class ClusterCoordinator:
         self._registry = shm.SegmentRegistry() if self.use_shm else None
         self._segment_states: Dict[str, _SegmentState] = {}
         self._segment_lock = threading.Lock()
-        #: Ship latency accounting (reads by the bench / status endpoint).
+        #: Ship latency accounting, read by the bench / status endpoint
+        #: through the :attr:`ship_metrics` property (which keeps the
+        #: historical dict shape).  The counts are per-coordinator children
+        #: of the process-wide ``cluster.*`` registry families.
         self._metrics_lock = threading.Lock()
-        self.ship_metrics: Dict[str, object] = {
-            "ships": 0,
-            "ship_seconds_total": 0.0,
-            "last_ship_seconds": 0.0,
-            "reships": 0,
-            "reship_seconds_total": 0.0,
-            "last_reship_seconds": 0.0,
-        }
+        self._ships = Counter("ships", parent=telemetry.counter("cluster.ships"))
+        self._reships = Counter("reships", parent=telemetry.counter("cluster.reships"))
+        self._ship_seconds_total = Counter("ship_seconds")
+        self._reship_seconds_total = Counter("reship_seconds")
+        self._last_ship_seconds = 0.0
+        self._last_reship_seconds = 0.0
+        self._ship_seconds_histogram = telemetry.histogram("cluster.ship.seconds")
+        self._ship_bytes = telemetry.histogram("cluster.ship.bytes", BYTE_BUCKETS)
+        self._retries_counter = telemetry.counter("cluster.retries")
+        self._shards_pruned_counter = telemetry.counter("cluster.shards_pruned")
+        self._respawns_counter = telemetry.counter("cluster.respawns")
+        #: Backpressure gauge: queued-but-unsent ingest deltas across the
+        #: worker pool, sampled at scrape time.
+        self._queue_gauge = telemetry.gauge("cluster.delta.queue.depth")
+        self._queue_sampler = lambda: sum(
+            handle.delta_queue.qsize() for handle in self._workers
+        )
+        self._queue_gauge.add_callback(self._queue_sampler)
         self._closed = False
         self._stop_event = threading.Event()
         self._heartbeat_thread: Optional[threading.Thread] = None
@@ -302,6 +325,7 @@ class ClusterCoordinator:
             "shard_count": self.worker_count,
             "kind": self.kind,
             "strategy": self.strategy,
+            "telemetry": telemetry.enabled(),
         }
         process = self._mp.Process(
             target=worker_main,
@@ -387,6 +411,7 @@ class ClusterCoordinator:
         if self._closed:
             return
         self._closed = True
+        self._queue_gauge.remove_callback(self._queue_sampler)
         self._stop_event.set()
         if self._heartbeat_thread is not None:
             self._heartbeat_thread.join(timeout=timeout)
@@ -550,6 +575,7 @@ class ClusterCoordinator:
             handle.fail_pending(f"worker {handle.index} respawning")
             handle.generation += 1
             handle.respawns += 1
+            self._respawns_counter.inc()
             self._spawn(handle)
             # re-ship every graph from the live catalog: the snapshot (or,
             # in shm mode, the O(1) segment descriptor plus the delta log)
@@ -704,6 +730,16 @@ class ClusterCoordinator:
             full_tables = protocol.pack_full_tables(entry.store)
             if update_marks:
                 self._dict_marks[entry.name] = len(entry.store.dictionary)
+        self._ship_bytes.observe(
+            float(
+                sum(
+                    len(blob)
+                    for tables in [full_tables, *shard_tables]
+                    for _count, s_bytes, p_bytes, o_bytes in tables.values()
+                    for blob in (s_bytes, p_bytes, o_bytes)
+                )
+            )
+        )
         return (protocol.TABLES_INLINE, version, term_chunks, shard_tables, full_tables)
 
     def _pack_segment(self, entry: CatalogEntry, version: int) -> Tuple[str, dict]:
@@ -717,7 +753,7 @@ class ClusterCoordinator:
         term_chunks = protocol.pack_term_chunks(store.dictionary)
         shard_tables = protocol.pack_all_shard_tables(store, self.worker_count)
         full_tables = protocol.pack_full_tables(store)
-        return self._registry.pack(
+        segment_name, directory = self._registry.pack(
             entry.name,
             version,
             term_chunks,
@@ -726,6 +762,11 @@ class ClusterCoordinator:
             protocol.BYTEORDER,
             weak_state=entry.maintainer_state(),
         )
+        for info in self._registry.info():
+            if info["segment"] == segment_name:
+                self._ship_bytes.observe(float(info["bytes"]))
+                break
+        return segment_name, directory
 
     def _send_snapshot(self, handle: _WorkerHandle, name: str, snapshot: tuple) -> None:
         """Load *handle*'s slice of a packed snapshot into its worker."""
@@ -790,13 +831,27 @@ class ClusterCoordinator:
     def _record_ship(self, kind: str, seconds: float) -> None:
         with self._metrics_lock:
             if kind == "reship":
-                self.ship_metrics["reships"] += 1
-                self.ship_metrics["reship_seconds_total"] += seconds
-                self.ship_metrics["last_reship_seconds"] = seconds
+                self._reships.inc()
+                self._reship_seconds_total.inc(seconds)
+                self._last_reship_seconds = seconds
             else:
-                self.ship_metrics["ships"] += 1
-                self.ship_metrics["ship_seconds_total"] += seconds
-                self.ship_metrics["last_ship_seconds"] = seconds
+                self._ships.inc()
+                self._ship_seconds_total.inc(seconds)
+                self._last_ship_seconds = seconds
+        self._ship_seconds_histogram.observe(seconds)
+
+    @property
+    def ship_metrics(self) -> Dict[str, object]:
+        """Ship latency accounting in the historical dict shape."""
+        with self._metrics_lock:
+            return {
+                "ships": self._ships.int_value,
+                "ship_seconds_total": self._ship_seconds_total.value,
+                "last_ship_seconds": self._last_ship_seconds,
+                "reships": self._reships.int_value,
+                "reship_seconds_total": self._reship_seconds_total.value,
+                "last_reship_seconds": self._last_reship_seconds,
+            }
 
     # ------------------------------------------------------------------
     # writes (the coordinator is the tier's single writer)
@@ -891,21 +946,37 @@ class ClusterCoordinator:
         limit: Optional[int] = None,
         saturated: bool = False,
         explain: bool = False,
+        trace: Union[bool, QueryTrace] = False,
     ) -> QueryAnswer:
         """Answer *query* across the worker pool; same contract (and same
-        answer sets) as :meth:`QueryService.answer`."""
+        answer sets) as :meth:`QueryService.answer`.
+
+        With ``trace=True`` the trace id rides to every contacted worker
+        inside the query frame and each worker's guard/evaluate span tree
+        is grafted back under this coordinator's ``route``/``scatter``/
+        ``gather`` spans — one tree for the whole scatter-gather."""
         if self._closed:
             raise ClusterError("the cluster coordinator is closed")
+        query_trace: Optional[QueryTrace] = None
+        if trace:
+            query_trace = trace if isinstance(trace, QueryTrace) else QueryTrace()
+        total_start = perf_counter()
         entry = self.catalog.entry(graph_name)
-        min_version = entry.version
-        subject = None if saturated else self._common_subject(query)
-        if subject is not None:
-            handles, single_shard = self._scatter_targets(entry, subject)
-            target = TARGET_SHARD
-        else:
-            handles = [self._workers[next(self._round_robin) % self.worker_count]]
-            single_shard = None
-            target = TARGET_FULL
+        with _maybe_span(query_trace, "route") as route_span:
+            min_version = entry.version
+            subject = None if saturated else self._common_subject(query)
+            if subject is not None:
+                handles, single_shard = self._scatter_targets(entry, subject)
+                target = TARGET_SHARD
+            else:
+                handles = [self._workers[next(self._round_robin) % self.worker_count]]
+                single_shard = None
+                target = TARGET_FULL
+            if route_span is not None:
+                route_span.attributes.update(
+                    mode="scatter" if target == TARGET_SHARD else "full",
+                    workers=[handle.index for handle in handles],
+                )
         payload = (
             graph_name,
             min_version,
@@ -914,12 +985,39 @@ class ClusterCoordinator:
             limit,
             saturated,
             explain,
+            query_trace.trace_id if query_trace is not None else None,
         )
-        results, retries = self._fan_out(handles, payload)
-        answer = self._gather(
-            query, graph_name, target, handles, results, limit, retries,
-            single_shard, entry, explain,
-        )
+        with _maybe_span(query_trace, "scatter") as scatter_span:
+            results, retries = self._fan_out(handles, payload)
+        if query_trace is not None:
+            # graft each worker's finished span tree under the scatter span,
+            # wrapped so the tree names the worker that produced it
+            for handle, result in zip(handles, results):
+                worker_tree = result.get("query_trace")
+                if worker_tree:
+                    subtree = Span.from_dict(worker_tree)
+                    query_trace.graft(
+                        Span(
+                            f"worker-{handle.index}",
+                            seconds=subtree.seconds,
+                            children=[subtree],
+                        ),
+                        under=scatter_span,
+                    )
+        with _maybe_span(query_trace, "gather") as gather_span:
+            answer = self._gather(
+                query, graph_name, target, handles, results, limit, retries,
+                single_shard, entry, explain,
+            )
+            if gather_span is not None:
+                gather_span.attributes["answers"] = len(answer.answers)
+        if retries:
+            self._retries_counter.inc(retries)
+        self._shards_pruned_counter.inc(answer.cluster["shards_pruned"])
+        if query_trace is not None:
+            query_trace.annotate(graph=graph_name, cluster=True)
+            query_trace.finish(perf_counter() - total_start)
+            answer.query_trace = query_trace
         self.statistics.record(answer)
         return answer
 
@@ -1050,6 +1148,11 @@ class ClusterCoordinator:
                     "respawns": handle.respawns,
                     "queued_deltas": handle.delta_queue.qsize(),
                     "last_ping": handle.last_ping,
+                    "last_heartbeat_age_seconds": (
+                        monotonic() - handle.last_ping_at
+                        if handle.last_ping_at is not None
+                        else None
+                    ),
                     "last_load": handle.last_load,
                 }
             )
@@ -1061,8 +1164,7 @@ class ClusterCoordinator:
                 shm_info["logged_delta_rows"] = sum(
                     state.delta_rows for state in self._segment_states.values()
                 )
-        with self._metrics_lock:
-            ship_metrics = dict(self.ship_metrics)
+        ship_metrics = self.ship_metrics
         return {
             "workers": workers,
             "worker_count": self.worker_count,

@@ -60,6 +60,7 @@ import sys
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.cluster import protocol, shm
 from repro.errors import QueryError, ReproError, UnknownGraphError
 from repro.model.dictionary import Dictionary, EncodedTriple
@@ -68,6 +69,7 @@ from repro.queries.parser import parse_query
 from repro.service.catalog import CatalogEntry, GraphCatalog
 from repro.service.service import QueryAnswer, QueryService
 from repro.store.memory import MemoryStore
+from repro.telemetry import QueryTrace
 
 try:  # POSIX-only; the RSS probe degrades gracefully elsewhere
     import resource
@@ -367,12 +369,20 @@ class _Worker:
         return {"name": name}
 
     def handle_query(self, payload: tuple) -> dict:
-        name, _min_version, text, target, limit, saturated, explain = payload
+        # older coordinators send 7-tuples; the 8th element is the
+        # propagated trace id of a traced scatter-gather query
+        name, _min_version, text, target, limit, saturated, explain = payload[:7]
+        trace_id = payload[7] if len(payload) > 7 else None
         self._hydrate_terms(name)  # query terms encode through the dictionary
         service = self.shard_service if target == TARGET_SHARD else self.full_service
         query = parse_query(text, name="cluster")
         answer = service.answer(
-            name, query, limit=limit, saturated=saturated, explain=explain
+            name,
+            query,
+            limit=limit,
+            saturated=saturated,
+            explain=explain,
+            trace=QueryTrace(trace_id) if trace_id else False,
         )
         return self._encode_answer(answer)
 
@@ -429,6 +439,9 @@ class _Worker:
             "evaluation_seconds": answer.evaluation_seconds,
             "trace": answer.trace.as_dict() if answer.trace is not None else None,
             "saturation": answer.saturation,
+            "query_trace": (
+                answer.query_trace.as_dict() if answer.query_trace is not None else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -534,6 +547,9 @@ def worker_main(connection, config: Dict[str, object]) -> None:
     # the coordinator owns interactive signals; SIGTERM means "drain after
     # the message in hand" (the graceful half of the failure model)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # inherit the coordinator's telemetry mode before any service (and its
+    # instrument handles) is built — spawn starts from a fresh interpreter
+    telemetry.set_enabled(bool(config.get("telemetry", True)))
     worker = _Worker(connection, config)
 
     def _drain(_signum, _frame):

@@ -25,11 +25,13 @@ the file-backed backend, which is why the throughput benchmark serves from
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
+from repro import telemetry
 from repro.model.triple import Triple
 from repro.queries.bgp import BGPQuery
 from repro.service.service import QueryAnswer, QueryService
+from repro.telemetry import QueryTrace
 
 __all__ = ["QueryExecutor"]
 
@@ -54,6 +56,12 @@ class QueryExecutor:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
+        # the queue-depth gauge samples the pool's backlog at scrape time;
+        # several executors (several apps in one test process) sum into the
+        # same gauge, each removing its sampler on shutdown
+        self._depth_gauge = telemetry.gauge("executor.queue.depth")
+        self._depth_sampler = lambda: self._pool._work_queue.qsize()
+        self._depth_gauge.add_callback(self._depth_sampler)
 
     # ------------------------------------------------------------------
     # queries (the entry's shared lock is taken inside QueryService.answer)
@@ -65,6 +73,7 @@ class QueryExecutor:
         limit: Optional[int] = None,
         saturated: bool = False,
         explain: bool = False,
+        trace: Union[bool, QueryTrace] = False,
     ) -> "Future[QueryAnswer]":
         """Schedule one query; returns its future."""
         return self._pool.submit(
@@ -74,6 +83,7 @@ class QueryExecutor:
             limit=limit,
             saturated=saturated,
             explain=explain,
+            trace=trace,
         )
 
     def answer(
@@ -83,6 +93,7 @@ class QueryExecutor:
         limit: Optional[int] = None,
         saturated: bool = False,
         explain: bool = False,
+        trace: Union[bool, QueryTrace] = False,
     ) -> QueryAnswer:
         """Answer one query on a pool worker and wait for it.
 
@@ -90,7 +101,7 @@ class QueryExecutor:
         run at once, whatever the number of open connections.
         """
         return self.submit(
-            graph_name, query, limit=limit, saturated=saturated, explain=explain
+            graph_name, query, limit=limit, saturated=saturated, explain=explain, trace=trace
         ).result()
 
     def map_answers(
@@ -132,6 +143,7 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and (optionally) wait for in-flight tasks."""
+        self._depth_gauge.remove_callback(self._depth_sampler)
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "QueryExecutor":

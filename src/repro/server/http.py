@@ -9,6 +9,8 @@ connection, actual query work bounded by the
 method    path                               action
 ========  =================================  =====================================
 GET       ``/healthz``                       liveness + catalog overview
+GET       ``/metrics``                       Prometheus text exposition
+GET       ``/debug/slow``                    slow-query log (JSON ring buffer)
 GET       ``/cluster``                       worker-pool status (404 in-process)
 GET       ``/graphs``                        registered graphs with row counts
 POST      ``/graphs``                        register a graph (JSON name+triples)
@@ -35,10 +37,12 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import time
+from time import perf_counter, time
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
 
+import repro
+from repro import telemetry
 from repro.errors import (
     ClusterError,
     DuplicateGraphError,
@@ -109,6 +113,10 @@ class ServerApp:
         self.max_body_bytes = max_body_bytes
         self.cluster = cluster
         self.started_at = time()
+        # request-plane instruments, captured at construction so an app
+        # built after telemetry.set_enabled(False) stays dark
+        self._http_requests = telemetry.counter("http.requests")
+        self._http_request_seconds = telemetry.histogram("http.request.seconds")
         #: In-flight request accounting behind :meth:`drain`: a graceful
         #: shutdown lets started requests finish before anything closes.
         self._inflight = 0
@@ -153,6 +161,7 @@ class ServerApp:
             "graphs": self.catalog.names(),
             "persistent": self.catalog.persistent,
             "uptime_seconds": time() - self.started_at,
+            "version": repro.__version__,
             "workers": self.executor.max_workers,
         }
         if self.cluster is not None:
@@ -162,8 +171,26 @@ class ServerApp:
                 "workers_alive": sum(
                     1 for worker in status["workers"] if worker["alive"]
                 ),
+                "workers": [
+                    {
+                        "index": worker["index"],
+                        "alive": worker["alive"],
+                        "last_heartbeat_age_seconds": worker.get(
+                            "last_heartbeat_age_seconds"
+                        ),
+                    }
+                    for worker in status["workers"]
+                ],
             }
         return 200, payload
+
+    def metrics(self) -> Tuple[int, str]:
+        """Prometheus text exposition of the process-wide registry."""
+        return 200, telemetry.REGISTRY.render_prometheus()
+
+    def debug_slow(self) -> Tuple[int, Dict]:
+        """The slow-query ring buffer as structured JSON."""
+        return 200, telemetry.SLOW_LOG.as_dict()
 
     def cluster_status(self) -> Tuple[int, Dict]:
         if self.cluster is None:
@@ -283,6 +310,7 @@ class ServerApp:
             raise _HTTPError(400, "'limit' must be a positive integer or null")
         saturated = bool(body.get("saturated", False))
         explain = bool(body.get("explain", False))
+        trace = bool(body.get("trace", False))
         if query.is_boolean() and limit is None:
             limit = 1
         if self.cluster is not None:
@@ -295,10 +323,11 @@ class ServerApp:
                 limit=limit,
                 saturated=saturated,
                 explain=explain,
+                trace=trace,
             )
         else:
             answer = self.executor.answer(
-                name, query, limit=limit, saturated=saturated, explain=explain
+                name, query, limit=limit, saturated=saturated, explain=explain, trace=trace
             )
         return 200, self._render_answer(answer)
 
@@ -342,6 +371,8 @@ class ServerApp:
         }
         if answer.trace is not None:
             payload["trace"] = answer.trace.as_dict()
+        if answer.query_trace is not None:
+            payload["query_trace"] = answer.query_trace.as_dict()
         if answer.saturation is not None:
             payload["saturation"] = answer.saturation
         if answer.cluster is not None:
@@ -361,6 +392,10 @@ class ServerApp:
 
         if route == "/healthz" and method == "GET":
             return self.healthz()
+        if route == "/metrics" and method == "GET":
+            return self.metrics()
+        if route == "/debug/slow" and method == "GET":
+            return self.debug_slow()
         if route == "/cluster" and method == "GET":
             return self.cluster_status()
         if route == "/graphs" and method == "GET":
@@ -471,9 +506,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle(self, method: str) -> None:
         self.app.begin_request()
+        start = perf_counter()
         try:
             self._handle_inner(method)
         finally:
+            self.app._http_requests.inc()
+            self.app._http_request_seconds.observe(perf_counter() - start)
             self.app.end_request()
 
     def _handle_inner(self, method: str) -> None:

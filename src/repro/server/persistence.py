@@ -49,8 +49,10 @@ import sqlite3
 import sys
 import threading
 from array import array
+from time import perf_counter
 from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
+from repro import telemetry
 from repro.core.summary import Summary
 from repro.errors import PersistenceError
 from repro.model.dictionary import Dictionary, EncodedTriple
@@ -252,6 +254,9 @@ class PersistentCatalog:
     def __init__(self, path: str):
         self.path = str(path)
         self._lock = threading.RLock()
+        self._checkpoints = telemetry.counter("persistence.checkpoints")
+        self._appends = telemetry.counter("persistence.appends")
+        self._write_seconds = telemetry.histogram("persistence.write.seconds")
         #: ``graph -> rows currently persisted in saturation_rows``, so the
         #: per-ingest append path never re-counts the (potentially
         #: ``O(|G∞|)``-sized) durable derived log.  Maintained under the
@@ -447,6 +452,7 @@ class PersistentCatalog:
         Callers must hold the entry's lock (either side for a quiescent
         entry, the read side is enough — nothing here mutates the entry).
         """
+        write_start = perf_counter()
         with self._lock:
             connection = self._conn()
             # one snapshot per transaction: a concurrent (read-locked)
@@ -504,6 +510,8 @@ class PersistentCatalog:
             self._saturation_counts[entry.name] = (
                 len(saturation_state["_derived"]) if saturation_state is not None else 0
             )
+        self._checkpoints.inc()
+        self._write_seconds.observe(perf_counter() - write_start)
 
     def _insert_saturation_rows(
         self, connection: sqlite3.Connection, name: str, derived: Iterable[Tuple[str, int, int, int]]
@@ -532,6 +540,7 @@ class PersistentCatalog:
         # without even a snapshot pass (lazy-init mutation is legal here —
         # the entry's init lock serializes it, and we are the only writer)
         entry.summary("weak")
+        write_start = perf_counter()
         with self._lock:
             connection = self._conn()
             saturation_state = entry.saturation_state()
@@ -592,6 +601,8 @@ class PersistentCatalog:
             self._saturation_counts[entry.name] = (
                 len(saturation_state["_derived"]) if saturation_state is not None else 0
             )
+        self._appends.inc()
+        self._write_seconds.observe(perf_counter() - write_start)
 
     def delete_graph(self, name: str) -> None:
         """Forget *name* durably (no-op when it was never persisted)."""

@@ -45,9 +45,11 @@ something genuinely new is requested).
 from __future__ import annotations
 
 import threading
+from collections.abc import MutableMapping
 from time import perf_counter
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro import telemetry
 from repro.core.builders import normalize_kind
 from repro.core.encoded import encoded_summarize
 from repro.core.incremental import IncrementalWeakSummarizer
@@ -66,6 +68,52 @@ from repro.store.memory import MemoryStore
 from repro.utils.concurrency import ReadWriteLock
 
 __all__ = ["CatalogEntry", "GraphCatalog"]
+
+
+class BuildCounters(MutableMapping):
+    """Per-entry build counters that double as ``catalog.build.*`` metrics.
+
+    Behaves exactly like the plain dict it replaces — item access,
+    ``counters[key] += 1``, iteration, ``dict(...)``, equality — while
+    forwarding every increment to the process-wide
+    ``catalog.build.<key>`` registry counter, so one bump keeps the
+    per-entry view (the durability tests assert a warm-started entry stays
+    all-zero) and the fleet-wide totals in step.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, keys: Iterable[str]):
+        self._values: Dict[str, int] = {key: 0 for key in keys}
+
+    def __getitem__(self, key: str) -> int:
+        return self._values[key]
+
+    def __setitem__(self, key: str, value: int) -> None:
+        delta = value - self._values.get(key, 0)
+        self._values[key] = value
+        if delta > 0:
+            telemetry.counter(f"catalog.build.{key}").inc(delta)
+
+    def __delitem__(self, key: str) -> None:
+        del self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BuildCounters):
+            return self._values == other._values
+        return self._values == other
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __repr__(self):
+        return f"BuildCounters({self._values})"
 
 
 class _SaturatedState:
@@ -128,14 +176,19 @@ class CatalogEntry:
         #: has performed.  A warm-started entry restored from a persistent
         #: catalog keeps all of them at zero through its first queries —
         #: the durability tests assert exactly that.
-        self.build_counters: Dict[str, int] = {
-            "prime_scans": 0,
-            "statistics_scans": 0,
-            "summary_builds": 0,
-            "weak_snapshots": 0,
-            "saturation_builds": 0,
-            "saturated_statistics_scans": 0,
-        }
+        self.build_counters: BuildCounters = BuildCounters(
+            (
+                "prime_scans",
+                "statistics_scans",
+                "summary_builds",
+                "weak_snapshots",
+                "saturation_builds",
+                "saturated_statistics_scans",
+            )
+        )
+        # shared registry instruments (one histogram for all entries)
+        self._write_wait_seconds = telemetry.histogram("lock.write_wait.seconds")
+        self._delta_seconds_histogram = telemetry.histogram("saturation.delta.seconds")
         #: Write-through hook ``(entry, inserted_rows) -> None`` installed by
         #: a persistence-backed catalog; invoked at the end of every
         #: successful :meth:`add_triples` batch, inside the write lock.
@@ -262,13 +315,20 @@ class CatalogEntry:
         and, on a persistence-backed catalog, is checkpointed atomically
         before the lock is released.
         """
-        with self.rwlock.write_locked():
+        # the acquisition is timed separately from the batch: it measures
+        # queueing behind running queries, not ingest work
+        wait_start = perf_counter()
+        self.rwlock.acquire_write()
+        self._write_wait_seconds.observe(perf_counter() - wait_start)
+        try:
             if self.closed:
                 # we raced a drop(): same report as the query-side race
                 raise UnknownGraphError(f"graph {self.name!r} was dropped")
             self._rehydrate_pending_locked()
             rows = self.store.insert_triples(triples, skip_existing=True)
             return self._absorb_rows_locked(rows)
+        finally:
+            self.rwlock.release_write()
 
     def add_encoded_rows(
         self, rows: Iterable[Tuple[TripleKind, EncodedTriple]]
@@ -283,12 +343,17 @@ class CatalogEntry:
         cluster worker applies a broadcast ingest delta: the coordinator
         already paid for encoding once and ships pure integers.
         """
-        with self.rwlock.write_locked():
+        wait_start = perf_counter()
+        self.rwlock.acquire_write()
+        self._write_wait_seconds.observe(perf_counter() - wait_start)
+        try:
             if self.closed:
                 raise UnknownGraphError(f"graph {self.name!r} was dropped")
             self._rehydrate_pending_locked()
             fresh = self.store.insert_encoded_rows(rows, skip_existing=True)
             return self._absorb_rows_locked(fresh)
+        finally:
+            self.rwlock.release_write()
 
     def _rehydrate_pending_locked(self) -> None:
         """Materialize a warm-start ``G∞`` snapshot before the store grows.
@@ -354,6 +419,8 @@ class CatalogEntry:
         metrics["last_delta_target_rows"] = len(delta)
         metrics["last_delta_seconds"] = seconds
         metrics["total_delta_seconds"] += seconds
+        self._delta_seconds_histogram.observe(seconds)
+        telemetry.counter("saturation.deltas").inc()
 
     # ------------------------------------------------------------------
     # statistics, planning and evaluators

@@ -55,6 +55,9 @@ from typing import (
     Union,
 )
 
+from time import perf_counter
+
+from repro import telemetry
 from repro.errors import UnknownTermError
 from repro.model.dictionary import Dictionary
 from repro.model.namespaces import is_schema_property, is_type_property
@@ -273,6 +276,12 @@ class EncodedEvaluator:
         self.strategy = strategy
         self._statistics = statistics
         self._planner = planner
+        # join-stage telemetry, captured once: when the plane is disabled
+        # the flag skips even the per-stage clock reads
+        self._instrument_joins = telemetry.enabled()
+        self._join_seconds = telemetry.histogram("join.stage.seconds")
+        self._join_stages_hash = telemetry.counter("join.stage.hash")
+        self._join_stages_merge = telemetry.counter("join.stage.merge")
 
     # ------------------------------------------------------------------
     def statistics(self) -> CardinalityStatistics:
@@ -421,7 +430,9 @@ class EncodedEvaluator:
         last_stage_index = len(plan.stages) - 1
         next_position = 0  # positions are assigned densely, in stage order
 
+        instrument = self._instrument_joins
         for stage_index, stage in enumerate(plan.stages):
+            stage_start = perf_counter() if instrument else 0.0
             pattern = patterns[stage.pattern_index]
 
             join_on: List[Tuple[int, int]] = []  # (row column, binding position)
@@ -469,9 +480,20 @@ class EncodedEvaluator:
                     for _column, slot in fresh:
                         slot_positions[slot] = next_position
                         next_position += 1
+                    # the lazy final stage is consumed by the caller — what
+                    # is on the clock here is only its setup
+                    if instrument:
+                        self._join_seconds.observe(perf_counter() - stage_start)
+                        self._join_stages_hash.inc()
                     return lazy, slot_positions
                 binding_rows = _join_stage(binding_rows, fetched, join_on, fresh_columns)
 
+            if instrument:
+                self._join_seconds.observe(perf_counter() - stage_start)
+                if algorithm == "merge":
+                    self._join_stages_merge.inc()
+                else:
+                    self._join_stages_hash.inc()
             if trace is not None:
                 trace.add_stage(
                     _describe_pattern(pattern, compiled, self.store.dictionary),

@@ -34,8 +34,10 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import telemetry
 from repro.model.triple import TripleKind
 from repro.service.statistics import CardinalityStatistics
+from repro.telemetry import Counter
 
 __all__ = [
     "DEFAULT_PLAN_CACHE_CAP",
@@ -126,11 +128,31 @@ class QueryPlanner:
         self.plan_cache_cap = plan_cache_cap
         self._plans: "OrderedDict[Tuple, QueryPlan]" = OrderedDict()
         self._cache_lock = threading.Lock()
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_evictions = 0
+        # per-planner children of the process-wide ``planner.cache.*``
+        # registry family: the instance counts stay exact (tests and
+        # benchmarks assert them on fresh planners) while the same inc()
+        # advances the shared metric
+        self._cache_hits = Counter("hits", parent=telemetry.counter("planner.cache.hits"))
+        self._cache_misses = Counter(
+            "misses", parent=telemetry.counter("planner.cache.misses")
+        )
+        self._cache_evictions = Counter(
+            "evictions", parent=telemetry.counter("planner.cache.evictions")
+        )
         #: Whether the most recent :meth:`plan` call was served from cache.
         self.last_was_hit = False
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.int_value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses.int_value
+
+    @property
+    def cache_evictions(self) -> int:
+        return self._cache_evictions.int_value
 
     @property
     def cached_plan_count(self) -> int:
@@ -194,10 +216,10 @@ class QueryPlanner:
             cached = self._plans.get(shape)
             if cached is not None:
                 self._plans.move_to_end(shape)
-                self.cache_hits += 1
+                self._cache_hits.inc()
                 self.last_was_hit = True
                 return cached
-            self.cache_misses += 1
+            self._cache_misses.inc()
             self.last_was_hit = False
         plan = self._build_plan(compiled, shape)
         with self._cache_lock:
@@ -205,7 +227,7 @@ class QueryPlanner:
             self._plans.move_to_end(shape)
             while len(self._plans) > self.plan_cache_cap:
                 self._plans.popitem(last=False)
-                self.cache_evictions += 1
+                self._cache_evictions.inc()
         return plan
 
     def _build_plan(self, compiled, shape: Tuple) -> QueryPlan:

@@ -26,9 +26,11 @@ straight to step 3 and is answered exactly, just without the shortcut.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from time import perf_counter
 from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
+from repro import telemetry
 from repro.core.builders import normalize_kind
 from repro.errors import UnknownGraphError
 from repro.model.namespaces import is_schema_property
@@ -38,6 +40,7 @@ from repro.queries.evaluation import has_answers
 from repro.service.catalog import GraphCatalog
 from repro.service.evaluator import STRATEGIES
 from repro.service.planner import ExecutionTrace
+from repro.telemetry import Counter, QueryTrace
 
 __all__ = ["QueryAnswer", "QueryService", "ServiceStatistics"]
 
@@ -60,6 +63,7 @@ class QueryAnswer:
         "trace",
         "saturation",
         "cluster",
+        "query_trace",
     )
 
     def __init__(
@@ -78,6 +82,7 @@ class QueryAnswer:
         trace: Optional[ExecutionTrace] = None,
         saturation: Optional[Dict[str, object]] = None,
         cluster: Optional[Dict[str, object]] = None,
+        query_trace: Optional[QueryTrace] = None,
     ):
         self.query = query
         self.graph_name = graph_name
@@ -110,6 +115,10 @@ class QueryAnswer:
         #: worker/shard attribution, retry count.  Purely observational —
         #: the answer set is what it would be in-process.
         self.cluster = cluster
+        #: The telemetry span tree of this query (``trace=True`` only): a
+        #: :class:`~repro.telemetry.QueryTrace` whose id crossed every
+        #: process boundary the query did.
+        self.query_trace = query_trace
 
     @property
     def empty(self) -> bool:
@@ -131,50 +140,131 @@ class ServiceStatistics:
     Updates are lock-protected: the concurrent executor records answers
     from many threads, and unsynchronized ``+=`` on attributes loses
     increments even under the GIL.
+
+    Each count is a private telemetry :class:`~repro.telemetry.Counter`
+    whose parent is the process-wide registry family (``query.count``,
+    ``query.guard.pruned``, …): the per-instance view stays exact — the
+    ``/graphs/<name>/statistics`` payload and the tests read it — while the
+    same ``inc()`` advances the shared metric, so there is no parallel
+    bookkeeping to drift.  :meth:`record` also feeds the registry latency
+    histograms and, when the answer crossed the threshold, the process
+    slow-query log.
     """
 
     __slots__ = (
-        "queries",
-        "pruned",
-        "evaluated",
-        "unprunable",
-        "guard_seconds",
-        "evaluation_seconds",
+        "_queries",
+        "_pruned",
+        "_evaluated",
+        "_unprunable",
+        "_guard_seconds",
+        "_evaluation_seconds",
         "pruned_by_kind",
+        "_pruned_by_counters",
+        "_guard_histogram",
+        "_evaluation_histogram",
+        "_total_histogram",
+        "_slow_log",
         "_lock",
     )
 
     def __init__(self):
-        self.queries = 0
-        self.pruned = 0
-        self.evaluated = 0
-        self.unprunable = 0
-        self.guard_seconds = 0.0
-        self.evaluation_seconds = 0.0
+        self._queries = Counter("queries", parent=telemetry.counter("query.count"))
+        self._pruned = Counter("pruned", parent=telemetry.counter("query.guard.pruned"))
+        self._evaluated = Counter(
+            "evaluated", parent=telemetry.counter("query.evaluated")
+        )
+        self._unprunable = Counter(
+            "unprunable", parent=telemetry.counter("query.unprunable")
+        )
+        # the registry-side second totals live in the histograms' sums
+        self._guard_seconds = Counter("guard_seconds")
+        self._evaluation_seconds = Counter("evaluation_seconds")
         #: Pruning attribution: guard kind → queries it rejected.
         self.pruned_by_kind: Dict[str, int] = {}
+        self._pruned_by_counters: Dict[str, Counter] = {}
+        self._guard_histogram = telemetry.histogram("query.guard.seconds")
+        self._evaluation_histogram = telemetry.histogram("query.evaluation.seconds")
+        self._total_histogram = telemetry.histogram("query.total.seconds")
+        self._slow_log = telemetry.SLOW_LOG if telemetry.enabled() else None
         self._lock = threading.Lock()
 
     def record(self, answer: QueryAnswer) -> None:
         with self._lock:
-            self.queries += 1
+            self._queries.inc()
             if answer.pruned:
-                self.pruned += 1
+                self._pruned.inc()
                 if answer.pruned_by is not None:
                     self.pruned_by_kind[answer.pruned_by] = (
                         self.pruned_by_kind.get(answer.pruned_by, 0) + 1
                     )
+                    by_kind = self._pruned_by_counters.get(answer.pruned_by)
+                    if by_kind is None:
+                        by_kind = telemetry.counter(
+                            f"query.guard.pruned.{answer.pruned_by}"
+                        )
+                        self._pruned_by_counters[answer.pruned_by] = by_kind
+                    by_kind.inc()
             else:
-                self.evaluated += 1
+                self._evaluated.inc()
             if not answer.prunable:
-                self.unprunable += 1
-            self.guard_seconds += answer.guard_seconds
-            self.evaluation_seconds += answer.evaluation_seconds
+                self._unprunable.inc()
+            self._guard_seconds.inc(answer.guard_seconds)
+            self._evaluation_seconds.inc(answer.evaluation_seconds)
+        self._guard_histogram.observe(answer.guard_seconds)
+        self._evaluation_histogram.observe(answer.evaluation_seconds)
+        self._total_histogram.observe(answer.total_seconds)
+        slow_log = self._slow_log
+        if slow_log is not None and answer.total_seconds >= slow_log.threshold_seconds:
+            slow_log.record(
+                total_seconds=answer.total_seconds,
+                graph=answer.graph_name,
+                query=str(answer.query.name or "query"),
+                sparql=answer.query.to_sparql(),
+                guard_seconds=answer.guard_seconds,
+                evaluation_seconds=answer.evaluation_seconds,
+                pruned=answer.pruned,
+                strategy=answer.strategy,
+                answer_count=len(answer.answers),
+                trace_id=(
+                    answer.query_trace.trace_id
+                    if answer.query_trace is not None
+                    else None
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # the public counts: thin integer/float views over the counters, so
+    # existing callers (tests, /graphs statistics, benchmarks) see the
+    # exact per-instance numbers they always did
+    @property
+    def queries(self) -> int:
+        return self._queries.int_value
+
+    @property
+    def pruned(self) -> int:
+        return self._pruned.int_value
+
+    @property
+    def evaluated(self) -> int:
+        return self._evaluated.int_value
+
+    @property
+    def unprunable(self) -> int:
+        return self._unprunable.int_value
+
+    @property
+    def guard_seconds(self) -> float:
+        return self._guard_seconds.value
+
+    @property
+    def evaluation_seconds(self) -> float:
+        return self._evaluation_seconds.value
 
     @property
     def pruning_rate(self) -> float:
         """Fraction of queries the guard answered without base evaluation."""
-        return self.pruned / self.queries if self.queries else 0.0
+        queries = self.queries
+        return self.pruned / queries if queries else 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -207,6 +297,13 @@ def _guard_applies(query: BGPQuery) -> bool:
     if not query.is_rbgp():
         return False
     return all(not is_schema_property(pattern.predicate) for pattern in query.patterns)
+
+
+def _maybe_span(query_trace: Optional[QueryTrace], name: str, **attributes):
+    """A trace span when tracing, an inert context otherwise."""
+    if query_trace is None:
+        return nullcontext()
+    return query_trace.span(name, **attributes)
 
 
 class QueryService:
@@ -264,6 +361,7 @@ class QueryService:
         self.strategy = strategy
         self.order_guards = order_guards
         self.statistics = ServiceStatistics()
+        self._read_wait_seconds = telemetry.histogram("lock.read_wait.seconds")
 
     # ------------------------------------------------------------------
     def _guard_cascade(self, entry) -> Tuple[str, ...]:
@@ -304,6 +402,7 @@ class QueryService:
         limit: Optional[int] = None,
         saturated: bool = False,
         explain: bool = False,
+        trace: Union[bool, QueryTrace] = False,
     ) -> QueryAnswer:
         """Answer *query* on the named graph, guard first.
 
@@ -313,16 +412,29 @@ class QueryService:
         over the explicit triples, guarded by the plain summary.  With
         ``explain=True`` the returned answer carries the base evaluation's
         :class:`ExecutionTrace` (plan, estimated vs. actual cardinalities,
-        probes) alongside the guard decisions.
+        probes) alongside the guard decisions.  With ``trace=True`` (or an
+        existing :class:`~repro.telemetry.QueryTrace` to record into — how
+        a cluster worker continues the coordinator's trace id) the answer
+        carries a telemetry span tree timing the guard cascade and the
+        base evaluation.
         """
         entry = self.catalog.entry(graph_name)
+        query_trace: Optional[QueryTrace] = None
+        if trace:
+            query_trace = trace if isinstance(trace, QueryTrace) else QueryTrace()
+
         # the whole guard-plus-evaluation span holds the entry's shared
         # (read) lock: concurrent queries overlap freely, while an ingest
         # (the exclusive side) can never interleave with a running join or
         # leave the guard checking a summary newer than the store it
         # protects.  The lock is non-reentrant — nothing below may call
-        # back into answer() or add_triples().
-        with entry.rwlock.read_locked():
+        # back into answer() or add_triples().  The acquisition itself is
+        # timed separately: it measures queueing behind an ingest, not
+        # query work.
+        wait_start = perf_counter()
+        entry.rwlock.acquire_read()
+        self._read_wait_seconds.observe(perf_counter() - wait_start)
+        try:
             if entry.closed:
                 # we raced a drop(): the write lock closed the entry while
                 # we were queued — the graph is gone, report it as such
@@ -333,31 +445,49 @@ class QueryService:
             pruned = False
             pruned_by: Optional[str] = None
             guard_order: Tuple[str, ...] = ()
-            if prunable:
-                guard_order = self._guard_cascade(entry)
-                for guard_kind in guard_order:
-                    pruning_graph = entry.pruning_graph(guard_kind, saturated=saturated)
-                    if not has_answers(pruning_graph, query):
-                        pruned = True
-                        pruned_by = guard_kind
-                        break
+            with _maybe_span(query_trace, "guard") as guard_span:
+                if prunable:
+                    guard_order = self._guard_cascade(entry)
+                    for guard_kind in guard_order:
+                        pruning_graph = entry.pruning_graph(guard_kind, saturated=saturated)
+                        if not has_answers(pruning_graph, query):
+                            pruned = True
+                            pruned_by = guard_kind
+                            break
+                if guard_span is not None:
+                    guard_span.attributes.update(
+                        prunable=prunable,
+                        pruned=pruned,
+                        order=list(guard_order),
+                        pruned_by=pruned_by,
+                    )
             guard_seconds = perf_counter() - guard_start
 
             answers: Set[Tuple[Term, ...]] = set()
             evaluation_seconds = 0.0
-            trace: Optional[ExecutionTrace] = ExecutionTrace() if explain else None
+            execution_trace: Optional[ExecutionTrace] = ExecutionTrace() if explain else None
             if not pruned:
                 if saturated:
                     evaluator = entry.saturated_evaluator(self.strategy)
                 else:
                     evaluator = entry.evaluator_for(self.strategy)
                 evaluation_start = perf_counter()
-                answers = evaluator.evaluate(query, limit=limit, trace=trace)
+                with _maybe_span(
+                    query_trace, "evaluate", strategy=self.strategy
+                ) as evaluate_span:
+                    answers = evaluator.evaluate(query, limit=limit, trace=execution_trace)
+                    if evaluate_span is not None:
+                        evaluate_span.attributes["answers"] = len(answers)
                 evaluation_seconds = perf_counter() - evaluation_start
             # the G∞ maintenance costs behind this answer (still under the
             # read lock: an ingest cannot change the metrics mid-gather)
             saturation = entry.saturation_metrics() if saturated and explain else None
+        finally:
+            entry.rwlock.release_read()
 
+        if query_trace is not None:
+            query_trace.annotate(graph=graph_name, kind=self.kind)
+            query_trace.finish(guard_seconds + evaluation_seconds)
         result = QueryAnswer(
             query=query,
             graph_name=graph_name,
@@ -370,8 +500,9 @@ class QueryService:
             strategy=self.strategy,
             guard_order=guard_order,
             pruned_by=pruned_by,
-            trace=trace,
+            trace=execution_trace,
             saturation=saturation,
+            query_trace=query_trace,
         )
         self.statistics.record(result)
         return result

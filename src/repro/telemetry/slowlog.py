@@ -1,0 +1,125 @@
+"""A ring-buffered, structured slow-query log.
+
+Every answered query whose total latency crosses the configured threshold
+is recorded as a plain JSON-ready dict — query text, graph, per-phase
+seconds, pruning outcome, answer count and (when traced) the trace id.
+The buffer is a fixed-size deque, so a pathological workload costs bounded
+memory; ``GET /debug/slow`` returns the current window and the CLI dumps
+whatever remains at SIGTERM alongside the final checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SlowQueryLog", "DEFAULT_THRESHOLD_SECONDS", "DEFAULT_CAPACITY"]
+
+#: Default latency threshold: anything above 250 ms is worth a second look
+#: in a stack whose guarded point lookups finish in microseconds.
+DEFAULT_THRESHOLD_SECONDS = 0.25
+
+#: Default ring capacity.
+DEFAULT_CAPACITY = 256
+
+
+class SlowQueryLog:
+    """Threshold-gated ring buffer of slow-query records."""
+
+    def __init__(
+        self,
+        threshold_seconds: float = DEFAULT_THRESHOLD_SECONDS,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be positive")
+        self._threshold = float(threshold_seconds)
+        self._entries: deque = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    @property
+    def threshold_seconds(self) -> float:
+        with self._lock:
+            return self._threshold
+
+    @threshold_seconds.setter
+    def threshold_seconds(self, value: float) -> None:
+        with self._lock:
+            self._threshold = float(value)
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.maxlen or 0
+
+    def record(
+        self,
+        *,
+        total_seconds: float,
+        graph: str,
+        query: str,
+        sparql: Optional[str] = None,
+        guard_seconds: float = 0.0,
+        evaluation_seconds: float = 0.0,
+        pruned: bool = False,
+        strategy: Optional[str] = None,
+        answer_count: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        **extra: Any,
+    ) -> bool:
+        """Record the query if it crossed the threshold; report whether it did."""
+        with self._lock:
+            if total_seconds < self._threshold:
+                return False
+            if len(self._entries) == self._entries.maxlen:
+                self._dropped += 1
+            entry: Dict[str, Any] = {
+                "ts": time(),
+                "graph": graph,
+                "query": query,
+                "total_seconds": total_seconds,
+                "guard_seconds": guard_seconds,
+                "evaluation_seconds": evaluation_seconds,
+                "pruned": pruned,
+            }
+            if sparql is not None:
+                entry["sparql"] = sparql
+            if strategy is not None:
+                entry["strategy"] = strategy
+            if answer_count is not None:
+                entry["answer_count"] = answer_count
+            if trace_id is not None:
+                entry["trace_id"] = trace_id
+            entry.update(extra)
+            self._entries.append(entry)
+            return True
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Oldest-first snapshot of the current window."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def dropped(self) -> int:
+        """How many records the ring has evicted since construction."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold_seconds": self._threshold,
+                "capacity": self._entries.maxlen,
+                "dropped": self._dropped,
+                "entries": [dict(entry) for entry in self._entries],
+            }

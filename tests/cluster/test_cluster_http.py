@@ -53,7 +53,15 @@ def cluster_server(bsbm_small):
 def test_healthz_reports_cluster(cluster_server):
     base, _, _ = cluster_server
     payload = _get(base + "/healthz")
-    assert payload["cluster"] == {"worker_count": 2, "workers_alive": 2}
+    assert payload["cluster"]["worker_count"] == 2
+    assert payload["cluster"]["workers_alive"] == 2
+    workers = payload["cluster"]["workers"]
+    assert [worker["index"] for worker in workers] == [0, 1]
+    for worker in workers:
+        assert worker["alive"] is True
+        # heartbeats are observational; with heartbeat_seconds=0 the age
+        # may be null (no ping yet) but the key must be present
+        assert "last_heartbeat_age_seconds" in worker
 
 
 def test_cluster_endpoint(cluster_server):

@@ -1,0 +1,120 @@
+"""Trace propagation across the coordinator→worker pipe.
+
+One traced scatter-gather query must come back as a *single* span tree:
+the coordinator's route/scatter/gather spans with each contacted worker's
+guard/evaluate subtree grafted under ``worker-<index>`` — structurally the
+same guard/evaluate pair the serial service produces.
+"""
+
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.queries.parser import parse_query
+from repro.service.catalog import GraphCatalog
+from repro.service.service import QueryService
+from repro.telemetry import QueryTrace
+
+
+@pytest.fixture(scope="module")
+def traced_pair(bsbm_small):
+    catalog = GraphCatalog()
+    catalog.register("bsbm", graph=bsbm_small)
+    serial_catalog = GraphCatalog()
+    serial_catalog.register("bsbm", graph=bsbm_small)
+    service = QueryService(serial_catalog)
+    coordinator = ClusterCoordinator(catalog, workers=2, heartbeat_seconds=0)
+    yield coordinator, service
+    coordinator.close()
+    catalog.close()
+    serial_catalog.close()
+
+
+def _scatter_query(graph):
+    triple = next(iter(graph))
+    return parse_query(
+        "SELECT ?s ?o WHERE { ?s <%s> ?o . ?s ?p ?x }" % triple.predicate.value
+    )
+
+
+def test_untraced_query_has_no_span_tree(traced_pair, bsbm_small):
+    coordinator, _service = traced_pair
+    answer = coordinator.answer("bsbm", _scatter_query(bsbm_small))
+    assert answer.query_trace is None
+
+
+def test_cluster_trace_is_one_tree(traced_pair, bsbm_small):
+    coordinator, _service = traced_pair
+    query = _scatter_query(bsbm_small)
+    answer = coordinator.answer("bsbm", query, trace=True)
+    trace = answer.query_trace
+    assert trace is not None and trace.trace_id
+    assert answer.cluster["mode"] == "scatter"
+
+    root = trace.root
+    assert root.name == "query"
+    stages = [child.name for child in root.children]
+    assert stages == ["route", "scatter", "gather"]
+
+    scatter = root.find("scatter")
+    worker_spans = [child for child in scatter.children if child.name.startswith("worker-")]
+    # every contacted worker contributed exactly one grafted subtree
+    assert len(worker_spans) == len(answer.cluster["workers"]) == 2
+    for span in worker_spans:
+        (worker_query,) = span.children
+        assert worker_query.name == "query"
+        assert worker_query.find("guard") is not None
+        assert worker_query.find("evaluate") is not None
+
+    route = root.find("route")
+    assert route.attributes["mode"] == "scatter"
+    gather = root.find("gather")
+    assert gather.attributes["answers"] == len(answer.answers)
+    assert root.seconds > 0
+
+
+def test_caller_supplied_trace_id_propagates(traced_pair, bsbm_small):
+    coordinator, _service = traced_pair
+    supplied = QueryTrace(trace_id="feedfacefeedface")
+    answer = coordinator.answer(
+        "bsbm", _scatter_query(bsbm_small), trace=supplied
+    )
+    assert answer.query_trace is supplied
+    assert answer.query_trace.trace_id == "feedfacefeedface"
+    # the workers only build a subtree when the id crossed the pipe
+    assert answer.query_trace.root.find("worker-0") is not None
+
+
+def test_worker_subtrees_match_the_serial_shape(traced_pair, bsbm_small):
+    coordinator, service = traced_pair
+    query = _scatter_query(bsbm_small)
+    serial = service.answer("bsbm", query, trace=True)
+    clustered = coordinator.answer("bsbm", query, trace=True)
+    assert clustered.answers == serial.answers
+
+    serial_stages = [child.name for child in serial.query_trace.root.children]
+    assert serial_stages == ["guard", "evaluate"]
+    scatter = clustered.query_trace.root.find("scatter")
+    for span in scatter.children:
+        if not span.name.startswith("worker-"):
+            continue
+        (worker_query,) = span.children
+        assert [child.name for child in worker_query.children] == serial_stages
+
+
+def test_routed_single_shard_query_still_traces(traced_pair, bsbm_small):
+    coordinator, _service = traced_pair
+    triple = next(iter(bsbm_small))
+    query = parse_query("SELECT ?p ?o WHERE { <%s> ?p ?o }" % triple.subject.value)
+    answer = coordinator.answer("bsbm", query, trace=True)
+    trace = answer.query_trace
+    assert trace is not None
+    assert [child.name for child in trace.root.children] == [
+        "route",
+        "scatter",
+        "gather",
+    ]
+    worker_spans = [
+        span for span in trace.root.find("scatter").children
+        if span.name.startswith("worker-")
+    ]
+    assert len(worker_spans) == len(answer.cluster["workers"])

@@ -1,0 +1,89 @@
+"""The slow-query log: threshold gating, ring capacity, JSON shape."""
+
+import pytest
+
+from repro.telemetry import SlowQueryLog
+
+
+def _record(log, seconds, **overrides):
+    defaults = dict(total_seconds=seconds, graph="g", query="q")
+    defaults.update(overrides)
+    return log.record(**defaults)
+
+
+def test_threshold_gates_recording():
+    log = SlowQueryLog(threshold_seconds=0.1)
+    assert not _record(log, 0.05)
+    assert _record(log, 0.1)  # at the threshold counts as slow
+    assert _record(log, 0.5)
+    assert len(log) == 2
+
+
+def test_threshold_is_adjustable():
+    log = SlowQueryLog(threshold_seconds=10.0)
+    assert not _record(log, 1.0)
+    log.threshold_seconds = 0.5
+    assert log.threshold_seconds == 0.5
+    assert _record(log, 1.0)
+
+
+def test_ring_capacity_and_dropped_accounting():
+    log = SlowQueryLog(threshold_seconds=0.0, capacity=3)
+    for index in range(5):
+        _record(log, 1.0, query=f"q{index}")
+    assert len(log) == 3
+    assert [entry["query"] for entry in log.entries()] == ["q2", "q3", "q4"]
+    assert log.dropped == 2
+
+
+def test_invalid_capacity_raises():
+    with pytest.raises(ValueError):
+        SlowQueryLog(capacity=0)
+
+
+def test_entry_shape_and_optional_fields():
+    log = SlowQueryLog(threshold_seconds=0.0)
+    _record(
+        log,
+        2.0,
+        guard_seconds=0.5,
+        evaluation_seconds=1.5,
+        pruned=False,
+        sparql="SELECT ?s WHERE { ?s ?p ?o }",
+        strategy="hash",
+        answer_count=9,
+        trace_id="deadbeefdeadbeef",
+        shards=4,
+    )
+    (entry,) = log.entries()
+    assert entry["graph"] == "g" and entry["query"] == "q"
+    assert entry["total_seconds"] == 2.0
+    assert entry["guard_seconds"] == 0.5
+    assert entry["evaluation_seconds"] == 1.5
+    assert entry["sparql"].startswith("SELECT")
+    assert entry["strategy"] == "hash"
+    assert entry["answer_count"] == 9
+    assert entry["trace_id"] == "deadbeefdeadbeef"
+    assert entry["shards"] == 4  # extra keyword fields ride along
+    assert entry["ts"] > 0
+
+
+def test_sparse_entry_omits_optional_keys():
+    log = SlowQueryLog(threshold_seconds=0.0)
+    _record(log, 1.0)
+    (entry,) = log.entries()
+    for absent in ("sparql", "strategy", "answer_count", "trace_id"):
+        assert absent not in entry
+
+
+def test_as_dict_and_clear():
+    log = SlowQueryLog(threshold_seconds=0.25, capacity=8)
+    _record(log, 1.0)
+    payload = log.as_dict()
+    assert payload["threshold_seconds"] == 0.25
+    assert payload["capacity"] == 8
+    assert payload["dropped"] == 0
+    assert len(payload["entries"]) == 1
+    log.clear()
+    assert not log.entries()
+    assert log.as_dict()["entries"] == []

@@ -1,0 +1,114 @@
+"""Span trees: construction, serialization, grafting, rendering."""
+
+from repro.telemetry import QueryTrace, Span, new_trace_id
+
+
+def test_new_trace_id_shape():
+    first, second = new_trace_id(), new_trace_id()
+    assert len(first) == 16 and all(c in "0123456789abcdef" for c in first)
+    assert first != second
+
+
+def test_nested_spans_build_a_tree():
+    trace = QueryTrace()
+    with trace.span("outer", mode="test") as outer:
+        with trace.span("inner"):
+            pass
+        with trace.span("sibling"):
+            pass
+    assert [child.name for child in trace.root.children] == ["outer"]
+    assert [child.name for child in outer.children] == ["inner", "sibling"]
+    assert outer.attributes == {"mode": "test"}
+    assert outer.seconds >= sum(child.seconds for child in outer.children)
+
+
+def test_finish_defaults_to_sum_of_children():
+    trace = QueryTrace()
+    with trace.span("a"):
+        pass
+    with trace.span("b"):
+        pass
+    trace.finish()
+    assert trace.root.seconds == sum(child.seconds for child in trace.root.children)
+    trace.finish(1.5)
+    assert trace.root.seconds == 1.5
+
+
+def test_annotate_targets_the_open_span():
+    trace = QueryTrace()
+    with trace.span("stage"):
+        trace.annotate(rows=7)
+    trace.annotate(graph="g")
+    assert trace.root.children[0].attributes == {"rows": 7}
+    assert trace.root.attributes == {"graph": "g"}
+
+
+def test_serialization_round_trip():
+    trace = QueryTrace(trace_id="abc123abc123abc1")
+    with trace.span("guard", prunable=True):
+        pass
+    with trace.span("evaluate", strategy="hash"):
+        trace.annotate(answers=3)
+    trace.finish()
+    payload = trace.as_dict()
+    assert payload["trace_id"] == "abc123abc123abc1"
+    restored = QueryTrace.from_dict(payload)
+    assert restored.trace_id == trace.trace_id
+    assert [span.name for span in restored.root.walk()] == [
+        span.name for span in trace.root.walk()
+    ]
+    assert restored.root.find("evaluate").attributes == {
+        "strategy": "hash",
+        "answers": 3,
+    }
+
+
+def test_span_from_dict_tolerates_sparse_payloads():
+    span = Span.from_dict({"name": "x"})
+    assert span.name == "x" and span.seconds == 0.0
+    assert span.attributes == {} and span.children == []
+
+
+def test_graft_attaches_a_finished_subtree():
+    trace = QueryTrace()
+    subtree = Span("worker-0", seconds=0.25, children=[Span("query")])
+    with trace.span("scatter") as scatter:
+        trace.graft(subtree, under=scatter)
+    assert trace.root.find("worker-0") is subtree
+    # without an explicit parent the graft lands under the open span
+    other = Span("late")
+    trace.graft(other)
+    assert other in trace.root.children
+
+
+def test_find_and_walk():
+    root = Span("a", children=[Span("b", children=[Span("c")]), Span("c")])
+    assert root.find("c") is root.children[0].children[0]
+    assert root.find("missing") is None
+    assert [span.name for span in root.walk()] == ["a", "b", "c", "c"]
+
+
+def test_leaked_inner_span_still_pops_to_the_opener():
+    trace = QueryTrace()
+    outer = trace.span("outer")
+    inner = trace.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    # close the outer first: the stack must recover instead of corrupting
+    outer.__exit__(None, None, None)
+    with trace.span("after"):
+        pass
+    assert [child.name for child in trace.root.children] == ["outer", "after"]
+
+
+def test_render_mentions_every_span_and_the_id():
+    trace = QueryTrace()
+    with trace.span("guard"):
+        pass
+    with trace.span("evaluate", strategy="hash"):
+        pass
+    trace.finish()
+    rendered = trace.render()
+    assert trace.trace_id in rendered
+    assert "guard" in rendered and "evaluate" in rendered
+    assert "strategy=hash" in rendered

@@ -256,6 +256,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(instruments become no-ops; /metrics serves an empty exposition)",
     )
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the project static-analysis rules (concurrency discipline, "
+        "clock choice, telemetry hygiene)",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="emit findings as a JSON document",
+    )
+    lint_parser.add_argument(
+        "--rules", help="comma-separated rule names to run (default: all)"
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="list available rules and exit"
+    )
+
     return parser
 
 
@@ -605,6 +626,19 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint import main as lint_main
+
+    forwarded: List[str] = list(args.paths)
+    if args.json_output:
+        forwarded.append("--json")
+    if args.rules:
+        forwarded.extend(["--rules", args.rules])
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 _COMMANDS = {
     "summarize": _command_summarize,
     "stats": _command_stats,
@@ -613,6 +647,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "query": _command_query,
     "serve": _command_serve,
+    "lint": _command_lint,
 }
 
 

@@ -60,7 +60,7 @@ import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
-from time import monotonic, perf_counter, time
+from time import monotonic, perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import telemetry
@@ -80,6 +80,7 @@ from repro.queries.bgp import BGPQuery, Variable
 from repro.service.catalog import CatalogEntry, GraphCatalog
 from repro.service.service import QueryAnswer, ServiceStatistics
 from repro.store.base import shard_of
+from repro.utils.concurrency import named_lock
 from repro.telemetry import BYTE_BUCKETS, Counter, QueryTrace, Span
 
 __all__ = ["ClusterCoordinator"]
@@ -155,13 +156,14 @@ class _WorkerHandle:
         self.connection = None
         self.alive = False
         #: Serializes conn.send() calls (receiver thread handles recv).
-        self.send_lock = threading.Lock()
+        self.send_lock = named_lock(f"cluster.worker{index}.send_lock")
         #: Outstanding requests by id, resolved by the receiver thread.
+        #: guarded by self.pending_lock
         self.pending: Dict[int, _PendingReply] = {}
-        self.pending_lock = threading.Lock()
+        self.pending_lock = named_lock(f"cluster.worker{index}.pending_lock")
         #: Excludes delta sends from respawn windows: a delta must never
         #: slip between a respawn's snapshot read and its load message.
-        self.ship_lock = threading.Lock()
+        self.ship_lock = named_lock(f"cluster.worker{index}.ship_lock")
         #: Graphs an in-flight (re-)ship has *not yet snapshotted* for this
         #: worker.  While a name is in here, ``_on_entry_delta`` drops the
         #: graph's deltas for this worker instead of blocking on the
@@ -244,7 +246,7 @@ class ClusterCoordinator:
         self.max_retries = max_retries
         self.heartbeat_seconds = heartbeat_seconds
         self.statistics = ServiceStatistics()
-        self.started_at = time()
+        self.started_at = monotonic()
         # spawn, not fork: the coordinator is multi-threaded by design
         # (receiver/broadcaster/heartbeat threads, caller pools) and a
         # forked child inheriting locked locks or sibling pipe fds would
@@ -267,13 +269,14 @@ class ClusterCoordinator:
         )
         self.shm_fold_rows = shm_fold_rows
         self._registry = shm.SegmentRegistry() if self.use_shm else None
+        #: Per-graph shm segment bookkeeping; guarded by self._segment_lock
         self._segment_states: Dict[str, _SegmentState] = {}
-        self._segment_lock = threading.Lock()
+        self._segment_lock = named_lock("cluster.segment_lock")
         #: Ship latency accounting, read by the bench / status endpoint
         #: through the :attr:`ship_metrics` property (which keeps the
         #: historical dict shape).  The counts are per-coordinator children
         #: of the process-wide ``cluster.*`` registry families.
-        self._metrics_lock = threading.Lock()
+        self._metrics_lock = named_lock("cluster.metrics_lock")
         self._ships = Counter("ships", parent=telemetry.counter("cluster.ships"))
         self._reships = Counter("reships", parent=telemetry.counter("cluster.reships"))
         self._ship_seconds_total = Counter("ship_seconds")
@@ -576,7 +579,11 @@ class ClusterCoordinator:
             handle.generation += 1
             handle.respawns += 1
             self._respawns_counter.inc()
-            self._spawn(handle)
+            # Respawn must happen under the ship lock: the dead worker's
+            # slot may not receive a ship until the replacement is wired
+            # up, and deltas are fenced by reship_pending (dropped, not
+            # queued), so nothing can block against this spawn.
+            self._spawn(handle)  # repro-lint: disable=no-blocking-under-lock
             # re-ship every graph from the live catalog: the snapshot (or,
             # in shm mode, the O(1) segment descriptor plus the delta log)
             # subsumes any delta dropped while the worker was down
@@ -1171,7 +1178,7 @@ class ClusterCoordinator:
             "kind": self.kind,
             "strategy": self.strategy,
             "graphs": self.catalog.names(),
-            "uptime_seconds": time() - self.started_at,
+            "uptime_seconds": monotonic() - self.started_at,
             "service": self.statistics.as_dict(),
             "shm": shm_info,
             "ship_metrics": ship_metrics,

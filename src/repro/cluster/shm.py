@@ -168,7 +168,11 @@ class SegmentRegistry:
         if shared_memory is None:
             raise ClusterError("shared memory is unavailable on this platform")
         generation = self._generations.get(graph_name, 0) + 1
-        terms_blob = pickle.dumps(term_chunks, protocol=pickle.HIGHEST_PROTOCOL)
+        # term_chunks is protocol.pack_term_chunks output — plain value
+        # tuples, no Term objects (their hashes are process-salted).
+        terms_blob = pickle.dumps(  # repro-lint: disable=no-pickled-terms
+            term_chunks, protocol=pickle.HIGHEST_PROTOCOL
+        )
         weak_blob = (
             b""
             if weak_state is None

@@ -253,7 +253,10 @@ class _Worker:
         if pending is None:
             return
         dictionary, terms_blob = pending
-        protocol.unpack_term_chunks(pickle.loads(terms_blob), dictionary)
+        # terms_blob holds protocol.pack_term_chunks output — plain value
+        # tuples, no Term objects (their hashes are process-salted).
+        chunks = pickle.loads(terms_blob)  # repro-lint: disable=no-pickled-terms
+        protocol.unpack_term_chunks(chunks, dictionary)
 
     def _hydrate_pending(self) -> None:
         """Hydrate every deferred dictionary — called right after a load

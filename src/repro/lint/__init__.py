@@ -1,0 +1,13 @@
+"""``repro.lint`` — project-specific AST static analysis.
+
+The serving stack's concurrency invariants (lock discipline, ship-lock
+blocking rules, term-shipping paths, clock choice for durations) used to
+live in docstrings; this package makes them machine-checked.  Run it as
+``repro lint`` or ``python -m repro.lint``; see ``docs/static_analysis.md``
+for the rule catalogue and the motivating bug behind each rule.
+"""
+
+from repro.lint.engine import Finding, LintEngine, Rule, main, run_lint
+from repro.lint.rules import ALL_RULES
+
+__all__ = ["ALL_RULES", "Finding", "LintEngine", "Rule", "main", "run_lint"]

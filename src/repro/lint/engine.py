@@ -1,0 +1,295 @@
+"""Rule registry, per-file driver, suppressions, and CLI for ``repro lint``.
+
+The engine is deliberately small: a :class:`Rule` sees one parsed file at
+a time through a :class:`FileContext` (source text, AST, comment map) and
+yields :class:`Finding`\\ s; rules that need whole-project knowledge (the
+call-graph rule) implement the optional ``collect`` / ``finalize`` pair
+instead.  Suppressions are source comments::
+
+    handle.connection.send(req)  # repro-lint: disable=no-blocking-under-lock
+
+either trailing the offending line or on a standalone comment line
+immediately above it; ``disable=all`` silences every rule for that line.
+A finding whose line carries a matching suppression is dropped before
+output, so ``repro lint`` exiting 0 means *zero unsuppressed findings*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "LintEngine",
+    "run_lint",
+    "main",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about one source file."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    #: line number -> comment text (including the leading ``#``).
+    comments: Dict[int, str]
+    #: line number -> rule names disabled on that line (``{"all"}`` wins).
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+    def comment_on(self, line: int) -> Optional[str]:
+        return self.comments.get(line)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Per-file rules override :meth:`check`.  Project-wide rules override
+    :meth:`collect` (called once per file) and :meth:`finalize` (called
+    after every file has been collected).
+    """
+
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def collect(self, ctx: FileContext) -> None:
+        return None
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+
+def _comment_map(source: str) -> Dict[int, str]:
+    """All comments by line, via tokenize (string-literal safe)."""
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def _suppression_map(comments: Dict[int, str], source: str) -> Dict[int, Set[str]]:
+    """Effective suppression lines.
+
+    A trailing comment suppresses its own line; a comment that is the
+    whole line suppresses the next line as well (so a suppression can sit
+    above a long statement).
+    """
+    lines = source.splitlines()
+    suppressions: Dict[int, Set[str]] = {}
+    for line_no, comment in comments.items():
+        match = _SUPPRESS_RE.search(comment)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        suppressions.setdefault(line_no, set()).update(rules)
+        text = lines[line_no - 1] if line_no - 1 < len(lines) else ""
+        if text.strip().startswith("#"):
+            suppressions.setdefault(line_no + 1, set()).update(rules)
+    return suppressions
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module path, anchored at the last ``repro`` path segment."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[index:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def build_context(path: Path) -> Optional[FileContext]:
+    """Parse *path* into a :class:`FileContext`; ``None`` on syntax error."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, UnicodeDecodeError):
+        return None
+    comments = _comment_map(source)
+    return FileContext(
+        path=path,
+        module=_module_name(path),
+        source=source,
+        tree=tree,
+        comments=comments,
+        suppressions=_suppression_map(comments, source),
+    )
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+class LintEngine:
+    """Drive a set of rules over a set of files, applying suppressions."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = list(rules)
+        self.files_checked = 0
+        self.suppressed_count = 0
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        suppression_index: Dict[str, Dict[int, Set[str]]] = {}
+        raw: List[Finding] = []
+        for file_path in _iter_python_files(paths):
+            ctx = build_context(file_path)
+            if ctx is None:
+                continue
+            self.files_checked += 1
+            suppression_index[str(file_path)] = ctx.suppressions
+            for rule in self.rules:
+                raw.extend(rule.check(ctx))
+                rule.collect(ctx)
+        for rule in self.rules:
+            raw.extend(rule.finalize())
+        findings: List[Finding] = []
+        for finding in raw:
+            disabled = suppression_index.get(finding.path, {}).get(finding.line, set())
+            if finding.rule in disabled or "all" in disabled:
+                self.suppressed_count += 1
+                continue
+            findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+
+def _default_paths() -> List[Path]:
+    """What to lint when no path is given: the installed repro package."""
+    import repro
+
+    return [Path(repro.__file__).resolve().parent]
+
+
+def run_lint(
+    paths: Optional[Sequence[Path]] = None,
+    rule_names: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], LintEngine]:
+    """Programmatic entry point; returns (findings, engine)."""
+    from repro.lint.rules import ALL_RULES
+
+    selected = [
+        factory()
+        for factory in ALL_RULES
+        if rule_names is None or factory.name in rule_names
+    ]
+    engine = LintEngine(selected)
+    findings = engine.run(list(paths) if paths else _default_paths())
+    return findings, engine
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.lint.rules import ALL_RULES
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project static analysis: concurrency and telemetry rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON document"
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list available rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for factory in ALL_RULES:
+            print(f"{factory.name:32s} {factory.description}")
+        return 0
+
+    rule_names = None
+    if args.rules:
+        rule_names = [name.strip() for name in args.rules.split(",") if name.strip()]
+        known = {factory.name for factory in ALL_RULES}
+        unknown = [name for name in rule_names if name not in known]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    findings, engine = run_lint(args.paths or None, rule_names)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "files_checked": engine.files_checked,
+                    "suppressed": engine.suppressed_count,
+                    "findings": [finding.as_dict() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"{len(findings)} finding(s), {engine.suppressed_count} suppressed, "
+            f"{engine.files_checked} file(s) checked"
+        )
+    return 1 if findings else 0

@@ -37,7 +37,7 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import perf_counter, time
+from time import monotonic, perf_counter
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
 
@@ -112,7 +112,7 @@ class ServerApp:
             raise ValueError("max_body_bytes must be positive")
         self.max_body_bytes = max_body_bytes
         self.cluster = cluster
-        self.started_at = time()
+        self.started_at = monotonic()
         # request-plane instruments, captured at construction so an app
         # built after telemetry.set_enabled(False) stays dark
         self._http_requests = telemetry.counter("http.requests")
@@ -143,10 +143,10 @@ class ServerApp:
         serve``: every request already past the socket finishes and
         responds before the executor, cluster and catalog go away.
         """
-        deadline = None if timeout is None else time() + timeout
+        deadline = None if timeout is None else monotonic() + timeout
         with self._inflight_cv:
             while self._inflight > 0:
-                remaining = None if deadline is None else deadline - time()
+                remaining = None if deadline is None else deadline - monotonic()
                 if remaining is not None and remaining <= 0:
                     return False
                 self._inflight_cv.wait(remaining)
@@ -160,7 +160,7 @@ class ServerApp:
             "status": "ok",
             "graphs": self.catalog.names(),
             "persistent": self.catalog.persistent,
-            "uptime_seconds": time() - self.started_at,
+            "uptime_seconds": monotonic() - self.started_at,
             "version": repro.__version__,
             "workers": self.executor.max_workers,
         }

@@ -206,6 +206,8 @@ class CatalogEntry:
         #: statistics state that references the lost rows.
         self._persist_dirty = False
         self._maintainer = IncrementalWeakSummarizer(store)
+        #: Per-kind summary cache (kind → (version, summary));
+        #: guarded by self._init_lock — stale reads must re-check inside.
         self._summaries: Dict[str, Tuple[int, Summary]] = {}
         #: The maintained ``G∞`` serving cache — built on first saturated
         #: access (or materialized from a warm-start snapshot) and then
@@ -492,7 +494,9 @@ class CatalogEntry:
         encoded engine over the store on first use after a change.
         """
         kind = normalize_kind(kind)
-        cached = self._summaries.get(kind)
+        # Optimistic fast path: a stale read is benign because the hit is
+        # version-checked and the miss re-reads under the lock below.
+        cached = self._summaries.get(kind)  # repro-lint: disable=guarded-by
         if cached is not None and cached[0] == self.version:
             return cached[1]
         with self._init_lock:
@@ -544,7 +548,12 @@ class CatalogEntry:
         construction is exactly the cost the lazy cascade is designed to
         avoid paying until every cheaper guard has failed to prune.
         """
-        cached = self._summaries.get(normalize_kind(kind))
+        # Lock-free cost probe: worst case a stale read makes the cascade
+        # treat a just-built summary as unbuilt — an ordering heuristic
+        # miss, never an incorrect answer.
+        cached = self._summaries.get(  # repro-lint: disable=guarded-by
+            normalize_kind(kind)
+        )
         if cached is None or cached[0] != self.version:
             return None
         return len(cached[1].graph)

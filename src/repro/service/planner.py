@@ -38,6 +38,7 @@ from repro import telemetry
 from repro.model.triple import TripleKind
 from repro.service.statistics import CardinalityStatistics
 from repro.telemetry import Counter
+from repro.utils.concurrency import named_lock
 
 __all__ = [
     "DEFAULT_PLAN_CACHE_CAP",
@@ -126,8 +127,9 @@ class QueryPlanner:
             raise ValueError("plan_cache_cap must be positive")
         self.statistics = statistics
         self.plan_cache_cap = plan_cache_cap
+        #: LRU plan cache (shape → plan); guarded by self._cache_lock
         self._plans: "OrderedDict[Tuple, QueryPlan]" = OrderedDict()
-        self._cache_lock = threading.Lock()
+        self._cache_lock = named_lock("planner.cache_lock")
         # per-planner children of the process-wide ``planner.cache.*``
         # registry family: the instance counts stay exact (tests and
         # benchmarks assert them on fresh planners) while the same inc()
@@ -157,7 +159,8 @@ class QueryPlanner:
     @property
     def cached_plan_count(self) -> int:
         """Number of plans currently held (never exceeds the cap)."""
-        return len(self._plans)
+        with self._cache_lock:
+            return len(self._plans)
 
     # ------------------------------------------------------------------
     # estimation
@@ -254,7 +257,7 @@ class QueryPlanner:
 
     def __repr__(self):
         return (
-            f"QueryPlanner(plans={len(self._plans)}/{self.plan_cache_cap}, "
+            f"QueryPlanner(plans={self.cached_plan_count}/{self.plan_cache_cap}, "
             f"hits={self.cache_hits}, misses={self.cache_misses}, "
             f"evictions={self.cache_evictions})"
         )

@@ -34,6 +34,7 @@ from repro import telemetry
 from repro.core.builders import normalize_kind
 from repro.errors import UnknownGraphError
 from repro.model.namespaces import is_schema_property
+from repro.utils.concurrency import named_lock
 from repro.model.terms import Term
 from repro.queries.bgp import BGPQuery
 from repro.queries.evaluation import has_answers
@@ -180,13 +181,15 @@ class ServiceStatistics:
         self._guard_seconds = Counter("guard_seconds")
         self._evaluation_seconds = Counter("evaluation_seconds")
         #: Pruning attribution: guard kind → queries it rejected.
+        #: guarded by self._lock
         self.pruned_by_kind: Dict[str, int] = {}
+        #: Lazily-created per-kind registry children; guarded by self._lock
         self._pruned_by_counters: Dict[str, Counter] = {}
         self._guard_histogram = telemetry.histogram("query.guard.seconds")
         self._evaluation_histogram = telemetry.histogram("query.evaluation.seconds")
         self._total_histogram = telemetry.histogram("query.total.seconds")
         self._slow_log = telemetry.SLOW_LOG if telemetry.enabled() else None
-        self._lock = threading.Lock()
+        self._lock = named_lock("service.statistics_lock")
 
     def record(self, answer: QueryAnswer) -> None:
         with self._lock:
@@ -267,6 +270,8 @@ class ServiceStatistics:
         return self.pruned / queries if queries else 0.0
 
     def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            pruned_by_kind = dict(self.pruned_by_kind)
         return {
             "queries": self.queries,
             "pruned": self.pruned,
@@ -275,7 +280,7 @@ class ServiceStatistics:
             "pruning_rate": self.pruning_rate,
             "guard_seconds": self.guard_seconds,
             "evaluation_seconds": self.evaluation_seconds,
-            "pruned_by_kind": dict(self.pruned_by_kind),
+            "pruned_by_kind": pruned_by_kind,
         }
 
     def __repr__(self):

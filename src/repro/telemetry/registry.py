@@ -308,6 +308,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
+        #: name → instrument; guarded by self._lock
         self._metrics: Dict[str, object] = {}
         self._lock = threading.Lock()
 

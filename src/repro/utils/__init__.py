@@ -1,6 +1,16 @@
-"""Shared utilities: disjoint sets and timing helpers."""
+"""Shared utilities: disjoint sets, timing helpers, and lock discipline."""
 
+from repro.utils.concurrency import ReadWriteLock, named_lock
+from repro.utils.lockcheck import PotentialDeadlockError
 from repro.utils.timing import Stopwatch, TimingLog, time_call
 from repro.utils.unionfind import UnionFind
 
-__all__ = ["Stopwatch", "TimingLog", "time_call", "UnionFind"]
+__all__ = [
+    "PotentialDeadlockError",
+    "ReadWriteLock",
+    "Stopwatch",
+    "TimingLog",
+    "named_lock",
+    "time_call",
+    "UnionFind",
+]

@@ -1,0 +1,12 @@
+"""Failing corpus: cluster code pickling term-bearing payloads."""
+
+import pickle
+
+
+def ship_terms(connection, terms):
+    blob = pickle.dumps(terms)  # finding: terms must go through protocol
+    connection.send(blob)
+
+
+def receive_terms(blob):
+    return pickle.loads(blob and blob.terms_blob)  # finding

@@ -1,0 +1,12 @@
+"""Passing corpus: cluster code pickling only packed, term-free payloads."""
+
+import pickle
+
+
+def ship_rows(connection, packed_rows):
+    blob = pickle.dumps(packed_rows)  # plain int tuples: fine
+    connection.send(blob)
+
+
+def receive_rows(blob):
+    return pickle.loads(blob)

@@ -1,0 +1,16 @@
+"""Failing corpus: guarded attribute touched outside its lock."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        #: guarded by self._lock
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def bump(self):
+        self.count += 1  # finding: no 'with self._lock' around the access
+
+    def read(self):
+        return self.count  # finding: bare read outside the lock

@@ -1,0 +1,30 @@
+"""Passing corpus: every guarded access sits inside the matching lock."""
+
+import threading
+
+from repro.utils.concurrency import ReadWriteLock
+
+
+class Stats:
+    def __init__(self):
+        #: guarded by self._lock
+        self.count = 0
+        self._lock = threading.Lock()
+        self.rwlock = ReadWriteLock()
+        self.snapshot = 0  #: guarded by self.rwlock
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def read(self):
+        with self._lock:
+            return self.count
+
+    def refresh(self):
+        with self.rwlock.write_locked():
+            self.snapshot += 1
+
+    def peek(self):
+        with self.rwlock.read_locked():
+            return self.snapshot

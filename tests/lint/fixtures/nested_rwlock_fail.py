@@ -1,0 +1,25 @@
+"""Failing corpus: code under a held RW lock re-enters an entry point."""
+
+
+class Service:
+    def __init__(self, entry):
+        self.entry = entry
+
+    def refresh(self):
+        with self.entry.rwlock.read_locked():
+            self._reload()  # finding: _reload() re-enters add_triples()
+
+    def _reload(self):
+        self.entry.add_triples([])
+
+
+class RawSpanService:
+    def __init__(self, entry):
+        self.entry = entry
+
+    def probe(self, query):
+        self.entry.rwlock.acquire_read()
+        try:
+            return self.entry.service.answer(query)  # finding: direct re-entry
+        finally:
+            self.entry.rwlock.release_read()

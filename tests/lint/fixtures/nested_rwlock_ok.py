@@ -1,0 +1,19 @@
+"""Passing corpus: the entry points run only outside the RW lock."""
+
+
+class Service:
+    def __init__(self, entry):
+        self.entry = entry
+
+    def refresh(self):
+        with self.entry.rwlock.read_locked():
+            rows = self.entry.snapshot_rows()
+        self.entry.add_triples(rows)  # lock already released
+
+    def probe(self, query):
+        self.entry.rwlock.acquire_read()
+        try:
+            plan = self.entry.planner()
+        finally:
+            self.entry.rwlock.release_read()
+        return self.entry.service.answer(query), plan

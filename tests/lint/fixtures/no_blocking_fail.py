@@ -1,0 +1,10 @@
+"""Failing corpus: blocking calls under a ship lock (the PR 7 class)."""
+
+
+class Coordinator:
+    def ship(self, handle, item):
+        with handle.ship_lock:
+            handle.connection.send(item)  # finding: pipe send under lock
+            handle.delta_queue.put(item)  # finding: untimed bounded put
+            handle.process.join()  # finding: untimed join
+            self._spawn(handle)  # finding: worker spawn under lock

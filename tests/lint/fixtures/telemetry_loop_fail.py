@@ -1,0 +1,19 @@
+"""Failing corpus: instrument get-or-create inside a hot loop."""
+
+from repro import telemetry
+
+
+def ingest(rows):
+    for row in rows:
+        telemetry.counter("ingest.rows").inc()  # finding: per-iteration lookup
+        absorb(row)
+
+
+def drain(queue):
+    while not queue.empty():
+        telemetry.histogram("drain.seconds").observe(0.0)  # finding
+        queue.get()
+
+
+def absorb(row):
+    return row

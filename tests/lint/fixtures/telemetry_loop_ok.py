@@ -1,0 +1,14 @@
+"""Passing corpus: instruments hoisted out of the loop and reused."""
+
+from repro import telemetry
+
+
+def ingest(rows):
+    counter = telemetry.counter("ingest.rows")
+    for row in rows:
+        counter.inc()
+        absorb(row)
+
+
+def absorb(row):
+    return row

@@ -1,0 +1,18 @@
+"""Failing corpus: wall-clock deltas used as durations."""
+
+import time
+from time import time as now
+
+
+def elapsed(work):
+    start = now()
+    work()
+    return now() - start  # finding: wall clock delta
+
+
+def uptime(started_at):
+    return time.time() - started_at  # finding: time.time() delta
+
+
+def remaining(deadline):
+    return deadline - now()  # finding: deadline arithmetic on wall clock

@@ -1,0 +1,18 @@
+"""Passing corpus: durations from perf_counter, timestamps from time."""
+
+from time import monotonic, perf_counter, time
+
+
+def elapsed(work):
+    start = perf_counter()
+    work()
+    return perf_counter() - start
+
+
+def remaining(deadline):
+    return deadline - monotonic()
+
+
+def stamp(payload):
+    payload["ts"] = time()  # a timestamp, not a duration: fine
+    return payload

@@ -1,0 +1,152 @@
+"""Engine behaviour: suppressions, output formats, exit codes, CLI wiring."""
+
+import json
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.engine import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_VIOLATION = (
+    "from time import time\n"
+    "\n"
+    "def f(start, work):\n"
+    "    work()\n"
+    "    return time() - start{trailer}\n"
+)
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestSuppressions:
+    def test_trailing_suppression_silences_the_line(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            _VIOLATION.format(trailer="  # repro-lint: disable=wall-clock-duration"),
+        )
+        findings, engine = run_lint([path])
+        assert findings == []
+        assert engine.suppressed_count == 1
+
+    def test_standalone_comment_suppresses_the_next_line(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            "from time import time\n"
+            "\n"
+            "def f(start, work):\n"
+            "    work()\n"
+            "    # repro-lint: disable=wall-clock-duration\n"
+            "    return time() - start\n",
+        )
+        findings, engine = run_lint([path])
+        assert findings == []
+        assert engine.suppressed_count == 1
+
+    def test_disable_all_silences_every_rule(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            _VIOLATION.format(trailer="  # repro-lint: disable=all"),
+        )
+        findings, _ = run_lint([path])
+        assert findings == []
+
+    def test_wrong_rule_name_does_not_suppress(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            _VIOLATION.format(trailer="  # repro-lint: disable=guarded-by"),
+        )
+        findings, engine = run_lint([path])
+        assert [f.rule for f in findings] == ["wall-clock-duration"]
+        assert engine.suppressed_count == 0
+
+    def test_suppression_on_other_line_does_not_leak(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            "from time import time\n"
+            "# repro-lint: disable=wall-clock-duration\n"
+            "\n"
+            "def f(start, work):\n"
+            "    work()\n"
+            "    return time() - start\n",
+        )
+        findings, _ = run_lint([path])
+        assert [f.rule for f in findings] == ["wall-clock-duration"]
+
+
+class TestCli:
+    def test_exit_code_one_on_findings(self, capsys):
+        rc = main([str(FIXTURES / "wall_clock_fail.py")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "wall-clock-duration" in out
+
+    def test_exit_code_zero_on_clean_tree(self, capsys):
+        rc = main([str(FIXTURES / "wall_clock_ok.py")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 finding(s)" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        rc = main([str(FIXTURES / "no_blocking_fail.py"), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["files_checked"] == 1
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"no-blocking-under-lock"}
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "col", "message"}
+
+    def test_list_rules_names_every_rule(self, capsys):
+        rc = main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for rule in (
+            "guarded-by",
+            "no-blocking-under-lock",
+            "no-nested-rwlock",
+            "no-pickled-terms",
+            "wall-clock-duration",
+            "telemetry-instrument-in-hot-loop",
+        ):
+            assert rule in out
+
+    def test_unknown_rule_is_an_error(self, capsys):
+        rc = main(["--rules", "no-such-rule", str(FIXTURES)])
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_repro_cli_subcommand_forwards(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["lint", "--json", str(FIXTURES / "guarded_by_ok.py")])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["findings"] == []
+
+
+class TestEngineMechanics:
+    def test_syntax_error_files_are_skipped(self, tmp_path):
+        _write(tmp_path, "broken.py", "def f(:\n")
+        _write(
+            tmp_path,
+            "mod.py",
+            _VIOLATION.format(trailer=""),
+        )
+        findings, engine = run_lint([tmp_path])
+        assert engine.files_checked == 1
+        assert [f.rule for f in findings] == ["wall-clock-duration"]
+
+    def test_findings_sorted_by_location(self):
+        findings, _ = run_lint([FIXTURES / "no_blocking_fail.py"])
+        lines = [f.line for f in findings]
+        assert lines == sorted(lines)

@@ -101,3 +101,75 @@ class TestReadWriteLock:
         lock.release_read()
         with pytest.raises(RuntimeError):
             lock.release_read()
+
+    def test_locked_for_read_and_write_introspection(self):
+        lock = ReadWriteLock()
+        assert not lock.locked_for_read()
+        assert not lock.locked_for_write()
+        with lock.read_locked():
+            assert lock.locked_for_read()
+            assert not lock.locked_for_write()
+        with lock.write_locked():
+            assert lock.locked_for_write()
+            assert not lock.locked_for_read()
+        assert not lock.locked_for_read()
+        assert not lock.locked_for_write()
+
+    def test_names_are_stable_and_unique(self):
+        named = ReadWriteLock("entry.rwlock")
+        assert named.name == "entry.rwlock"
+        first, second = ReadWriteLock(), ReadWriteLock()
+        assert first.name != second.name
+        assert first.name in repr(first)
+
+    def test_non_reentrancy_contract(self):
+        """The docstring's warning, asserted: a reader re-acquiring the
+        read side parks behind a waiting writer — the nested acquire the
+        lock's contract forbids really does deadlock, it is not prose.
+        """
+        from repro.utils import lockcheck
+
+        if lockcheck.get_installed_tracker() is not None:
+            pytest.skip(
+                "lockcheck rejects the nested acquire before it can park "
+                "(covered by test_lockcheck.TestReentry)"
+            )
+        lock = ReadWriteLock()
+        reader_in = threading.Event()
+        reacquire_started = threading.Event()
+        reacquired = threading.Event()
+
+        def holder():
+            lock.acquire_read()
+            reader_in.set()
+            # wait until a writer is queued, then try the forbidden
+            # nested read acquire
+            while not lock._writers_waiting:
+                sleep(0.001)
+            reacquire_started.set()
+            lock.acquire_read()  # parks behind the waiting writer
+            reacquired.set()
+            # only the nested hold is ours to release: the main thread
+            # released the first hold to break the deadlock
+            lock.release_read()
+
+        def writer():
+            reader_in.wait(timeout=10)
+            with lock.write_locked():
+                pass
+
+        holder_thread = threading.Thread(target=holder, daemon=True)
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        holder_thread.start()
+        writer_thread.start()
+        assert reacquire_started.wait(timeout=10)
+        # the nested acquire must NOT proceed: writer preference queues it
+        # behind the writer, and the writer cannot run while the first
+        # read hold is still out — the deadlock the contract describes
+        assert not reacquired.wait(timeout=0.3)
+        # break the cycle the only way possible: drop the first hold
+        lock.release_read()
+        assert reacquired.wait(timeout=10)
+        writer_thread.join(timeout=10)
+        holder_thread.join(timeout=10)
+        assert not holder_thread.is_alive()

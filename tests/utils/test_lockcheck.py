@@ -1,0 +1,215 @@
+"""The dynamic lock-order sanitizer: cycles, re-entry, and the PR 7 shape."""
+
+import os
+import subprocess
+import sys
+import threading
+import uuid
+
+import pytest
+
+from repro.utils import lockcheck
+from repro.utils.concurrency import ReadWriteLock, named_lock
+
+
+@pytest.fixture
+def tracker():
+    """Arm the sanitizer; leave it armed afterwards only if it already was.
+
+    Lock names are uniquified per test, so edges this fixture records in a
+    session-wide tracker (the REPRO_LOCKCHECK=1 CI run) cannot collide
+    with the suite's own locks.
+    """
+    previously_installed = lockcheck.get_installed_tracker() is not None
+    installed = lockcheck.install()
+    yield installed
+    if not previously_installed:
+        lockcheck.uninstall()
+
+
+def _name(label: str) -> str:
+    return f"test.lockcheck.{label}.{uuid.uuid4().hex[:8]}"
+
+
+class TestCycleDetection:
+    def test_two_lock_cycle_raises_with_both_stacks(self, tracker):
+        lock_a = lockcheck.TrackedLock(_name("a"))
+        lock_b = lockcheck.TrackedLock(_name("b"))
+
+        def establish_order():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        thread = threading.Thread(target=establish_order, name="order-setter")
+        thread.start()
+        thread.join(timeout=10)
+
+        with lock_b:
+            with pytest.raises(lockcheck.PotentialDeadlockError) as excinfo:
+                lock_a.acquire()
+        error = excinfo.value
+        assert error.cycle[0] == lock_b.name
+        assert lock_a.name in error.cycle
+        # both acquisition stacks travel with the report
+        assert "acquire" in error.this_stack
+        assert "establish_order" in error.other_stack
+        # the rejected acquire never took the lock
+        assert not lock_a.locked()
+
+    def test_consistent_order_never_raises(self, tracker):
+        lock_a = lockcheck.TrackedLock(_name("a"))
+        lock_b = lockcheck.TrackedLock(_name("b"))
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert (lock_a.name, lock_b.name) in tracker.edges()
+
+    def test_three_lock_transitive_cycle(self, tracker):
+        names = [lockcheck.TrackedLock(_name(c)) for c in "abc"]
+        a, b, c = names
+
+        def run(first, second):
+            with first:
+                with second:
+                    pass
+
+        for first, second in ((a, b), (b, c)):
+            thread = threading.Thread(target=run, args=(first, second))
+            thread.start()
+            thread.join(timeout=10)
+        with c:
+            with pytest.raises(lockcheck.PotentialDeadlockError):
+                a.acquire()
+
+
+class TestReentry:
+    def test_rwlock_read_reentry_raises(self, tracker):
+        rwlock = ReadWriteLock(_name("rwlock"))
+        rwlock.acquire_read()
+        try:
+            with pytest.raises(lockcheck.PotentialDeadlockError) as excinfo:
+                rwlock.acquire_read()
+        finally:
+            rwlock.release_read()
+        error = excinfo.value
+        assert error.cycle == [rwlock.name, rwlock.name]
+        assert error.this_stack and error.other_stack
+
+    def test_rwlock_write_after_read_reentry_raises(self, tracker):
+        rwlock = ReadWriteLock(_name("rwlock"))
+        with rwlock.read_locked():
+            with pytest.raises(lockcheck.PotentialDeadlockError):
+                rwlock.acquire_write()
+
+    def test_plain_lock_reentry_raises(self, tracker):
+        lock = lockcheck.TrackedLock(_name("plain"))
+        with lock:
+            with pytest.raises(lockcheck.PotentialDeadlockError):
+                lock.acquire()
+
+    def test_separate_readers_do_not_trip_reentry(self, tracker):
+        rwlock = ReadWriteLock(_name("rwlock"))
+        errors = []
+
+        def reader():
+            try:
+                with rwlock.read_locked():
+                    pass
+            except lockcheck.PotentialDeadlockError as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+
+
+class TestPr7RegressionShape:
+    def test_ingest_vs_respawn_lock_cycle_is_flagged(self, tracker):
+        """The PR 7 deadlock, reduced to its lock-order skeleton.
+
+        Respawn/re-ship path: ship_lock → entry read lock (snapshot under
+        the lock).  Buggy delta path: entry write lock (ingest) → ship_lock
+        (synchronous fan-out).  Opposite orders — the sanitizer must
+        reject the second edge instead of letting the two threads park
+        against each other as they did in production.
+        """
+        entry_rwlock = ReadWriteLock(_name("pr7.entry.rwlock"))
+        ship_lock = lockcheck.TrackedLock(_name("pr7.ship_lock"))
+
+        def reship_path():
+            with ship_lock:
+                with entry_rwlock.read_locked():
+                    pass  # snapshot the graph for the respawned worker
+
+        thread = threading.Thread(target=reship_path, name="respawn-reship")
+        thread.start()
+        thread.join(timeout=10)
+
+        # the pre-fix delta listener: runs inside the entry write lock and
+        # then tries to take the ship lock to fan the delta out
+        entry_rwlock.acquire_write()
+        try:
+            with pytest.raises(lockcheck.PotentialDeadlockError) as excinfo:
+                ship_lock.acquire()
+        finally:
+            entry_rwlock.release_write()
+        error = excinfo.value
+        assert ship_lock.name in error.cycle
+        assert entry_rwlock.name in error.cycle
+        assert "respawn-reship" in str(error) or "reship_path" in error.other_stack
+
+
+class TestWiring:
+    def test_named_lock_is_plain_when_disarmed(self):
+        if lockcheck.get_installed_tracker() is not None:
+            pytest.skip("sanitizer armed for this session (REPRO_LOCKCHECK=1)")
+        lock = named_lock("test.plain")
+        assert isinstance(lock, type(threading.Lock()))
+
+    def test_named_lock_is_tracked_when_armed(self, tracker):
+        lock = named_lock(_name("armed"))
+        assert isinstance(lock, lockcheck.TrackedLock)
+
+    def test_install_is_idempotent(self, tracker):
+        assert lockcheck.install() is tracker
+        assert lockcheck.enabled()
+
+    def test_env_var_arms_a_fresh_process(self):
+        env = dict(os.environ, REPRO_LOCKCHECK="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        code = (
+            "from repro.utils import concurrency, lockcheck\n"
+            "assert concurrency.get_tracker() is not None\n"
+            "assert lockcheck.enabled()\n"
+            "print('armed')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "armed" in result.stdout
+
+    def test_release_restores_order_freedom_within_thread(self, tracker):
+        lock_a = lockcheck.TrackedLock(_name("a"))
+        lock_b = lockcheck.TrackedLock(_name("b"))
+        # sequential (non-nested) opposite-order use is a recorded edge
+        # only when actually nested — no false positive here
+        with lock_a:
+            pass
+        with lock_b:
+            pass
+        with lock_a:
+            with lock_b:
+                pass
+        assert (lock_b.name, lock_a.name) not in tracker.edges()
